@@ -1,0 +1,558 @@
+// Package mmconf_bench holds the testing.B counterparts of the experiment
+// tables in EXPERIMENTS.md — one benchmark family per figure of the paper
+// (see DESIGN.md §4 for the experiment ↔ figure map). cmd/mmbench prints
+// the full tables; these benchmarks make the same code paths measurable
+// with `go test -bench`.
+package mmconf_bench
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"mmconf/internal/client"
+	"mmconf/internal/cpnet"
+	"mmconf/internal/document"
+	"mmconf/internal/media/audio"
+	"mmconf/internal/media/compress"
+	"mmconf/internal/media/image"
+	"mmconf/internal/media/voice"
+	"mmconf/internal/mediadb"
+	"mmconf/internal/netsim"
+	"mmconf/internal/prefetch"
+	"mmconf/internal/room"
+	"mmconf/internal/server"
+	"mmconf/internal/store"
+	"mmconf/internal/workload"
+)
+
+// --- E1: end-to-end retrieval (Fig. 1, 3, 4) ---
+
+type systemFixture struct {
+	srv  *server.Server
+	addr string
+	rec  *workload.PopulatedRecord
+	cli  *client.Client
+}
+
+var (
+	sysOnce sync.Once
+	sysFix  *systemFixture
+	sysErr  error
+)
+
+// system boots one shared server+client pair for the E1 benchmarks.
+func system(b *testing.B) *systemFixture {
+	b.Helper()
+	sysOnce.Do(func() {
+		dir := b.TempDir()
+		db, err := store.Open(dir, store.Options{Sync: store.SyncNever})
+		if err != nil {
+			sysErr = err
+			return
+		}
+		m, err := mediadb.Open(db)
+		if err != nil {
+			sysErr = err
+			return
+		}
+		rec, err := workload.Populate(m, "p1", 1)
+		if err != nil {
+			sysErr = err
+			return
+		}
+		srv := server.New(m)
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			sysErr = err
+			return
+		}
+		go srv.Serve(l)
+		cli, err := client.Dial(l.Addr().String(), "bench")
+		if err != nil {
+			sysErr = err
+			return
+		}
+		sysFix = &systemFixture{srv: srv, addr: l.Addr().String(), rec: rec, cli: cli}
+	})
+	if sysErr != nil {
+		b.Fatal(sysErr)
+	}
+	return sysFix
+}
+
+func BenchmarkE1RetrieveDocument(b *testing.B) {
+	fix := system(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fix.cli.GetDocument("p1"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1RetrieveImage(b *testing.B) {
+	fix := system(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := fix.cli.GetImage(fix.rec.CTID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1RetrieveBaseLayer(b *testing.B) {
+	fix := system(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := fix.cli.GetCmp(fix.rec.CmpID, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E2: optimal configuration (Fig. 2) ---
+
+func BenchmarkE2OptimalOutcome(b *testing.B) {
+	for _, n := range []int{5, 20, 100, 400} {
+		doc, err := workload.WideRecord(fmt.Sprintf("w%d", n), n, int64(n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("vars=%d", n+1), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := doc.Prefs.OptimalOutcome(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E3: dynamic reconfiguration (Fig. 5) ---
+
+func BenchmarkE3Reconfig(b *testing.B) {
+	for _, n := range []int{5, 20, 100} {
+		doc, err := workload.WideRecord(fmt.Sprintf("w%d", n), n, int64(n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		choices := cpnet.Outcome{"img000": "icon"}
+		b.Run(fmt.Sprintf("components=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := doc.ReconfigPresentation(choices); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E4: object store (Fig. 6, 7) ---
+
+func BenchmarkE4StoreInsert(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		opts store.Options
+	}{
+		{"sync-always", store.Options{Sync: store.SyncAlways}},
+		{"sync-group", store.Options{Sync: store.SyncGroup}},
+		{"sync-never", store.Options{Sync: store.SyncNever}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			db, err := store.Open(b.TempDir(), mode.opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			m, err := mediadb.Open(db)
+			if err != nil {
+				b.Fatal(err)
+			}
+			payload := make([]byte, 64<<10)
+			b.SetBytes(int64(len(payload)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.PutImage(int64(i), "", 1.0, payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE4StoreFetch(b *testing.B) {
+	db, err := store.Open(b.TempDir(), store.Options{Sync: store.SyncNever})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	m, err := mediadb.Open(db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 64<<10)
+	ids := make([]uint64, 100)
+	for i := range ids {
+		id, err := m.PutImage(int64(i), "", 1.0, payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids[i] = id
+	}
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.GetImage(ids[i%len(ids)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E5: room propagation (Fig. 8) ---
+
+func BenchmarkE5Propagation(b *testing.B) {
+	for _, n := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("members=%d", n), func(b *testing.B) {
+			doc, err := workload.MedicalRecord("e5", 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r, err := room.New("bench", doc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer r.Close()
+			var wg sync.WaitGroup
+			for i := 0; i < n; i++ {
+				m, _, _, err := r.Join(fmt.Sprintf("m%02d", i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				wg.Add(1)
+				go func(m *room.Member) {
+					defer wg.Done()
+					for range m.Events() {
+					}
+				}(m)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			values := []string{"segmented", "full", "lowres"}
+			for i := 0; i < b.N; i++ {
+				if err := r.Choice("m00", "ct", values[i%len(values)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			r.Close()
+			wg.Wait()
+		})
+	}
+}
+
+// --- E6: multi-layer compression (Fig. 9) ---
+
+func BenchmarkE6Encode(b *testing.B) {
+	img, err := image.Phantom(256, 256, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(img.W * img.H))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := compress.Encode(img, compress.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE6DecodeLayers(b *testing.B) {
+	img, err := image.Phantom(256, 256, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream, err := compress.Encode(img, compress.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for k := 1; k <= len(stream.Layers); k++ {
+		b.Run(fmt.Sprintf("layers=%d", k), func(b *testing.B) {
+			b.SetBytes(int64(stream.PrefixBytes(k)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := stream.Decode(k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E7: voice processing (Fig. 10) ---
+
+var (
+	voiceOnce    sync.Once
+	voiceErr     error
+	voiceSeg     *voice.Segmenter
+	voiceSpeaker *voice.SpeakerSpotter
+	voiceWords   *voice.WordSpotter
+	voiceSignal  []float64
+	voiceSegs    []audio.Segment
+)
+
+func voiceFixtures(b *testing.B) {
+	b.Helper()
+	voiceOnce.Do(func() {
+		speakers := audio.DefaultSpeakers()
+		synth := audio.NewSynthesizer(1)
+		script := []audio.ScriptItem{
+			{Type: audio.Silence, Dur: 0.5},
+			{Type: audio.Speech, Speaker: speakers[0], Words: []string{"patient", "urgent"}},
+			{Type: audio.Music, Dur: 1.0},
+			{Type: audio.Speech, Speaker: speakers[1], Words: []string{"tumor", "biopsy"}},
+			{Type: audio.Artifact, Dur: 0.5},
+			{Type: audio.Speech, Speaker: speakers[2], Words: []string{"negative", "normal"}},
+		}
+		var signals [][]float64
+		var truths [][]audio.Segment
+		for i := 0; i < 2; i++ {
+			sig, segs, err := synth.Compose(script)
+			if err != nil {
+				voiceErr = err
+				return
+			}
+			signals = append(signals, sig)
+			truths = append(truths, segs)
+		}
+		voiceSeg, voiceErr = voice.TrainSegmenter(signals, truths)
+		if voiceErr != nil {
+			return
+		}
+		voiceSignal, voiceSegs, voiceErr = synth.Compose(script)
+		if voiceErr != nil {
+			return
+		}
+		enroll := make(map[string][][]float64)
+		for _, sp := range speakers {
+			w, _, err := synth.Utterance(sp, []string{"patient", "tumor", "normal", "urgent", "biopsy"})
+			if err != nil {
+				voiceErr = err
+				return
+			}
+			enroll[sp.Name] = [][]float64{w}
+		}
+		voiceSpeaker, voiceErr = voice.TrainSpeakerSpotter(enroll, 4, 7)
+		if voiceErr != nil {
+			return
+		}
+		examples := map[string][][]float64{}
+		var garbage [][]float64
+		for _, sp := range speakers[:3] {
+			w, _, err := synth.Utterance(sp, []string{"urgent"})
+			if err != nil {
+				voiceErr = err
+				return
+			}
+			examples["urgent"] = append(examples["urgent"], w)
+			g, _, err := synth.Utterance(sp, []string{"patient", "normal"})
+			if err != nil {
+				voiceErr = err
+				return
+			}
+			garbage = append(garbage, g)
+		}
+		voiceWords, voiceErr = voice.TrainWordSpotter(examples, garbage, 42)
+	})
+	if voiceErr != nil {
+		b.Fatal(voiceErr)
+	}
+}
+
+func BenchmarkE7Segment(b *testing.B) {
+	voiceFixtures(b)
+	b.SetBytes(int64(len(voiceSignal) * 8))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := voiceSeg.Segment(voiceSignal); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE7SpeakerSpot(b *testing.B) {
+	voiceFixtures(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := voiceSpeaker.Spot(voiceSignal, voiceSegs, -1e9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE7WordSpot(b *testing.B) {
+	voiceFixtures(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := voiceWords.Spot(voiceSignal, []string{"urgent"}, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E8: preference-based prefetch (§4.4) ---
+
+func BenchmarkE8Prefetch(b *testing.B) {
+	doc, err := workload.MedicalRecord("e8", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := map[string]map[string]uint64{
+		"ct":    {"full": 11, "segmented": 15, "lowres": 13},
+		"xray":  {"full": 12, "icon": 16},
+		"voice": {"audio": 14},
+	}
+	for comp, vals := range ids {
+		c, err := doc.Component(comp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := range c.Presentations {
+			if id, ok := vals[c.Presentations[i].Name]; ok {
+				c.Presentations[i].ObjectID = id
+			}
+		}
+	}
+	script := workload.Session(doc, []string{"a", "b"}, 100, 5)
+	link, err := netsim.NewLink(256<<10, 30*time.Millisecond)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, pol := range []prefetch.Policy{prefetch.PolicyNone, prefetch.PolicyLRU, prefetch.PolicyPreference} {
+		b.Run(pol.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				link.Reset()
+				if _, err := prefetch.Simulate(doc, script, pol, 1<<20, 512<<10, link); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE8Rank isolates the candidate-ranking step a client runs after
+// every choice.
+func BenchmarkE8Rank(b *testing.B) {
+	doc, err := workload.MedicalRecord("e8rank", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := prefetch.Rank(doc, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E9: online update (§4.2) ---
+
+func BenchmarkE9AddOperationVariable(b *testing.B) {
+	doc, err := workload.WideRecord("e9", 50, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// Rebuild periodically so the network does not grow with b.N and
+		// skew the per-op cost.
+		if i%64 == 0 && i > 0 {
+			b.StopTimer()
+			doc, err = workload.WideRecord("e9", 50, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+		name := fmt.Sprintf("op%d", i%64)
+		if _, err := doc.Prefs.AddOperationVariable("img000", name, "full"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE9OverlayCompletion(b *testing.B) {
+	doc, err := workload.WideRecord("e9b", 50, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ov := doc.NewOverlay()
+	if _, err := doc.ApplyOperationPrivate(ov, "img000", "zoom", "full"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := doc.ReconfigPresentationFor(ov, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Substrate micro-benchmarks used across experiments ---
+
+func BenchmarkBlobPut(b *testing.B) {
+	db, err := store.Open(b.TempDir(), store.Options{Sync: store.SyncNever})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	payload := make([]byte, 64<<10)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.PutBlob(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDocumentMarshal(b *testing.B) {
+	doc, err := workload.MedicalRecord("m", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := doc.MarshalBinary(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDocumentUnmarshal(b *testing.B) {
+	doc, err := workload.MedicalRecord("m", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, err := doc.MarshalBinary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := document.Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Command mmauthor is the document author's toolbench (the "advanced
+// authoring tool" of the paper's future work, §6).
+//
+// Usage:
+//
+//	mmauthor check <prefs.cpn>             # parse + validate a CP-net text file
+//	mmauthor -data ./mmdata lint <docID>   # lint a stored document's preferences
+//	mmauthor -data ./mmdata review <docID> # print the click-reaction review table
+//	mmauthor -data ./mmdata net <docID>    # dump the document's CP-net as text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mmconf/internal/author"
+	"mmconf/internal/cpnet"
+	"mmconf/internal/document"
+	"mmconf/internal/mediadb"
+	"mmconf/internal/store"
+)
+
+func main() {
+	data := flag.String("data", "./mmdata", "database directory (for lint/review/net)")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: mmauthor [-data dir] check <file> | lint <docID> | review <docID> | net <docID>")
+		os.Exit(2)
+	}
+	if err := run(*data, args); err != nil {
+		log.Fatalf("mmauthor: %v", err)
+	}
+}
+
+func run(data string, args []string) error {
+	switch args[0] {
+	case "check":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: mmauthor check <prefs.cpn>")
+		}
+		f, err := os.Open(args[1])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		n, err := cpnet.ParseText(f)
+		if err != nil {
+			return err
+		}
+		opt, err := n.OptimalOutcome()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ok: %d variables, %d outcomes in the configuration space\n", n.Len(), n.OutcomeCount())
+		fmt.Printf("optimal outcome: %s\n", opt)
+		return nil
+	case "lint", "review", "net":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: mmauthor %s <docID>", args[0])
+		}
+		doc, closeDB, err := loadDoc(data, args[1])
+		if err != nil {
+			return err
+		}
+		defer closeDB()
+		switch args[0] {
+		case "lint":
+			findings, err := author.Lint(doc)
+			if err != nil {
+				return err
+			}
+			if len(findings) == 0 {
+				fmt.Println("no findings")
+				return nil
+			}
+			for _, f := range findings {
+				fmt.Println(f)
+			}
+			return nil
+		case "review":
+			table, err := author.ReviewTable(doc)
+			if err != nil {
+				return err
+			}
+			fmt.Print(table)
+			return nil
+		default: // net
+			fmt.Print(doc.Prefs.Text())
+			return nil
+		}
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func loadDoc(data, docID string) (*document.Document, func(), error) {
+	db, err := store.Open(data, store.Options{Sync: store.SyncNever})
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := mediadb.Open(db)
+	if err != nil {
+		db.Close()
+		return nil, nil, err
+	}
+	doc, err := m.GetDocument(docID)
+	if err != nil {
+		db.Close()
+		return nil, nil, err
+	}
+	return doc, func() { db.Close() }, nil
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mmconf/internal/mediadb"
+	"mmconf/internal/store"
+	"mmconf/internal/workload"
+)
+
+func populated(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	db, err := store.Open(dir, store.Options{Sync: store.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mediadb.Open(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := workload.Populate(m, "patient-001", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestRunStoredDocumentCommands(t *testing.T) {
+	dir := populated(t)
+	for _, args := range [][]string{
+		{"lint", "patient-001"},
+		{"review", "patient-001"},
+		{"net", "patient-001"},
+	} {
+		if err := run(dir, args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+	if err := run(dir, []string{"lint", "missing"}); err == nil {
+		t.Error("missing document accepted")
+	}
+	if err := run(dir, []string{"lint"}); err == nil {
+		t.Error("lint without id accepted")
+	}
+	if err := run(dir, []string{"frobnicate", "x"}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+}
+
+func TestRunCheck(t *testing.T) {
+	good := filepath.Join(t.TempDir(), "prefs.cpn")
+	if err := os.WriteFile(good, []byte("var x { a b }\npref x : a > b\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", []string{"check", good}); err != nil {
+		t.Errorf("check(good): %v", err)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.cpn")
+	if err := os.WriteFile(bad, []byte("var x { a b }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", []string{"check", bad}); err == nil {
+		t.Error("incomplete network accepted")
+	}
+	if err := run("", []string{"check", "/nonexistent/file"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run("", []string{"check"}); err == nil {
+		t.Error("check without file accepted")
+	}
+}

@@ -1,0 +1,92 @@
+// Command mmbench regenerates every experiment table of EXPERIMENTS.md:
+// one experiment per figure of the paper (see DESIGN.md §4 for the map).
+//
+// Usage:
+//
+//	mmbench              # run everything
+//	mmbench -only E2,E8  # run a subset
+//	mmbench -list        # show the experiment index
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mmconf/internal/experiments"
+)
+
+type experiment struct {
+	id    string
+	title string
+	run   func(workdir string) (*experiments.Table, error)
+}
+
+func main() {
+	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	all := []experiment{
+		{"E1", "end-to-end document retrieval (Fig. 1, 3, 4)",
+			experiments.E1Retrieve},
+		{"E2", "CP-net optimal configuration (Fig. 2)",
+			func(string) (*experiments.Table, error) { return experiments.E2OptimalOutcome() }},
+		{"E3", "dynamic reconfiguration latency (Fig. 5)",
+			func(string) (*experiments.Table, error) { return experiments.E3Reconfig() }},
+		{"E4", "object store throughput and durability (Fig. 6, 7)",
+			experiments.E4Store},
+		{"E5", "room change propagation (Fig. 8)",
+			func(string) (*experiments.Table, error) { return experiments.E5Propagation() }},
+		{"E6", "multi-resolution image transfer (Fig. 9)",
+			func(string) (*experiments.Table, error) { return experiments.E6MultiRes() }},
+		{"E7", "voice processing accuracy (Fig. 10)",
+			func(string) (*experiments.Table, error) { return experiments.E7Voice() }},
+		{"E8", "preference-based pre-fetching (§4.4)",
+			func(string) (*experiments.Table, error) { return experiments.E8Prefetch() }},
+		{"E9", "online CP-net update cost (§4.2)",
+			func(string) (*experiments.Table, error) { return experiments.E9Update() }},
+	}
+
+	if *list {
+		for _, e := range all {
+			fmt.Printf("%-3s %s\n", e.id, e.title)
+		}
+		return
+	}
+
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			selected[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	workdir, err := os.MkdirTemp("", "mmbench-*")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mmbench: %v\n", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(workdir)
+
+	failed := false
+	for _, e := range all {
+		if len(selected) > 0 && !selected[e.id] {
+			continue
+		}
+		start := time.Now()
+		table, err := e.run(workdir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mmbench: %s failed: %v\n", e.id, err)
+			failed = true
+			continue
+		}
+		fmt.Println(table)
+		fmt.Printf("(%s completed in %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

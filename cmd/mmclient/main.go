@@ -1,0 +1,303 @@
+// Command mmclient is a line-oriented client module for the conferencing
+// system: it joins a shared room, prints every propagated room event, and
+// accepts interactive commands.
+//
+// Usage:
+//
+//	mmclient -addr 127.0.0.1:7070 -user dr-adams -room consult -doc patient-001
+//
+// Commands on stdin:
+//
+//	docs                          list stored documents
+//	view                          show the current presentation
+//	tree                          show the document's component hierarchy
+//	choice <variable> <value>     pick a presentation (empty value retracts)
+//	op <component> <op> <when>    apply a shared media operation
+//	opp <component> <op> <when>   apply a private media operation
+//	text <objID> <x> <y> <txt>    write a text element on an image
+//	line <objID> <x1 y1 x2 y2>    draw a line element
+//	del <objID> <annID>           delete an annotation
+//	freeze <objID> / release <objID>
+//	bcast start|stop              take or release the presentation floor
+//	save                          persist the discussion minutes into the document
+//	chat <message>
+//	history                       replay the room's change buffer
+//	quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mmconf/internal/client"
+	"mmconf/internal/document"
+	"mmconf/internal/room"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "interaction server address")
+	user := flag.String("user", "viewer", "user name")
+	roomName := flag.String("room", "consult", "shared room to join")
+	docID := flag.String("doc", "", "document id (required for the first joiner)")
+	buffer := flag.Int64("buffer", 4<<20, "client prefetch buffer bytes (0 disables)")
+	flag.Parse()
+
+	if err := run(*addr, *user, *roomName, *docID, *buffer); err != nil {
+		log.Fatalf("mmclient: %v", err)
+	}
+}
+
+func run(addr, user, roomName, docID string, buffer int64) error {
+	c, err := client.Dial(addr, user)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	session, history, err := c.Join(roomName, docID, buffer)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("joined room %q as %s — document %q (%d components)\n",
+		roomName, user, session.Doc.ID, len(session.Doc.Components()))
+	for _, ev := range history {
+		printEvent(user, ev)
+	}
+	printView(session.View())
+
+	go func() {
+		for ev := range c.Events() {
+			session.ApplyEvent(ev)
+			printEvent(user, ev)
+		}
+	}()
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "quit" || line == "exit" {
+			break
+		}
+		if line != "" {
+			if err := execute(c, session, line); err != nil {
+				fmt.Printf("error: %v\n", err)
+			}
+		}
+		fmt.Print("> ")
+	}
+	return session.Leave()
+}
+
+func execute(c *client.Client, s *client.Session, line string) error {
+	fields := strings.Fields(line)
+	cmd, args := fields[0], fields[1:]
+	switch cmd {
+	case "docs":
+		ids, titles, err := c.ListDocuments()
+		if err != nil {
+			return err
+		}
+		for i, id := range ids {
+			fmt.Printf("  %-16s %s\n", id, titles[i])
+		}
+	case "view":
+		printView(s.View())
+	case "tree":
+		printTree(s.Doc.Root, 0)
+	case "choice":
+		if len(args) < 1 {
+			return fmt.Errorf("usage: choice <variable> [value]")
+		}
+		value := ""
+		if len(args) > 1 {
+			value = args[1]
+		}
+		return s.Choice(args[0], value)
+	case "op", "opp":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: %s <component> <operation> <active-when>", cmd)
+		}
+		derived, err := s.Operation(args[0], args[1], args[2], cmd == "opp")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("derived variable: %s\n", derived)
+	case "text":
+		if len(args) < 4 {
+			return fmt.Errorf("usage: text <objectID> <x> <y> <text...>")
+		}
+		id, x, y, err := parse3(args)
+		if err != nil {
+			return err
+		}
+		annID, err := s.AnnotateText(id, x, y, strings.Join(args[3:], " "), 1.0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("annotation %d\n", annID)
+	case "line":
+		if len(args) != 5 {
+			return fmt.Errorf("usage: line <objectID> <x1> <y1> <x2> <y2>")
+		}
+		id, x1, y1, err := parse3(args)
+		if err != nil {
+			return err
+		}
+		x2, err1 := strconv.Atoi(args[3])
+		y2, err2 := strconv.Atoi(args[4])
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("bad coordinates")
+		}
+		annID, err := s.AnnotateLine(id, x1, y1, x2, y2, 1.0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("annotation %d\n", annID)
+	case "del":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: del <objectID> <annotationID>")
+		}
+		obj, err1 := strconv.ParseUint(args[0], 10, 64)
+		ann, err2 := strconv.Atoi(args[1])
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("bad ids")
+		}
+		return s.DeleteAnnotation(obj, ann)
+	case "freeze", "release":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: %s <objectID>", cmd)
+		}
+		obj, err := strconv.ParseUint(args[0], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad object id")
+		}
+		if cmd == "freeze" {
+			return s.Freeze(obj)
+		}
+		return s.Release(obj)
+	case "save":
+		comp, err := s.SaveMinutes()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("discussion minutes saved as component %q\n", comp)
+	case "bcast":
+		if len(args) != 1 || (args[0] != "start" && args[0] != "stop") {
+			return fmt.Errorf("usage: bcast start|stop")
+		}
+		if args[0] == "start" {
+			return s.StartBroadcast()
+		}
+		return s.StopBroadcast()
+	case "chat":
+		return s.Chat(strings.Join(args, " "))
+	case "history":
+		evs, err := s.History(0)
+		if err != nil {
+			return err
+		}
+		for _, ev := range evs {
+			printEvent("", ev)
+		}
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+	return nil
+}
+
+func parse3(args []string) (uint64, int, int, error) {
+	id, err := strconv.ParseUint(args[0], 10, 64)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("bad object id %q", args[0])
+	}
+	x, err := strconv.Atoi(args[1])
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("bad x %q", args[1])
+	}
+	y, err := strconv.Atoi(args[2])
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("bad y %q", args[2])
+	}
+	return id, x, y, nil
+}
+
+func printView(v document.View) {
+	if v.Outcome == nil {
+		fmt.Println("  (no presentation yet)")
+		return
+	}
+	keys := make([]string, 0, len(v.Outcome))
+	for k := range v.Outcome {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Println("current presentation:")
+	for _, k := range keys {
+		vis := ""
+		if shown, ok := v.Visible[k]; ok && !shown {
+			vis = "  [not visible]"
+		}
+		fmt.Printf("  %-24s %s%s\n", k, v.Outcome[k], vis)
+	}
+}
+
+func printTree(c *document.Component, depth int) {
+	indent := strings.Repeat("  ", depth)
+	if c.Composite() {
+		fmt.Printf("%s%s/ (%s)\n", indent, c.Name, c.Label)
+		for _, ch := range c.Children {
+			printTree(ch, depth+1)
+		}
+		return
+	}
+	var alts []string
+	for _, p := range c.Presentations {
+		alts = append(alts, p.Name)
+	}
+	fmt.Printf("%s%s (%s) — %s\n", indent, c.Name, c.Label, strings.Join(alts, " | "))
+}
+
+func printEvent(self string, ev room.Event) {
+	switch ev.Kind {
+	case room.EvPresentation:
+		if ev.Actor == self {
+			fmt.Printf("[%d] presentation updated\n", ev.Seq)
+		}
+	case room.EvChoice:
+		fmt.Printf("[%d] %s chose %s = %s\n", ev.Seq, ev.Actor, ev.Variable, ev.Value)
+	case room.EvOperation:
+		scope := "shared"
+		if ev.Private {
+			scope = "private"
+		}
+		fmt.Printf("[%d] %s applied %s on %s (%s) -> %s\n",
+			ev.Seq, ev.Actor, ev.Op, ev.Component, scope, ev.DerivedVar)
+	case room.EvAnnotate:
+		fmt.Printf("[%d] %s annotated object %d: %s\n", ev.Seq, ev.Actor, ev.ObjectID, ev.Annotation.Text)
+	case room.EvDeleteAnnotation:
+		fmt.Printf("[%d] %s deleted annotation %d on object %d\n", ev.Seq, ev.Actor, ev.AnnotationID, ev.ObjectID)
+	case room.EvFreeze:
+		fmt.Printf("[%d] %s froze object %d\n", ev.Seq, ev.Actor, ev.ObjectID)
+	case room.EvRelease:
+		fmt.Printf("[%d] %s released object %d\n", ev.Seq, ev.Actor, ev.ObjectID)
+	case room.EvWordSearch, room.EvSpeakerSearch:
+		fmt.Printf("[%d] %s searched %q: %d hit(s)\n", ev.Seq, ev.Actor, ev.Keyword, len(ev.Hits))
+	case room.EvChat:
+		fmt.Printf("[%d] <%s> %s\n", ev.Seq, ev.Actor, ev.Text)
+	case room.EvBroadcastStart:
+		fmt.Printf("[%d] %s is now presenting; the floor is theirs\n", ev.Seq, ev.Actor)
+	case room.EvBroadcastStop:
+		fmt.Printf("[%d] broadcast ended\n", ev.Seq)
+	case room.EvJoin:
+		fmt.Printf("[%d] %s joined\n", ev.Seq, ev.Actor)
+	case room.EvLeave:
+		fmt.Printf("[%d] %s left\n", ev.Seq, ev.Actor)
+	}
+}

@@ -1,0 +1,94 @@
+// Command mmserver runs the interaction server of the conferencing
+// system: it opens (or initializes) the multimedia database and serves
+// clients over TCP.
+//
+// Usage:
+//
+//	mmserver -addr :7070 -data ./mmdata -seed 3
+//
+// -seed N populates the database with N synthetic medical records when it
+// is empty, so a fresh deployment has material to conference over.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"mmconf/internal/mediadb"
+	"mmconf/internal/server"
+	"mmconf/internal/store"
+	"mmconf/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
+	data := flag.String("data", "./mmdata", "database directory")
+	seed := flag.Int("seed", 2, "synthetic records to create if the database is empty")
+	sync := flag.String("sync", "group", "WAL durability: always | group | never")
+	flag.Parse()
+
+	if err := run(*addr, *data, *seed, *sync); err != nil {
+		log.Fatalf("mmserver: %v", err)
+	}
+}
+
+func run(addr, data string, seed int, syncMode string) error {
+	var mode store.SyncMode
+	switch syncMode {
+	case "always":
+		mode = store.SyncAlways
+	case "group":
+		mode = store.SyncGroup
+	case "never":
+		mode = store.SyncNever
+	default:
+		return fmt.Errorf("unknown sync mode %q", syncMode)
+	}
+	db, err := store.Open(data, store.Options{Sync: mode})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	m, err := mediadb.Open(db)
+	if err != nil {
+		return err
+	}
+	ids, _, err := m.ListDocuments()
+	if err != nil {
+		return err
+	}
+	if len(ids) == 0 && seed > 0 {
+		log.Printf("empty database: populating %d synthetic medical records", seed)
+		for i := 0; i < seed; i++ {
+			id := fmt.Sprintf("patient-%03d", i+1)
+			if _, err := workload.Populate(m, id, int64(i+1)); err != nil {
+				return fmt.Errorf("populating %s: %w", id, err)
+			}
+			log.Printf("  stored %s", id)
+		}
+		if err := db.Checkpoint(); err != nil {
+			return err
+		}
+	}
+
+	srv := server.New(m)
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("interaction server listening on %s (data: %s)", l.Addr(), data)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Printf("shutting down")
+		srv.Close()
+	}()
+	return srv.Serve(l)
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"testing"
+
+	"mmconf/internal/mediadb"
+	"mmconf/internal/store"
+)
+
+func TestRunRejectsBadSyncMode(t *testing.T) {
+	if err := run("127.0.0.1:0", t.TempDir(), 0, "sometimes"); err == nil {
+		t.Fatal("bad sync mode accepted")
+	}
+}
+
+func TestRunPopulatesEmptyDatabase(t *testing.T) {
+	dir := t.TempDir()
+	// An unlistenable address makes run return right after the populate
+	// phase, leaving the seeded database behind for inspection.
+	err := run("999.999.999.999:99999", dir, 2, "never")
+	if err == nil {
+		t.Fatal("invalid listen address accepted")
+	}
+	db, err := store.Open(dir, store.Options{Sync: store.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	m, err := mediadb.Open(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, _, err := m.ListDocuments()
+	if err != nil || len(ids) != 2 {
+		t.Fatalf("seeded documents = %v, %v; want 2", ids, err)
+	}
+	// A second run against the same data dir must not duplicate records
+	// (it only seeds when empty).
+	if err := run("999.999.999.999:99999", dir, 2, "never"); err == nil {
+		t.Fatal("invalid listen address accepted on rerun")
+	}
+	db2, err := store.Open(dir, store.Options{Sync: store.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	m2, err := mediadb.Open(db2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids2, _, err := m2.ListDocuments()
+	if err != nil || len(ids2) != 2 {
+		t.Fatalf("documents after rerun = %v, %v; want 2 (no reseeding)", ids2, err)
+	}
+}

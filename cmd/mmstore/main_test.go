@@ -1,0 +1,59 @@
+package main
+
+import (
+	"testing"
+
+	"mmconf/internal/mediadb"
+	"mmconf/internal/store"
+	"mmconf/internal/workload"
+)
+
+// populated creates a database directory with one record.
+func populated(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	db, err := store.Open(dir, store.Options{Sync: store.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mediadb.Open(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := workload.Populate(m, "patient-001", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestRunSubcommands(t *testing.T) {
+	dir := populated(t)
+	for _, args := range [][]string{
+		{"tables"},
+		{"types"},
+		{"docs"},
+		{"doc", "patient-001"},
+		{"checkpoint"},
+		{"vacuum"},
+	} {
+		if err := run(dir, args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := populated(t)
+	if err := run(dir, []string{"nosuch"}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run(dir, []string{"doc"}); err == nil {
+		t.Error("doc without id accepted")
+	}
+	if err := run(dir, []string{"doc", "missing"}); err == nil {
+		t.Error("missing document accepted")
+	}
+}

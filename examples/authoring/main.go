@@ -1,0 +1,135 @@
+// Authoring: the document author's workflow. Preferences are written in
+// the cpnet text format, parsed, validated, attached to a document, and
+// explored: the example prints the optimal completion for every single
+// viewer choice, which is exactly what the author needs to review before
+// publishing ("how will my document react to each click?").
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"mmconf/internal/cpnet"
+	"mmconf/internal/document"
+)
+
+// authoredPrefs is the CP-network of the paper's Fig. 2, in the authoring
+// text format, with document-flavored names.
+const authoredPrefs = `
+# Patient-file presentation preferences.
+var ct      { full segmented hidden }
+var xray    { full icon hidden }
+var voice   { audio transcript hidden }
+var labs    { table hidden }
+
+parents xray  ( ct )
+parents voice ( ct )
+
+pref ct : full > segmented > hidden
+
+# A presented CT crowds out the X-ray (the paper's worked example).
+pref xray [ ct=full ]      : icon > hidden > full
+pref xray [ ct=segmented ] : hidden > icon > full
+pref xray [ ct=hidden ]    : full > icon > hidden
+
+# Commentary accompanies a visible CT, otherwise read the transcript.
+pref voice [ ct=full ]      : audio > transcript > hidden
+pref voice [ ct=segmented ] : audio > transcript > hidden
+pref voice [ ct=hidden ]    : transcript > audio > hidden
+
+pref labs : table > hidden
+`
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	net, err := cpnet.ParseText(strings.NewReader(authoredPrefs))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("parsed %d variables; network valid\n\n", net.Len())
+
+	// Attach the network to a matching document structure.
+	root := &document.Component{
+		Name: "record", Label: "Patient file",
+		Children: []*document.Component{
+			{Name: "ct", Presentations: pres("full", "segmented", "hidden")},
+			{Name: "xray", Presentations: pres("full", "icon", "hidden")},
+			{Name: "voice", Presentations: pres("audio", "transcript", "hidden")},
+			{Name: "labs", Presentations: pres("table", "hidden")},
+		},
+	}
+	doc, err := document.New("authored", "Authored record", root)
+	if err != nil {
+		return err
+	}
+	// The root needs a variable too; splice it into the authored network.
+	if err := net.AddComponentVariable("record",
+		[]string{document.VisShown, document.VisHidden}, nil,
+		[]string{document.VisShown, document.VisHidden}); err != nil {
+		return err
+	}
+	if err := doc.SetNetwork(net); err != nil {
+		return err
+	}
+
+	view, err := doc.DefaultPresentation()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("default presentation: %s\n\n", view.Outcome)
+
+	// Review table: the optimal completion for every possible single click.
+	fmt.Println("reaction to every possible viewer click:")
+	for _, v := range doc.Prefs.Variables() {
+		if v.Name == "record" {
+			continue
+		}
+		for _, val := range v.Domain {
+			o, err := doc.ReconfigPresentation(cpnet.Outcome{v.Name: val})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %-7s = %-11s -> %s\n", v.Name, val, o.Outcome)
+		}
+	}
+
+	// The round trip the database uses.
+	data, err := doc.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	back, err := document.Unmarshal(data)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nserialized document: %d bytes; round-trip ok (%d components)\n",
+		len(data), len(back.Components()))
+	return nil
+}
+
+func pres(names ...string) []document.Presentation {
+	out := make([]document.Presentation, len(names))
+	for i, n := range names {
+		kind := document.KindImage
+		switch n {
+		case "hidden":
+			kind = document.KindHidden
+		case "icon":
+			kind = document.KindIcon
+		case "audio":
+			kind = document.KindAudio
+		case "transcript":
+			kind = document.KindAudioTranscript
+		case "table":
+			kind = document.KindTable
+		}
+		out[i] = document.Presentation{Name: n, Kind: kind}
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+// Quickstart: author a multimedia document with CP-net preferences,
+// compute its default presentation, and watch it reconfigure dynamically
+// as a viewer makes choices — the core loop of the paper's presentation
+// module (§4).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mmconf/internal/cpnet"
+	"mmconf/internal/document"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. The document hierarchy: a tiny patient file.
+	root := &document.Component{
+		Name: "record", Label: "Patient file",
+		Children: []*document.Component{
+			{
+				Name: "ct", Label: "CT study",
+				Presentations: []document.Presentation{
+					{Name: "full", Kind: document.KindImage, Bytes: 256 << 10},
+					{Name: "segmented", Kind: document.KindSegmentedImage, Bytes: 300 << 10},
+					{Name: "hidden", Kind: document.KindHidden},
+				},
+			},
+			{
+				Name: "xray", Label: "Chest X-ray",
+				Presentations: []document.Presentation{
+					{Name: "full", Kind: document.KindImage, Bytes: 128 << 10},
+					{Name: "icon", Kind: document.KindIcon, Bytes: 4 << 10},
+					{Name: "hidden", Kind: document.KindHidden},
+				},
+			},
+			{
+				Name: "notes", Label: "Attending notes",
+				Presentations: []document.Presentation{
+					{Name: "text", Kind: document.KindText, Inline: []byte("stable")},
+					{Name: "hidden", Kind: document.KindHidden},
+				},
+			},
+		},
+	}
+	doc, err := document.New("demo", "Quickstart record", root)
+	if err != nil {
+		return err
+	}
+
+	// 2. The author's preferences, exactly the paper's motivating example:
+	// "if a CT image is presented, then a correlated X-ray image is
+	// preferred by the author to be hidden, or to be presented as a small
+	// icon."
+	n := doc.Prefs
+	for _, step := range []error{
+		n.SetUnconditional("record", []string{document.VisShown, document.VisHidden}),
+		n.SetUnconditional("ct", []string{"full", "segmented", "hidden"}),
+		n.SetParents("xray", []string{"ct"}),
+		n.SetPreference("xray", cpnet.Outcome{"ct": "full"}, []string{"icon", "hidden", "full"}),
+		n.SetPreference("xray", cpnet.Outcome{"ct": "segmented"}, []string{"hidden", "icon", "full"}),
+		n.SetPreference("xray", cpnet.Outcome{"ct": "hidden"}, []string{"full", "icon", "hidden"}),
+		n.SetUnconditional("notes", []string{"text", "hidden"}),
+	} {
+		if step != nil {
+			return step
+		}
+	}
+	if err := n.Validate(); err != nil {
+		return err
+	}
+	fmt.Println("authored CP-network:")
+	fmt.Println(n.Text())
+
+	// 3. The default presentation (Fig. 4a: first retrieval).
+	view, err := doc.DefaultPresentation()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("default presentation:     %s\n", view.Outcome)
+	fmt.Printf("estimated transfer bytes: %d\n\n", doc.TransferBytes(view))
+
+	// 4. The viewer clicks: reconfiguration (Fig. 4b).
+	for _, choice := range []cpnet.Outcome{
+		{"ct": "segmented"},
+		{"ct": "hidden"},
+		{"ct": "hidden", "xray": "icon"},
+	} {
+		view, err = doc.ReconfigPresentation(choice)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("after choice %-28v -> %s\n", choice, view.Outcome)
+	}
+
+	// 5. §4.2: the viewer segments the CT; a derived operation variable
+	// appears without touching any existing preference row.
+	derived, err := doc.ApplyOperation("ct", "segmentation", "segmented")
+	if err != nil {
+		return err
+	}
+	view, err = doc.ReconfigPresentation(cpnet.Outcome{"ct": "segmented"})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nafter the segmentation operation, %s = %s\n", derived, view.Outcome[derived])
+	return nil
+}

@@ -1,0 +1,126 @@
+// Triggers: the paper's future-work features (§6) in action — dynamic
+// event triggers and broadcasting. A trigger rule automatically surfaces
+// the voice commentary whenever a partner's keyword search hits, and the
+// lead radiologist takes the floor with a broadcast so every partner's
+// client mirrors her presentation while she walks through the case.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mmconf/internal/media/voice"
+	"mmconf/internal/room"
+	"mmconf/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	doc, err := workload.MedicalRecord("patient-001", 1)
+	if err != nil {
+		return err
+	}
+	r, err := room.New("tumor-board", doc)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+
+	adams, _, _, err := r.Join("dr-adams")
+	if err != nil {
+		return err
+	}
+	baker, _, _, err := r.Join("dr-baker")
+	if err != nil {
+		return err
+	}
+	// Drain join noise in the background and narrate baker's screen.
+	go narrate("baker", baker)
+	go narrate("adams", adams)
+
+	// --- Dynamic event trigger: keyword hit ⇒ surface the commentary. ---
+	trig, err := r.AddTrigger("surface-voice-on-hit", []room.EventKind{room.EvWordSearch},
+		func(r *room.Room, ev room.Event) error {
+			if len(ev.Hits) == 0 {
+				return nil
+			}
+			if err := r.SystemChat(fmt.Sprintf("trigger: %q found in the recording — surfacing audio", ev.Keyword)); err != nil {
+				return err
+			}
+			return r.SystemChoice("voice", "audio")
+		})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("installed trigger %q (id %d)\n\n", trig.Name, trig.ID)
+
+	// Baker prefers reading transcripts — until a search hit fires the rule.
+	step("baker switches the commentary to transcript", func() error {
+		return r.Choice("dr-baker", "voice", "transcript")
+	})
+	step("adams runs a word search that hits", func() error {
+		hits := []voice.Hit{{Word: "urgent", Start: 4000, End: 9600, Score: 2.1}}
+		return r.ShareSearch("dr-adams", room.EvWordSearch, "urgent", hits)
+	})
+	time.Sleep(200 * time.Millisecond) // triggers run asynchronously
+	v, err := r.Engine().ViewFor("dr-baker")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nafter the trigger, baker's voice component = %q (fired %d time(s))\n\n",
+		v.Outcome["voice"], trig.Fired())
+
+	// --- Broadcasting: adams takes the floor. ---
+	step("adams starts broadcasting", func() error {
+		return r.StartBroadcast("dr-adams")
+	})
+	step("baker tries to change the presentation (rejected)", func() error {
+		err := r.Choice("dr-baker", "ct", "hidden")
+		if err == nil {
+			return fmt.Errorf("floor control failed")
+		}
+		fmt.Printf("   room refused baker: %v\n", err)
+		return nil
+	})
+	step("adams walks through the segmented CT; everyone mirrors her", func() error {
+		return r.Choice("dr-adams", "ct", "segmented")
+	})
+	step("adams ends the broadcast", func() error {
+		return r.StopBroadcast("dr-adams")
+	})
+	step("baker has the floor again", func() error {
+		return r.Choice("dr-baker", "ct", "full")
+	})
+	time.Sleep(200 * time.Millisecond)
+	return nil
+}
+
+func step(desc string, fn func() error) {
+	fmt.Printf("-- %s\n", desc)
+	if err := fn(); err != nil {
+		log.Fatalf("%s: %v", desc, err)
+	}
+	time.Sleep(120 * time.Millisecond)
+}
+
+// narrate prints selected events as a client GUI would render them.
+func narrate(who string, m *room.Member) {
+	for ev := range m.Events() {
+		switch ev.Kind {
+		case room.EvChat:
+			fmt.Printf("   [%s's screen] <%s> %s\n", who, ev.Actor, ev.Text)
+		case room.EvChoice:
+			fmt.Printf("   [%s's screen] %s set %s=%s\n", who, ev.Actor, ev.Variable, ev.Value)
+		case room.EvBroadcastStart:
+			fmt.Printf("   [%s's screen] %s is now presenting\n", who, ev.Actor)
+		case room.EvBroadcastStop:
+			fmt.Printf("   [%s's screen] presentation ended\n", who)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module mmconf
+
+go 1.22

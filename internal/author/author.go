@@ -1,0 +1,276 @@
+// Package author is the authoring tool the paper's future work calls for
+// (§6: "enhancement of the presentation module with an advanced authoring
+// tool"). It analyzes a document's CP-network statically and tells the
+// author what a screenshot-driven review would miss: presentations no
+// click can ever surface, components that stay hidden under every
+// reachable configuration, vacuous conditioning that only bloats CPTs,
+// and parent fan-in that will make the table infeasible to fill in.
+package author
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mmconf/internal/cpnet"
+	"mmconf/internal/document"
+)
+
+// Severity grades a finding.
+type Severity int
+
+// Severities.
+const (
+	Info Severity = iota
+	Warning
+	Problem
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Problem:
+		return "problem"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// Finding is one lint result.
+type Finding struct {
+	Severity Severity
+	Variable string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%-7s %-20s %s", f.Severity, f.Variable, f.Message)
+}
+
+// maxParentsBeforeWarning is the CPT fan-in the lint flags: with d-ary
+// domains a variable with p parents needs d^p hand-authored rows.
+const maxParentsBeforeWarning = 3
+
+// Lint analyzes the document's preference network and returns findings
+// sorted by severity (worst first) then variable name.
+func Lint(doc *document.Document) ([]Finding, error) {
+	if err := doc.Prefs.Validate(); err != nil {
+		return nil, fmt.Errorf("author: %w", err)
+	}
+	var out []Finding
+	reach, err := reachableValues(doc)
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range doc.Prefs.Variables() {
+		// Unreachable presentation values. A hidden form that never
+		// surfaces automatically is by design, so only content-bearing
+		// values are flagged.
+		var dead []string
+		for _, val := range v.Domain {
+			if val == document.HiddenValue || val == document.VisHidden {
+				continue
+			}
+			if !reach[v.Name][val] {
+				dead = append(dead, val)
+			}
+		}
+		if len(dead) > 0 {
+			out = append(out, Finding{
+				Severity: Warning,
+				Variable: v.Name,
+				Message: fmt.Sprintf("presentation(s) %s never surface automatically — not in the default view, and no click on another component selects them; viewers must ask for them explicitly",
+					strings.Join(dead, ", ")),
+			})
+		}
+		// Always-hidden variables.
+		if onlyHiddenReachable(v, reach[v.Name]) {
+			out = append(out, Finding{
+				Severity: Problem,
+				Variable: v.Name,
+				Message:  "every reachable configuration hides this component; viewers will never see its content",
+			})
+		}
+		// Vacuous parents.
+		vac, err := vacuousParents(doc.Prefs, v.Name)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range vac {
+			out = append(out, Finding{
+				Severity: Info,
+				Variable: v.Name,
+				Message:  fmt.Sprintf("conditioning on %q never changes the preference order; the CPT can be simplified", p),
+			})
+		}
+		// Fan-in explosion.
+		parents, _ := doc.Prefs.Parents(v.Name)
+		if len(parents) > maxParentsBeforeWarning {
+			rows := 1
+			for _, p := range parents {
+				dom, _ := doc.Prefs.Domain(p)
+				rows *= len(dom)
+			}
+			out = append(out, Finding{
+				Severity: Warning,
+				Variable: v.Name,
+				Message:  fmt.Sprintf("%d parents require %d CPT rows; consider restructuring", len(parents), rows),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Severity != out[j].Severity {
+			return out[i].Severity > out[j].Severity
+		}
+		return out[i].Variable < out[j].Variable
+	})
+	return out, nil
+}
+
+// reachableValues computes, for every variable, the values that surface
+// automatically: those appearing in the default presentation or in the
+// optimal completion after a single viewer click on some OTHER variable.
+// (A value is always reachable by clicking it directly; the interesting
+// authoring question is what the document ever shows unprompted.)
+func reachableValues(doc *document.Document) (map[string]map[string]bool, error) {
+	reach := make(map[string]map[string]bool)
+	for _, v := range doc.Prefs.Variables() {
+		reach[v.Name] = make(map[string]bool)
+	}
+	mark := func(o cpnet.Outcome, clicked string) {
+		for name, val := range o {
+			if name == clicked {
+				continue
+			}
+			reach[name][val] = true
+		}
+	}
+	def, err := doc.Prefs.OptimalOutcome()
+	if err != nil {
+		return nil, err
+	}
+	mark(def, "")
+	for _, v := range doc.Prefs.Variables() {
+		for _, val := range v.Domain {
+			o, err := doc.Prefs.OptimalCompletion(cpnet.Outcome{v.Name: val})
+			if err != nil {
+				return nil, err
+			}
+			mark(o, v.Name)
+		}
+	}
+	return reach, nil
+}
+
+// onlyHiddenReachable reports whether every reachable value of v hides it.
+func onlyHiddenReachable(v cpnet.Variable, reach map[string]bool) bool {
+	hasHiddenForm := false
+	for _, val := range v.Domain {
+		if val == document.HiddenValue || val == document.VisHidden {
+			hasHiddenForm = true
+		}
+	}
+	if !hasHiddenForm {
+		return false
+	}
+	for _, val := range v.Domain {
+		if val == document.HiddenValue || val == document.VisHidden {
+			continue
+		}
+		if reach[val] {
+			return false
+		}
+	}
+	return true
+}
+
+// vacuousParents returns the parents of name whose value never affects
+// the preference order of name.
+func vacuousParents(n *cpnet.Network, name string) ([]string, error) {
+	parents, err := n.Parents(name)
+	if err != nil {
+		return nil, err
+	}
+	var vacuous []string
+	for _, p := range parents {
+		pdom, err := n.Domain(p)
+		if err != nil {
+			return nil, err
+		}
+		matters := false
+		// For every context over the other parents, the row must be the
+		// same regardless of p's value.
+		err = n.ForEachContext(name, func(ctx cpnet.Outcome) bool {
+			if ctx[p] != pdom[0] {
+				return true // canonical representative contexts only
+			}
+			base, err := n.Preference(name, ctx)
+			if err != nil {
+				matters = true // conservative
+				return false
+			}
+			for _, alt := range pdom[1:] {
+				c2 := ctx.Clone()
+				c2[p] = alt
+				other, err := n.Preference(name, c2)
+				if err != nil || !equalOrder(base, other) {
+					matters = true
+					return false
+				}
+			}
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+		if !matters {
+			vacuous = append(vacuous, p)
+		}
+	}
+	return vacuous, nil
+}
+
+func equalOrder(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ReviewTable renders the click-reaction review: for every variable and
+// value, the optimal completion that choice produces. This is the
+// author's pre-publication sanity check of the document's dynamics.
+func ReviewTable(doc *document.Document) (string, error) {
+	if err := doc.Prefs.Validate(); err != nil {
+		return "", fmt.Errorf("author: %w", err)
+	}
+	var b strings.Builder
+	def, err := doc.Prefs.OptimalOutcome()
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "default: %s\n", def)
+	for _, v := range doc.Prefs.Variables() {
+		for _, val := range v.Domain {
+			o, err := doc.Prefs.OptimalCompletion(cpnet.Outcome{v.Name: val})
+			if err != nil {
+				return "", err
+			}
+			marker := " "
+			if val == def[v.Name] {
+				marker = "*"
+			}
+			fmt.Fprintf(&b, "%s %-20s = %-14s -> %s\n", marker, v.Name, val, o)
+		}
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,241 @@
+package author
+
+import (
+	"strings"
+	"testing"
+
+	"mmconf/internal/cpnet"
+	"mmconf/internal/document"
+	"mmconf/internal/workload"
+)
+
+func TestLintCleanDocument(t *testing.T) {
+	doc, err := workload.MedicalRecord("p", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := Lint(doc)
+	if err != nil {
+		t.Fatalf("Lint: %v", err)
+	}
+	// The standard record has a few legitimately unreachable values
+	// (e.g. xray=full is reachable; hidden variants trigger no Problem).
+	for _, f := range findings {
+		if f.Severity == Problem {
+			t.Errorf("unexpected problem: %s", f)
+		}
+	}
+}
+
+func TestLintUnreachablePresentation(t *testing.T) {
+	// A component whose "zoomed" presentation is last in every preference
+	// order and never favored: unreachable by any single click on OTHER
+	// variables (clicking the value itself reaches it, which is why the
+	// lint marks values unreachable only when no click selects them —
+	// build one whose value genuinely never surfaces).
+	root := &document.Component{
+		Name: "r",
+		Children: []*document.Component{
+			{Name: "a", Presentations: []document.Presentation{
+				{Name: "x", Kind: document.KindText},
+				{Name: "y", Kind: document.KindText},
+			}},
+			{Name: "b", Presentations: []document.Presentation{
+				{Name: "u", Kind: document.KindText},
+				{Name: "v", Kind: document.KindText},
+				{Name: "w", Kind: document.KindText},
+			}},
+		},
+	}
+	doc, err := document.New("d", "t", root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := doc.Prefs
+	mustOK(t, n.SetUnconditional("r", []string{document.VisShown, document.VisHidden}))
+	mustOK(t, n.SetUnconditional("a", []string{"x", "y"}))
+	// b prefers u under every context of a: v and w never surface unless
+	// the viewer clicks b itself — the lint must flag them.
+	mustOK(t, n.SetParents("b", []string{"a"}))
+	mustOK(t, n.SetPreference("b", cpnet.Outcome{"a": "x"}, []string{"u", "v", "w"}))
+	mustOK(t, n.SetPreference("b", cpnet.Outcome{"a": "y"}, []string{"u", "v", "w"}))
+	findings, err := Lint(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flagged := false
+	for _, f := range findings {
+		if f.Variable == "b" && f.Severity == Warning &&
+			strings.Contains(f.Message, "v, w") {
+			flagged = true
+		}
+	}
+	if !flagged {
+		t.Errorf("unreachable presentations not flagged: %v", findings)
+	}
+	// Also: conditioning of b on a is vacuous (same order in both rows).
+	foundVacuous := false
+	for _, f := range findings {
+		if f.Variable == "b" && strings.Contains(f.Message, "never changes the preference order") {
+			foundVacuous = true
+		}
+	}
+	if !foundVacuous {
+		t.Errorf("vacuous parent not flagged: %v", findings)
+	}
+}
+
+func TestLintAlwaysHidden(t *testing.T) {
+	root := &document.Component{
+		Name: "r",
+		Children: []*document.Component{
+			{Name: "ghost", Presentations: []document.Presentation{
+				{Name: "full", Kind: document.KindImage},
+				{Name: "hidden", Kind: document.KindHidden},
+			}},
+		},
+	}
+	doc, err := document.New("d", "t", root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := doc.Prefs
+	mustOK(t, n.SetUnconditional("r", []string{document.VisShown, document.VisHidden}))
+	// ghost prefers hidden unconditionally: nothing but an explicit click
+	// on ghost itself ever reveals it — a Problem-grade finding.
+	mustOK(t, n.SetUnconditional("ghost", []string{"hidden", "full"}))
+	findings, err := Lint(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	problem := false
+	for _, f := range findings {
+		if f.Severity == Problem && f.Variable == "ghost" {
+			problem = true
+		}
+	}
+	if !problem {
+		t.Errorf("always-hidden component not flagged as problem: %v", findings)
+	}
+	review, err := ReviewTable(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(review, "ghost") {
+		t.Error("review table missing the component")
+	}
+}
+
+func TestLintFanInWarning(t *testing.T) {
+	root := &document.Component{Name: "r", Children: []*document.Component{}}
+	for _, name := range []string{"a", "b", "c", "d", "sink"} {
+		root.Children = append(root.Children, &document.Component{
+			Name: name,
+			Presentations: []document.Presentation{
+				{Name: "on", Kind: document.KindText},
+				{Name: "off", Kind: document.KindHidden},
+			},
+		})
+	}
+	doc, err := document.New("d", "t", root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := doc.Prefs
+	mustOK(t, n.SetUnconditional("r", []string{document.VisShown, document.VisHidden}))
+	for _, name := range []string{"a", "b", "c", "d"} {
+		mustOK(t, n.SetUnconditional(name, []string{"on", "off"}))
+	}
+	mustOK(t, n.SetParents("sink", []string{"a", "b", "c", "d"}))
+	// Fill all 16 rows.
+	err = n.ForEachContext("sink", func(ctx cpnet.Outcome) bool {
+		mustOK(t, n.SetPreference("sink", ctx, []string{"on", "off"}))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := Lint(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range findings {
+		if f.Variable == "sink" && strings.Contains(f.Message, "CPT rows") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("fan-in not flagged: %v", findings)
+	}
+}
+
+func TestLintInvalidNetwork(t *testing.T) {
+	root := &document.Component{
+		Name: "r",
+		Children: []*document.Component{
+			{Name: "a", Presentations: []document.Presentation{{Name: "x", Kind: document.KindText}}},
+		},
+	}
+	doc, _ := document.New("d", "t", root)
+	doc.Prefs = cpnet.New()
+	if _, err := Lint(doc); err == nil {
+		t.Error("invalid network accepted")
+	}
+	if _, err := ReviewTable(doc); err == nil {
+		t.Error("review of invalid network accepted")
+	}
+}
+
+func TestReviewTableShape(t *testing.T) {
+	doc, err := workload.MedicalRecord("p", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	review, err := ReviewTable(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(review), "\n")
+	// 1 default line + one line per (variable, value).
+	want := 1
+	for _, v := range doc.Prefs.Variables() {
+		want += len(v.Domain)
+	}
+	if len(lines) != want {
+		t.Errorf("review lines = %d, want %d", len(lines), want)
+	}
+	if !strings.HasPrefix(lines[0], "default:") {
+		t.Error("missing default line")
+	}
+	// Default-matching values are starred.
+	starred := 0
+	for _, l := range lines[1:] {
+		if strings.HasPrefix(l, "*") {
+			starred++
+		}
+	}
+	if starred != doc.Prefs.Len() {
+		t.Errorf("starred = %d, want one per variable (%d)", starred, doc.Prefs.Len())
+	}
+}
+
+func TestSeverityString(t *testing.T) {
+	if Info.String() != "info" || Warning.String() != "warning" || Problem.String() != "problem" {
+		t.Error("severity names")
+	}
+	if Severity(9).String() == "" {
+		t.Error("unknown severity")
+	}
+	f := Finding{Severity: Warning, Variable: "x", Message: "m"}
+	if !strings.Contains(f.String(), "warning") || !strings.Contains(f.String(), "x") {
+		t.Errorf("finding string: %s", f)
+	}
+}
+
+func mustOK(t testing.TB, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

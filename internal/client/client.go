@@ -1,0 +1,346 @@
+// Package client implements the client module of the paper (§3): it
+// presents documents, forwards the viewer's interactions to the
+// interaction server, and receives both direct responses and pushed room
+// events. It also hosts the §4.4 client-side buffer: a prefetch cache the
+// session warms after every presentation change.
+package client
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"mmconf/internal/cpnet"
+	"mmconf/internal/document"
+	"mmconf/internal/media/compress"
+	"mmconf/internal/media/image"
+	"mmconf/internal/media/voice"
+	"mmconf/internal/prefetch"
+	"mmconf/internal/proto"
+	"mmconf/internal/room"
+	"mmconf/internal/wire"
+)
+
+// Client is one user's connection to the interaction server.
+type Client struct {
+	rpc  *wire.Client
+	user string
+
+	mu     sync.Mutex
+	events chan room.Event
+}
+
+// eventQueueSize bounds the locally buffered pushed events.
+const eventQueueSize = 1024
+
+// Dial connects to the interaction server at addr as the given user.
+func Dial(addr, user string) (*Client, error) {
+	if user == "" {
+		return nil, fmt.Errorf("client: empty user name")
+	}
+	rpc, err := wire.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(rpc, user), nil
+}
+
+// NewOverConn wraps an established connection (in-process tests, or a
+// netsim-throttled conn).
+func NewOverConn(conn net.Conn, user string) (*Client, error) {
+	if user == "" {
+		return nil, fmt.Errorf("client: empty user name")
+	}
+	return wrap(wire.NewClient(conn), user), nil
+}
+
+func wrap(rpc *wire.Client, user string) *Client {
+	c := &Client{rpc: rpc, user: user, events: make(chan room.Event, eventQueueSize)}
+	rpc.OnPush(func(method string, payload []byte) {
+		if method != proto.MEvent {
+			return
+		}
+		var ev room.Event
+		if err := wire.Unmarshal(payload, &ev); err != nil {
+			return
+		}
+		select {
+		case c.events <- ev:
+		default:
+			// Shed the oldest local event; History resynchronizes.
+			select {
+			case <-c.events:
+			default:
+			}
+			select {
+			case c.events <- ev:
+			default:
+			}
+		}
+	})
+	return c
+}
+
+// User returns the client's user name.
+func (c *Client) User() string { return c.user }
+
+// Events returns the pushed room-event stream.
+func (c *Client) Events() <-chan room.Event { return c.events }
+
+// Close drops the connection (the server evicts the user from rooms).
+func (c *Client) Close() error { return c.rpc.Close() }
+
+// ListDocuments returns stored document ids and titles.
+func (c *Client) ListDocuments() (ids, titles []string, err error) {
+	var resp proto.ListDocumentsResp
+	if err := c.rpc.Call(proto.MListDocuments, proto.ListDocumentsReq{}, &resp); err != nil {
+		return nil, nil, err
+	}
+	return resp.IDs, resp.Titles, nil
+}
+
+// GetDocument fetches and decodes a document.
+func (c *Client) GetDocument(docID string) (*document.Document, error) {
+	var resp proto.GetDocumentResp
+	if err := c.rpc.Call(proto.MGetDocument, proto.GetDocumentReq{DocID: docID}, &resp); err != nil {
+		return nil, err
+	}
+	return document.Unmarshal(resp.DocData)
+}
+
+// GetImage fetches an image object and decodes its raster.
+func (c *Client) GetImage(id uint64) (*image.Gray, string, error) {
+	var resp proto.GetImageResp
+	if err := c.rpc.Call(proto.MGetImage, proto.GetImageReq{ID: id}, &resp); err != nil {
+		return nil, "", err
+	}
+	g, err := image.Decode(resp.Data)
+	if err != nil {
+		return nil, "", err
+	}
+	return g, resp.Texts, nil
+}
+
+// GetImageBytes fetches an image object's raw payload (for the prefetch
+// cache, which stores bytes).
+func (c *Client) GetImageBytes(id uint64) ([]byte, error) {
+	var resp proto.GetImageResp
+	if err := c.rpc.Call(proto.MGetImage, proto.GetImageReq{ID: id}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Data, nil
+}
+
+// GetAudio fetches an audio object: PCM bytes plus segmentation metadata.
+func (c *Client) GetAudio(id uint64) (pcm, sectors []byte, filename string, err error) {
+	var resp proto.GetAudioResp
+	if err := c.rpc.Call(proto.MGetAudio, proto.GetAudioReq{ID: id}, &resp); err != nil {
+		return nil, nil, "", err
+	}
+	return resp.Data, resp.Sectors, resp.Filename, nil
+}
+
+// GetCmp fetches a multi-layer stream truncated to maxLayers (0 = all)
+// and decodes it at that fidelity.
+func (c *Client) GetCmp(id uint64, maxLayers int) (*image.Gray, int, error) {
+	var resp proto.GetCmpResp
+	if err := c.rpc.Call(proto.MGetCmp, proto.GetCmpReq{ID: id, MaxLayers: maxLayers}, &resp); err != nil {
+		return nil, 0, err
+	}
+	stream, err := compress.Unmarshal(resp.Header, resp.Data)
+	if err != nil {
+		return nil, 0, err
+	}
+	g, err := stream.Decode(0)
+	if err != nil {
+		return nil, 0, err
+	}
+	return g, len(resp.Data), nil
+}
+
+// Session is the client's presence in one shared room.
+type Session struct {
+	client *Client
+	Room   string
+	// Doc is the session's local copy of the document.
+	Doc *document.Document
+	// View is the latest presentation pushed or computed for this user.
+	mu   sync.Mutex
+	view document.View
+	// Buffer is the §4.4 prefetch cache (nil if disabled).
+	Buffer *prefetch.Prefetcher
+}
+
+// Join enters a room around a document. bufferBytes > 0 enables the
+// client-side prefetch cache of that size.
+func (c *Client) Join(roomName, docID string, bufferBytes int64) (*Session, []room.Event, error) {
+	var resp proto.JoinRoomResp
+	err := c.rpc.Call(proto.MJoinRoom, proto.JoinRoomReq{
+		Room: roomName, DocID: docID, User: c.user,
+	}, &resp)
+	if err != nil {
+		return nil, nil, err
+	}
+	doc, err := document.Unmarshal(resp.DocData)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := &Session{
+		client: c,
+		Room:   roomName,
+		Doc:    doc,
+		view:   document.View{Outcome: resp.Outcome, Visible: resp.Visible},
+	}
+	if bufferBytes > 0 {
+		cache, err := prefetch.NewCache(bufferBytes)
+		if err != nil {
+			return nil, nil, err
+		}
+		s.Buffer, err = prefetch.NewPrefetcher(cache, c.GetImageBytes)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return s, resp.History, nil
+}
+
+// View returns the latest presentation for this user.
+func (s *Session) View() document.View {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.view
+}
+
+// ApplyEvent folds a pushed event into the session (clients call this for
+// each event from Events()); EvPresentation events update the view.
+func (s *Session) ApplyEvent(ev room.Event) {
+	if ev.Kind == room.EvPresentation && ev.Room == s.Room {
+		s.mu.Lock()
+		s.view = document.View{Outcome: ev.Outcome, Visible: ev.Visible}
+		s.mu.Unlock()
+	}
+}
+
+// Choice sends a presentation selection for this user.
+func (s *Session) Choice(variable, value string) error {
+	return s.client.rpc.Call(proto.MChoice, proto.ChoiceReq{
+		Room: s.Room, User: s.client.user, Variable: variable, Value: value,
+	}, nil)
+}
+
+// Operation applies a media operation (§4.2) and returns the derived
+// variable name.
+func (s *Session) Operation(component, op, activeWhen string, private bool) (string, error) {
+	var resp proto.OperationResp
+	err := s.client.rpc.Call(proto.MOperation, proto.OperationReq{
+		Room: s.Room, User: s.client.user,
+		Component: component, Op: op, ActiveWhen: activeWhen, Private: private,
+	}, &resp)
+	return resp.DerivedVar, err
+}
+
+// AnnotateText writes a text element on an image object.
+func (s *Session) AnnotateText(objectID uint64, x, y int, text string, intensity float64) (int, error) {
+	var resp proto.AnnotateResp
+	err := s.client.rpc.Call(proto.MAnnotate, proto.AnnotateReq{
+		Room: s.Room, User: s.client.user, ObjectID: objectID,
+		Kind: int(image.TextElement), X1: x, Y1: y, Text: text, Intensity: intensity,
+	}, &resp)
+	return resp.AnnotationID, err
+}
+
+// AnnotateLine writes a line element on an image object.
+func (s *Session) AnnotateLine(objectID uint64, x1, y1, x2, y2 int, intensity float64) (int, error) {
+	var resp proto.AnnotateResp
+	err := s.client.rpc.Call(proto.MAnnotate, proto.AnnotateReq{
+		Room: s.Room, User: s.client.user, ObjectID: objectID,
+		Kind: int(image.LineElement), X1: x1, Y1: y1, X2: x2, Y2: y2, Intensity: intensity,
+	}, &resp)
+	return resp.AnnotationID, err
+}
+
+// DeleteAnnotation removes an overlay element.
+func (s *Session) DeleteAnnotation(objectID uint64, annotationID int) error {
+	return s.client.rpc.Call(proto.MDeleteAnnotation, proto.DeleteAnnotationReq{
+		Room: s.Room, User: s.client.user, ObjectID: objectID, AnnotationID: annotationID,
+	}, nil)
+}
+
+// Freeze locks an object against edits by other partners.
+func (s *Session) Freeze(objectID uint64) error {
+	return s.client.rpc.Call(proto.MFreeze, proto.FreezeReq{
+		Room: s.Room, User: s.client.user, ObjectID: objectID,
+	}, nil)
+}
+
+// Release lifts a freeze this user holds.
+func (s *Session) Release(objectID uint64) error {
+	return s.client.rpc.Call(proto.MRelease, proto.ReleaseReq{
+		Room: s.Room, User: s.client.user, ObjectID: objectID,
+	}, nil)
+}
+
+// ShareSearch publishes voice-search results to the room.
+func (s *Session) ShareSearch(speaker bool, keyword string, hits []voice.Hit) error {
+	return s.client.rpc.Call(proto.MShareSearch, proto.ShareSearchReq{
+		Room: s.Room, User: s.client.user, Speaker: speaker, Keyword: keyword, Hits: hits,
+	}, nil)
+}
+
+// Chat sends a free-text message to the room.
+func (s *Session) Chat(text string) error {
+	return s.client.rpc.Call(proto.MChat, proto.ChatReq{
+		Room: s.Room, User: s.client.user, Text: text,
+	}, nil)
+}
+
+// StartBroadcast takes the floor: every member mirrors this user's
+// presentation until StopBroadcast.
+func (s *Session) StartBroadcast() error {
+	return s.client.rpc.Call(proto.MBroadcastStart, proto.BroadcastReq{
+		Room: s.Room, User: s.client.user,
+	}, nil)
+}
+
+// StopBroadcast releases the floor (presenter only).
+func (s *Session) StopBroadcast() error {
+	return s.client.rpc.Call(proto.MBroadcastStop, proto.BroadcastReq{
+		Room: s.Room, User: s.client.user,
+	}, nil)
+}
+
+// SaveMinutes persists the room's discussion results (transcript into the
+// document, annotation overlays into the image objects) and returns the
+// new minutes component's name.
+func (s *Session) SaveMinutes() (string, error) {
+	var resp proto.SaveMinutesResp
+	err := s.client.rpc.Call(proto.MSaveMinutes, proto.SaveMinutesReq{
+		Room: s.Room, User: s.client.user,
+	}, &resp)
+	return resp.Component, err
+}
+
+// History replays room events newer than since.
+func (s *Session) History(since uint64) ([]room.Event, error) {
+	var resp proto.HistoryResp
+	if err := s.client.rpc.Call(proto.MHistory, proto.HistoryReq{Room: s.Room, Since: since}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Events, nil
+}
+
+// Leave exits the room.
+func (s *Session) Leave() error {
+	return s.client.rpc.Call(proto.MLeaveRoom, proto.LeaveRoomReq{
+		Room: s.Room, User: s.client.user,
+	}, nil)
+}
+
+// WarmBuffer prefetches likely payloads into the session buffer (§4.4),
+// given the current view's choices, up to budget bytes.
+func (s *Session) WarmBuffer(choices cpnet.Outcome, budget int64) (int, error) {
+	if s.Buffer == nil {
+		return 0, fmt.Errorf("client: session has no buffer")
+	}
+	return s.Buffer.Warm(s.Doc, choices, budget)
+}

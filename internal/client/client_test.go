@@ -1,0 +1,244 @@
+package client
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"mmconf/internal/cpnet"
+	"mmconf/internal/mediadb"
+	"mmconf/internal/room"
+	"mmconf/internal/server"
+	"mmconf/internal/store"
+	"mmconf/internal/workload"
+)
+
+// pipeSystem boots a server over net.Pipe and returns a connected client
+// — no TCP, so these tests isolate the client-library logic.
+func pipeSystem(t *testing.T) (*Client, *workload.PopulatedRecord) {
+	t.Helper()
+	db, err := store.Open(t.TempDir(), store.Options{Sync: store.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	m, err := mediadb.Open(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := workload.Populate(m, "p1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(m)
+	t.Cleanup(func() { srv.Close() })
+	sc, cc := net.Pipe()
+	go srv.ServeConn(sc)
+	c, err := NewOverConn(cc, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, rec
+}
+
+func TestNewOverConnValidation(t *testing.T) {
+	_, cc := net.Pipe()
+	defer cc.Close()
+	if _, err := NewOverConn(cc, ""); err == nil {
+		t.Error("empty user accepted")
+	}
+	if _, err := Dial("127.0.0.1:1", ""); err == nil {
+		t.Error("empty user accepted by Dial")
+	}
+	if _, err := Dial("256.0.0.1:x", "u"); err == nil {
+		t.Error("bad address accepted")
+	}
+}
+
+func TestClientAccessors(t *testing.T) {
+	c, _ := pipeSystem(t)
+	if c.User() != "alice" {
+		t.Errorf("User = %s", c.User())
+	}
+	ids, titles, err := c.ListDocuments()
+	if err != nil || len(ids) != 1 || len(titles) != 1 {
+		t.Fatalf("ListDocuments: %v %v %v", ids, titles, err)
+	}
+}
+
+func TestGetters(t *testing.T) {
+	c, rec := pipeSystem(t)
+	doc, err := c.GetDocument("p1")
+	if err != nil || doc.ID != "p1" {
+		t.Fatalf("GetDocument: %v %v", doc, err)
+	}
+	img, texts, err := c.GetImage(rec.CTID)
+	if err != nil || img.W != 256 {
+		t.Fatalf("GetImage: %v %q %v", img, texts, err)
+	}
+	raw, err := c.GetImageBytes(rec.CTID)
+	if err != nil || len(raw) == 0 {
+		t.Fatalf("GetImageBytes: %d %v", len(raw), err)
+	}
+	pcm, sectors, name, err := c.GetAudio(rec.VoiceID)
+	if err != nil || len(pcm) == 0 || len(sectors) == 0 || name == "" {
+		t.Fatalf("GetAudio: %v", err)
+	}
+	full, fullN, err := c.GetCmp(rec.CmpID, 0)
+	if err != nil || full.W != 256 {
+		t.Fatalf("GetCmp: %v %v", full, err)
+	}
+	low, lowN, err := c.GetCmp(rec.CmpID, 1)
+	if err != nil || low.W != 256 || lowN >= fullN {
+		t.Fatalf("GetCmp(1): %v bytes=%d/%d %v", low, lowN, fullN, err)
+	}
+}
+
+func TestSessionViewAndApplyEvent(t *testing.T) {
+	c, _ := pipeSystem(t)
+	s, _, err := c.Join("r", "p1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := s.View()
+	if v.Outcome["ct"] != "full" {
+		t.Errorf("initial view: %v", v.Outcome)
+	}
+	// A presentation event for this room updates the view.
+	s.ApplyEvent(room.Event{
+		Kind: room.EvPresentation, Room: "r",
+		Outcome: cpnet.Outcome{"ct": "hidden"},
+		Visible: map[string]bool{"ct": false},
+	})
+	if s.View().Outcome["ct"] != "hidden" {
+		t.Error("presentation event not applied")
+	}
+	// Events for other rooms or other kinds are ignored.
+	s.ApplyEvent(room.Event{Kind: room.EvPresentation, Room: "other",
+		Outcome: cpnet.Outcome{"ct": "full"}})
+	if s.View().Outcome["ct"] != "hidden" {
+		t.Error("foreign room event applied")
+	}
+	s.ApplyEvent(room.Event{Kind: room.EvChat, Room: "r", Text: "x"})
+	if s.View().Outcome["ct"] != "hidden" {
+		t.Error("chat event mutated the view")
+	}
+}
+
+func TestSessionRoundTripOverPipe(t *testing.T) {
+	c, rec := pipeSystem(t)
+	s, _, err := c.Join("r", "p1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Choice("ct", "segmented"); err != nil {
+		t.Fatalf("Choice: %v", err)
+	}
+	// Our own presentation push arrives too.
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case ev := <-c.Events():
+			s.ApplyEvent(ev)
+			if ev.Kind == room.EvPresentation && ev.Outcome["ct"] == "segmented" {
+				goto updated
+			}
+		case <-deadline:
+			t.Fatal("presentation push never arrived")
+		}
+	}
+updated:
+	if s.View().Outcome["xray"] != "hidden" {
+		t.Errorf("view after choice: %v", s.View().Outcome)
+	}
+	// Operation + annotation + history over the pipe.
+	derived, err := s.Operation("ct", "zoom", "segmented", false)
+	if err != nil || derived == "" {
+		t.Fatalf("Operation: %q %v", derived, err)
+	}
+	annID, err := s.AnnotateText(rec.CTID, 4, 4, "note", 1)
+	if err != nil {
+		t.Fatalf("AnnotateText: %v", err)
+	}
+	if _, err := s.AnnotateLine(rec.CTID, 0, 0, 9, 9, 1); err != nil {
+		t.Fatalf("AnnotateLine: %v", err)
+	}
+	if err := s.DeleteAnnotation(rec.CTID, annID); err != nil {
+		t.Fatalf("DeleteAnnotation: %v", err)
+	}
+	if err := s.Freeze(rec.CTID); err != nil {
+		t.Fatalf("Freeze: %v", err)
+	}
+	if err := s.Release(rec.CTID); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if err := s.ShareSearch(false, "urgent", nil); err != nil {
+		t.Fatalf("ShareSearch: %v", err)
+	}
+	if err := s.Chat("hello"); err != nil {
+		t.Fatalf("Chat: %v", err)
+	}
+	evs, err := s.History(0)
+	if err != nil || len(evs) == 0 {
+		t.Fatalf("History: %d %v", len(evs), err)
+	}
+	if err := s.Leave(); err != nil {
+		t.Fatalf("Leave: %v", err)
+	}
+}
+
+func TestSessionBuffer(t *testing.T) {
+	c, rec := pipeSystem(t)
+	s, _, err := c.Join("r", "p1", 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Buffer == nil {
+		t.Fatal("buffer not created")
+	}
+	n, err := s.WarmBuffer(nil, 1<<22)
+	if err != nil || n == 0 {
+		t.Fatalf("WarmBuffer: %d %v", n, err)
+	}
+	if _, err := s.Buffer.Demand(rec.CTID); err != nil {
+		t.Fatal(err)
+	}
+	hits, _, _ := s.Buffer.Cache.Stats()
+	if hits == 0 {
+		t.Error("warm did not produce a hit")
+	}
+}
+
+func TestEventOverflowShedsOldest(t *testing.T) {
+	// Fill the local event queue directly through the push path.
+	_, cc := net.Pipe()
+	defer cc.Close()
+	c, err := NewOverConn(cc, "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Bypass the wire: feed events into the internal channel by invoking
+	// the push handler logic via a session apply loop is not possible
+	// from outside; instead verify capacity behaviour on the channel.
+	for i := 0; i < eventQueueSize+10; i++ {
+		ev := room.Event{Seq: uint64(i + 1), Kind: room.EvChat}
+		select {
+		case c.events <- ev:
+		default:
+			select {
+			case <-c.events:
+			default:
+			}
+			c.events <- ev
+		}
+	}
+	if len(c.events) != eventQueueSize {
+		t.Fatalf("queue length = %d", len(c.events))
+	}
+	first := <-c.events
+	if first.Seq == 1 {
+		t.Error("oldest event not shed")
+	}
+}

@@ -1,0 +1,307 @@
+package core
+
+import (
+	"testing"
+
+	"mmconf/internal/cpnet"
+	"mmconf/internal/document"
+	"mmconf/internal/workload"
+)
+
+func testEngine(t *testing.T) *Engine {
+	t.Helper()
+	doc, err := workload.MedicalRecord("rec-1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	if _, err := NewEngine(nil); err == nil {
+		t.Error("nil document accepted")
+	}
+	// A document whose network is incomplete is rejected.
+	root := &document.Component{Name: "r", Children: []*document.Component{
+		{Name: "x", Presentations: []document.Presentation{{Name: "p"}}},
+	}}
+	doc, err := document.New("d", "t", root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc.Prefs = cpnet.New() // empty network
+	if _, err := NewEngine(doc); err == nil {
+		t.Error("invalid network accepted")
+	}
+}
+
+func TestJoinLeaveLifecycle(t *testing.T) {
+	e := testEngine(t)
+	v, err := e.Join("alice")
+	if err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	if v.Outcome["ct"] != "full" {
+		t.Errorf("initial ct = %s", v.Outcome["ct"])
+	}
+	if _, err := e.Join("alice"); err == nil {
+		t.Error("double join accepted")
+	}
+	if _, err := e.Join(""); err == nil {
+		t.Error("empty viewer accepted")
+	}
+	if _, err := e.Join("bob"); err != nil {
+		t.Fatal(err)
+	}
+	vs := e.Viewers()
+	if len(vs) != 2 || vs[0] != "alice" || vs[1] != "bob" {
+		t.Errorf("Viewers = %v", vs)
+	}
+	if _, err := e.Leave("carol"); err == nil {
+		t.Error("leave of non-member accepted")
+	}
+	changed, err := e.Leave("bob")
+	if err != nil || changed {
+		t.Errorf("Leave(bob) = %v, %v; no choices so no change expected", changed, err)
+	}
+}
+
+func TestChoicePropagatesToAllViewers(t *testing.T) {
+	e := testEngine(t)
+	e.Join("alice")
+	e.Join("bob")
+	// Alice asks for the segmented CT: the author's preferences hide the
+	// X-ray for everyone.
+	v, err := e.Choice("alice", "ct", "segmented")
+	if err != nil {
+		t.Fatalf("Choice: %v", err)
+	}
+	if v.Outcome["ct"] != "segmented" || v.Outcome["xray"] != "hidden" {
+		t.Errorf("alice view = %v", v.Outcome)
+	}
+	bobView, err := e.ViewFor("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bobView.Outcome["ct"] != "segmented" || bobView.Outcome["xray"] != "hidden" {
+		t.Errorf("bob view = %v — choice did not propagate", bobView.Outcome)
+	}
+	views, err := e.Views()
+	if err != nil || len(views) != 2 {
+		t.Fatalf("Views: %v, %v", views, err)
+	}
+}
+
+func TestChoiceValidation(t *testing.T) {
+	e := testEngine(t)
+	e.Join("alice")
+	if _, err := e.Choice("ghost", "ct", "full"); err == nil {
+		t.Error("non-member choice accepted")
+	}
+	if _, err := e.Choice("alice", "nosuch", "full"); err == nil {
+		t.Error("unknown variable accepted")
+	}
+	if _, err := e.Choice("alice", "ct", "nosuch"); err == nil {
+		t.Error("unknown value accepted")
+	}
+}
+
+func TestChoiceRetraction(t *testing.T) {
+	e := testEngine(t)
+	e.Join("alice")
+	if _, err := e.Choice("alice", "ct", "hidden"); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := e.ViewFor("alice")
+	if v.Outcome["ct"] != "hidden" {
+		t.Fatal("choice not applied")
+	}
+	// Empty value retracts: back to the author's optimum.
+	v, err := e.Choice("alice", "ct", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Outcome["ct"] != "full" {
+		t.Errorf("after retraction ct = %s", v.Outcome["ct"])
+	}
+}
+
+func TestLeaveRetractsChoices(t *testing.T) {
+	e := testEngine(t)
+	e.Join("alice")
+	e.Join("bob")
+	e.Choice("alice", "ct", "hidden")
+	bobView, _ := e.ViewFor("bob")
+	if bobView.Outcome["ct"] != "hidden" {
+		t.Fatal("choice not shared")
+	}
+	changed, err := e.Leave("alice")
+	if err != nil || !changed {
+		t.Fatalf("Leave = %v, %v; want changed=true", changed, err)
+	}
+	bobView, _ = e.ViewFor("bob")
+	if bobView.Outcome["ct"] != "full" {
+		t.Errorf("alice's choice survived her departure: ct=%s", bobView.Outcome["ct"])
+	}
+}
+
+func TestSharedOperation(t *testing.T) {
+	e := testEngine(t)
+	e.Join("alice")
+	e.Join("bob")
+	name, err := e.Operation("alice", "ct", "zoom", "full", false)
+	if err != nil {
+		t.Fatalf("Operation: %v", err)
+	}
+	bobView, err := e.ViewFor("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bobView.Outcome[name] != cpnet.OpApplied {
+		t.Errorf("shared operation invisible to bob: %v", bobView.Outcome[name])
+	}
+}
+
+func TestPrivateOperationIsolation(t *testing.T) {
+	e := testEngine(t)
+	e.Join("alice")
+	e.Join("bob")
+	name, err := e.Operation("alice", "ct", "segmentation", "full", true)
+	if err != nil {
+		t.Fatalf("private Operation: %v", err)
+	}
+	aliceView, _ := e.ViewFor("alice")
+	if aliceView.Outcome[name] != cpnet.OpApplied {
+		t.Errorf("alice does not see her private operation: %v", aliceView.Outcome[name])
+	}
+	bobView, _ := e.ViewFor("bob")
+	if _, leaked := bobView.Outcome[name]; leaked {
+		t.Error("bob sees alice's private operation")
+	}
+	// Alice can pin her private variable through Choice.
+	v, err := e.Choice("alice", name, cpnet.OpFlat)
+	if err != nil {
+		t.Fatalf("choice on private variable: %v", err)
+	}
+	if v.Outcome[name] != cpnet.OpFlat {
+		t.Errorf("private pin not honored: %v", v.Outcome[name])
+	}
+	// Bob cannot pin alice's private variable.
+	if _, err := e.Choice("bob", name, cpnet.OpFlat); err == nil {
+		t.Error("bob pinned alice's private variable")
+	}
+	if _, err := e.Operation("ghost", "ct", "zoom", "full", true); err == nil {
+		t.Error("non-member operation accepted")
+	}
+}
+
+func TestChoicesSnapshot(t *testing.T) {
+	e := testEngine(t)
+	e.Join("alice")
+	e.Choice("alice", "ct", "segmented")
+	c := e.Choices()
+	if c["ct"] != "segmented" {
+		t.Errorf("Choices = %v", c)
+	}
+	c["ct"] = "mutated"
+	c2 := e.Choices()
+	if c2["ct"] != "segmented" {
+		t.Error("Choices returned shared state")
+	}
+}
+
+func TestBandwidthTuning(t *testing.T) {
+	doc, err := workload.MedicalRecord("rec-bw", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = AddBandwidthTuning(doc, map[string]BandwidthTemplate{
+		"ct": {
+			Low:    []string{"lowres", "hidden", "segmented", "full"},
+			Medium: []string{"lowres", "full", "segmented", "hidden"},
+			High:   []string{"full", "segmented", "lowres", "hidden"},
+		},
+	})
+	if err != nil {
+		t.Fatalf("AddBandwidthTuning: %v", err)
+	}
+	e, err := NewEngine(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Join("alice")
+	// Default environment assumes high bandwidth → full CT.
+	v, _ := e.ViewFor("alice")
+	if v.Outcome["ct"] != "full" {
+		t.Errorf("high-bandwidth ct = %s", v.Outcome["ct"])
+	}
+	// The link degrades: the engine pins the measured level.
+	if err := e.SetEnvironment(BandwidthVariable, BandwidthLow); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = e.ViewFor("alice")
+	if v.Outcome["ct"] != "lowres" {
+		t.Errorf("low-bandwidth ct = %s", v.Outcome["ct"])
+	}
+	// Environment pins survive viewers leaving.
+	e.Join("bob")
+	e.Leave("alice")
+	v, _ = e.ViewFor("bob")
+	if v.Outcome["ct"] != "lowres" {
+		t.Errorf("environment pin lost on leave: ct = %s", v.Outcome["ct"])
+	}
+	// Clearing the environment restores the author's optimism.
+	if err := e.SetEnvironment(BandwidthVariable, ""); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = e.ViewFor("bob")
+	if v.Outcome["ct"] != "full" {
+		t.Errorf("after clearing environment ct = %s", v.Outcome["ct"])
+	}
+}
+
+func TestBandwidthTuningValidation(t *testing.T) {
+	doc, _ := workload.MedicalRecord("rec-bwv", 3)
+	if err := AddBandwidthTuning(doc, nil); err == nil {
+		t.Error("empty templates accepted")
+	}
+	if err := AddBandwidthTuning(doc, map[string]BandwidthTemplate{
+		"nosuch": {Low: []string{"a"}, Medium: []string{"a"}, High: []string{"a"}},
+	}); err == nil {
+		t.Error("unknown component accepted")
+	}
+	if err := AddBandwidthTuning(doc, map[string]BandwidthTemplate{
+		"imaging": {Low: []string{"shown", "hidden"}, Medium: []string{"shown", "hidden"}, High: []string{"shown", "hidden"}},
+	}); err == nil {
+		t.Error("composite component accepted")
+	}
+	if err := AddBandwidthTuning(doc, map[string]BandwidthTemplate{
+		"ct": {Low: []string{"full"}, Medium: []string{"full"}, High: []string{"full"}},
+	}); err == nil {
+		t.Error("short template accepted")
+	}
+	ok := map[string]BandwidthTemplate{
+		"ct": {
+			Low:    []string{"lowres", "hidden", "segmented", "full"},
+			Medium: []string{"lowres", "full", "segmented", "hidden"},
+			High:   []string{"full", "segmented", "lowres", "hidden"},
+		},
+	}
+	if err := AddBandwidthTuning(doc, ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := AddBandwidthTuning(doc, ok); err == nil {
+		t.Error("double tuning accepted")
+	}
+	e, _ := NewEngine(doc)
+	if err := e.SetEnvironment("nosuch", "x"); err == nil {
+		t.Error("unknown environment variable accepted")
+	}
+	if err := e.SetEnvironment(BandwidthVariable, "nosuch"); err == nil {
+		t.Error("unknown environment value accepted")
+	}
+}

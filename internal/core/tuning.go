@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+
+	"mmconf/internal/cpnet"
+	"mmconf/internal/document"
+)
+
+// This file implements the first §4.4 strategy for handling communication
+// bandwidth and client buffer limits: "add corresponding 'tuning'
+// variables into the preference model of the document presentation, and
+// to condition on them the preferential ordering of the presentation
+// alternatives for various bandwidth/buffer consuming components. Such
+// model extension can be done automatically, according to some predefined
+// ordering templates."
+
+// BandwidthVariable is the reserved tuning-variable name. It contains '/'
+// so document.SetNetwork treats it as a derived (non-component) variable.
+const BandwidthVariable = "net/bandwidth"
+
+// Bandwidth levels, ordered worst to best.
+const (
+	BandwidthLow    = "low"
+	BandwidthMedium = "medium"
+	BandwidthHigh   = "high"
+)
+
+// BandwidthTemplate gives, for one component, the preference order over
+// its presentations at each bandwidth level — the "predefined ordering
+// template". Typically Low prefers icons/low-resolution forms and High
+// prefers full fidelity.
+type BandwidthTemplate struct {
+	Low, Medium, High []string
+}
+
+// AddBandwidthTuning extends the document's network with the bandwidth
+// tuning variable and re-conditions each templated component on it. The
+// templated components' previous parents are replaced by the tuning
+// variable (the automatic-template path of §4.4; authors wanting both
+// kinds of conditioning refine the CPT manually afterwards).
+func AddBandwidthTuning(doc *document.Document, templates map[string]BandwidthTemplate) error {
+	if len(templates) == 0 {
+		return fmt.Errorf("core: no tuning templates")
+	}
+	n := doc.Prefs
+	if n.HasVariable(BandwidthVariable) {
+		return fmt.Errorf("core: document %s already has bandwidth tuning", doc.ID)
+	}
+	// Validate everything before mutating.
+	for comp, tpl := range templates {
+		c, err := doc.Component(comp)
+		if err != nil {
+			return err
+		}
+		if c.Composite() {
+			return fmt.Errorf("core: cannot condition composite %q on bandwidth", comp)
+		}
+		for _, order := range [][]string{tpl.Low, tpl.Medium, tpl.High} {
+			if len(order) != len(c.Domain()) {
+				return fmt.Errorf("core: template for %q lists %d values, domain has %d",
+					comp, len(order), len(c.Domain()))
+			}
+		}
+	}
+	if err := n.AddVariable(BandwidthVariable, []string{BandwidthLow, BandwidthMedium, BandwidthHigh}); err != nil {
+		return err
+	}
+	// Absent measurement, assume the best: high ≻ medium ≻ low.
+	if err := n.SetUnconditional(BandwidthVariable, []string{BandwidthHigh, BandwidthMedium, BandwidthLow}); err != nil {
+		return err
+	}
+	for comp, tpl := range templates {
+		if err := n.SetParents(comp, []string{BandwidthVariable}); err != nil {
+			return fmt.Errorf("core: conditioning %q: %w", comp, err)
+		}
+		for level, order := range map[string][]string{
+			BandwidthLow:    tpl.Low,
+			BandwidthMedium: tpl.Medium,
+			BandwidthHigh:   tpl.High,
+		} {
+			if err := n.SetPreference(comp, cpnet.Outcome{BandwidthVariable: level}, order); err != nil {
+				return fmt.Errorf("core: template row for %q at %s: %w", comp, level, err)
+			}
+		}
+	}
+	return n.Validate()
+}
+
+// SetEnvironment pins a measured environment variable (e.g. the bandwidth
+// tuning variable) as evidence that no viewer owns: it survives viewers
+// leaving and can only be changed by another SetEnvironment call.
+func (e *Engine) SetEnvironment(variable, value string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.doc.Prefs.HasVariable(variable) {
+		return fmt.Errorf("core: unknown environment variable %q", variable)
+	}
+	dom, err := e.doc.Prefs.Domain(variable)
+	if err != nil {
+		return err
+	}
+	if value == "" {
+		delete(e.choices, variable)
+		delete(e.choiceBy, variable)
+		return nil
+	}
+	if !contains(dom, value) {
+		return fmt.Errorf("core: variable %q has no value %q", variable, value)
+	}
+	e.choices[variable] = value
+	e.choiceBy[variable] = "" // owned by the environment, not a viewer
+	return nil
+}

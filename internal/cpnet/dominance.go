@@ -1,0 +1,231 @@
+package cpnet
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUndecided is returned by Dominates when the improving-flip search
+// exhausts its node budget before finding a proof or exhausting the
+// reachable set. The query is then neither confirmed nor refuted.
+var ErrUndecided = errors.New("cpnet: dominance search exceeded its budget")
+
+// DefaultFlipBudget is the number of outcomes a dominance search may visit
+// before giving up with ErrUndecided.
+const DefaultFlipBudget = 1 << 16
+
+// Dominates reports whether the network entails better ≻ worse: whether
+// there exists a sequence of improving flips from worse to better. A flip
+// changes a single variable's value; it is improving when the new value is
+// preferred to the old one given the (unchanged) values of the variable's
+// parents. The search is a breadth-first exploration of the improving-flip
+// graph from worse; budget caps the number of visited outcomes (pass 0 for
+// DefaultFlipBudget).
+//
+// Dominance testing is NP-hard for general acyclic CP-nets, so callers
+// must be prepared for ErrUndecided on adversarial instances; the
+// conferencing system itself only needs optimal completions, and uses
+// dominance only in authoring-time sanity checks.
+func (n *Network) Dominates(better, worse Outcome, budget int) (bool, error) {
+	if budget <= 0 {
+		budget = DefaultFlipBudget
+	}
+	if err := n.Validate(); err != nil {
+		return false, err
+	}
+	goal, err := n.toAssign(better)
+	if err != nil {
+		return false, fmt.Errorf("cpnet: better outcome: %w", err)
+	}
+	start, err := n.toAssign(worse)
+	if err != nil {
+		return false, fmt.Errorf("cpnet: worse outcome: %w", err)
+	}
+	if equalAssign(goal, start) {
+		return false, nil // ≻ is strict
+	}
+	goalKey := string(goal)
+	visited := map[string]bool{string(start): true}
+	frontier := [][]uint8{start}
+	for len(frontier) > 0 {
+		next := frontier[:0:0]
+		for _, cur := range frontier {
+			improved, err := n.improvingFlips(cur)
+			if err != nil {
+				return false, err
+			}
+			for _, nb := range improved {
+				key := string(nb)
+				if visited[key] {
+					continue
+				}
+				if key == goalKey {
+					return true, nil
+				}
+				visited[key] = true
+				if len(visited) > budget {
+					return false, ErrUndecided
+				}
+				next = append(next, nb)
+			}
+		}
+		frontier = next
+	}
+	return false, nil
+}
+
+// improvingFlips returns every outcome reachable from assign by one
+// improving flip.
+func (n *Network) improvingFlips(assign []uint8) ([][]uint8, error) {
+	var out [][]uint8
+	for i, nd := range n.nodes {
+		row, ok := nd.cpt[n.ctxKeyFromAssign(nd, assign)]
+		if !ok {
+			return nil, fmt.Errorf("cpnet: variable %q missing CPT row", nd.v.Name)
+		}
+		// Values strictly before the current one in the row are improvements.
+		for _, v := range row {
+			if v == assign[i] {
+				break
+			}
+			nb := make([]uint8, len(assign))
+			copy(nb, assign)
+			nb[i] = v
+			out = append(out, nb)
+		}
+	}
+	return out, nil
+}
+
+func equalAssign(a, b []uint8) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RankAll exhaustively partitions the configuration space into preference
+// "layers" by repeatedly peeling outcomes with no improving flip remaining
+// among the unpeeled set is intractable in general; instead RankAll
+// returns, for every outcome, the length of the longest improving-flip
+// chain starting at it (0 for the optimum). It is exponential in network
+// size and exists for test-time verification on small networks only.
+func (n *Network) RankAll() (map[string]int, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	if n.OutcomeCount() > 1<<16 {
+		return nil, fmt.Errorf("cpnet: RankAll on %d outcomes refused", n.OutcomeCount())
+	}
+	memo := make(map[string]int)
+	var longest func(assign []uint8) (int, error)
+	longest = func(assign []uint8) (int, error) {
+		key := string(assign)
+		if d, ok := memo[key]; ok {
+			if d == -1 {
+				return 0, fmt.Errorf("cpnet: improving-flip cycle detected (inconsistent network)")
+			}
+			return d, nil
+		}
+		memo[key] = -1 // in progress
+		flips, err := n.improvingFlips(assign)
+		if err != nil {
+			return 0, err
+		}
+		best := 0
+		for _, f := range flips {
+			d, err := longest(f)
+			if err != nil {
+				return 0, err
+			}
+			if d+1 > best {
+				best = d + 1
+			}
+		}
+		memo[key] = best
+		return best, nil
+	}
+	ranks := make(map[string]int)
+	var outerErr error
+	n.ForEachOutcome(func(o Outcome) bool {
+		assign, err := n.toAssign(o)
+		if err != nil {
+			outerErr = err
+			return false
+		}
+		d, err := longest(assign)
+		if err != nil {
+			outerErr = err
+			return false
+		}
+		ranks[o.String()] = d
+		return true
+	})
+	if outerErr != nil {
+		return nil, outerErr
+	}
+	return ranks, nil
+}
+
+// Ordering is the result of comparing two outcomes under the network's
+// induced partial order.
+type Ordering int
+
+// Orderings.
+const (
+	Incomparable Ordering = iota
+	FirstBetter
+	SecondBetter
+	Equal
+)
+
+// String names the ordering.
+func (o Ordering) String() string {
+	switch o {
+	case Incomparable:
+		return "incomparable"
+	case FirstBetter:
+		return "first-better"
+	case SecondBetter:
+		return "second-better"
+	case Equal:
+		return "equal"
+	default:
+		return fmt.Sprintf("Ordering(%d)", int(o))
+	}
+}
+
+// Compare answers the ordering query for two complete outcomes: whether
+// the network entails a ≻ b, b ≻ a, a = b, or neither (CP-nets induce a
+// partial order, so incomparability is a real answer, not ignorance —
+// except when the flip search exhausts its budget, which surfaces as
+// ErrUndecided). budget is per direction; 0 selects DefaultFlipBudget.
+func (n *Network) Compare(a, b Outcome, budget int) (Ordering, error) {
+	if a.String() == b.String() {
+		// Still validate the outcomes.
+		if err := n.Consistent(a); err != nil {
+			return Incomparable, err
+		}
+		return Equal, nil
+	}
+	ab, err := n.Dominates(a, b, budget)
+	if err != nil {
+		return Incomparable, err
+	}
+	if ab {
+		return FirstBetter, nil
+	}
+	ba, err := n.Dominates(b, a, budget)
+	if err != nil {
+		return Incomparable, err
+	}
+	if ba {
+		return SecondBetter, nil
+	}
+	return Incomparable, nil
+}

@@ -1,0 +1,192 @@
+package cpnet
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestDominanceFig2(t *testing.T) {
+	n := fig2Network(t)
+	opt, err := n.OptimalOutcome()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The optimum dominates every other outcome.
+	n.ForEachOutcome(func(o Outcome) bool {
+		if o.String() == opt.String() {
+			return true
+		}
+		dom, err := n.Dominates(opt, o, 0)
+		if err != nil {
+			t.Fatalf("Dominates(opt, %v): %v", o, err)
+		}
+		if !dom {
+			t.Errorf("optimum does not dominate %v", o)
+		}
+		return true
+	})
+	// Dominance is irreflexive.
+	if dom, err := n.Dominates(opt, opt, 0); err != nil || dom {
+		t.Errorf("Dominates(opt, opt) = %v, %v; want false", dom, err)
+	}
+	// Nothing dominates the optimum.
+	n.ForEachOutcome(func(o Outcome) bool {
+		if o.String() == opt.String() {
+			return true
+		}
+		dom, err := n.Dominates(o, opt, 0)
+		if err != nil {
+			t.Fatalf("Dominates(%v, opt): %v", o, err)
+		}
+		if dom {
+			t.Errorf("%v dominates the optimum", o)
+		}
+		return true
+	})
+}
+
+func TestDominanceSingleFlip(t *testing.T) {
+	n := fig2Network(t)
+	// c11 > c21 unconditionally; flipping c1 alone is an improving flip.
+	worse := Outcome{"c1": "c21", "c2": "c22", "c3": "c23", "c4": "c24", "c5": "c25"}
+	better := worse.Clone()
+	better["c1"] = "c11"
+	dom, err := n.Dominates(better, worse, 0)
+	if err != nil || !dom {
+		t.Fatalf("single improving flip not recognized: %v, %v", dom, err)
+	}
+	dom, err = n.Dominates(worse, better, 0)
+	if err != nil || dom {
+		t.Fatalf("worsening flip claimed improving: %v, %v", dom, err)
+	}
+}
+
+func TestDominanceIncomparable(t *testing.T) {
+	// Two independent variables: (x1,y2) and (x2,y1) are incomparable —
+	// each needs a worsening flip to reach the other.
+	n := New()
+	if err := n.AddVariable("x", []string{"x1", "x2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddVariable("y", []string{"y1", "y2"}); err != nil {
+		t.Fatal(err)
+	}
+	mustPref(t, n, "x", nil, "x1", "x2")
+	mustPref(t, n, "y", nil, "y1", "y2")
+	a := Outcome{"x": "x1", "y": "y2"}
+	b := Outcome{"x": "x2", "y": "y1"}
+	for _, pair := range [][2]Outcome{{a, b}, {b, a}} {
+		dom, err := n.Dominates(pair[0], pair[1], 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dom {
+			t.Errorf("incomparable outcomes reported ordered: %v over %v", pair[0], pair[1])
+		}
+	}
+}
+
+func TestDominanceBudget(t *testing.T) {
+	n := fig2Network(t)
+	opt, _ := n.OptimalOutcome()
+	worst := Outcome{"c1": "c21", "c2": "c12", "c3": "c23", "c4": "c14", "c5": "c15"}
+	_, err := n.Dominates(opt, worst, 1)
+	if !errors.Is(err, ErrUndecided) {
+		t.Fatalf("budget 1 returned %v, want ErrUndecided", err)
+	}
+}
+
+func TestDominanceBadOutcomes(t *testing.T) {
+	n := fig2Network(t)
+	opt, _ := n.OptimalOutcome()
+	if _, err := n.Dominates(Outcome{"c1": "c11"}, opt, 0); err == nil {
+		t.Error("partial better outcome accepted")
+	}
+	if _, err := n.Dominates(opt, Outcome{"c1": "c11"}, 0); err == nil {
+		t.Error("partial worse outcome accepted")
+	}
+}
+
+func TestRankAllFig2(t *testing.T) {
+	n := fig2Network(t)
+	ranks, err := n.RankAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranks) != 32 {
+		t.Fatalf("RankAll covered %d outcomes, want 32", len(ranks))
+	}
+	opt, _ := n.OptimalOutcome()
+	zero := 0
+	for o, r := range ranks {
+		if r == 0 {
+			zero++
+			if o != opt.String() {
+				t.Errorf("non-optimal outcome %s has rank 0", o)
+			}
+		}
+	}
+	if zero != 1 {
+		t.Errorf("%d outcomes have rank 0, want exactly 1 (the unique optimum)", zero)
+	}
+}
+
+func TestRankAllRefusesLargeSpace(t *testing.T) {
+	n := New()
+	for i := 0; i < 20; i++ {
+		name := "v" + itoa(i)
+		if err := n.AddVariable(name, []string{"a", "b"}); err != nil {
+			t.Fatal(err)
+		}
+		mustPref(t, n, name, nil, "a", "b")
+	}
+	if _, err := n.RankAll(); err == nil {
+		t.Fatal("RankAll on 2^20 outcomes accepted")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	n := fig2Network(t)
+	opt, _ := n.OptimalOutcome()
+	worse := opt.Clone()
+	worse["c1"] = "c21"
+	ord, err := n.Compare(opt, worse, 0)
+	if err != nil || ord != FirstBetter {
+		t.Errorf("Compare(opt, worse) = %v, %v", ord, err)
+	}
+	ord, err = n.Compare(worse, opt, 0)
+	if err != nil || ord != SecondBetter {
+		t.Errorf("Compare(worse, opt) = %v, %v", ord, err)
+	}
+	ord, err = n.Compare(opt, opt, 0)
+	if err != nil || ord != Equal {
+		t.Errorf("Compare(opt, opt) = %v, %v", ord, err)
+	}
+	// Incomparable pair (two independent improvements traded off).
+	a := opt.Clone()
+	a["c1"] = "c21"
+	b := opt.Clone()
+	b["c2"] = "c12"
+	b["c3"] = "c13"
+	b["c4"] = "c14"
+	b["c5"] = "c15"
+	ord, err = n.Compare(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ord == Equal {
+		t.Errorf("distinct outcomes equal")
+	}
+	// Bad outcomes error.
+	if _, err := n.Compare(Outcome{"c1": "zzz"}, opt, 0); err == nil {
+		t.Error("bad outcome accepted")
+	}
+	// Budget exhaustion surfaces.
+	worst := Outcome{"c1": "c21", "c2": "c12", "c3": "c23", "c4": "c14", "c5": "c15"}
+	if _, err := n.Compare(opt, worst, 1); err == nil {
+		t.Error("budget exhaustion not surfaced")
+	}
+	if Incomparable.String() != "incomparable" || Ordering(9).String() == "" {
+		t.Error("ordering names")
+	}
+}

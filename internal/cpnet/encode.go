@@ -1,0 +1,271 @@
+package cpnet
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// The on-disk / on-wire forms of a network. The text form is the authoring
+// format (what the document author writes); the gob form is what the store
+// persists alongside the multimedia components and what the interaction
+// server ships to clients.
+//
+// Text grammar, one statement per line ('#' starts a comment):
+//
+//	var  <name> { <value> <value> ... }
+//	parents <name> ( <parent> <parent> ... )
+//	pref <name> [ <parent>=<value> ... ] : <value> > <value> > ...
+//
+// The context bracket is omitted for parentless variables.
+
+// snapshot is the gob-serializable flattened form of a Network.
+type snapshot struct {
+	Vars    []Variable
+	Parents [][]int
+	CPTKeys [][]uint64
+	CPTRows [][][]uint8
+}
+
+func (n *Network) snapshot() snapshot {
+	s := snapshot{
+		Vars:    n.Variables(),
+		Parents: make([][]int, len(n.nodes)),
+		CPTKeys: make([][]uint64, len(n.nodes)),
+		CPTRows: make([][][]uint8, len(n.nodes)),
+	}
+	for i, nd := range n.nodes {
+		s.Parents[i] = append([]int(nil), nd.parents...)
+		keys := make([]uint64, 0, len(nd.cpt))
+		for k := range nd.cpt {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		s.CPTKeys[i] = keys
+		rows := make([][]uint8, len(keys))
+		for j, k := range keys {
+			rows[j] = append([]uint8(nil), nd.cpt[k]...)
+		}
+		s.CPTRows[i] = rows
+	}
+	return s
+}
+
+func fromSnapshot(s snapshot) (*Network, error) {
+	n := New()
+	for _, v := range s.Vars {
+		if err := n.AddVariable(v.Name, v.Domain); err != nil {
+			return nil, err
+		}
+	}
+	if len(s.Parents) != len(s.Vars) || len(s.CPTKeys) != len(s.Vars) || len(s.CPTRows) != len(s.Vars) {
+		return nil, fmt.Errorf("cpnet: malformed snapshot")
+	}
+	for i := range s.Vars {
+		for _, p := range s.Parents[i] {
+			if p < 0 || p >= len(s.Vars) {
+				return nil, fmt.Errorf("cpnet: snapshot parent index %d out of range", p)
+			}
+		}
+		n.nodes[i].parents = append([]int(nil), s.Parents[i]...)
+	}
+	n.invalidate()
+	if _, err := n.topoOrder(); err != nil {
+		return nil, err
+	}
+	for i := range s.Vars {
+		if len(s.CPTKeys[i]) != len(s.CPTRows[i]) {
+			return nil, fmt.Errorf("cpnet: snapshot CPT shape mismatch for %q", s.Vars[i].Name)
+		}
+		nd := n.nodes[i]
+		for j, k := range s.CPTKeys[i] {
+			row := s.CPTRows[i][j]
+			if len(row) != len(nd.v.Domain) {
+				return nil, fmt.Errorf("cpnet: snapshot CPT row size mismatch for %q", nd.v.Name)
+			}
+			seen := make(map[uint8]bool)
+			for _, v := range row {
+				if int(v) >= len(nd.v.Domain) || seen[v] {
+					return nil, fmt.Errorf("cpnet: snapshot CPT row for %q is not a permutation", nd.v.Name)
+				}
+				seen[v] = true
+			}
+			nd.cpt[k] = append([]uint8(nil), row...)
+		}
+	}
+	return n, nil
+}
+
+// MarshalBinary encodes the network with encoding/gob.
+func (n *Network) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(n.snapshot()); err != nil {
+		return nil, fmt.Errorf("cpnet: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalNetwork decodes a network previously encoded by MarshalBinary.
+func UnmarshalNetwork(data []byte) (*Network, error) {
+	var s snapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&s); err != nil {
+		return nil, fmt.Errorf("cpnet: decode: %w", err)
+	}
+	return fromSnapshot(s)
+}
+
+// WriteText renders the network in the authoring text format.
+func (n *Network) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, nd := range n.nodes {
+		fmt.Fprintf(bw, "var %s { %s }\n", nd.v.Name, strings.Join(nd.v.Domain, " "))
+	}
+	for _, nd := range n.nodes {
+		if len(nd.parents) == 0 {
+			continue
+		}
+		names := make([]string, len(nd.parents))
+		for j, p := range nd.parents {
+			names[j] = n.nodes[p].v.Name
+		}
+		fmt.Fprintf(bw, "parents %s ( %s )\n", nd.v.Name, strings.Join(names, " "))
+	}
+	for _, nd := range n.nodes {
+		keys := make([]uint64, 0, len(nd.cpt))
+		for k := range nd.cpt {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		for _, k := range keys {
+			row := nd.cpt[k]
+			vals := make([]string, len(row))
+			for j, v := range row {
+				vals[j] = nd.v.Domain[v]
+			}
+			ctx := n.decodeCtx(nd, k)
+			if len(ctx) == 0 {
+				fmt.Fprintf(bw, "pref %s : %s\n", nd.v.Name, strings.Join(vals, " > "))
+			} else {
+				fmt.Fprintf(bw, "pref %s [ %s ] : %s\n", nd.v.Name, strings.Join(ctx, " "), strings.Join(vals, " > "))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// decodeCtx inverts the mixed-radix CPT key into "parent=value" terms.
+func (n *Network) decodeCtx(nd *node, key uint64) []string {
+	terms := make([]string, len(nd.parents))
+	for j := len(nd.parents) - 1; j >= 0; j-- {
+		p := n.nodes[nd.parents[j]]
+		d := uint64(len(p.v.Domain))
+		terms[j] = p.v.Name + "=" + p.v.Domain[key%d]
+		key /= d
+	}
+	return terms
+}
+
+// Text renders the network to a string (see WriteText).
+func (n *Network) Text() string {
+	var buf bytes.Buffer
+	_ = n.WriteText(&buf) // bytes.Buffer writes cannot fail
+	return buf.String()
+}
+
+// ParseText parses the authoring text format into a network.
+func ParseText(r io.Reader) (*Network, error) {
+	n := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if err := parseStatement(n, fields); err != nil {
+			return nil, fmt.Errorf("cpnet: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("cpnet: reading text: %w", err)
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+func parseStatement(n *Network, fields []string) error {
+	switch fields[0] {
+	case "var":
+		if len(fields) < 4 || fields[2] != "{" || fields[len(fields)-1] != "}" {
+			return fmt.Errorf("malformed var statement")
+		}
+		return n.AddVariable(fields[1], fields[3:len(fields)-1])
+	case "parents":
+		if len(fields) < 4 || fields[2] != "(" || fields[len(fields)-1] != ")" {
+			return fmt.Errorf("malformed parents statement")
+		}
+		return n.SetParents(fields[1], fields[3:len(fields)-1])
+	case "pref":
+		return parsePref(n, fields[1:])
+	default:
+		return fmt.Errorf("unknown statement %q", fields[0])
+	}
+}
+
+func parsePref(n *Network, fields []string) error {
+	if len(fields) < 2 {
+		return fmt.Errorf("malformed pref statement")
+	}
+	name := fields[0]
+	rest := fields[1:]
+	ctx := Outcome{}
+	if rest[0] == "[" {
+		close := -1
+		for i, f := range rest {
+			if f == "]" {
+				close = i
+				break
+			}
+		}
+		if close < 0 {
+			return fmt.Errorf("unclosed context bracket")
+		}
+		for _, term := range rest[1:close] {
+			eq := strings.IndexByte(term, '=')
+			if eq <= 0 || eq == len(term)-1 {
+				return fmt.Errorf("malformed context term %q", term)
+			}
+			ctx[term[:eq]] = term[eq+1:]
+		}
+		rest = rest[close+1:]
+	}
+	if len(rest) == 0 || rest[0] != ":" {
+		return fmt.Errorf("pref statement missing ':'")
+	}
+	rest = rest[1:]
+	// rest is "v1 > v2 > v3": values at even positions, ">" between.
+	var order []string
+	for i, f := range rest {
+		if i%2 == 0 {
+			order = append(order, f)
+		} else if f != ">" {
+			return fmt.Errorf("expected '>' between preference values, got %q", f)
+		}
+	}
+	if len(rest)%2 == 0 {
+		return fmt.Errorf("dangling '>' in preference order")
+	}
+	return n.SetPreference(name, ctx, order)
+}

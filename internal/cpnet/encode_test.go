@@ -1,0 +1,123 @@
+package cpnet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGobRoundTrip(t *testing.T) {
+	n := fig2Network(t)
+	data, err := n.MarshalBinary()
+	if err != nil {
+		t.Fatalf("MarshalBinary: %v", err)
+	}
+	back, err := UnmarshalNetwork(data)
+	if err != nil {
+		t.Fatalf("UnmarshalNetwork: %v", err)
+	}
+	if back.Text() != n.Text() {
+		t.Fatalf("round trip changed network:\n%s\nvs\n%s", back.Text(), n.Text())
+	}
+	o1, _ := n.OptimalOutcome()
+	o2, err := back.OptimalOutcome()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o1.String() != o2.String() {
+		t.Fatalf("round trip changed optimum: %v vs %v", o1, o2)
+	}
+}
+
+func TestUnmarshalGarbage(t *testing.T) {
+	if _, err := UnmarshalNetwork([]byte("not gob at all")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := UnmarshalNetwork(nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	n := fig2Network(t)
+	text := n.Text()
+	back, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ParseText: %v\ninput:\n%s", err, text)
+	}
+	if back.Text() != text {
+		t.Fatalf("text round trip not stable:\n%s\nvs\n%s", back.Text(), text)
+	}
+	o1, _ := n.OptimalOutcome()
+	o2, _ := back.OptimalOutcome()
+	if o1.String() != o2.String() {
+		t.Fatalf("text round trip changed optimum: %v vs %v", o1, o2)
+	}
+}
+
+func TestParseTextAuthoring(t *testing.T) {
+	src := `
+# A two-variable document: an image and a caption.
+var image { full icon hidden }
+var caption { shown hidden }
+parents caption ( image )
+pref image : full > icon > hidden
+pref caption [ image=full ] : shown > hidden
+pref caption [ image=icon ] : shown > hidden
+pref caption [ image=hidden ] : hidden > shown
+`
+	n, err := ParseText(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ParseText: %v", err)
+	}
+	opt, err := n.OptimalOutcome()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt["image"] != "full" || opt["caption"] != "shown" {
+		t.Errorf("optimum = %v", opt)
+	}
+	o, err := n.OptimalCompletion(Outcome{"image": "hidden"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o["caption"] != "hidden" {
+		t.Errorf("caption under hidden image = %q", o["caption"])
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"unknown statement", "frobnicate x"},
+		{"malformed var", "var x y z"},
+		{"malformed parents", "parents x y"},
+		{"pref missing colon", "var x { a b }\npref x a > b"},
+		{"pref dangling gt", "var x { a b }\npref x : a >"},
+		{"pref bad sep", "var x { a b }\npref x : a < b"},
+		{"unclosed context", "var x { a b }\npref x [ : a > b"},
+		{"bad context term", "var x { a b }\nvar y { c d }\nparents y ( x )\npref y [ x ] : c > d"},
+		{"incomplete cpt", "var x { a b }"},
+		{"pref alone", "pref"},
+		{"empty pref", "var x { a b }\npref x"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ParseText(strings.NewReader(c.src)); err == nil {
+				t.Errorf("accepted:\n%s", c.src)
+			}
+		})
+	}
+}
+
+func TestParseTextCommentsAndBlank(t *testing.T) {
+	src := "\n\n# only comments\nvar x { a }\npref x : a # trailing comment\n\n"
+	n, err := ParseText(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ParseText: %v", err)
+	}
+	if n.Len() != 1 {
+		t.Errorf("Len = %d", n.Len())
+	}
+}

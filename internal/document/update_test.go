@@ -1,0 +1,218 @@
+package document
+
+import (
+	"testing"
+
+	"mmconf/internal/cpnet"
+)
+
+func TestAddComponent(t *testing.T) {
+	d := medicalRecord(t)
+	mri := &Component{
+		Name:  "mri",
+		Label: "Brain MRI",
+		Presentations: []Presentation{
+			{Name: "full", Kind: KindImage, ObjectID: 200, Bytes: 1 << 20},
+			{Name: "hidden", Kind: KindHidden},
+		},
+	}
+	err := d.AddComponent("imaging", mri, []string{"ct"}, []string{"hidden", "full"})
+	if err != nil {
+		t.Fatalf("AddComponent: %v", err)
+	}
+	if err := d.Prefs.Validate(); err != nil {
+		t.Fatalf("network invalid after add: %v", err)
+	}
+	if len(d.Components()) != 7 {
+		t.Errorf("component count = %d, want 7", len(d.Components()))
+	}
+	v, err := d.DefaultPresentation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Outcome["mri"] != "hidden" || v.Visible["mri"] {
+		t.Errorf("new component default = %s, visible=%v", v.Outcome["mri"], v.Visible["mri"])
+	}
+	// The author can refine the new component's CPT afterwards.
+	mustOK(t, d.Prefs.SetPreference("mri", cpnet.Outcome{"ct": "hidden"}, []string{"full", "hidden"}))
+	v, _ = d.ReconfigPresentation(cpnet.Outcome{"ct": "hidden"})
+	if v.Outcome["mri"] != "full" {
+		t.Errorf("refined CPT not honored: mri=%s", v.Outcome["mri"])
+	}
+}
+
+func TestAddComponentErrors(t *testing.T) {
+	d := medicalRecord(t)
+	good := func() *Component {
+		return &Component{Name: "new", Presentations: []Presentation{{Name: "p"}}}
+	}
+	if err := d.AddComponent("imaging", nil, nil, nil); err == nil {
+		t.Error("nil component accepted")
+	}
+	if err := d.AddComponent("imaging", &Component{Name: "a/b", Presentations: []Presentation{{Name: "p"}}}, nil, []string{"p"}); err == nil {
+		t.Error("slash name accepted")
+	}
+	if err := d.AddComponent("imaging", &Component{Name: "ct", Presentations: []Presentation{{Name: "p"}}}, nil, []string{"p"}); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if err := d.AddComponent("nosuch", good(), nil, []string{"p"}); err == nil {
+		t.Error("unknown parent accepted")
+	}
+	if err := d.AddComponent("ct", good(), nil, []string{"p"}); err == nil {
+		t.Error("primitive parent accepted")
+	}
+	if err := d.AddComponent("imaging", &Component{Name: "new"}, nil, nil); err == nil {
+		t.Error("presentation-less component accepted")
+	}
+	sub := &Component{Name: "new", Children: []*Component{{Name: "inner", Presentations: []Presentation{{Name: "p"}}}}}
+	if err := d.AddComponent("imaging", sub, nil, nil); err == nil {
+		t.Error("composite subtree accepted")
+	}
+	// Bad network wiring must leave both tree and network unchanged.
+	before := len(d.Components())
+	if err := d.AddComponent("imaging", good(), []string{"nosuch"}, []string{"p"}); err == nil {
+		t.Error("unknown net parent accepted")
+	}
+	if len(d.Components()) != before {
+		t.Error("failed add mutated the tree")
+	}
+	if err := d.Prefs.Validate(); err != nil {
+		t.Errorf("failed add corrupted the network: %v", err)
+	}
+}
+
+func TestRemoveComponent(t *testing.T) {
+	d := medicalRecord(t)
+	if err := d.RemoveComponent("xray"); err != nil {
+		t.Fatalf("RemoveComponent: %v", err)
+	}
+	if _, err := d.Component("xray"); err == nil {
+		t.Error("xray still in tree")
+	}
+	if d.Prefs.HasVariable("xray") {
+		t.Error("xray still in network")
+	}
+	if err := d.Prefs.Validate(); err != nil {
+		t.Fatalf("network invalid after removal: %v", err)
+	}
+	v, err := d.DefaultPresentation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Outcome["ct"] != "full" {
+		t.Errorf("remaining preferences disturbed: ct=%s", v.Outcome["ct"])
+	}
+}
+
+func TestRemoveCompositeSubtree(t *testing.T) {
+	d := medicalRecord(t)
+	if err := d.RemoveComponent("imaging"); err != nil {
+		t.Fatalf("RemoveComponent(imaging): %v", err)
+	}
+	for _, name := range []string{"imaging", "ct", "xray"} {
+		if d.Prefs.HasVariable(name) {
+			t.Errorf("%s survived subtree removal", name)
+		}
+	}
+	if err := d.Prefs.Validate(); err != nil {
+		t.Fatalf("network invalid: %v", err)
+	}
+	if len(d.Components()) != 3 { // record, voice, labs
+		t.Errorf("components = %d, want 3", len(d.Components()))
+	}
+}
+
+func TestRemoveComponentErrors(t *testing.T) {
+	d := medicalRecord(t)
+	if err := d.RemoveComponent("record"); err == nil {
+		t.Error("root removal accepted")
+	}
+	if err := d.RemoveComponent("nosuch"); err == nil {
+		t.Error("unknown component accepted")
+	}
+}
+
+func TestRemoveComponentDropsDerivedVariables(t *testing.T) {
+	d := medicalRecord(t)
+	name, err := d.ApplyOperation("ct", "segmentation", "segmented")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Prefs.HasVariable(name) {
+		t.Fatal("derived variable missing")
+	}
+	if err := d.RemoveComponent("ct"); err != nil {
+		t.Fatalf("RemoveComponent: %v", err)
+	}
+	if d.Prefs.HasVariable(name) {
+		t.Error("derived variable survived its component")
+	}
+	if err := d.Prefs.Validate(); err != nil {
+		t.Fatalf("network invalid: %v", err)
+	}
+}
+
+func TestApplyOperationShared(t *testing.T) {
+	d := medicalRecord(t)
+	name, err := d.ApplyOperation("ct", "zoom", "full")
+	if err != nil {
+		t.Fatalf("ApplyOperation: %v", err)
+	}
+	v, err := d.DefaultPresentation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Outcome[name] != cpnet.OpApplied {
+		t.Errorf("zoom under ct=full is %q, want applied", v.Outcome[name])
+	}
+	v, _ = d.ReconfigPresentation(cpnet.Outcome{"ct": "hidden"})
+	if v.Outcome[name] != cpnet.OpFlat {
+		t.Errorf("zoom under ct=hidden is %q, want flat", v.Outcome[name])
+	}
+	if _, err := d.ApplyOperation("nosuch", "zoom", "full"); err == nil {
+		t.Error("unknown component accepted")
+	}
+}
+
+func TestApplyOperationPrivate(t *testing.T) {
+	d := medicalRecord(t)
+	alice := d.NewOverlay()
+	bob := d.NewOverlay()
+	name, err := d.ApplyOperationPrivate(alice, "ct", "segmentation", "full")
+	if err != nil {
+		t.Fatalf("ApplyOperationPrivate: %v", err)
+	}
+	if d.Prefs.HasVariable(name) {
+		t.Error("private operation leaked into the shared network")
+	}
+	av, err := d.ReconfigPresentationFor(alice, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if av.Outcome[name] != cpnet.OpApplied {
+		t.Errorf("alice sees %s=%q", name, av.Outcome[name])
+	}
+	bv, err := d.ReconfigPresentationFor(bob, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, leaked := bv.Outcome[name]; leaked {
+		t.Error("bob sees alice's private operation")
+	}
+	// Nil overlay falls back to the shared reconfiguration.
+	nv, err := d.ReconfigPresentationFor(nil, cpnet.Outcome{"ct": "hidden"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nv.Outcome["ct"] != "hidden" {
+		t.Errorf("nil-overlay reconfig ignored choices: %v", nv.Outcome)
+	}
+	// Overlay of a different document is rejected.
+	other := medicalRecord(t)
+	if _, err := d.ReconfigPresentationFor(other.NewOverlay(), nil); err == nil {
+		t.Error("foreign overlay accepted")
+	}
+	if _, err := d.ApplyOperationPrivate(other.NewOverlay(), "ct", "zoom", "full"); err == nil {
+		t.Error("foreign overlay accepted for private operation")
+	}
+}

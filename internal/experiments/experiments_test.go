@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mmconf/internal/cpnet"
+)
+
+func TestFig2NetworkMatchesPaper(t *testing.T) {
+	n, err := Fig2Network()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := n.OptimalOutcome()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.String() != "c1=c11 c2=c22 c3=c23 c4=c24 c5=c25" {
+		t.Errorf("optimum = %v", opt)
+	}
+	// Brute force agrees with the sweep.
+	brute, err := bruteForceOptimum(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if brute.String() != opt.String() {
+		t.Errorf("brute force %v != sweep %v", brute, opt)
+	}
+	// Constrained case: pinning c2=c12 flips c3.
+	comp, _ := n.OptimalCompletion(cpnet.Outcome{"c2": "c12"})
+	bcomp, err := bruteForceCompletion(n, cpnet.Outcome{"c2": "c12"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.String() != bcomp.String() {
+		t.Errorf("completion %v != brute %v", comp, bcomp)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		ID: "EX", Title: "demo",
+		Columns: []string{"a", "long-column"},
+		Rows:    [][]string{{"1", "2"}, {"333333", "4"}},
+		Notes:   []string{"a note"},
+	}
+	s := tb.String()
+	if !strings.Contains(s, "EX: demo") || !strings.Contains(s, "note: a note") {
+		t.Errorf("rendering:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 {
+		t.Errorf("lines = %d", len(lines))
+	}
+}
+
+func TestFmtDur(t *testing.T) {
+	cases := map[time.Duration]string{
+		500 * time.Nanosecond:   "500ns",
+		1500 * time.Nanosecond:  "1.5µs",
+		2500 * time.Microsecond: "2.50ms",
+		1500 * time.Millisecond: "1.500s",
+	}
+	for in, want := range cases {
+		if got := fmtDur(in); got != want {
+			t.Errorf("fmtDur(%v) = %s, want %s", in, got, want)
+		}
+	}
+}
+
+// The experiment smoke tests run each generator once and sanity-check the
+// output shape. They are the long-running end of the suite; -short skips
+// the heavy ones.
+
+func TestE2Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tb, err := E2OptimalOutcome()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 {
+		t.Errorf("rows = %d", len(tb.Rows))
+	}
+	// Speedup must be present and large for n=10.
+	found := false
+	for _, row := range tb.Rows {
+		if row[0] == "11" && row[4] != "-" { // WideRecord(10) has 11 vars
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no brute-force comparison row: %v", tb.Rows)
+	}
+}
+
+func TestE3Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tb, err := E3Reconfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Errorf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestE4Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tb, err := E4Store(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 9 {
+		t.Errorf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestE5Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// A reduced run: just ensure one room size works through the harness.
+	choice, chat, tput, err := propagationRun(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice <= 0 || chat <= 0 || tput <= 0 {
+		t.Errorf("degenerate measurements: %v %v %v", choice, chat, tput)
+	}
+}
+
+func TestE6Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tb, err := E6MultiRes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Errorf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestE8Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tb, err := E8Prefetch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 12 {
+		t.Errorf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestE9Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tb, err := E9Update()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Errorf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestE1Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tb, err := E1Retrieve(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 {
+		t.Errorf("rows = %d:\n%s", len(tb.Rows), tb)
+	}
+}
+
+func TestE7Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tb, err := E7Voice()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) < 6 {
+		t.Errorf("rows = %d:\n%s", len(tb.Rows), tb)
+	}
+}

@@ -1,0 +1,256 @@
+// Package compress implements the image-compression-transfer module of
+// §3.3 of the paper: the hybrid multi-layered representation of [20]
+// (Meyer, Averbuch, Coifman). An image is encoded as the superposition of
+// one main approximation and a sequence of residuals, each coded in a
+// different basis: a wavelet transform (CDF 5/3 lifting) codes the main
+// approximation, and a blocked local-cosine (DCT-II) transform codes each
+// compression residual, compensating for the artifacts the previous
+// layers' quantization introduced. Decoding any prefix of the layer
+// sequence yields the image at increasing fidelity, which is what lets
+// the conferencing system show the same image at different resolutions to
+// different partners in a room (Fig. 9).
+package compress
+
+import "fmt"
+
+// fwd53 performs one level of the CDF 5/3 lifting transform on a signal,
+// writing approximation coefficients to the first half (rounded up) and
+// detail coefficients to the second half of dst. n ≥ 2.
+func fwd53(src, dst []float64, n int) {
+	half := (n + 1) / 2
+	// Predict: d[i] = odd[i] - (even[i] + even[i+1])/2, mirrored at edges.
+	for i := 0; i < n/2; i++ {
+		left := src[2*i]
+		right := left
+		if 2*i+2 < n {
+			right = src[2*i+2]
+		}
+		dst[half+i] = src[2*i+1] - 0.5*(left+right)
+	}
+	// Update: s[i] = even[i] + (d[i-1] + d[i])/4, mirrored at edges.
+	for i := 0; i < half; i++ {
+		var dl, dr float64
+		if i > 0 {
+			dl = dst[half+i-1]
+		} else if n/2 > 0 {
+			dl = dst[half]
+		}
+		if i < n/2 {
+			dr = dst[half+i]
+		} else if n/2 > 0 {
+			dr = dst[half+n/2-1]
+		}
+		dst[i] = src[2*i] + 0.25*(dl+dr)
+	}
+}
+
+// inv53 inverts fwd53.
+func inv53(src, dst []float64, n int) {
+	half := (n + 1) / 2
+	// Un-update: even[i] = s[i] - (d[i-1] + d[i])/4.
+	for i := 0; i < half; i++ {
+		var dl, dr float64
+		if i > 0 {
+			dl = src[half+i-1]
+		} else if n/2 > 0 {
+			dl = src[half]
+		}
+		if i < n/2 {
+			dr = src[half+i]
+		} else if n/2 > 0 {
+			dr = src[half+n/2-1]
+		}
+		dst[2*i] = src[i] - 0.25*(dl+dr)
+	}
+	// Un-predict: odd[i] = d[i] + (even[i] + even[i+1])/2.
+	for i := 0; i < n/2; i++ {
+		left := dst[2*i]
+		right := left
+		if 2*i+2 < n {
+			right = dst[2*i+2]
+		}
+		dst[2*i+1] = src[half+i] + 0.5*(left+right)
+	}
+}
+
+// waveletForward2D applies `levels` levels of the separable 2-D transform
+// in place on a w×h plane stored row-major.
+func waveletForward2D(pix []float64, w, h, levels int) error {
+	if levels < 1 {
+		return fmt.Errorf("compress: levels %d must be ≥ 1", levels)
+	}
+	cw, ch := w, h
+	row := make([]float64, w)
+	col := make([]float64, h)
+	tmp := make([]float64, max(w, h))
+	for l := 0; l < levels; l++ {
+		if cw < 2 || ch < 2 {
+			return fmt.Errorf("compress: %d levels too deep for %dx%d", levels, w, h)
+		}
+		for y := 0; y < ch; y++ {
+			copy(row[:cw], pix[y*w:y*w+cw])
+			fwd53(row[:cw], tmp[:cw], cw)
+			copy(pix[y*w:y*w+cw], tmp[:cw])
+		}
+		for x := 0; x < cw; x++ {
+			for y := 0; y < ch; y++ {
+				col[y] = pix[y*w+x]
+			}
+			fwd53(col[:ch], tmp[:ch], ch)
+			for y := 0; y < ch; y++ {
+				pix[y*w+x] = tmp[y]
+			}
+		}
+		cw = (cw + 1) / 2
+		ch = (ch + 1) / 2
+	}
+	return nil
+}
+
+// waveletInverse2D inverts waveletForward2D.
+func waveletInverse2D(pix []float64, w, h, levels int) error {
+	if levels < 1 {
+		return fmt.Errorf("compress: levels %d must be ≥ 1", levels)
+	}
+	// Recompute the subband sizes top-down, then invert bottom-up.
+	ws := make([]int, levels+1)
+	hs := make([]int, levels+1)
+	ws[0], hs[0] = w, h
+	for l := 1; l <= levels; l++ {
+		ws[l] = (ws[l-1] + 1) / 2
+		hs[l] = (hs[l-1] + 1) / 2
+		if ws[l-1] < 2 || hs[l-1] < 2 {
+			return fmt.Errorf("compress: %d levels too deep for %dx%d", levels, w, h)
+		}
+	}
+	row := make([]float64, w)
+	col := make([]float64, h)
+	tmp := make([]float64, max(w, h))
+	for l := levels - 1; l >= 0; l-- {
+		cw, ch := ws[l], hs[l]
+		for x := 0; x < cw; x++ {
+			for y := 0; y < ch; y++ {
+				col[y] = pix[y*w+x]
+			}
+			inv53(col[:ch], tmp[:ch], ch)
+			for y := 0; y < ch; y++ {
+				pix[y*w+x] = tmp[y]
+			}
+		}
+		for y := 0; y < ch; y++ {
+			copy(row[:cw], pix[y*w:y*w+cw])
+			inv53(row[:cw], tmp[:cw], cw)
+			copy(pix[y*w:y*w+cw], tmp[:cw])
+		}
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// packetForward2D applies a full wavelet-packet decomposition: unlike the
+// pyramid transform (which recurses only into the LL approximation), the
+// packet transform re-applies the filter pair to every subband, producing
+// a uniform tiling of the frequency plane — the "wavelet packet"
+// alternative basis the paper's compression module ([20]) offers for
+// coding residuals. The transform recurses levels deep; w and h must be
+// divisible by 2^levels for the subband grid to tile exactly.
+func packetForward2D(pix []float64, w, h, levels int) error {
+	if levels < 1 {
+		return fmt.Errorf("compress: levels %d must be ≥ 1", levels)
+	}
+	step := 1 << levels
+	if w%step != 0 || h%step != 0 {
+		return fmt.Errorf("compress: %dx%d not divisible by 2^%d for packet transform", w, h, levels)
+	}
+	var rec func(x0, y0, cw, ch, depth int) error
+	rec = func(x0, y0, cw, ch, depth int) error {
+		if depth == 0 {
+			return nil
+		}
+		if err := transformBlock2D(pix, w, x0, y0, cw, ch, false); err != nil {
+			return err
+		}
+		hw, hh := cw/2, ch/2
+		for _, q := range [4][2]int{{x0, y0}, {x0 + hw, y0}, {x0, y0 + hh}, {x0 + hw, y0 + hh}} {
+			if err := rec(q[0], q[1], hw, hh, depth-1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return rec(0, 0, w, h, levels)
+}
+
+// packetInverse2D inverts packetForward2D.
+func packetInverse2D(pix []float64, w, h, levels int) error {
+	if levels < 1 {
+		return fmt.Errorf("compress: levels %d must be ≥ 1", levels)
+	}
+	step := 1 << levels
+	if w%step != 0 || h%step != 0 {
+		return fmt.Errorf("compress: %dx%d not divisible by 2^%d for packet transform", w, h, levels)
+	}
+	var rec func(x0, y0, cw, ch, depth int) error
+	rec = func(x0, y0, cw, ch, depth int) error {
+		if depth == 0 {
+			return nil
+		}
+		hw, hh := cw/2, ch/2
+		for _, q := range [4][2]int{{x0, y0}, {x0 + hw, y0}, {x0, y0 + hh}, {x0 + hw, y0 + hh}} {
+			if err := rec(q[0], q[1], hw, hh, depth-1); err != nil {
+				return err
+			}
+		}
+		return transformBlock2D(pix, w, x0, y0, cw, ch, true)
+	}
+	return rec(0, 0, w, h, levels)
+}
+
+// transformBlock2D runs one separable 5/3 analysis (or synthesis) pass on
+// the sub-rectangle [x0,x0+cw) x [y0,y0+ch) of a row-major plane.
+func transformBlock2D(pix []float64, stride, x0, y0, cw, ch int, inverse bool) error {
+	if cw < 2 || ch < 2 {
+		return fmt.Errorf("compress: packet block %dx%d too small", cw, ch)
+	}
+	row := make([]float64, cw)
+	col := make([]float64, ch)
+	tmp := make([]float64, max(cw, ch))
+	if !inverse {
+		for y := y0; y < y0+ch; y++ {
+			copy(row, pix[y*stride+x0:y*stride+x0+cw])
+			fwd53(row, tmp[:cw], cw)
+			copy(pix[y*stride+x0:y*stride+x0+cw], tmp[:cw])
+		}
+		for x := x0; x < x0+cw; x++ {
+			for y := 0; y < ch; y++ {
+				col[y] = pix[(y0+y)*stride+x]
+			}
+			fwd53(col, tmp[:ch], ch)
+			for y := 0; y < ch; y++ {
+				pix[(y0+y)*stride+x] = tmp[y]
+			}
+		}
+		return nil
+	}
+	for x := x0; x < x0+cw; x++ {
+		for y := 0; y < ch; y++ {
+			col[y] = pix[(y0+y)*stride+x]
+		}
+		inv53(col, tmp[:ch], ch)
+		for y := 0; y < ch; y++ {
+			pix[(y0+y)*stride+x] = tmp[y]
+		}
+	}
+	for y := y0; y < y0+ch; y++ {
+		copy(row, pix[y*stride+x0:y*stride+x0+cw])
+		inv53(row, tmp[:cw], cw)
+		copy(pix[y*stride+x0:y*stride+x0+cw], tmp[:cw])
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+// Package dsp provides the signal-processing primitives the voice module
+// of the conferencing system is built on: a radix-2 FFT, frame slicing
+// with windowing, and MFCC-style feature extraction. The paper's audio
+// browsing (automatic segmentation, word spotting, speaker spotting; §3.2)
+// consumes per-frame feature vectors; this package produces them from raw
+// waveforms.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// FFT computes the in-place radix-2 decimation-in-time fast Fourier
+// transform of x, whose length must be a power of two.
+func FFT(x []complex128) error {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		return fmt.Errorf("dsp: FFT length %d is not a power of two", n)
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j |= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wl := cmplx.Exp(complex(0, ang))
+		for start := 0; start < n; start += length {
+			w := complex(1, 0)
+			half := length / 2
+			for k := 0; k < half; k++ {
+				u := x[start+k]
+				v := x[start+k+half] * w
+				x[start+k] = u + v
+				x[start+k+half] = u - v
+				w *= wl
+			}
+		}
+	}
+	return nil
+}
+
+// IFFT computes the inverse FFT of x in place.
+func IFFT(x []complex128) error {
+	for i := range x {
+		x[i] = cmplx.Conj(x[i])
+	}
+	if err := FFT(x); err != nil {
+		return err
+	}
+	inv := complex(1/float64(len(x)), 0)
+	for i := range x {
+		x[i] = cmplx.Conj(x[i]) * inv
+	}
+	return nil
+}
+
+// PowerSpectrum returns |FFT(frame)|^2 for the first n/2+1 bins of a real
+// frame zero-padded to the next power of two ≥ len(frame).
+func PowerSpectrum(frame []float64) ([]float64, error) {
+	n := NextPow2(len(frame))
+	buf := make([]complex128, n)
+	for i, v := range frame {
+		buf[i] = complex(v, 0)
+	}
+	if err := FFT(buf); err != nil {
+		return nil, err
+	}
+	out := make([]float64, n/2+1)
+	for i := range out {
+		re, im := real(buf[i]), imag(buf[i])
+		out[i] = re*re + im*im
+	}
+	return out, nil
+}
+
+// NextPow2 returns the smallest power of two ≥ n (and ≥ 1).
+func NextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// HammingWindow returns a Hamming window of length n.
+func HammingWindow(n int) []float64 {
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := range w {
+		w[i] = 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(n-1))
+	}
+	return w
+}
+
+// DCT2 computes the orthonormal DCT-II of x (used to decorrelate log
+// filterbank energies into cepstral coefficients, and by the compression
+// module's local-cosine residual coder).
+func DCT2(x []float64) []float64 {
+	n := len(x)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	for k := 0; k < n; k++ {
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += x[i] * math.Cos(math.Pi*float64(k)*(float64(i)+0.5)/float64(n))
+		}
+		scale := math.Sqrt(2 / float64(n))
+		if k == 0 {
+			scale = math.Sqrt(1 / float64(n))
+		}
+		out[k] = sum * scale
+	}
+	return out
+}
+
+// IDCT2 inverts DCT2 (orthonormal DCT-III).
+func IDCT2(x []float64) []float64 {
+	n := len(x)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	for i := 0; i < n; i++ {
+		sum := x[0] * math.Sqrt(1/float64(n))
+		for k := 1; k < n; k++ {
+			sum += x[k] * math.Sqrt(2/float64(n)) * math.Cos(math.Pi*float64(k)*(float64(i)+0.5)/float64(n))
+		}
+		out[i] = sum
+	}
+	return out
+}

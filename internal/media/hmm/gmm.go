@@ -1,0 +1,125 @@
+package hmm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// GMM is a Gaussian mixture model with diagonal covariances — the
+// text-independent speaker model of the voice module: each key speaker is
+// represented by a GMM over cepstral features, and spotting scores a
+// segment under each speaker model against a background model.
+type GMM struct {
+	Weights []float64 // mixture weights, sum to 1
+	Comps   []*DiagGaussian
+}
+
+// LogProb returns the log density of x under the mixture.
+func (g *GMM) LogProb(x []float64) float64 {
+	terms := make([]float64, len(g.Comps))
+	for i, c := range g.Comps {
+		terms[i] = math.Log(g.Weights[i]+1e-300) + c.LogProb(x)
+	}
+	return logSumExp(terms)
+}
+
+// MeanLogProb returns the average per-frame log likelihood of a sequence,
+// the score used to compare speaker models on a segment.
+func (g *GMM) MeanLogProb(data [][]float64) float64 {
+	if len(data) == 0 {
+		return math.Inf(-1)
+	}
+	var sum float64
+	for _, x := range data {
+		sum += g.LogProb(x)
+	}
+	return sum / float64(len(data))
+}
+
+// TrainGMM fits a k-component mixture to data with EM, initialized by
+// k-means. iters bounds the EM iterations; training stops early when the
+// total log likelihood improves by less than 1e-4 per frame.
+func TrainGMM(data [][]float64, k, iters int, rng *rand.Rand) (*GMM, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("hmm: no training data")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("hmm: mixture size %d must be positive", k)
+	}
+	if k > len(data) {
+		return nil, fmt.Errorf("hmm: mixture size %d exceeds %d samples", k, len(data))
+	}
+	dim := len(data[0])
+	for _, x := range data {
+		if len(x) != dim {
+			return nil, fmt.Errorf("hmm: inconsistent feature dimension")
+		}
+	}
+	centroids, assign := kMeans(data, k, rng, 20)
+	g := &GMM{Weights: make([]float64, k), Comps: make([]*DiagGaussian, k)}
+	for c := 0; c < k; c++ {
+		w := make([]float64, len(data))
+		n := 0
+		for t := range data {
+			if assign[t] == c {
+				w[t] = 1
+				n++
+			}
+		}
+		g.Weights[c] = float64(n) / float64(len(data))
+		if comp := estimateGaussian(data, w, dim); comp != nil {
+			g.Comps[c] = comp
+		} else {
+			comp, _ := NewDiagGaussian(centroids[c], ones(dim))
+			g.Comps[c] = comp
+		}
+	}
+
+	prev := math.Inf(-1)
+	resp := make([][]float64, len(data))
+	for t := range resp {
+		resp[t] = make([]float64, k)
+	}
+	for iter := 0; iter < iters; iter++ {
+		// E-step.
+		var ll float64
+		for t, x := range data {
+			terms := make([]float64, k)
+			for c := 0; c < k; c++ {
+				terms[c] = math.Log(g.Weights[c]+1e-300) + g.Comps[c].LogProb(x)
+			}
+			norm := logSumExp(terms)
+			ll += norm
+			for c := 0; c < k; c++ {
+				resp[t][c] = math.Exp(terms[c] - norm)
+			}
+		}
+		// M-step.
+		for c := 0; c < k; c++ {
+			w := make([]float64, len(data))
+			var total float64
+			for t := range data {
+				w[t] = resp[t][c]
+				total += w[t]
+			}
+			g.Weights[c] = total / float64(len(data))
+			if comp := estimateGaussian(data, w, dim); comp != nil {
+				g.Comps[c] = comp
+			}
+		}
+		if ll-prev < 1e-4*float64(len(data)) && iter > 0 {
+			break
+		}
+		prev = ll
+	}
+	return g, nil
+}
+
+func ones(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}

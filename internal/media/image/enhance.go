@@ -1,0 +1,124 @@
+package image
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file carries the "additional image processing algorithms" the
+// paper's future work (§6) calls for, chosen for the telemedicine
+// setting: CT window/level, histogram equalization, Sobel edge maps, and
+// calibrated distance measurement (IMAGE_OBJECTS_TABLE stores a FLD_CM
+// physical scale per image precisely so measurements mean something).
+
+// WindowLevel applies the radiological window/level operation: intensities
+// within [level-window/2, level+window/2] are stretched to the full [0,1]
+// range; values outside clamp. window must be positive.
+func WindowLevel(g *Gray, level, window float64) (*Gray, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("image: window %v must be positive", window)
+	}
+	lo := level - window/2
+	out := g.Clone()
+	for i, v := range out.Pix {
+		out.Pix[i] = clamp01((v - lo) / window)
+	}
+	return out, nil
+}
+
+// Equalize performs histogram equalization over 256 bins, spreading the
+// intensity distribution — useful on low-contrast studies.
+func Equalize(g *Gray) *Gray {
+	const bins = 256
+	var hist [bins]int
+	for _, v := range g.Pix {
+		b := int(clamp01(v) * (bins - 1))
+		hist[b]++
+	}
+	// Cumulative distribution, normalized to [0,1].
+	var cdf [bins]float64
+	total := float64(len(g.Pix))
+	running := 0
+	for b := 0; b < bins; b++ {
+		running += hist[b]
+		cdf[b] = float64(running) / total
+	}
+	// Anchor the lowest occupied bin at 0 so pure background stays black.
+	var floor float64
+	for b := 0; b < bins; b++ {
+		if hist[b] > 0 {
+			floor = cdf[b]
+			break
+		}
+	}
+	out := g.Clone()
+	for i, v := range out.Pix {
+		b := int(clamp01(v) * (bins - 1))
+		if floor < 1 {
+			out.Pix[i] = clamp01((cdf[b] - floor) / (1 - floor))
+		} else {
+			out.Pix[i] = 0
+		}
+	}
+	return out
+}
+
+// SobelEdges returns the gradient-magnitude map of the raster, normalized
+// to [0,1] — the outline view consultants sketch over.
+func SobelEdges(g *Gray) *Gray {
+	out, _ := New(g.W, g.H)
+	maxMag := 0.0
+	mags := make([]float64, len(g.Pix))
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			gx := -g.atClamped(x-1, y-1) + g.atClamped(x+1, y-1) +
+				-2*g.atClamped(x-1, y) + 2*g.atClamped(x+1, y) +
+				-g.atClamped(x-1, y+1) + g.atClamped(x+1, y+1)
+			gy := -g.atClamped(x-1, y-1) - 2*g.atClamped(x, y-1) - g.atClamped(x+1, y-1) +
+				g.atClamped(x-1, y+1) + 2*g.atClamped(x, y+1) + g.atClamped(x+1, y+1)
+			m := math.Hypot(gx, gy)
+			mags[y*g.W+x] = m
+			if m > maxMag {
+				maxMag = m
+			}
+		}
+	}
+	if maxMag == 0 {
+		return out
+	}
+	for i, m := range mags {
+		out.Pix[i] = m / maxMag
+	}
+	return out
+}
+
+// MeasureCM returns the physical distance between two pixel coordinates
+// given the image's centimeters-per-pixel scale (FLD_CM).
+func MeasureCM(x1, y1, x2, y2 int, cmPerPixel float64) (float64, error) {
+	if cmPerPixel <= 0 {
+		return 0, fmt.Errorf("image: scale %v cm/pixel must be positive", cmPerPixel)
+	}
+	dx := float64(x2 - x1)
+	dy := float64(y2 - y1)
+	return math.Hypot(dx, dy) * cmPerPixel, nil
+}
+
+// Invert returns the negative of the raster (bright ↔ dark), a common
+// film-reading preference.
+func Invert(g *Gray) *Gray {
+	out := g.Clone()
+	for i, v := range out.Pix {
+		out.Pix[i] = 1 - clamp01(v)
+	}
+	return out
+}
+
+// Histogram returns the 256-bin intensity histogram (for client-side
+// display beside window/level controls).
+func Histogram(g *Gray) [256]int {
+	var hist [256]int
+	for _, v := range g.Pix {
+		hist[int(clamp01(v)*255)]++
+	}
+	return hist
+}

@@ -1,0 +1,137 @@
+package image
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWindowLevel(t *testing.T) {
+	g, _ := New(3, 1)
+	g.Pix = []float64{0.4, 0.5, 0.6}
+	out, err := WindowLevel(g, 0.5, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Pix[0] != 0 || math.Abs(out.Pix[1]-0.5) > 1e-9 || math.Abs(out.Pix[2]-1) > 1e-9 {
+		t.Errorf("windowed = %v", out.Pix)
+	}
+	// Values outside the window clamp.
+	g.Pix = []float64{0.0, 1.0}
+	g.W, g.H = 2, 1
+	out, _ = WindowLevel(g, 0.5, 0.2)
+	if out.Pix[0] != 0 || out.Pix[1] != 1 {
+		t.Errorf("clamping = %v", out.Pix)
+	}
+	if _, err := WindowLevel(g, 0.5, 0); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := WindowLevel(g, 0.5, -1); err == nil {
+		t.Error("negative window accepted")
+	}
+}
+
+func TestEqualizeSpreadsContrast(t *testing.T) {
+	// Low-contrast image: everything between 0.45 and 0.55.
+	g, _ := New(64, 64)
+	for i := range g.Pix {
+		g.Pix[i] = 0.45 + 0.1*float64(i%64)/63
+	}
+	out := Equalize(g)
+	var min, max = 1.0, 0.0
+	for _, v := range out.Pix {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if min > 0.05 || max < 0.9 {
+		t.Errorf("equalized range [%v,%v] — contrast not spread", min, max)
+	}
+	// Equalization preserves intensity ordering.
+	if out.Pix[0] > out.Pix[63] {
+		t.Error("ordering inverted")
+	}
+	// Constant images don't blow up.
+	flat, _ := New(4, 4)
+	for i := range flat.Pix {
+		flat.Pix[i] = 0.7
+	}
+	eq := Equalize(flat)
+	for _, v := range eq.Pix {
+		if math.IsNaN(v) || v < 0 || v > 1 {
+			t.Fatalf("constant image equalized to %v", v)
+		}
+	}
+}
+
+func TestSobelEdges(t *testing.T) {
+	// A vertical step edge produces a bright vertical line.
+	g, _ := New(16, 16)
+	for y := 0; y < 16; y++ {
+		for x := 8; x < 16; x++ {
+			g.Set(x, y, 1)
+		}
+	}
+	edges := SobelEdges(g)
+	// The edge column is maximal; flat regions are zero.
+	if edges.At(8, 8) < 0.9 && edges.At(7, 8) < 0.9 {
+		t.Errorf("edge not detected: %v / %v", edges.At(7, 8), edges.At(8, 8))
+	}
+	if edges.At(2, 8) != 0 || edges.At(13, 8) != 0 {
+		t.Errorf("flat region has edges: %v, %v", edges.At(2, 8), edges.At(13, 8))
+	}
+	// An all-zero image yields an all-zero map (no division by zero).
+	blank, _ := New(8, 8)
+	be := SobelEdges(blank)
+	for _, v := range be.Pix {
+		if v != 0 {
+			t.Fatal("blank image produced edges")
+		}
+	}
+}
+
+func TestMeasureCM(t *testing.T) {
+	d, err := MeasureCM(0, 0, 3, 4, 0.1)
+	if err != nil || math.Abs(d-0.5) > 1e-12 {
+		t.Errorf("MeasureCM = %v, %v; want 0.5", d, err)
+	}
+	if _, err := MeasureCM(0, 0, 1, 1, 0); err == nil {
+		t.Error("zero scale accepted")
+	}
+	d, _ = MeasureCM(5, 5, 5, 5, 1)
+	if d != 0 {
+		t.Errorf("zero distance = %v", d)
+	}
+}
+
+func TestInvert(t *testing.T) {
+	g, _ := New(2, 1)
+	g.Pix = []float64{0.25, 1}
+	out := Invert(g)
+	if math.Abs(out.Pix[0]-0.75) > 1e-12 || out.Pix[1] != 0 {
+		t.Errorf("inverted = %v", out.Pix)
+	}
+	// Involution.
+	back := Invert(out)
+	if math.Abs(back.Pix[0]-0.25) > 1e-12 {
+		t.Error("double inversion drifted")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	g, _ := New(4, 1)
+	g.Pix = []float64{0, 0, 0.5, 1}
+	h := Histogram(g)
+	if h[0] != 2 || h[127] != 1 || h[255] != 1 {
+		t.Errorf("histogram: h[0]=%d h[127]=%d h[255]=%d", h[0], h[127], h[255])
+	}
+	total := 0
+	for _, c := range h {
+		total += c
+	}
+	if total != 4 {
+		t.Errorf("histogram total = %d", total)
+	}
+}

@@ -1,0 +1,170 @@
+package image
+
+import "testing"
+
+// checkerboard builds a raster with a bright square on dark background.
+func brightSquare(t *testing.T) *Gray {
+	t.Helper()
+	g, err := New(32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := 8; y < 24; y++ {
+		for x := 8; x < 24; x++ {
+			g.Set(x, y, 0.9)
+		}
+	}
+	return g
+}
+
+func TestSegmentFindsRegions(t *testing.T) {
+	g := brightSquare(t)
+	s := Segment(g, 0.5)
+	if s.NumSegments != 2 {
+		t.Fatalf("segments = %d, want 2 (background + square)", s.NumSegments)
+	}
+	inside, _ := s.SegmentAt(16, 16)
+	outside, _ := s.SegmentAt(0, 0)
+	if inside == outside {
+		t.Error("square and background share a segment")
+	}
+	// Sizes must sum to the pixel count.
+	total := 0
+	for _, sz := range s.Sizes {
+		total += sz
+	}
+	if total != 32*32 {
+		t.Errorf("segment sizes sum to %d", total)
+	}
+	if s.Sizes[inside] != 16*16 {
+		t.Errorf("square size = %d, want 256", s.Sizes[inside])
+	}
+	if _, err := s.SegmentAt(-1, 0); err == nil {
+		t.Error("out-of-range SegmentAt accepted")
+	}
+}
+
+func TestSegmentDisconnectedRegions(t *testing.T) {
+	g, _ := New(20, 20)
+	// Two separate bright blobs.
+	for y := 2; y < 6; y++ {
+		for x := 2; x < 6; x++ {
+			g.Set(x, y, 1)
+		}
+	}
+	for y := 12; y < 16; y++ {
+		for x := 12; x < 16; x++ {
+			g.Set(x, y, 1)
+		}
+	}
+	s := Segment(g, 0.5)
+	if s.NumSegments != 3 {
+		t.Fatalf("segments = %d, want 3", s.NumSegments)
+	}
+	a, _ := s.SegmentAt(3, 3)
+	b, _ := s.SegmentAt(13, 13)
+	if a == b {
+		t.Error("disconnected blobs merged")
+	}
+}
+
+func TestFillSegmentPatterns(t *testing.T) {
+	g := brightSquare(t)
+	s := Segment(g, 0.5)
+	inside, _ := s.SegmentAt(16, 16)
+
+	solid, err := FillSegment(g, s, inside, Solid, 0.2)
+	if err != nil {
+		t.Fatalf("FillSegment: %v", err)
+	}
+	if solid.At(16, 16) != 0.2 {
+		t.Error("solid fill not applied")
+	}
+	if solid.At(0, 0) != 0 {
+		t.Error("fill leaked outside the segment")
+	}
+	if g.At(16, 16) != 0.9 {
+		t.Error("fill mutated the source")
+	}
+
+	stripes, err := FillSegment(g, s, inside, Stripes, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	striped, unstriped := 0, 0
+	for y := 8; y < 24; y++ {
+		if stripes.At(16, y) == 0.1 {
+			striped++
+		} else {
+			unstriped++
+		}
+	}
+	if striped == 0 || unstriped == 0 {
+		t.Errorf("stripes pattern degenerate: %d striped, %d not", striped, unstriped)
+	}
+
+	dots, err := FillSegment(g, s, inside, Dots, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dotCount := 0
+	for y := 8; y < 24; y++ {
+		for x := 8; x < 24; x++ {
+			if dots.At(x, y) == 0.1 {
+				dotCount++
+			}
+		}
+	}
+	if dotCount == 0 || dotCount >= 16*16/2 {
+		t.Errorf("dots count %d implausible", dotCount)
+	}
+
+	if _, err := FillSegment(g, s, 99, Solid, 0.5); err == nil {
+		t.Error("unknown segment accepted")
+	}
+	if _, err := FillSegment(g, s, inside, Pattern(9), 0.5); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+	other, _ := New(4, 4)
+	if _, err := FillSegment(other, s, inside, Solid, 0.5); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestGridOverlay(t *testing.T) {
+	g := brightSquare(t)
+	s := Segment(g, 0.5)
+	grid, err := GridOverlay(g, s, 0.0)
+	if err != nil {
+		t.Fatalf("GridOverlay: %v", err)
+	}
+	// Boundary pixels at the square's edge must be marked (0.0 here,
+	// against the square's 0.9).
+	if grid.At(7, 16) != 0 { // just left of the square edge boundary
+		t.Error("left boundary not drawn")
+	}
+	// Interior stays untouched.
+	if grid.At(16, 16) != 0.9 {
+		t.Error("interior modified")
+	}
+	other, _ := New(4, 4)
+	if _, err := GridOverlay(other, s, 1); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestSegmentOnPhantom(t *testing.T) {
+	g, _ := Phantom(96, 96, 5)
+	// 0.65 sits between the brain interior (≈0.6) and the skull ring and
+	// organ intensities (≥0.75), so the grid separates anatomy.
+	s := Segment(g, 0.65)
+	if s.NumSegments < 3 {
+		t.Errorf("phantom produced only %d segments", s.NumSegments)
+	}
+	// Labels must be a complete partition.
+	for i, lab := range s.Labels {
+		if lab < 0 || lab >= s.NumSegments {
+			t.Fatalf("pixel %d has label %d", i, lab)
+		}
+	}
+}

@@ -1,0 +1,297 @@
+package voice
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mmconf/internal/media/audio"
+)
+
+// This file answers the audio-browsing questions §3.2 opens with — "How
+// many speakers participate in a given conversation? Who are the
+// speakers?" — without enrollment, following the unsupervised,
+// text-independent speaker classification of the paper's reference [8]
+// (Cohen & Lapidus): speech segments are embedded as per-segment mean
+// cepstral vectors scaled by pooled within-segment deviation (content
+// averages out over a segment; content-volatile dimensions are damped)
+// plus a weighted log-pitch dimension, then agglomeratively clustered;
+// each cluster is one speaker.
+
+// DefaultClusterThreshold is the merge cutoff between segment embeddings,
+// measured in pooled within-segment standard deviations per dimension.
+// Two segments whose mean voices differ by less than this are considered
+// the same speaker.
+const DefaultClusterThreshold = 4.0
+
+// SpeakerClusters labels every speech segment of segs with an anonymous
+// speaker cluster id and returns the labels (aligned with the speech
+// segments, in order) plus the number of distinct speakers found.
+// threshold ≤ 0 selects DefaultClusterThreshold.
+func SpeakerClusters(signal []float64, segs []audio.Segment, threshold float64) ([]int, int, error) {
+	if threshold <= 0 {
+		threshold = DefaultClusterThreshold
+	}
+	ext, err := NewExtractor()
+	if err != nil {
+		return nil, 0, err
+	}
+	// Embed each speech segment as its mean feature vector, and pool the
+	// within-segment frame variance per dimension: dimensions that vary a
+	// lot *within* one voice (content) should count less than dimensions
+	// that are stable within a voice but differ across voices (identity).
+	dim := ext.Dim()
+	var embeds [][]float64
+	pooledVar := make([]float64, dim)
+	pooledN := 0
+	for _, s := range segs {
+		if s.Type != audio.Speech {
+			continue
+		}
+		if s.Start < 0 || s.End > len(signal) || s.Start >= s.End {
+			return nil, 0, fmt.Errorf("voice: segment [%d,%d) out of signal range %d", s.Start, s.End, len(signal))
+		}
+		feats, err := ext.Features(signal[s.Start:s.End])
+		if err != nil {
+			return nil, 0, err
+		}
+		if len(feats) == 0 {
+			return nil, 0, fmt.Errorf("voice: speech segment [%d,%d) shorter than one frame", s.Start, s.End)
+		}
+		mean := make([]float64, dim)
+		for _, f := range feats {
+			for d := range mean {
+				mean[d] += f[d]
+			}
+		}
+		for d := range mean {
+			mean[d] /= float64(len(feats))
+		}
+		for _, f := range feats {
+			for d := 0; d < dim; d++ {
+				diff := f[d] - mean[d]
+				pooledVar[d] += diff * diff
+			}
+		}
+		pooledN += len(feats)
+		embeds = append(embeds, mean)
+	}
+	if len(embeds) == 0 {
+		return nil, 0, nil
+	}
+	for d := range pooledVar {
+		sd := math.Sqrt(pooledVar[d] / float64(pooledN))
+		if sd < 1e-9 {
+			sd = 1
+		}
+		for _, e := range embeds {
+			e[d] /= sd
+		}
+	}
+	// Append a pitch dimension: fundamental frequency is the strongest
+	// text-independent speaker trait, and the cepstral envelope alone
+	// cannot separate two voices with similar vocal tracts. The log-F0 is
+	// scaled so that typical inter-speaker pitch ratios (≥10%) outweigh
+	// intra-speaker jitter (~2%).
+	ei := 0
+	for _, s := range segs {
+		if s.Type != audio.Speech {
+			continue
+		}
+		f0 := estimatePitch(signal[s.Start:s.End], ext.SampleRate)
+		embeds[ei] = append(embeds[ei], pitchWeight*math.Log(f0+1))
+		ei++
+	}
+	labels := agglomerate(embeds, threshold)
+	count := 0
+	for _, l := range labels {
+		if l+1 > count {
+			count = l + 1
+		}
+	}
+	return labels, count, nil
+}
+
+// pitchWeight scales the log-F0 embedding dimension relative to the
+// cepstral dimensions (which are in within-segment-std units).
+const pitchWeight = 25.0
+
+// estimatePitch returns the median fundamental frequency of the segment
+// in Hz, by normalized autocorrelation over 32 ms frames, searching lags
+// corresponding to 60–400 Hz. Unvoiced frames (weak correlation) are
+// skipped; 0 is returned if nothing is voiced.
+func estimatePitch(signal []float64, sampleRate float64) float64 {
+	const frameLen = 256
+	const hop = 128
+	minLag := int(sampleRate / 400)
+	maxLag := int(sampleRate / 60)
+	if maxLag >= frameLen {
+		maxLag = frameLen - 1
+	}
+	var f0s []float64
+	for start := 0; start+frameLen <= len(signal); start += hop {
+		frame := signal[start : start+frameLen]
+		var energy float64
+		for _, v := range frame {
+			energy += v * v
+		}
+		if energy < 1e-6 {
+			continue
+		}
+		bestLag, bestCorr := 0, 0.0
+		for lag := minLag; lag <= maxLag; lag++ {
+			var corr float64
+			for i := 0; i+lag < frameLen; i++ {
+				corr += frame[i] * frame[i+lag]
+			}
+			corr /= energy
+			if corr > bestCorr {
+				bestCorr, bestLag = corr, lag
+			}
+		}
+		if bestCorr > 0.3 && bestLag > 0 {
+			f0s = append(f0s, sampleRate/float64(bestLag))
+		}
+	}
+	if len(f0s) == 0 {
+		return 0
+	}
+	sort.Float64s(f0s)
+	return f0s[len(f0s)/2]
+}
+
+// CountSpeakers answers "how many speakers participate?" directly.
+func CountSpeakers(signal []float64, segs []audio.Segment, threshold float64) (int, error) {
+	_, n, err := SpeakerClusters(signal, segs, threshold)
+	return n, err
+}
+
+// agglomerate performs average-linkage hierarchical clustering with a
+// distance cutoff, returning cluster labels numbered in order of first
+// appearance.
+func agglomerate(embeds [][]float64, threshold float64) []int {
+	type cluster struct {
+		members []int
+		sum     []float64
+	}
+	dim := len(embeds[0])
+	clusters := make([]*cluster, len(embeds))
+	for i, e := range embeds {
+		clusters[i] = &cluster{members: []int{i}, sum: append([]float64(nil), e...)}
+	}
+	centroid := func(c *cluster, d int) float64 { return c.sum[d] / float64(len(c.members)) }
+	dist := func(a, b *cluster) float64 {
+		var total float64
+		for d := 0; d < dim; d++ {
+			diff := centroid(a, d) - centroid(b, d)
+			total += diff * diff
+		}
+		return math.Sqrt(total)
+	}
+	for {
+		bi, bj, best := -1, -1, math.Inf(1)
+		for i := 0; i < len(clusters); i++ {
+			for j := i + 1; j < len(clusters); j++ {
+				if d := dist(clusters[i], clusters[j]); d < best {
+					bi, bj, best = i, j, d
+				}
+			}
+		}
+		if bi < 0 || best > threshold {
+			break
+		}
+		a, b := clusters[bi], clusters[bj]
+		a.members = append(a.members, b.members...)
+		for d := 0; d < dim; d++ {
+			a.sum[d] += b.sum[d]
+		}
+		clusters = append(clusters[:bj], clusters[bj+1:]...)
+	}
+	labels := make([]int, len(embeds))
+	for i := range labels {
+		labels[i] = -1
+	}
+	next := 0
+	// Number clusters by the earliest segment they contain.
+	assigned := make([]int, len(clusters))
+	for i := range assigned {
+		assigned[i] = -1
+	}
+	for seg := 0; seg < len(embeds); seg++ {
+		for ci, c := range clusters {
+			for _, m := range c.members {
+				if m == seg {
+					if assigned[ci] == -1 {
+						assigned[ci] = next
+						next++
+					}
+					labels[seg] = assigned[ci]
+				}
+			}
+		}
+	}
+	return labels
+}
+
+// SpeechClass is the speech sub-type of §3.2: "speech segmentation is the
+// process of segmenting speech data into various types of speech signals
+// such as male speech, female speech, child speech".
+type SpeechClass int
+
+// Speech classes, decided by fundamental frequency ranges (adult male
+// voices typically sit below ~165 Hz, adult female voices up to ~220 Hz,
+// children above).
+const (
+	SpeechUnvoiced SpeechClass = iota
+	SpeechMale
+	SpeechFemale
+	SpeechChild
+)
+
+// String names the class.
+func (c SpeechClass) String() string {
+	switch c {
+	case SpeechUnvoiced:
+		return "unvoiced"
+	case SpeechMale:
+		return "male"
+	case SpeechFemale:
+		return "female"
+	case SpeechChild:
+		return "child"
+	default:
+		return fmt.Sprintf("SpeechClass(%d)", int(c))
+	}
+}
+
+// Pitch boundaries between the classes, in Hz.
+const (
+	maleFemaleBoundary  = 165.0
+	femaleChildBoundary = 220.0
+)
+
+// ClassifySpeech labels every speech segment of segs with its speech
+// class, aligned with the speech segments in order.
+func ClassifySpeech(signal []float64, segs []audio.Segment) ([]SpeechClass, error) {
+	var out []SpeechClass
+	for _, s := range segs {
+		if s.Type != audio.Speech {
+			continue
+		}
+		if s.Start < 0 || s.End > len(signal) || s.Start >= s.End {
+			return nil, fmt.Errorf("voice: segment [%d,%d) out of signal range %d", s.Start, s.End, len(signal))
+		}
+		f0 := estimatePitch(signal[s.Start:s.End], audio.DefaultSampleRate)
+		switch {
+		case f0 == 0:
+			out = append(out, SpeechUnvoiced)
+		case f0 < maleFemaleBoundary:
+			out = append(out, SpeechMale)
+		case f0 < femaleChildBoundary:
+			out = append(out, SpeechFemale)
+		default:
+			out = append(out, SpeechChild)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,192 @@
+package voice
+
+import (
+	"testing"
+
+	"mmconf/internal/media/audio"
+)
+
+// conversation composes a multi-speaker dialog with known turns.
+func conversation(t *testing.T, seed int64) ([]float64, []audio.Segment, []string) {
+	t.Helper()
+	synth := audio.NewSynthesizer(seed)
+	sp := audio.DefaultSpeakers()
+	turns := []struct {
+		speaker audio.Speaker
+		words   []string
+	}{
+		{sp[0], []string{"patient", "urgent", "normal"}},
+		{sp[1], []string{"tumor", "biopsy", "negative"}},
+		{sp[0], []string{"negative", "biopsy"}},
+		{sp[2], []string{"normal", "patient", "tumor"}},
+		{sp[1], []string{"urgent", "patient"}},
+	}
+	var script []audio.ScriptItem
+	var want []string
+	for i, turn := range turns {
+		if i > 0 {
+			script = append(script, audio.ScriptItem{Type: audio.Silence, Dur: 0.3})
+		}
+		script = append(script, audio.ScriptItem{
+			Type: audio.Speech, Speaker: turn.speaker, Words: turn.words,
+		})
+		want = append(want, turn.speaker.Name)
+	}
+	sig, segs, err := synth.Compose(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sig, segs, want
+}
+
+func TestCountSpeakers(t *testing.T) {
+	sig, segs, _ := conversation(t, 10)
+	n, err := CountSpeakers(sig, segs, 0)
+	if err != nil {
+		t.Fatalf("CountSpeakers: %v", err)
+	}
+	if n != 3 {
+		t.Errorf("speakers = %d, want 3", n)
+	}
+}
+
+func TestSpeakerClustersGrouping(t *testing.T) {
+	sig, segs, want := conversation(t, 20)
+	labels, n, err := SpeakerClusters(sig, segs, 0)
+	if err != nil {
+		t.Fatalf("SpeakerClusters: %v", err)
+	}
+	if len(labels) != len(want) {
+		t.Fatalf("labels = %d, want %d", len(labels), len(want))
+	}
+	if n != 3 {
+		t.Errorf("clusters = %d, want 3", n)
+	}
+	// Same true speaker ⇒ same cluster; different ⇒ different.
+	for i := range want {
+		for j := i + 1; j < len(want); j++ {
+			same := want[i] == want[j]
+			got := labels[i] == labels[j]
+			if same != got {
+				t.Errorf("segments %d(%s) and %d(%s): clustered-together=%v, want %v",
+					i, want[i], j, want[j], got, same)
+			}
+		}
+	}
+	// Labels are numbered by first appearance: the first segment is 0.
+	if labels[0] != 0 {
+		t.Errorf("first segment labeled %d", labels[0])
+	}
+}
+
+func TestSpeakerClustersSingleSpeaker(t *testing.T) {
+	synth := audio.NewSynthesizer(30)
+	sp := audio.DefaultSpeakers()[0]
+	sig, segs, err := synth.Compose([]audio.ScriptItem{
+		{Type: audio.Speech, Speaker: sp, Words: []string{"patient", "urgent"}},
+		{Type: audio.Silence, Dur: 0.2},
+		{Type: audio.Speech, Speaker: sp, Words: []string{"tumor", "normal"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := CountSpeakers(sig, segs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("one speaker counted as %d", n)
+	}
+}
+
+func TestSpeakerClustersEdgeCases(t *testing.T) {
+	// No speech segments at all.
+	synth := audio.NewSynthesizer(40)
+	sig, segs, err := synth.Compose([]audio.ScriptItem{
+		{Type: audio.Music, Dur: 1.0},
+		{Type: audio.Silence, Dur: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, n, err := SpeakerClusters(sig, segs, 0)
+	if err != nil || n != 0 || labels != nil {
+		t.Errorf("music-only clustering = %v, %d, %v", labels, n, err)
+	}
+	// Out-of-range segment bounds.
+	if _, _, err := SpeakerClusters(sig, []audio.Segment{
+		{Type: audio.Speech, Start: 0, End: len(sig) + 1},
+	}, 0); err == nil {
+		t.Error("overlong segment accepted")
+	}
+	// Sub-frame speech segment.
+	if _, _, err := SpeakerClusters(sig, []audio.Segment{
+		{Type: audio.Speech, Start: 0, End: 10},
+	}, 0); err == nil {
+		t.Error("sub-frame segment accepted")
+	}
+}
+
+func TestSpeakerClustersThresholdExtremes(t *testing.T) {
+	sig, segs, want := conversation(t, 50)
+	// A huge threshold collapses everyone into one cluster.
+	_, n, err := SpeakerClusters(sig, segs, 1e9)
+	if err != nil || n != 1 {
+		t.Errorf("huge threshold clusters = %d, %v", n, err)
+	}
+	// A tiny threshold keeps every segment separate.
+	_, n, err = SpeakerClusters(sig, segs, 1e-9)
+	if err != nil || n != len(want) {
+		t.Errorf("tiny threshold clusters = %d, want %d (%v)", n, len(want), err)
+	}
+}
+
+func TestClassifySpeech(t *testing.T) {
+	synth := audio.NewSynthesizer(60)
+	sp := audio.DefaultSpeakers()
+	// Pitches: adams 110 (male), baker 205 (female), chen 150 (male),
+	// davis 255 (child register).
+	sig, segs, err := synth.Compose([]audio.ScriptItem{
+		{Type: audio.Speech, Speaker: sp[0], Words: []string{"patient", "normal"}},
+		{Type: audio.Silence, Dur: 0.2},
+		{Type: audio.Speech, Speaker: sp[1], Words: []string{"tumor", "urgent"}},
+		{Type: audio.Music, Dur: 0.5},
+		{Type: audio.Speech, Speaker: sp[2], Words: []string{"biopsy"}},
+		{Type: audio.Speech, Speaker: sp[3], Words: []string{"negative"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes, err := ClassifySpeech(sig, segs)
+	if err != nil {
+		t.Fatalf("ClassifySpeech: %v", err)
+	}
+	want := []SpeechClass{SpeechMale, SpeechFemale, SpeechMale, SpeechChild}
+	if len(classes) != len(want) {
+		t.Fatalf("classes = %v", classes)
+	}
+	for i := range want {
+		if classes[i] != want[i] {
+			t.Errorf("segment %d classified %v, want %v", i, classes[i], want[i])
+		}
+	}
+	// Bounds checking.
+	if _, err := ClassifySpeech(sig, []audio.Segment{{Type: audio.Speech, Start: -1, End: 5}}); err == nil {
+		t.Error("bad segment accepted")
+	}
+	// Non-speech-only input yields an empty labeling.
+	got, err := ClassifySpeech(sig, []audio.Segment{{Type: audio.Music, Start: 0, End: 100}})
+	if err != nil || len(got) != 0 {
+		t.Errorf("music-only = %v, %v", got, err)
+	}
+}
+
+func TestSpeechClassString(t *testing.T) {
+	names := []string{SpeechUnvoiced.String(), SpeechMale.String(), SpeechFemale.String(), SpeechChild.String()}
+	if names[0] != "unvoiced" || names[1] != "male" || names[2] != "female" || names[3] != "child" {
+		t.Errorf("names = %v", names)
+	}
+	if SpeechClass(9).String() == "" {
+		t.Error("unknown class name")
+	}
+}

@@ -1,0 +1,349 @@
+// Package voice implements the voice-processing module of §3.2 of the
+// paper: automatic segmentation of audio signals (silence / speech /
+// music / artifacts), word spotting with keyword models against a
+// "garbage" model, and text-independent speaker spotting — all built on
+// the CD-HMM machinery of package hmm over the MFCC features of package
+// dsp. Because the module is integrated with the interaction server, its
+// results are cooperative: a keyword search by one partner is visible to
+// every partner in the room (see package room).
+package voice
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"mmconf/internal/media/audio"
+	"mmconf/internal/media/dsp"
+	"mmconf/internal/media/hmm"
+)
+
+// NewExtractor returns the feature extractor every voice component shares:
+// 8 kHz audio, 32 ms frames with 16 ms hop, 20 mel filters, 12 cepstra.
+func NewExtractor() (*dsp.Extractor, error) {
+	return dsp.NewExtractor(audio.DefaultSampleRate, 256, 128, 20, 12)
+}
+
+// labelFrames maps ground-truth sample segments to per-frame class labels.
+func labelFrames(e *dsp.Extractor, numFrames int, segs []audio.Segment) []audio.SegmentType {
+	labels := make([]audio.SegmentType, numFrames)
+	for i := range labels {
+		center := int(e.FrameTime(i) * e.SampleRate)
+		labels[i] = audio.Silence
+		for _, s := range segs {
+			if center >= s.Start && center < s.End {
+				labels[i] = s.Type
+				break
+			}
+		}
+	}
+	return labels
+}
+
+// Segmenter classifies audio into the paper's segment types using one
+// emission Gaussian per class and a sticky HMM for temporal smoothing.
+type Segmenter struct {
+	ext     *dsp.Extractor
+	classes []audio.SegmentType
+	model   *hmm.HMM
+}
+
+// TrainSegmenter fits class models from labeled signals (waveform +
+// ground-truth segments). Every class in classes must occur in the data.
+func TrainSegmenter(signals [][]float64, truths [][]audio.Segment) (*Segmenter, error) {
+	if len(signals) == 0 || len(signals) != len(truths) {
+		return nil, fmt.Errorf("voice: need matching signals and truths, got %d/%d", len(signals), len(truths))
+	}
+	ext, err := NewExtractor()
+	if err != nil {
+		return nil, err
+	}
+	classes := []audio.SegmentType{audio.Silence, audio.Speech, audio.Music, audio.Artifact}
+	byClass := make(map[audio.SegmentType][][]float64)
+	for si, sig := range signals {
+		feats, err := ext.Features(sig)
+		if err != nil {
+			return nil, err
+		}
+		labels := labelFrames(ext, len(feats), truths[si])
+		for i, f := range feats {
+			byClass[labels[i]] = append(byClass[labels[i]], f)
+		}
+	}
+	states := make([]*hmm.DiagGaussian, len(classes))
+	for ci, c := range classes {
+		data := byClass[c]
+		if len(data) < 5 {
+			return nil, fmt.Errorf("voice: class %v has only %d training frames", c, len(data))
+		}
+		g, err := hmm.FitGaussian(data)
+		if err != nil {
+			return nil, fmt.Errorf("voice: fitting class %v: %w", c, err)
+		}
+		states[ci] = g
+	}
+	model := stickyHMM(states, 0.995)
+	return &Segmenter{ext: ext, classes: classes, model: model}, nil
+}
+
+// stickyHMM builds an ergodic HMM with high self-transition probability,
+// which suppresses single-frame label flicker.
+func stickyHMM(states []*hmm.DiagGaussian, stay float64) *hmm.HMM {
+	n := len(states)
+	move := (1 - stay) / float64(n-1)
+	h := &hmm.HMM{
+		LogInit:  make([]float64, n),
+		LogTrans: make([][]float64, n),
+		States:   states,
+	}
+	for i := 0; i < n; i++ {
+		h.LogInit[i] = logf(1 / float64(n))
+		h.LogTrans[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			if i == j {
+				h.LogTrans[i][j] = logf(stay)
+			} else {
+				h.LogTrans[i][j] = logf(move)
+			}
+		}
+	}
+	return h
+}
+
+func logf(x float64) float64 {
+	if x <= 0 {
+		return -1e30
+	}
+	return math.Log(x)
+}
+
+// Segment classifies a waveform and returns merged, typed sample ranges
+// that tile the analyzed span.
+func (s *Segmenter) Segment(signal []float64) ([]audio.Segment, error) {
+	feats, err := s.ext.Features(signal)
+	if err != nil {
+		return nil, err
+	}
+	if len(feats) == 0 {
+		return nil, fmt.Errorf("voice: signal shorter than one frame")
+	}
+	path, _, err := s.model.Viterbi(feats)
+	if err != nil {
+		return nil, err
+	}
+	var segs []audio.Segment
+	startFrame := 0
+	for i := 1; i <= len(path); i++ {
+		if i == len(path) || path[i] != path[startFrame] {
+			startSample := startFrame * s.ext.Hop
+			endSample := i * s.ext.Hop
+			if i == len(path) {
+				endSample = len(signal)
+			}
+			segs = append(segs, audio.Segment{
+				Start: startSample,
+				End:   endSample,
+				Type:  s.classes[path[startFrame]],
+			})
+			startFrame = i
+		}
+	}
+	return segs, nil
+}
+
+// FrameAccuracy compares predicted segments against ground truth at frame
+// granularity and returns the fraction of frames labeled correctly.
+func FrameAccuracy(e *dsp.Extractor, numSamples int, pred, truth []audio.Segment) float64 {
+	numFrames := 0
+	if numSamples >= e.FrameLen {
+		numFrames = (numSamples-e.FrameLen)/e.Hop + 1
+	}
+	if numFrames == 0 {
+		return 0
+	}
+	p := labelFrames(e, numFrames, pred)
+	g := labelFrames(e, numFrames, truth)
+	correct := 0
+	for i := range p {
+		if p[i] == g[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(numFrames)
+}
+
+// Extractor exposes the segmenter's feature extractor (for evaluation).
+func (s *Segmenter) Extractor() *dsp.Extractor { return s.ext }
+
+// Hit is one word- or speaker-spotting detection.
+type Hit struct {
+	Word       string  // keyword, or speaker name for speaker spotting
+	Start, End int     // sample range
+	Score      float64 // log-likelihood-ratio per frame vs. the garbage model
+}
+
+// WordSpotter holds one left-to-right keyword HMM per keyword and a GMM
+// garbage model covering all other speech — the architecture the paper
+// describes for word spotting.
+type WordSpotter struct {
+	ext      *dsp.Extractor
+	keywords map[string]*hmm.HMM
+	lens     map[string]int // median training length in frames
+	garbage  *hmm.GMM
+}
+
+// TrainWordSpotter trains keyword models from example utterances (several
+// waveforms per keyword, each containing exactly that word) and a garbage
+// GMM from general speech waveforms.
+func TrainWordSpotter(examples map[string][][]float64, garbageSpeech [][]float64, seed int64) (*WordSpotter, error) {
+	if len(examples) == 0 {
+		return nil, fmt.Errorf("voice: no keywords")
+	}
+	if len(garbageSpeech) == 0 {
+		return nil, fmt.Errorf("voice: no garbage speech")
+	}
+	ext, err := NewExtractor()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ws := &WordSpotter{
+		ext:      ext,
+		keywords: make(map[string]*hmm.HMM),
+		lens:     make(map[string]int),
+	}
+	for word, waves := range examples {
+		if len(waves) == 0 {
+			return nil, fmt.Errorf("voice: keyword %q has no examples", word)
+		}
+		var seqs [][][]float64
+		var lens []int
+		for _, w := range waves {
+			f, err := ext.Features(w)
+			if err != nil {
+				return nil, err
+			}
+			if len(f) < 3 {
+				return nil, fmt.Errorf("voice: keyword %q example too short", word)
+			}
+			seqs = append(seqs, f)
+			lens = append(lens, len(f))
+		}
+		sort.Ints(lens)
+		ws.lens[word] = lens[len(lens)/2]
+		numStates := 3
+		if ws.lens[word] < 6 {
+			numStates = 2
+		}
+		model, err := hmm.NewLeftRight(numStates, seqs[0])
+		if err != nil {
+			return nil, fmt.Errorf("voice: keyword %q: %w", word, err)
+		}
+		if err := model.Train(seqs, 10); err != nil {
+			return nil, fmt.Errorf("voice: training keyword %q: %w", word, err)
+		}
+		ws.keywords[word] = model
+	}
+	var garbageFrames [][]float64
+	for _, w := range garbageSpeech {
+		f, err := ext.Features(w)
+		if err != nil {
+			return nil, err
+		}
+		garbageFrames = append(garbageFrames, f...)
+	}
+	k := 8
+	if k > len(garbageFrames)/4 {
+		k = len(garbageFrames) / 4
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("voice: garbage speech too short")
+	}
+	g, err := hmm.TrainGMM(garbageFrames, k, 25, rng)
+	if err != nil {
+		return nil, fmt.Errorf("voice: training garbage model: %w", err)
+	}
+	ws.garbage = g
+	return ws, nil
+}
+
+// Keywords returns the trained keyword list, sorted.
+func (ws *WordSpotter) Keywords() []string {
+	out := make([]string, 0, len(ws.keywords))
+	for w := range ws.keywords {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Spot scans a waveform for the given keywords (all trained keywords if
+// nil) and returns hits whose per-frame log-likelihood ratio against the
+// garbage model exceeds threshold. Overlapping hits of the same keyword
+// are suppressed, keeping the best.
+func (ws *WordSpotter) Spot(signal []float64, keywords []string, threshold float64) ([]Hit, error) {
+	feats, err := ws.ext.Features(signal)
+	if err != nil {
+		return nil, err
+	}
+	if keywords == nil {
+		keywords = ws.Keywords()
+	}
+	var hits []Hit
+	for _, word := range keywords {
+		model, ok := ws.keywords[word]
+		if !ok {
+			return nil, fmt.Errorf("voice: keyword %q not trained", word)
+		}
+		wlen := ws.lens[word]
+		var raw []Hit
+		for _, span := range []int{wlen * 4 / 5, wlen, wlen * 6 / 5} {
+			if span < 3 {
+				span = 3
+			}
+			for start := 0; start+span <= len(feats); start += 2 {
+				window := feats[start : start+span]
+				kw, err := model.LogLikelihood(window)
+				if err != nil {
+					return nil, err
+				}
+				var gb float64
+				for _, f := range window {
+					gb += ws.garbage.LogProb(f)
+				}
+				score := (kw - gb) / float64(span)
+				if score > threshold {
+					raw = append(raw, Hit{
+						Word:  word,
+						Start: start * ws.ext.Hop,
+						End:   (start + span) * ws.ext.Hop,
+						Score: score,
+					})
+				}
+			}
+		}
+		hits = append(hits, suppress(raw)...)
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].Start < hits[j].Start })
+	return hits, nil
+}
+
+// suppress performs non-maximum suppression on overlapping hits.
+func suppress(raw []Hit) []Hit {
+	sort.Slice(raw, func(i, j int) bool { return raw[i].Score > raw[j].Score })
+	var kept []Hit
+	for _, h := range raw {
+		overlaps := false
+		for _, k := range kept {
+			if h.Start < k.End && k.Start < h.End {
+				overlaps = true
+				break
+			}
+		}
+		if !overlaps {
+			kept = append(kept, h)
+		}
+	}
+	return kept
+}

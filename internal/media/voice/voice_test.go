@@ -1,0 +1,307 @@
+package voice
+
+import (
+	"testing"
+
+	"mmconf/internal/media/audio"
+)
+
+// trainScript composes a training corpus covering all four segment types
+// and every default speaker.
+func trainScript(synth *audio.Synthesizer) ([]float64, []audio.Segment, error) {
+	speakers := audio.DefaultSpeakers()
+	script := []audio.ScriptItem{
+		{Type: audio.Silence, Dur: 1.0},
+		{Type: audio.Speech, Speaker: speakers[0], Words: []string{"patient", "normal", "urgent"}},
+		{Type: audio.Music, Dur: 1.5},
+		{Type: audio.Speech, Speaker: speakers[1], Words: []string{"tumor", "biopsy"}},
+		{Type: audio.Artifact, Dur: 0.8},
+		{Type: audio.Silence, Dur: 0.5},
+		{Type: audio.Speech, Speaker: speakers[2], Words: []string{"negative", "patient"}},
+		{Type: audio.Music, Dur: 1.0},
+		{Type: audio.Artifact, Dur: 0.5},
+	}
+	return synth.Compose(script)
+}
+
+func trainedSegmenter(t *testing.T) *Segmenter {
+	t.Helper()
+	synth := audio.NewSynthesizer(100)
+	var signals [][]float64
+	var truths [][]audio.Segment
+	for i := 0; i < 2; i++ {
+		sig, segs, err := trainScript(synth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		signals = append(signals, sig)
+		truths = append(truths, segs)
+	}
+	seg, err := TrainSegmenter(signals, truths)
+	if err != nil {
+		t.Fatalf("TrainSegmenter: %v", err)
+	}
+	return seg
+}
+
+func TestSegmenterAccuracy(t *testing.T) {
+	seg := trainedSegmenter(t)
+	// Held-out composition from a different seed.
+	synth := audio.NewSynthesizer(200)
+	sig, truth, err := trainScript(synth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := seg.Segment(sig)
+	if err != nil {
+		t.Fatalf("Segment: %v", err)
+	}
+	if len(pred) == 0 {
+		t.Fatal("no segments predicted")
+	}
+	// Segments must tile the signal.
+	if pred[0].Start != 0 || pred[len(pred)-1].End != len(sig) {
+		t.Errorf("segments span [%d,%d), signal is %d samples",
+			pred[0].Start, pred[len(pred)-1].End, len(sig))
+	}
+	for i := 1; i < len(pred); i++ {
+		if pred[i].Start != pred[i-1].End {
+			t.Errorf("segment gap at %d", i)
+		}
+	}
+	acc := FrameAccuracy(seg.Extractor(), len(sig), pred, truth)
+	if acc < 0.85 {
+		t.Errorf("segmentation frame accuracy %.3f, want ≥ 0.85", acc)
+	}
+	t.Logf("segmentation frame accuracy: %.3f", acc)
+}
+
+func TestSegmenterValidation(t *testing.T) {
+	if _, err := TrainSegmenter(nil, nil); err == nil {
+		t.Error("empty training accepted")
+	}
+	if _, err := TrainSegmenter([][]float64{{1}}, nil); err == nil {
+		t.Error("mismatched training accepted")
+	}
+	// Training data missing a class must fail loudly.
+	synth := audio.NewSynthesizer(1)
+	sig, segs, err := synth.Compose([]audio.ScriptItem{{Type: audio.Silence, Dur: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TrainSegmenter([][]float64{sig}, [][]audio.Segment{segs}); err == nil {
+		t.Error("single-class training accepted")
+	}
+	seg := trainedSegmenter(t)
+	if _, err := seg.Segment(make([]float64, 10)); err == nil {
+		t.Error("sub-frame signal accepted")
+	}
+}
+
+// spotterFixture trains a word spotter on two keywords across speakers.
+func spotterFixture(t *testing.T) *WordSpotter {
+	t.Helper()
+	synth := audio.NewSynthesizer(300)
+	speakers := audio.DefaultSpeakers()
+	keywords := []string{"urgent", "biopsy"}
+	examples := make(map[string][][]float64)
+	for _, kw := range keywords {
+		for rep := 0; rep < 3; rep++ {
+			for _, sp := range speakers[:3] {
+				wave, _, err := synth.Utterance(sp, []string{kw})
+				if err != nil {
+					t.Fatal(err)
+				}
+				examples[kw] = append(examples[kw], wave)
+			}
+		}
+	}
+	var garbage [][]float64
+	for _, words := range [][]string{{"patient", "normal"}, {"negative", "tumor"}, {"normal", "patient", "tumor"}} {
+		for _, sp := range speakers[:3] {
+			wave, _, err := synth.Utterance(sp, words)
+			if err != nil {
+				t.Fatal(err)
+			}
+			garbage = append(garbage, wave)
+		}
+	}
+	ws, err := TrainWordSpotter(examples, garbage, 42)
+	if err != nil {
+		t.Fatalf("TrainWordSpotter: %v", err)
+	}
+	return ws
+}
+
+func TestWordSpotterFindsKeyword(t *testing.T) {
+	ws := spotterFixture(t)
+	synth := audio.NewSynthesizer(400)
+	sp := audio.DefaultSpeakers()[0]
+	// An utterance with the keyword embedded among fillers.
+	wave, marks, err := synth.Utterance(sp, []string{"patient", "urgent", "normal"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, err := ws.Spot(wave, []string{"urgent"}, 0)
+	if err != nil {
+		t.Fatalf("Spot: %v", err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("keyword not spotted")
+	}
+	// The best hit must overlap the true word location.
+	truth := marks[1]
+	overlapped := false
+	for _, h := range hits {
+		if h.Start < truth.End && truth.Start < h.End {
+			overlapped = true
+		}
+	}
+	if !overlapped {
+		t.Errorf("hits %v do not overlap true occurrence [%d,%d)", hits, truth.Start, truth.End)
+	}
+}
+
+func TestWordSpotterRejectsAbsentKeyword(t *testing.T) {
+	ws := spotterFixture(t)
+	synth := audio.NewSynthesizer(500)
+	sp := audio.DefaultSpeakers()[1]
+	wave, _, err := synth.Utterance(sp, []string{"patient", "normal", "tumor"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, err := ws.Spot(wave, []string{"biopsy"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Some false alarms are tolerable at threshold 0; raising the
+	// threshold must remove them faster than real hits disappear.
+	strict, err := ws.Spot(wave, []string{"biopsy"}, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strict) > len(hits) {
+		t.Errorf("stricter threshold produced more hits: %d > %d", len(strict), len(hits))
+	}
+}
+
+func TestWordSpotterValidation(t *testing.T) {
+	if _, err := TrainWordSpotter(nil, [][]float64{{1}}, 1); err == nil {
+		t.Error("no keywords accepted")
+	}
+	if _, err := TrainWordSpotter(map[string][][]float64{"a": {}}, [][]float64{{1}}, 1); err == nil {
+		t.Error("keyword without examples accepted")
+	}
+	synth := audio.NewSynthesizer(1)
+	wave, _, _ := synth.Utterance(audio.DefaultSpeakers()[0], []string{"patient"})
+	if _, err := TrainWordSpotter(map[string][][]float64{"patient": {wave}}, nil, 1); err == nil {
+		t.Error("no garbage speech accepted")
+	}
+	ws := spotterFixture(t)
+	if _, err := ws.Spot(wave, []string{"nosuch"}, 0); err == nil {
+		t.Error("untrained keyword accepted")
+	}
+	if got := ws.Keywords(); len(got) != 2 || got[0] != "biopsy" || got[1] != "urgent" {
+		t.Errorf("Keywords = %v", got)
+	}
+}
+
+func trainedSpeakerSpotter(t *testing.T) *SpeakerSpotter {
+	t.Helper()
+	synth := audio.NewSynthesizer(600)
+	enroll := make(map[string][][]float64)
+	for _, sp := range audio.DefaultSpeakers() {
+		for rep := 0; rep < 2; rep++ {
+			wave, _, err := synth.Utterance(sp, []string{"patient", "tumor", "normal", "urgent", "biopsy"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			enroll[sp.Name] = append(enroll[sp.Name], wave)
+		}
+	}
+	ss, err := TrainSpeakerSpotter(enroll, 4, 7)
+	if err != nil {
+		t.Fatalf("TrainSpeakerSpotter: %v", err)
+	}
+	return ss
+}
+
+func TestSpeakerIdentification(t *testing.T) {
+	ss := trainedSpeakerSpotter(t)
+	synth := audio.NewSynthesizer(700)
+	correct := 0
+	total := 0
+	for _, sp := range audio.DefaultSpeakers() {
+		// Held-out words in a held-out order.
+		wave, _, err := synth.Utterance(sp, []string{"negative", "urgent", "patient"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		name, score, err := ss.Identify(wave)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total++
+		if name == sp.Name {
+			correct++
+		}
+		t.Logf("true=%s identified=%s score=%.3f", sp.Name, name, score)
+	}
+	if correct < total-1 { // allow at most one confusion among 4 speakers
+		t.Errorf("speaker identification: %d/%d correct", correct, total)
+	}
+}
+
+func TestSpeakerSpotOnComposition(t *testing.T) {
+	ss := trainedSpeakerSpotter(t)
+	synth := audio.NewSynthesizer(800)
+	speakers := audio.DefaultSpeakers()
+	sig, segs, err := synth.Compose([]audio.ScriptItem{
+		{Type: audio.Silence, Dur: 0.5},
+		{Type: audio.Speech, Speaker: speakers[0], Words: []string{"patient", "urgent", "normal"}},
+		{Type: audio.Music, Dur: 0.5},
+		{Type: audio.Speech, Speaker: speakers[3], Words: []string{"tumor", "negative", "biopsy"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, err := ss.Spot(sig, segs, -1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 2 {
+		t.Fatalf("hits = %d, want 2 (one per speech segment)", len(hits))
+	}
+	if hits[0].Word != speakers[0].Name {
+		t.Errorf("segment 1 identified as %s, want %s", hits[0].Word, speakers[0].Name)
+	}
+	if hits[1].Word != speakers[3].Name {
+		t.Errorf("segment 2 identified as %s, want %s", hits[1].Word, speakers[3].Name)
+	}
+	// Bad segment bounds are rejected.
+	if _, err := ss.Spot(sig, []audio.Segment{{Start: -1, End: 10, Type: audio.Speech}}, 0); err == nil {
+		t.Error("negative segment start accepted")
+	}
+	if _, err := ss.Spot(sig, []audio.Segment{{Start: 0, End: len(sig) + 5, Type: audio.Speech}}, 0); err == nil {
+		t.Error("overlong segment accepted")
+	}
+}
+
+func TestSpeakerSpotterValidation(t *testing.T) {
+	if _, err := TrainSpeakerSpotter(nil, 4, 1); err == nil {
+		t.Error("empty enrollment accepted")
+	}
+	if _, err := TrainSpeakerSpotter(map[string][][]float64{"x": {}}, 4, 1); err == nil {
+		t.Error("speaker without audio accepted")
+	}
+	if _, err := TrainSpeakerSpotter(map[string][][]float64{"x": {make([]float64, 300)}}, 4, 1); err == nil {
+		t.Error("too-short enrollment accepted")
+	}
+	ss := trainedSpeakerSpotter(t)
+	if got := ss.Speakers(); len(got) != 4 {
+		t.Errorf("Speakers = %v", got)
+	}
+	if _, _, err := ss.Identify(make([]float64, 10)); err == nil {
+		t.Error("sub-frame signal accepted")
+	}
+}

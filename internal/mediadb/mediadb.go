@@ -1,0 +1,459 @@
+// Package mediadb maps multimedia objects to the database, implementing
+// the schema of Fig. 7 of the paper: a main catalog relation
+// (MULTIMEDIA_OBJECTS_TABLE) lists every supported multimedia type
+// together with a reference to the per-type object table that holds the
+// objects themselves (IMAGE_OBJECTS_TABLE, AUDIO_OBJECTS_TABLE,
+// CMP_OBJECTS_TABLE, ...). Payloads live in BLOB columns. The indirection
+// is what lets new data types be added as the system evolves without
+// touching existing tables — RegisterType is exactly that extension point.
+//
+// Documents (component hierarchy + CP-network) are stored in their own
+// DOCUMENT_OBJECTS_TABLE as serialized blobs, mirroring §5.1.
+package mediadb
+
+import (
+	"fmt"
+
+	"mmconf/internal/blob"
+	"mmconf/internal/document"
+	"mmconf/internal/store"
+)
+
+// Catalog and object-table names (Fig. 7).
+const (
+	CatalogTable  = "MULTIMEDIA_OBJECTS_TABLE"
+	ImageTable    = "IMAGE_OBJECTS_TABLE"
+	AudioTable    = "AUDIO_OBJECTS_TABLE"
+	CmpTable      = "CMP_OBJECTS_TABLE"
+	DocumentTable = "DOCUMENT_OBJECTS_TABLE"
+)
+
+// TypeInfo is one catalog row: a supported multimedia type and the object
+// table that stores it.
+type TypeInfo struct {
+	Name        string // e.g. "Image"
+	MIME        string // e.g. "image/x-phantom"
+	AccessType  string // e.g. "read-write"
+	ObjectTable string // e.g. IMAGE_OBJECTS_TABLE
+	Description string
+}
+
+// MediaDB wraps a store.DB with the multimedia schema.
+type MediaDB struct {
+	db *store.DB
+}
+
+// Open initializes (idempotently) the Fig. 7 schema inside db.
+func Open(db *store.DB) (*MediaDB, error) {
+	m := &MediaDB{db: db}
+	steps := []struct {
+		table  string
+		schema []store.Column
+		index  string
+	}{
+		{CatalogTable, []store.Column{
+			{Name: "FLD_NAME", Type: store.TString},
+			{Name: "FLD_MIME", Type: store.TString},
+			{Name: "FLD_ACCESSTYPE", Type: store.TString},
+			{Name: "OBJECTTABLES", Type: store.TString},
+			{Name: "DESCRIPTION", Type: store.TString},
+		}, "FLD_NAME"},
+		{ImageTable, []store.Column{
+			{Name: "FLD_QUALITY", Type: store.TInt},  // resolution/quality tag
+			{Name: "FLD_TEXTS", Type: store.TString}, // text annotations
+			{Name: "FLD_CM", Type: store.TFloat},     // physical scale, cm/pixel
+			{Name: "FLD_DATA", Type: store.TBlob},    // raster payload
+		}, ""},
+		{AudioTable, []store.Column{
+			{Name: "FLD_FILENAME", Type: store.TString},
+			{Name: "FLD_SECTORS", Type: store.TBytes}, // segmentation metadata
+			{Name: "FLD_DATA", Type: store.TBlob},     // waveform payload
+		}, ""},
+		{CmpTable, []store.Column{
+			{Name: "FLD_FILENAME", Type: store.TString},
+			{Name: "FLD_FILESIZE", Type: store.TInt},
+			{Name: "FLD_CURRENTPOSITION", Type: store.TInt},
+			{Name: "FLD_HEADER", Type: store.TBlob}, // layer directory
+			{Name: "FLD_DATA", Type: store.TBlob},   // layered bitstream
+		}, ""},
+		{DocumentTable, []store.Column{
+			{Name: "FLD_DOCID", Type: store.TString},
+			{Name: "FLD_TITLE", Type: store.TString},
+			{Name: "FLD_DATA", Type: store.TBlob},
+		}, "FLD_DOCID"},
+	}
+	for _, s := range steps {
+		if db.HasTable(s.table) {
+			continue
+		}
+		tbl, err := db.CreateTable(s.table, s.schema)
+		if err != nil {
+			return nil, fmt.Errorf("mediadb: creating %s: %w", s.table, err)
+		}
+		if s.index != "" {
+			if err := tbl.CreateIndex(s.index); err != nil {
+				return nil, fmt.Errorf("mediadb: indexing %s: %w", s.table, err)
+			}
+		}
+	}
+	// Seed the catalog with the built-in types.
+	builtins := []TypeInfo{
+		{"Image", "image/x-raster", "read-write", ImageTable, "flat and segmented raster images"},
+		{"Audio", "audio/x-wave", "read-write", AudioTable, "voice fragments and other 1-D signals"},
+		{"Compressed", "application/x-mmlayers", "read-write", CmpTable, "multi-layer compressed image streams"},
+		{"Document", "application/x-mmdoc", "read-write", DocumentTable, "multimedia documents with CP-networks"},
+	}
+	for _, ti := range builtins {
+		if _, err := m.TypeByName(ti.Name); err == nil {
+			continue
+		}
+		if err := m.RegisterType(ti); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// DB exposes the underlying store for administrative tooling.
+func (m *MediaDB) DB() *store.DB { return m.db }
+
+// RegisterType adds a new multimedia type to the catalog, creating its
+// object table if tables' schema is provided elsewhere by the caller. The
+// named object table must already exist.
+func (m *MediaDB) RegisterType(ti TypeInfo) error {
+	if ti.Name == "" || ti.ObjectTable == "" {
+		return fmt.Errorf("mediadb: type needs a name and an object table")
+	}
+	if !m.db.HasTable(ti.ObjectTable) {
+		return fmt.Errorf("mediadb: object table %q does not exist", ti.ObjectTable)
+	}
+	if _, err := m.TypeByName(ti.Name); err == nil {
+		return fmt.Errorf("mediadb: type %q already registered", ti.Name)
+	}
+	cat, err := m.db.Table(CatalogTable)
+	if err != nil {
+		return err
+	}
+	_, err = cat.Insert(store.Row{ti.Name, ti.MIME, ti.AccessType, ti.ObjectTable, ti.Description})
+	return err
+}
+
+// TypeByName looks a type up in the catalog.
+func (m *MediaDB) TypeByName(name string) (TypeInfo, error) {
+	cat, err := m.db.Table(CatalogTable)
+	if err != nil {
+		return TypeInfo{}, err
+	}
+	ids, err := cat.LookupString("FLD_NAME", name)
+	if err != nil {
+		return TypeInfo{}, err
+	}
+	if len(ids) == 0 {
+		return TypeInfo{}, fmt.Errorf("mediadb: no type %q", name)
+	}
+	row, ok, err := cat.Get(ids[0])
+	if err != nil || !ok {
+		return TypeInfo{}, fmt.Errorf("mediadb: catalog row vanished: %v", err)
+	}
+	return TypeInfo{
+		Name:        row[0].(string),
+		MIME:        row[1].(string),
+		AccessType:  row[2].(string),
+		ObjectTable: row[3].(string),
+		Description: row[4].(string),
+	}, nil
+}
+
+// Types lists every registered type.
+func (m *MediaDB) Types() ([]TypeInfo, error) {
+	cat, err := m.db.Table(CatalogTable)
+	if err != nil {
+		return nil, err
+	}
+	var out []TypeInfo
+	err = cat.Scan(func(id uint64, row store.Row) bool {
+		out = append(out, TypeInfo{
+			Name:        row[0].(string),
+			MIME:        row[1].(string),
+			AccessType:  row[2].(string),
+			ObjectTable: row[3].(string),
+			Description: row[4].(string),
+		})
+		return true
+	})
+	return out, err
+}
+
+// ImageObject is one row of IMAGE_OBJECTS_TABLE with its payload resolved.
+type ImageObject struct {
+	ID      uint64
+	Quality int64
+	Texts   string
+	CM      float64
+	Data    []byte
+}
+
+// PutImage stores an image object and returns its id.
+func (m *MediaDB) PutImage(quality int64, texts string, cm float64, data []byte) (uint64, error) {
+	h, err := m.db.PutBlob(data)
+	if err != nil {
+		return 0, err
+	}
+	tbl, err := m.db.Table(ImageTable)
+	if err != nil {
+		return 0, err
+	}
+	return tbl.Insert(store.Row{quality, texts, cm, h})
+}
+
+// GetImage fetches an image object by id.
+func (m *MediaDB) GetImage(id uint64) (ImageObject, error) {
+	tbl, err := m.db.Table(ImageTable)
+	if err != nil {
+		return ImageObject{}, err
+	}
+	row, ok, err := tbl.Get(id)
+	if err != nil {
+		return ImageObject{}, err
+	}
+	if !ok {
+		return ImageObject{}, fmt.Errorf("mediadb: no image object %d", id)
+	}
+	data, err := m.db.GetBlob(row[3].(blob.Handle))
+	if err != nil {
+		return ImageObject{}, err
+	}
+	return ImageObject{
+		ID:      id,
+		Quality: row[0].(int64),
+		Texts:   row[1].(string),
+		CM:      row[2].(float64),
+		Data:    data,
+	}, nil
+}
+
+// UpdateImageTexts replaces the text annotations of an image object (used
+// when a partner writes on an image in a shared room).
+func (m *MediaDB) UpdateImageTexts(id uint64, texts string) error {
+	tbl, err := m.db.Table(ImageTable)
+	if err != nil {
+		return err
+	}
+	row, ok, err := tbl.Get(id)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("mediadb: no image object %d", id)
+	}
+	row[1] = texts
+	return tbl.Update(id, row)
+}
+
+// AudioObject is one row of AUDIO_OBJECTS_TABLE with its payload resolved.
+type AudioObject struct {
+	ID       uint64
+	Filename string
+	Sectors  []byte
+	Data     []byte
+}
+
+// PutAudio stores an audio object.
+func (m *MediaDB) PutAudio(filename string, sectors, data []byte) (uint64, error) {
+	h, err := m.db.PutBlob(data)
+	if err != nil {
+		return 0, err
+	}
+	tbl, err := m.db.Table(AudioTable)
+	if err != nil {
+		return 0, err
+	}
+	return tbl.Insert(store.Row{filename, sectors, h})
+}
+
+// GetAudio fetches an audio object by id.
+func (m *MediaDB) GetAudio(id uint64) (AudioObject, error) {
+	tbl, err := m.db.Table(AudioTable)
+	if err != nil {
+		return AudioObject{}, err
+	}
+	row, ok, err := tbl.Get(id)
+	if err != nil {
+		return AudioObject{}, err
+	}
+	if !ok {
+		return AudioObject{}, fmt.Errorf("mediadb: no audio object %d", id)
+	}
+	data, err := m.db.GetBlob(row[2].(blob.Handle))
+	if err != nil {
+		return AudioObject{}, err
+	}
+	return AudioObject{ID: id, Filename: row[0].(string), Sectors: row[1].([]byte), Data: data}, nil
+}
+
+// CmpObject is one row of CMP_OBJECTS_TABLE: a multi-layer compressed
+// image stream with its layer directory (header) and bitstream.
+type CmpObject struct {
+	ID       uint64
+	Filename string
+	FileSize int64
+	Position int64
+	Header   []byte
+	Data     []byte
+}
+
+// PutCmp stores a compressed stream.
+func (m *MediaDB) PutCmp(filename string, header, data []byte) (uint64, error) {
+	hh, err := m.db.PutBlob(header)
+	if err != nil {
+		return 0, err
+	}
+	dh, err := m.db.PutBlob(data)
+	if err != nil {
+		return 0, err
+	}
+	tbl, err := m.db.Table(CmpTable)
+	if err != nil {
+		return 0, err
+	}
+	return tbl.Insert(store.Row{filename, int64(len(data)), int64(0), hh, dh})
+}
+
+// GetCmp fetches a compressed stream by id.
+func (m *MediaDB) GetCmp(id uint64) (CmpObject, error) {
+	tbl, err := m.db.Table(CmpTable)
+	if err != nil {
+		return CmpObject{}, err
+	}
+	row, ok, err := tbl.Get(id)
+	if err != nil {
+		return CmpObject{}, err
+	}
+	if !ok {
+		return CmpObject{}, fmt.Errorf("mediadb: no compressed object %d", id)
+	}
+	header, err := m.db.GetBlob(row[3].(blob.Handle))
+	if err != nil {
+		return CmpObject{}, err
+	}
+	data, err := m.db.GetBlob(row[4].(blob.Handle))
+	if err != nil {
+		return CmpObject{}, err
+	}
+	return CmpObject{
+		ID:       id,
+		Filename: row[0].(string),
+		FileSize: row[1].(int64),
+		Position: row[2].(int64),
+		Header:   header,
+		Data:     data,
+	}, nil
+}
+
+// DeleteImage removes an image object's row. The payload bytes remain in
+// the blob heap until the store's CompactBlobs reclaims them.
+func (m *MediaDB) DeleteImage(id uint64) error {
+	tbl, err := m.db.Table(ImageTable)
+	if err != nil {
+		return err
+	}
+	return tbl.Delete(id)
+}
+
+// DeleteAudio removes an audio object's row.
+func (m *MediaDB) DeleteAudio(id uint64) error {
+	tbl, err := m.db.Table(AudioTable)
+	if err != nil {
+		return err
+	}
+	return tbl.Delete(id)
+}
+
+// DeleteCmp removes a compressed stream's row.
+func (m *MediaDB) DeleteCmp(id uint64) error {
+	tbl, err := m.db.Table(CmpTable)
+	if err != nil {
+		return err
+	}
+	return tbl.Delete(id)
+}
+
+// DeleteDocument removes a stored document by document id.
+func (m *MediaDB) DeleteDocument(docID string) error {
+	tbl, err := m.db.Table(DocumentTable)
+	if err != nil {
+		return err
+	}
+	ids, err := tbl.LookupString("FLD_DOCID", docID)
+	if err != nil {
+		return err
+	}
+	if len(ids) == 0 {
+		return fmt.Errorf("mediadb: no document %q", docID)
+	}
+	return tbl.Delete(ids[0])
+}
+
+// PutDocument stores (or replaces) a multimedia document.
+func (m *MediaDB) PutDocument(d *document.Document) error {
+	data, err := d.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	h, err := m.db.PutBlob(data)
+	if err != nil {
+		return err
+	}
+	tbl, err := m.db.Table(DocumentTable)
+	if err != nil {
+		return err
+	}
+	ids, err := tbl.LookupString("FLD_DOCID", d.ID)
+	if err != nil {
+		return err
+	}
+	row := store.Row{d.ID, d.Title, h}
+	if len(ids) > 0 {
+		return tbl.Update(ids[0], row)
+	}
+	_, err = tbl.Insert(row)
+	return err
+}
+
+// GetDocument fetches a document by its document id.
+func (m *MediaDB) GetDocument(docID string) (*document.Document, error) {
+	tbl, err := m.db.Table(DocumentTable)
+	if err != nil {
+		return nil, err
+	}
+	ids, err := tbl.LookupString("FLD_DOCID", docID)
+	if err != nil {
+		return nil, err
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("mediadb: no document %q", docID)
+	}
+	row, ok, err := tbl.Get(ids[0])
+	if err != nil || !ok {
+		return nil, fmt.Errorf("mediadb: document row vanished: %v", err)
+	}
+	data, err := m.db.GetBlob(row[2].(blob.Handle))
+	if err != nil {
+		return nil, err
+	}
+	return document.Unmarshal(data)
+}
+
+// ListDocuments returns the (id, title) pairs of every stored document.
+func (m *MediaDB) ListDocuments() (ids, titles []string, err error) {
+	tbl, err := m.db.Table(DocumentTable)
+	if err != nil {
+		return nil, nil, err
+	}
+	err = tbl.Scan(func(id uint64, row store.Row) bool {
+		ids = append(ids, row[0].(string))
+		titles = append(titles, row[1].(string))
+		return true
+	})
+	return ids, titles, err
+}

@@ -1,0 +1,287 @@
+// Package prefetch implements the preference-based pre-fetching of §4.4
+// of the paper (formalized in their TR [12], "Predicting Likely Components
+// in CP-net based Multimedia Systems"): because the whole document cannot
+// be downloaded ahead of time under limited client buffer and bandwidth,
+// the client downloads the components *most likely to be requested*,
+// using the buffer as a cache. Likelihood comes from the preference
+// structure itself: the current optimal configuration is needed now, and
+// the configurations reachable by the viewer's single next choice are
+// ranked by how preferred that choice is.
+//
+// The package also provides the demand-only LRU and no-cache baselines
+// the E8 experiment compares against.
+package prefetch
+
+import (
+	"fmt"
+	"sort"
+
+	"mmconf/internal/cpnet"
+	"mmconf/internal/document"
+)
+
+// Candidate is one payload worth holding in the client buffer.
+type Candidate struct {
+	Component string
+	Value     string
+	ObjectID  uint64
+	Bytes     int64
+	// Score in (0, 1]: 1 for payloads of the current optimal view,
+	// decaying with the preference rank of the hypothetical next choice
+	// that would require the payload.
+	Score float64
+}
+
+// lookaheadWeight scales one-step-lookahead candidates relative to the
+// certain ones.
+const lookaheadWeight = 0.5
+
+// Rank returns candidate payloads in descending likelihood given the
+// document and the current viewer choices. Payloads with ObjectID 0
+// (inline or hidden forms) are not fetchable and are skipped.
+func Rank(doc *document.Document, choices cpnet.Outcome) ([]Candidate, error) {
+	base, err := doc.ReconfigPresentation(choices)
+	if err != nil {
+		return nil, err
+	}
+	best := make(map[uint64]Candidate)
+	add := func(v document.View, score float64) {
+		for _, c := range doc.Components() {
+			if c.Composite() || !v.Visible[c.Name] {
+				continue
+			}
+			p, err := c.Presentation(v.Outcome[c.Name])
+			if err != nil || p.ObjectID == 0 {
+				continue
+			}
+			cand := Candidate{
+				Component: c.Name, Value: p.Name,
+				ObjectID: p.ObjectID, Bytes: p.Bytes, Score: score,
+			}
+			if old, ok := best[p.ObjectID]; !ok || cand.Score > old.Score {
+				best[p.ObjectID] = cand
+			}
+		}
+	}
+	add(base, 1.0)
+
+	// One-step lookahead: the viewer's next click pins one variable to an
+	// alternative value. Alternatives that the author ranks higher (given
+	// everything else) are likelier clicks.
+	for _, v := range doc.Prefs.Variables() {
+		current := base.Outcome[v.Name]
+		for rank, alt := range v.Domain {
+			if alt == current {
+				continue
+			}
+			ev := choices.Clone()
+			ev[v.Name] = alt
+			view, err := doc.ReconfigPresentation(ev)
+			if err != nil {
+				return nil, err
+			}
+			score := lookaheadWeight / float64(2+rank)
+			add(view, score)
+		}
+	}
+	out := make([]Candidate, 0, len(best))
+	for _, c := range best {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ObjectID < out[j].ObjectID
+	})
+	return out, nil
+}
+
+// Cache is a byte-budgeted LRU buffer of fetched payloads — the "user's
+// buffer as a cache" of §4.4.
+type Cache struct {
+	capacity int64
+	used     int64
+	entries  map[uint64]*entry
+	// LRU list: head = most recent.
+	head, tail *entry
+	hits       int64
+	misses     int64
+	evictions  int64
+}
+
+type entry struct {
+	id         uint64
+	data       []byte
+	prev, next *entry
+}
+
+// NewCache returns a cache with the given byte capacity.
+func NewCache(capacity int64) (*Cache, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("prefetch: capacity %d must be positive", capacity)
+	}
+	return &Cache{capacity: capacity, entries: make(map[uint64]*entry)}, nil
+}
+
+// Get returns the cached payload and records a hit or miss.
+func (c *Cache) Get(id uint64) ([]byte, bool) {
+	e, ok := c.entries[id]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.touch(e)
+	return e.data, true
+}
+
+// Contains reports presence without recording a hit or miss (used by the
+// prefetcher to avoid distorting statistics).
+func (c *Cache) Contains(id uint64) bool {
+	_, ok := c.entries[id]
+	return ok
+}
+
+// Put inserts a payload, evicting least-recently-used entries as needed.
+// Payloads larger than the whole capacity are not cached.
+func (c *Cache) Put(id uint64, data []byte) {
+	if int64(len(data)) > c.capacity {
+		return
+	}
+	if e, ok := c.entries[id]; ok {
+		c.used += int64(len(data)) - int64(len(e.data))
+		e.data = data
+		c.touch(e)
+	} else {
+		e := &entry{id: id, data: data}
+		c.entries[id] = e
+		c.used += int64(len(data))
+		c.pushFront(e)
+	}
+	for c.used > c.capacity && c.tail != nil {
+		c.evict(c.tail)
+	}
+}
+
+func (c *Cache) touch(e *entry) {
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+func (c *Cache) pushFront(e *entry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *Cache) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if c.head == e {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if c.tail == e {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *Cache) evict(e *entry) {
+	c.unlink(e)
+	delete(c.entries, e.id)
+	c.used -= int64(len(e.data))
+	c.evictions++
+}
+
+// Used returns the occupied bytes.
+func (c *Cache) Used() int64 { return c.used }
+
+// Capacity returns the configured byte capacity.
+func (c *Cache) Capacity() int64 { return c.capacity }
+
+// Stats returns cumulative hit/miss/eviction counts.
+func (c *Cache) Stats() (hits, misses, evictions int64) {
+	return c.hits, c.misses, c.evictions
+}
+
+// FetchFunc retrieves a payload from the database server by object id.
+type FetchFunc func(objectID uint64) ([]byte, error)
+
+// Prefetcher couples a cache with a fetch path.
+type Prefetcher struct {
+	Cache *Cache
+	Fetch FetchFunc
+	// PrefetchedBytes counts bytes fetched ahead of demand.
+	PrefetchedBytes int64
+}
+
+// NewPrefetcher wires a cache to a fetch function.
+func NewPrefetcher(cache *Cache, fetch FetchFunc) (*Prefetcher, error) {
+	if cache == nil || fetch == nil {
+		return nil, fmt.Errorf("prefetch: need a cache and a fetch function")
+	}
+	return &Prefetcher{Cache: cache, Fetch: fetch}, nil
+}
+
+// Demand returns the payload for an object the viewer needs right now,
+// through the cache.
+func (p *Prefetcher) Demand(objectID uint64) ([]byte, error) {
+	if data, ok := p.Cache.Get(objectID); ok {
+		return data, nil
+	}
+	data, err := p.Fetch(objectID)
+	if err != nil {
+		return nil, err
+	}
+	p.Cache.Put(objectID, data)
+	return data, nil
+}
+
+// Warm fetches ranked candidates ahead of demand until budget bytes have
+// been prefetched this call or the ranking is exhausted. Already-cached
+// payloads are skipped without touching hit statistics. Warming is
+// speculative, so it never evicts: candidates that do not fit in the
+// buffer's remaining free space are skipped (a lower-ranked candidate
+// must not push out a higher-ranked or recently demanded payload). It
+// returns the number of payloads fetched.
+func (p *Prefetcher) Warm(doc *document.Document, choices cpnet.Outcome, budget int64) (int, error) {
+	cands, err := Rank(doc, choices)
+	if err != nil {
+		return 0, err
+	}
+	fetched := 0
+	var spent int64
+	for _, cand := range cands {
+		if spent >= budget {
+			break
+		}
+		if p.Cache.Contains(cand.ObjectID) {
+			continue
+		}
+		avail := p.Cache.Capacity() - p.Cache.Used()
+		if cand.Bytes > avail {
+			continue // would evict better content; skip, try smaller candidates
+		}
+		data, err := p.Fetch(cand.ObjectID)
+		if err != nil {
+			return fetched, fmt.Errorf("prefetch: warming object %d: %w", cand.ObjectID, err)
+		}
+		if int64(len(data)) > avail {
+			continue // size estimate was low; still refuse to evict
+		}
+		p.Cache.Put(cand.ObjectID, data)
+		spent += int64(len(data))
+		p.PrefetchedBytes += int64(len(data))
+		fetched++
+	}
+	return fetched, nil
+}

@@ -1,0 +1,295 @@
+package prefetch
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"mmconf/internal/cpnet"
+	"mmconf/internal/document"
+	"mmconf/internal/netsim"
+	"mmconf/internal/workload"
+)
+
+// populatedDoc builds a medical record with distinct object ids.
+func populatedDoc(t *testing.T) *document.Document {
+	t.Helper()
+	d, err := workload.MedicalRecord("p", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := map[string]map[string]uint64{
+		"ct":    {"full": 11, "segmented": 11, "lowres": 13},
+		"xray":  {"full": 12, "icon": 12},
+		"voice": {"audio": 14},
+	}
+	for comp, vals := range ids {
+		c, err := d.Component(comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range c.Presentations {
+			if id, ok := vals[c.Presentations[i].Name]; ok {
+				c.Presentations[i].ObjectID = id
+			}
+		}
+	}
+	return d
+}
+
+func TestRankCurrentViewFirst(t *testing.T) {
+	doc := populatedDoc(t)
+	cands, err := Rank(doc, nil)
+	if err != nil {
+		t.Fatalf("Rank: %v", err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	// The default view shows ct=full (object 11), xray=icon (object 12),
+	// voice=audio (object 14): all must carry score 1.
+	needed := map[uint64]bool{11: false, 12: false, 14: false}
+	for _, c := range cands {
+		if _, ok := needed[c.ObjectID]; ok {
+			if c.Score != 1.0 {
+				t.Errorf("object %d score %v, want 1.0", c.ObjectID, c.Score)
+			}
+			needed[c.ObjectID] = true
+		}
+	}
+	for id, seen := range needed {
+		if !seen {
+			t.Errorf("object %d missing from ranking", id)
+		}
+	}
+	// Scores are non-increasing.
+	for i := 1; i < len(cands); i++ {
+		if cands[i].Score > cands[i-1].Score {
+			t.Errorf("ranking not sorted at %d", i)
+		}
+	}
+	// Lookahead candidates exist (the lowres stream, object 13).
+	found := false
+	for _, c := range cands {
+		if c.ObjectID == 13 && c.Score < 1.0 && c.Score > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("lookahead did not surface the lowres stream")
+	}
+}
+
+func TestRankRespectsChoices(t *testing.T) {
+	doc := populatedDoc(t)
+	cands, err := Rank(doc, cpnet.Outcome{"ct": "hidden"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cands {
+		if c.ObjectID == 11 && c.Score >= 1.0 {
+			t.Error("hidden CT payload ranked as needed-now")
+		}
+	}
+	// Bad evidence propagates an error.
+	if _, err := Rank(doc, cpnet.Outcome{"nosuch": "x"}); err == nil {
+		t.Error("bad choices accepted")
+	}
+}
+
+func TestCacheLRUSemantics(t *testing.T) {
+	c, err := NewCache(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCache(0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	c.Put(1, make([]byte, 40))
+	c.Put(2, make([]byte, 40))
+	if _, ok := c.Get(1); !ok {
+		t.Fatal("entry 1 missing")
+	}
+	// Inserting 3 (40 bytes) exceeds 100: evicts LRU = 2 (1 was touched).
+	c.Put(3, make([]byte, 40))
+	if _, ok := c.Get(2); ok {
+		t.Error("LRU entry survived eviction")
+	}
+	if !c.Contains(1) || !c.Contains(3) {
+		t.Error("wrong entries evicted")
+	}
+	hits, misses, evictions := c.Stats()
+	if hits != 1 || misses != 1 || evictions != 1 {
+		t.Errorf("stats = %d/%d/%d", hits, misses, evictions)
+	}
+	// Oversized payloads are not cached.
+	c.Put(9, make([]byte, 200))
+	if c.Contains(9) {
+		t.Error("oversized payload cached")
+	}
+	// Replacing an entry adjusts usage.
+	c.Put(1, make([]byte, 10))
+	if c.Used() != 50 {
+		t.Errorf("used = %d, want 50", c.Used())
+	}
+	// Contains does not affect stats.
+	c.Contains(1)
+	h2, m2, _ := c.Stats()
+	if h2 != hits || m2 != misses {
+		t.Error("Contains changed stats")
+	}
+}
+
+func TestCacheEvictionOrderWithTouch(t *testing.T) {
+	c, _ := NewCache(30)
+	c.Put(1, make([]byte, 10))
+	c.Put(2, make([]byte, 10))
+	c.Put(3, make([]byte, 10))
+	c.Get(1) // 1 becomes MRU; order now 1,3,2
+	c.Put(4, make([]byte, 10))
+	if c.Contains(2) {
+		t.Error("2 should be evicted first")
+	}
+	c.Put(5, make([]byte, 10))
+	if c.Contains(3) {
+		t.Error("3 should be evicted second")
+	}
+	if !c.Contains(1) {
+		t.Error("recently used entry evicted")
+	}
+}
+
+func TestPrefetcherDemandAndWarm(t *testing.T) {
+	doc := populatedDoc(t)
+	fetched := map[uint64]int{}
+	fetch := func(id uint64) ([]byte, error) {
+		fetched[id]++
+		return make([]byte, 1000), nil
+	}
+	cache, _ := NewCache(1 << 20)
+	pf, err := NewPrefetcher(cache, fetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPrefetcher(nil, fetch); err == nil {
+		t.Error("nil cache accepted")
+	}
+	if _, err := NewPrefetcher(cache, nil); err == nil {
+		t.Error("nil fetch accepted")
+	}
+	// Demand twice: second hit avoids the fetch.
+	if _, err := pf.Demand(11); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pf.Demand(11); err != nil {
+		t.Fatal(err)
+	}
+	if fetched[11] != 1 {
+		t.Errorf("object 11 fetched %d times", fetched[11])
+	}
+	// Warm pulls the ranked candidates.
+	n, err := pf.Warm(doc, nil, 1<<20)
+	if err != nil {
+		t.Fatalf("Warm: %v", err)
+	}
+	if n == 0 {
+		t.Error("warm fetched nothing")
+	}
+	if pf.PrefetchedBytes == 0 {
+		t.Error("prefetched bytes not accounted")
+	}
+	// A later demand for a warmed object is a pure hit.
+	before := fetched[12]
+	if _, err := pf.Demand(12); err != nil {
+		t.Fatal(err)
+	}
+	if fetched[12] != before {
+		t.Error("warmed object fetched again on demand")
+	}
+	// Budget is respected.
+	cache2, _ := NewCache(1 << 20)
+	pf2, _ := NewPrefetcher(cache2, fetch)
+	if _, err := pf2.Warm(doc, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if pf2.PrefetchedBytes > 1000 {
+		t.Errorf("warm overshot budget: %d", pf2.PrefetchedBytes)
+	}
+	// Fetch failures surface.
+	bad, _ := NewPrefetcher(cache2, func(id uint64) ([]byte, error) {
+		return nil, fmt.Errorf("db down")
+	})
+	if _, err := bad.Demand(999); err == nil {
+		t.Error("fetch failure swallowed")
+	}
+}
+
+func TestSimulatePolicyOrdering(t *testing.T) {
+	doc := populatedDoc(t)
+	script := workload.Session(doc, []string{"alice", "bob"}, 120, 5)
+	link, _ := netsim.NewLink(256<<10, 20*time.Millisecond) // 256 KiB/s
+	const cacheBytes = 900 << 10
+	const warm = 512 << 10
+
+	results := map[Policy]Result{}
+	for _, pol := range []Policy{PolicyNone, PolicyLRU, PolicyPreference} {
+		link.Reset()
+		r, err := Simulate(doc, script, pol, cacheBytes, warm, link)
+		if err != nil {
+			t.Fatalf("Simulate(%v): %v", pol, err)
+		}
+		results[pol] = r
+		t.Logf("%-10s hit=%.3f mean=%v demandKB=%d prefetchKB=%d",
+			pol, r.HitRate, r.MeanResponse, r.DemandBytes>>10, r.PrefetchedBytes>>10)
+	}
+	// The paper's shape: preference-based prefetch dominates LRU which
+	// dominates no caching, in hit rate and user-visible response time.
+	if !(results[PolicyPreference].HitRate > results[PolicyLRU].HitRate) {
+		t.Errorf("preference hit rate %.3f not above LRU %.3f",
+			results[PolicyPreference].HitRate, results[PolicyLRU].HitRate)
+	}
+	if results[PolicyNone].HitRate != 0 {
+		t.Errorf("no-cache policy reported hits: %.3f", results[PolicyNone].HitRate)
+	}
+	if !(results[PolicyPreference].TotalResponse < results[PolicyLRU].TotalResponse) {
+		t.Errorf("preference response %v not below LRU %v",
+			results[PolicyPreference].TotalResponse, results[PolicyLRU].TotalResponse)
+	}
+	if !(results[PolicyLRU].TotalResponse < results[PolicyNone].TotalResponse) {
+		t.Errorf("LRU response %v not below none %v",
+			results[PolicyLRU].TotalResponse, results[PolicyNone].TotalResponse)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	doc := populatedDoc(t)
+	if _, err := Simulate(doc, nil, PolicyLRU, 1<<20, 0, nil); err == nil {
+		t.Error("nil link accepted")
+	}
+	if _, err := Simulate(doc, nil, PolicyLRU, 0, 0, mustLink(t)); err == nil {
+		t.Error("zero cache accepted for caching policy")
+	}
+	// Unknown variables in the script are skipped, not fatal.
+	script := []workload.Choice{{Viewer: "a", Variable: "nosuch", Value: "x"}}
+	if _, err := Simulate(doc, script, PolicyNone, 0, 0, mustLink(t)); err != nil {
+		t.Errorf("unknown-variable choice not skipped: %v", err)
+	}
+}
+
+func mustLink(t *testing.T) *netsim.Link {
+	t.Helper()
+	l, err := netsim.NewLink(1<<20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestPolicyString(t *testing.T) {
+	if PolicyNone.String() != "none" || PolicyLRU.String() != "lru" || PolicyPreference.String() != "preference" {
+		t.Error("policy names wrong")
+	}
+	if Policy(9).String() == "" {
+		t.Error("unknown policy name empty")
+	}
+}

@@ -1,0 +1,159 @@
+package prefetch
+
+import (
+	"fmt"
+	"time"
+
+	"mmconf/internal/cpnet"
+	"mmconf/internal/document"
+	"mmconf/internal/netsim"
+	"mmconf/internal/workload"
+)
+
+// Policy selects the client buffering strategy under evaluation in E8.
+type Policy int
+
+// Policies.
+const (
+	// PolicyNone fetches every displayed payload on demand, no buffer.
+	PolicyNone Policy = iota
+	// PolicyLRU keeps a demand-only LRU buffer.
+	PolicyLRU
+	// PolicyPreference keeps the LRU buffer and additionally warms it
+	// with preference-ranked candidates after every choice.
+	PolicyPreference
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyNone:
+		return "none"
+	case PolicyLRU:
+		return "lru"
+	case PolicyPreference:
+		return "preference"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Result aggregates one simulated session.
+type Result struct {
+	Policy          Policy
+	Steps           int
+	Demands         int64 // payload displays requested
+	Hits            int64
+	HitRate         float64
+	TotalResponse   time.Duration // sum of user-visible waits
+	MeanResponse    time.Duration
+	DemandBytes     int64 // bytes fetched on the critical path
+	PrefetchedBytes int64 // bytes fetched ahead of time
+}
+
+// Simulate replays a scripted session over a document under the given
+// policy, modeling transfers over link. Every step applies one viewer
+// choice, recomputes the optimal view, and "displays" it: each visible
+// stored payload must be present — a cache hit costs nothing, a miss
+// costs the link transfer time. PolicyPreference then warms the buffer
+// with warmBudget bytes of ranked candidates (modeled off the critical
+// path, as background transfer).
+func Simulate(doc *document.Document, script []workload.Choice, policy Policy,
+	cacheBytes, warmBudget int64, link *netsim.Link) (Result, error) {
+	if link == nil {
+		return Result{}, fmt.Errorf("prefetch: nil link")
+	}
+	sizeOf := make(map[uint64]int64)
+	for _, c := range doc.Components() {
+		for _, p := range c.Presentations {
+			if p.ObjectID != 0 {
+				sizeOf[p.ObjectID] = p.Bytes
+			}
+		}
+	}
+	fetch := func(id uint64) ([]byte, error) {
+		n, ok := sizeOf[id]
+		if !ok {
+			return nil, fmt.Errorf("prefetch: unknown object %d", id)
+		}
+		return make([]byte, n), nil
+	}
+	var pf *Prefetcher
+	if policy != PolicyNone {
+		cache, err := NewCache(cacheBytes)
+		if err != nil {
+			return Result{}, err
+		}
+		pf, err = NewPrefetcher(cache, fetch)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	res := Result{Policy: policy, Steps: len(script)}
+	choices := cpnet.Outcome{}
+	display := func() error {
+		view, err := doc.ReconfigPresentation(choices)
+		if err != nil {
+			return err
+		}
+		for _, c := range doc.Components() {
+			if c.Composite() || !view.Visible[c.Name] {
+				continue
+			}
+			p, err := c.Presentation(view.Outcome[c.Name])
+			if err != nil || p.ObjectID == 0 {
+				continue
+			}
+			res.Demands++
+			if pf != nil {
+				if _, ok := pf.Cache.Get(p.ObjectID); ok {
+					res.Hits++
+					continue
+				}
+				data, err := fetch(p.ObjectID)
+				if err != nil {
+					return err
+				}
+				pf.Cache.Put(p.ObjectID, data)
+			}
+			res.TotalResponse += link.TransferTime(p.Bytes)
+			res.DemandBytes += p.Bytes
+		}
+		return nil
+	}
+	// Initial display, then one per scripted choice.
+	if err := display(); err != nil {
+		return Result{}, err
+	}
+	warm := func() error {
+		if policy != PolicyPreference {
+			return nil
+		}
+		n, err := pf.Warm(doc, choices, warmBudget)
+		_ = n
+		return err
+	}
+	if err := warm(); err != nil {
+		return Result{}, err
+	}
+	for _, ch := range script {
+		if !doc.Prefs.HasVariable(ch.Variable) {
+			continue
+		}
+		choices[ch.Variable] = ch.Value
+		if err := display(); err != nil {
+			return Result{}, err
+		}
+		if err := warm(); err != nil {
+			return Result{}, err
+		}
+	}
+	if res.Demands > 0 {
+		res.HitRate = float64(res.Hits) / float64(res.Demands)
+		res.MeanResponse = res.TotalResponse / time.Duration(res.Demands)
+	}
+	if pf != nil {
+		res.PrefetchedBytes = pf.PrefetchedBytes
+	}
+	return res, nil
+}

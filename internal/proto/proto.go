@@ -1,0 +1,213 @@
+// Package proto defines the request/response bodies exchanged between the
+// client module and the interaction server — the remote interface that
+// RMI exposes in the paper's implementation (§5.3). Both sides gob-encode
+// these through package wire.
+package proto
+
+import (
+	"mmconf/internal/cpnet"
+	"mmconf/internal/media/voice"
+	"mmconf/internal/room"
+)
+
+// Method names.
+const (
+	MListDocuments    = "db.listDocuments"
+	MGetDocument      = "db.getDocument"
+	MGetImage         = "db.getImage"
+	MGetAudio         = "db.getAudio"
+	MGetCmp           = "db.getCmp"
+	MPutImageTexts    = "db.putImageTexts"
+	MJoinRoom         = "room.join"
+	MLeaveRoom        = "room.leave"
+	MChoice           = "room.choice"
+	MOperation        = "room.operation"
+	MAnnotate         = "room.annotate"
+	MDeleteAnnotation = "room.deleteAnnotation"
+	MFreeze           = "room.freeze"
+	MRelease          = "room.release"
+	MShareSearch      = "room.shareSearch"
+	MChat             = "room.chat"
+	MHistory          = "room.history"
+	MBroadcastStart   = "room.broadcastStart"
+	MBroadcastStop    = "room.broadcastStop"
+	MSaveMinutes      = "room.saveMinutes"
+	// MEvent is the push method carrying room.Event to clients.
+	MEvent = "room.event"
+)
+
+// ListDocumentsReq asks for the stored document catalog.
+type ListDocumentsReq struct{}
+
+// ListDocumentsResp lists document ids and titles, aligned by index.
+type ListDocumentsResp struct {
+	IDs    []string
+	Titles []string
+}
+
+// GetDocumentReq fetches a document by id.
+type GetDocumentReq struct{ DocID string }
+
+// GetDocumentResp carries the serialized document (document.Unmarshal).
+type GetDocumentResp struct{ DocData []byte }
+
+// GetImageReq fetches an image object.
+type GetImageReq struct{ ID uint64 }
+
+// GetImageResp carries one IMAGE_OBJECTS_TABLE row with payload.
+type GetImageResp struct {
+	Quality int64
+	Texts   string
+	CM      float64
+	Data    []byte
+}
+
+// GetAudioReq fetches an audio object.
+type GetAudioReq struct{ ID uint64 }
+
+// GetAudioResp carries one AUDIO_OBJECTS_TABLE row with payload.
+type GetAudioResp struct {
+	Filename string
+	Sectors  []byte
+	Data     []byte
+}
+
+// GetCmpReq fetches a compressed stream, optionally truncated to the
+// first MaxLayers layers (0 = all) — the multi-resolution transfer path:
+// a low-bandwidth client asks for fewer layers and decodes a coarser
+// image (Fig. 9).
+type GetCmpReq struct {
+	ID        uint64
+	MaxLayers int
+}
+
+// GetCmpResp carries the stream header and the (possibly truncated) body.
+type GetCmpResp struct {
+	Filename string
+	Header   []byte
+	Data     []byte
+}
+
+// PutImageTextsReq persists updated annotations into the image object.
+type PutImageTextsReq struct {
+	ID    uint64
+	Texts string
+}
+
+// JoinRoomReq enters the named shared room around a document. The first
+// joiner binds the room to DocID; later joiners may pass an empty DocID.
+type JoinRoomReq struct {
+	Room  string
+	DocID string
+	User  string
+}
+
+// JoinRoomResp carries the document, the catch-up history, and the
+// member's initial presentation.
+type JoinRoomResp struct {
+	DocData []byte
+	History []room.Event
+	Outcome cpnet.Outcome
+	Visible map[string]bool
+}
+
+// LeaveRoomReq exits a room.
+type LeaveRoomReq struct {
+	Room string
+	User string
+}
+
+// ChoiceReq records a presentation choice (empty Value retracts).
+type ChoiceReq struct {
+	Room     string
+	User     string
+	Variable string
+	Value    string
+}
+
+// OperationReq applies a media operation per §4.2.
+type OperationReq struct {
+	Room       string
+	User       string
+	Component  string
+	Op         string
+	ActiveWhen string
+	Private    bool
+}
+
+// OperationResp names the derived variable.
+type OperationResp struct{ DerivedVar string }
+
+// AnnotateReq writes a text or line element on an image object.
+type AnnotateReq struct {
+	Room           string
+	User           string
+	ObjectID       uint64
+	Kind           int // image.AnnotationKind
+	X1, Y1, X2, Y2 int
+	Text           string
+	Intensity      float64
+}
+
+// AnnotateResp returns the new element's id.
+type AnnotateResp struct{ AnnotationID int }
+
+// DeleteAnnotationReq removes an overlay element.
+type DeleteAnnotationReq struct {
+	Room         string
+	User         string
+	ObjectID     uint64
+	AnnotationID int
+}
+
+// FreezeReq locks an object against edits by other partners.
+type FreezeReq struct {
+	Room     string
+	User     string
+	ObjectID uint64
+}
+
+// ReleaseReq lifts a freeze.
+type ReleaseReq = FreezeReq
+
+// ShareSearchReq propagates voice-search results to the room.
+type ShareSearchReq struct {
+	Room    string
+	User    string
+	Speaker bool // false = word search, true = speaker search
+	Keyword string
+	Hits    []voice.Hit
+}
+
+// ChatReq sends a free-text message to the room.
+type ChatReq struct {
+	Room string
+	User string
+	Text string
+}
+
+// HistoryReq replays buffered events newer than Since.
+type HistoryReq struct {
+	Room  string
+	Since uint64
+}
+
+// HistoryResp carries the replayed events.
+type HistoryResp struct{ Events []room.Event }
+
+// BroadcastReq starts or stops a broadcast by the named member.
+type BroadcastReq struct {
+	Room string
+	User string
+}
+
+// SaveMinutesReq persists the room's discussion results into the document
+// and the image objects (the paper's "results of the discussions ... may
+// be stored in the file").
+type SaveMinutesReq struct {
+	Room string
+	User string
+}
+
+// SaveMinutesResp names the new minutes component.
+type SaveMinutesResp struct{ Component string }

@@ -1,0 +1,64 @@
+package room
+
+import "fmt"
+
+// This file implements the "broadcasting" of the paper's future work
+// (§6): one partner — the presenter — takes the floor, and every member's
+// client mirrors the presenter's presentation instead of their own
+// personalized view. Presentation choices by anyone else are rejected for
+// the duration; content actions (annotations, chat, searches) remain open
+// to all, as in a real case conference.
+
+// Broadcast event kinds, appended after the base kinds.
+const (
+	EvBroadcastStart EventKind = iota + EvChat + 1
+	EvBroadcastStop
+)
+
+// StartBroadcast makes the named member the presenter. Fails if a
+// broadcast is already running.
+func (r *Room) StartBroadcast(presenter string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[presenter]; !ok {
+		return fmt.Errorf("room %s: no member %q", r.Name, presenter)
+	}
+	if r.broadcaster != "" {
+		return fmt.Errorf("room %s: %s is already broadcasting", r.Name, r.broadcaster)
+	}
+	r.broadcaster = presenter
+	r.broadcastLocked(Event{Actor: presenter, Kind: EvBroadcastStart}, true)
+	return nil
+}
+
+// StopBroadcast ends the broadcast; only the presenter may stop it. When
+// the presenter leaves the room the broadcast ends automatically.
+func (r *Room) StopBroadcast(presenter string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.broadcaster == "" {
+		return fmt.Errorf("room %s: no broadcast running", r.Name)
+	}
+	if r.broadcaster != presenter {
+		return fmt.Errorf("room %s: %s is broadcasting, not %s", r.Name, r.broadcaster, presenter)
+	}
+	r.broadcaster = ""
+	r.broadcastLocked(Event{Actor: presenter, Kind: EvBroadcastStop}, true)
+	return nil
+}
+
+// Broadcaster returns the current presenter ("" when no broadcast runs).
+func (r *Room) Broadcaster() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.broadcaster
+}
+
+// checkFloorLocked rejects presentation changes by non-presenters while a
+// broadcast is running. Caller holds r.mu.
+func (r *Room) checkFloorLocked(actor string) error {
+	if r.broadcaster != "" && actor != r.broadcaster {
+		return fmt.Errorf("room %s: %s is broadcasting; presentation changes are theirs alone", r.Name, r.broadcaster)
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package room
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mmconf/internal/workload"
+)
+
+// TestQuickRoomInvariants drives a room with random member action
+// sequences and checks structural invariants after every step:
+//
+//   - the engine's member set matches the room's member set,
+//   - every frozen object is held by a current member,
+//   - at most one broadcaster, and the broadcaster is a member,
+//   - event sequence numbers in the change buffer strictly increase,
+//   - every member can always compute a valid view.
+func TestQuickRoomInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		doc, err := workload.MedicalRecord("prop", seed)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		ct, _ := doc.Component("ct")
+		for i := range ct.Presentations {
+			if ct.Presentations[i].Name != "hidden" {
+				ct.Presentations[i].ObjectID = 11
+			}
+		}
+		r, err := New("prop", doc)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		defer r.Close()
+
+		users := []string{"u0", "u1", "u2", "u3"}
+		present := map[string]bool{}
+		drainers := map[string]chan struct{}{}
+		join := func(u string) {
+			if present[u] {
+				return
+			}
+			m, _, _, err := r.Join(u)
+			if err != nil {
+				t.Logf("join: %v", err)
+				return
+			}
+			present[u] = true
+			done := make(chan struct{})
+			drainers[u] = done
+			go func() {
+				for range m.Events() {
+				}
+				close(done)
+			}()
+		}
+		join("u0")
+
+		vars := doc.Prefs.Variables()
+		ops := 60 + rng.Intn(100)
+		for i := 0; i < ops; i++ {
+			u := users[rng.Intn(len(users))]
+			switch rng.Intn(10) {
+			case 0:
+				join(u)
+			case 1:
+				if present[u] && len(present) > 1 {
+					if err := r.Leave(u); err != nil {
+						t.Logf("leave: %v", err)
+						return false
+					}
+					delete(present, u)
+					delete(drainers, u)
+				}
+			case 2, 3, 4:
+				if present[u] {
+					v := vars[rng.Intn(len(vars))]
+					val := v.Domain[rng.Intn(len(v.Domain))]
+					// May legitimately fail during a broadcast.
+					_ = r.Choice(u, v.Name, val)
+				}
+			case 5:
+				if present[u] {
+					_ = r.Freeze(u, 11)
+				}
+			case 6:
+				if present[u] {
+					_ = r.Release(u, 11)
+				}
+			case 7:
+				if present[u] {
+					_ = r.StartBroadcast(u)
+				}
+			case 8:
+				if present[u] {
+					_ = r.StopBroadcast(u)
+				}
+			case 9:
+				if present[u] {
+					_ = r.Chat(u, fmt.Sprintf("m%d", i))
+				}
+			}
+
+			// --- Invariants ---
+			members := r.Members()
+			if len(members) != len(present) {
+				t.Logf("step %d: members %v vs present %v", i, members, present)
+				return false
+			}
+			engineViewers := r.Engine().Viewers()
+			if len(engineViewers) != len(members) {
+				t.Logf("step %d: engine viewers %v vs members %v", i, engineViewers, members)
+				return false
+			}
+			if holder := r.FrozenBy(11); holder != "" && !present[holder] {
+				t.Logf("step %d: freeze held by departed %q", i, holder)
+				return false
+			}
+			if b := r.Broadcaster(); b != "" && !present[b] {
+				t.Logf("step %d: broadcaster %q not present", i, b)
+				return false
+			}
+			var last uint64
+			for _, ev := range r.History(0) {
+				if ev.Seq <= last {
+					t.Logf("step %d: seq not increasing", i)
+					return false
+				}
+				last = ev.Seq
+			}
+			for m := range present {
+				if _, err := r.Engine().ViewFor(m); err != nil {
+					t.Logf("step %d: view for %s: %v", i, m, err)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

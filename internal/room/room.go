@@ -1,0 +1,554 @@
+// Package room implements the shared "rooms" of the interaction server
+// (§3, §5.3 of the paper). Multiple clients enter a room around one
+// multimedia document; every action one partner takes — a presentation
+// choice, a media operation, writing text on an image, a keyword search —
+// is immediately propagated to all other partners. The room also enforces
+// the freeze/release discipline of the IP module ("freezing of multimedia
+// objects by one partner from the rest") and keeps the change buffer the
+// paper describes: "a large memory buffer which maintains the changes made
+// on the changed objects", from which late joiners catch up.
+package room
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mmconf/internal/core"
+	"mmconf/internal/cpnet"
+	"mmconf/internal/document"
+	"mmconf/internal/media/image"
+	"mmconf/internal/media/voice"
+)
+
+// EventKind classifies room events.
+type EventKind int
+
+// Event kinds.
+const (
+	EvJoin EventKind = iota
+	EvLeave
+	EvChoice
+	EvOperation
+	EvAnnotate
+	EvDeleteAnnotation
+	EvFreeze
+	EvRelease
+	EvPresentation
+	EvWordSearch
+	EvSpeakerSearch
+	EvChat
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	names := [...]string{"join", "leave", "choice", "operation", "annotate",
+		"delete-annotation", "freeze", "release", "presentation",
+		"word-search", "speaker-search", "chat",
+		"broadcast-start", "broadcast-stop"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one propagated room change. Only the fields relevant to the
+// Kind are set.
+type Event struct {
+	Seq   uint64
+	Room  string
+	Actor string
+	Kind  EventKind
+
+	// EvChoice.
+	Variable, Value string
+	// EvOperation.
+	Component, Op, ActiveWhen, DerivedVar string
+	Private                               bool
+	// EvAnnotate / EvDeleteAnnotation / EvFreeze / EvRelease.
+	ObjectID     uint64
+	Annotation   image.Annotation
+	AnnotationID int
+	// EvPresentation: the receiving member's own updated view.
+	Outcome cpnet.Outcome
+	Visible map[string]bool
+	// EvWordSearch / EvSpeakerSearch: cooperative search results.
+	Keyword string
+	Hits    []voice.Hit
+	// EvChat.
+	Text string
+}
+
+// memberQueueSize bounds each member's event queue; a member that stops
+// draining for this many events is evicted rather than stalling the room.
+const memberQueueSize = 256
+
+// changeBufferSize bounds the room's change buffer (oldest entries are
+// discarded first — "the changed objects are saved and discarded from the
+// room as soon as they are not needed").
+const changeBufferSize = 1024
+
+// Member is one participant's session in a room.
+type Member struct {
+	Name string
+	room *Room
+	ch   chan Event
+}
+
+// Events returns the member's event stream. The channel closes when the
+// member leaves or is evicted.
+func (m *Member) Events() <-chan Event { return m.ch }
+
+// Room is one shared session around a document.
+type Room struct {
+	Name string
+
+	mu      sync.Mutex
+	engine  *core.Engine
+	members map[string]*Member
+	frozen  map[uint64]string // object id -> holder
+	anns    map[uint64]*image.Annotated
+	rasters map[uint64]*image.Gray // base rasters for annotation rendering
+	buf     []Event
+	seq     uint64
+	closed  bool
+
+	// broadcaster is the presenting member while a broadcast runs ("").
+	broadcaster string
+
+	// Dynamic event triggers (future work of §6, implemented here).
+	triggers   []*Trigger
+	triggerSeq uint64
+	triggerCh  chan Event
+	triggerWG  chan struct{} // closed when the dispatch goroutine exits
+}
+
+// New creates a room around a document.
+func New(name string, doc *document.Document) (*Room, error) {
+	if name == "" {
+		return nil, fmt.Errorf("room: empty room name")
+	}
+	engine, err := core.NewEngine(doc)
+	if err != nil {
+		return nil, err
+	}
+	r := &Room{
+		Name:      name,
+		engine:    engine,
+		members:   make(map[string]*Member),
+		frozen:    make(map[uint64]string),
+		anns:      make(map[uint64]*image.Annotated),
+		rasters:   make(map[uint64]*image.Gray),
+		triggerCh: make(chan Event, 256),
+		triggerWG: make(chan struct{}),
+	}
+	go r.triggerLoop()
+	return r, nil
+}
+
+// triggerLoop dispatches events to installed triggers asynchronously, so
+// trigger bodies can call room methods without deadlocking.
+func (r *Room) triggerLoop() {
+	defer close(r.triggerWG)
+	for ev := range r.triggerCh {
+		r.runTriggers(ev)
+	}
+}
+
+// Engine exposes the room's presentation engine.
+func (r *Room) Engine() *core.Engine { return r.engine }
+
+// Join adds a member, replays the change buffer to them as a catch-up
+// snapshot, and announces the join to everyone.
+func (r *Room) Join(name string) (*Member, []Event, document.View, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, nil, document.View{}, fmt.Errorf("room %s: closed", r.Name)
+	}
+	if _, dup := r.members[name]; dup {
+		return nil, nil, document.View{}, fmt.Errorf("room %s: member %q already present", r.Name, name)
+	}
+	view, err := r.engine.Join(name)
+	if err != nil {
+		return nil, nil, document.View{}, err
+	}
+	m := &Member{Name: name, room: r, ch: make(chan Event, memberQueueSize)}
+	r.members[name] = m
+	history := append([]Event(nil), r.buf...)
+	r.broadcastLocked(Event{Room: r.Name, Actor: name, Kind: EvJoin}, true)
+	return m, history, view, nil
+}
+
+// Leave removes a member, retracts their choices, and reconfigures the
+// remaining members' presentations if needed.
+func (r *Room) Leave(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.members[name]
+	if !ok {
+		return fmt.Errorf("room %s: no member %q", r.Name, name)
+	}
+	delete(r.members, name)
+	close(m.ch)
+	if r.broadcaster == name {
+		r.broadcaster = ""
+		r.broadcastLocked(Event{Room: r.Name, Actor: name, Kind: EvBroadcastStop}, false)
+	}
+	changed, err := r.engine.Leave(name)
+	if err != nil {
+		return err
+	}
+	// Release any freezes the departing member held.
+	for id, holder := range r.frozen {
+		if holder == name {
+			delete(r.frozen, id)
+			r.broadcastLocked(Event{Room: r.Name, Actor: name, Kind: EvRelease, ObjectID: id}, false)
+		}
+	}
+	r.broadcastLocked(Event{Room: r.Name, Actor: name, Kind: EvLeave}, changed)
+	return nil
+}
+
+// Members lists current member names, sorted.
+func (r *Room) Members() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.members))
+	for n := range r.members {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Close evicts everyone and shuts the room down.
+func (r *Room) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	for name, m := range r.members {
+		close(m.ch)
+		delete(r.members, name)
+	}
+	r.closed = true
+	r.mu.Unlock()
+	close(r.triggerCh)
+	<-r.triggerWG
+}
+
+// broadcastLocked stamps, buffers and fans an event out, then (when
+// reconfigure is set) pushes each member their updated presentation.
+// Callers hold r.mu.
+func (r *Room) broadcastLocked(ev Event, reconfigure bool) {
+	r.seq++
+	ev.Seq = r.seq
+	ev.Room = r.Name
+	r.buf = append(r.buf, ev)
+	if len(r.buf) > changeBufferSize {
+		r.buf = r.buf[len(r.buf)-changeBufferSize:]
+	}
+	if !r.closed {
+		select {
+		case r.triggerCh <- ev: // async trigger evaluation
+		default: // trigger backlog full: shed rather than stall the room
+		}
+	}
+	r.fanOutLocked(ev)
+	if reconfigure {
+		views, err := r.engine.Views()
+		if err != nil {
+			return
+		}
+		for name, m := range r.members {
+			v, ok := views[name]
+			if !ok {
+				continue
+			}
+			// During a broadcast everyone mirrors the presenter's view.
+			if r.broadcaster != "" {
+				if pv, ok := views[r.broadcaster]; ok {
+					v = pv
+				}
+			}
+			r.seq++
+			pe := Event{
+				Seq: r.seq, Room: r.Name, Actor: name, Kind: EvPresentation,
+				Outcome: v.Outcome, Visible: v.Visible,
+			}
+			r.deliverLocked(m, pe)
+		}
+	}
+}
+
+// fanOutLocked delivers one event to every member.
+func (r *Room) fanOutLocked(ev Event) {
+	for _, m := range r.members {
+		r.deliverLocked(m, ev)
+	}
+}
+
+// deliverLocked enqueues an event; when a member's queue is full the
+// oldest queued event is discarded to make room, so a stalled client
+// never blocks the room and, once it resumes draining, can resynchronize
+// from History (mirroring the paper's buffer, which discards changes "as
+// soon as they are not needed by the clients").
+func (r *Room) deliverLocked(m *Member, ev Event) {
+	for {
+		select {
+		case m.ch <- ev:
+			return
+		default:
+			select {
+			case <-m.ch: // drop the oldest queued event
+			default:
+			}
+		}
+	}
+}
+
+// Choice records a presentation choice and propagates it.
+func (r *Room) Choice(actor, variable, value string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[actor]; !ok {
+		return fmt.Errorf("room %s: no member %q", r.Name, actor)
+	}
+	if err := r.checkFloorLocked(actor); err != nil {
+		return err
+	}
+	if _, err := r.engine.Choice(actor, variable, value); err != nil {
+		return err
+	}
+	r.broadcastLocked(Event{Actor: actor, Kind: EvChoice, Variable: variable, Value: value}, true)
+	return nil
+}
+
+// Operation applies a media operation (§4.2) and propagates it. Shared
+// operations change everyone's network; private ones only the actor's
+// overlay — but the event is still announced so partners see the action.
+func (r *Room) Operation(actor, component, op, activeWhen string, private bool) (string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[actor]; !ok {
+		return "", fmt.Errorf("room %s: no member %q", r.Name, actor)
+	}
+	if err := r.checkFloorLocked(actor); err != nil {
+		return "", err
+	}
+	if holder := r.frozenHolderForComponentLocked(component); holder != "" && holder != actor {
+		return "", fmt.Errorf("room %s: component %q is frozen by %s", r.Name, component, holder)
+	}
+	name, err := r.engine.Operation(actor, component, op, activeWhen, private)
+	if err != nil {
+		return "", err
+	}
+	r.broadcastLocked(Event{
+		Actor: actor, Kind: EvOperation,
+		Component: component, Op: op, ActiveWhen: activeWhen,
+		DerivedVar: name, Private: private,
+	}, true)
+	return name, nil
+}
+
+// frozenHolderForComponentLocked returns who froze any object the
+// component's presentations reference, or "".
+func (r *Room) frozenHolderForComponentLocked(component string) string {
+	c, err := r.engine.Document().Component(component)
+	if err != nil {
+		return ""
+	}
+	for _, p := range c.Presentations {
+		if p.ObjectID != 0 {
+			if holder, ok := r.frozen[p.ObjectID]; ok {
+				return holder
+			}
+		}
+	}
+	return ""
+}
+
+// RegisterRaster provides the base raster of an image object so that
+// annotation rendering (Rendered) works server-side.
+func (r *Room) RegisterRaster(objectID uint64, g *image.Gray) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rasters[objectID] = g
+}
+
+// Annotate writes a text or line element on an image object and
+// propagates it — "when one user writes some text on an image, the others
+// can see the text".
+func (r *Room) Annotate(actor string, objectID uint64, kind image.AnnotationKind,
+	x1, y1, x2, y2 int, text string, intensity float64) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[actor]; !ok {
+		return 0, fmt.Errorf("room %s: no member %q", r.Name, actor)
+	}
+	if holder, ok := r.frozen[objectID]; ok && holder != actor {
+		return 0, fmt.Errorf("room %s: object %d is frozen by %s", r.Name, objectID, holder)
+	}
+	ann := r.annotatedLocked(objectID)
+	var id int
+	var err error
+	switch kind {
+	case image.TextElement:
+		id, err = ann.AddText(x1, y1, text, intensity)
+	case image.LineElement:
+		id = ann.AddLine(x1, y1, x2, y2, intensity)
+	default:
+		return 0, fmt.Errorf("room %s: unknown annotation kind %d", r.Name, kind)
+	}
+	if err != nil {
+		return 0, err
+	}
+	stored := ann.Annotations[len(ann.Annotations)-1]
+	r.broadcastLocked(Event{
+		Actor: actor, Kind: EvAnnotate, ObjectID: objectID,
+		Annotation: stored, AnnotationID: id,
+	}, false)
+	return id, nil
+}
+
+// annotatedLocked returns (creating if needed) the annotation overlay of
+// an object.
+func (r *Room) annotatedLocked(objectID uint64) *image.Annotated {
+	ann, ok := r.anns[objectID]
+	if !ok {
+		base := r.rasters[objectID]
+		if base == nil {
+			base, _ = image.New(1, 1) // annotations can exist before the raster is registered
+		}
+		ann = image.NewAnnotated(base)
+		r.anns[objectID] = ann
+	}
+	return ann
+}
+
+// DeleteAnnotation removes an overlay element and propagates the removal.
+func (r *Room) DeleteAnnotation(actor string, objectID uint64, annotationID int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[actor]; !ok {
+		return fmt.Errorf("room %s: no member %q", r.Name, actor)
+	}
+	if holder, ok := r.frozen[objectID]; ok && holder != actor {
+		return fmt.Errorf("room %s: object %d is frozen by %s", r.Name, objectID, holder)
+	}
+	ann, ok := r.anns[objectID]
+	if !ok {
+		return fmt.Errorf("room %s: object %d has no annotations", r.Name, objectID)
+	}
+	if err := ann.Delete(annotationID); err != nil {
+		return err
+	}
+	r.broadcastLocked(Event{
+		Actor: actor, Kind: EvDeleteAnnotation,
+		ObjectID: objectID, AnnotationID: annotationID,
+	}, false)
+	return nil
+}
+
+// Annotations returns a copy of an object's current overlay.
+func (r *Room) Annotations(objectID uint64) []image.Annotation {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ann, ok := r.anns[objectID]
+	if !ok {
+		return nil
+	}
+	return append([]image.Annotation(nil), ann.Annotations...)
+}
+
+// Rendered returns the object's raster with annotations burned in, if its
+// base raster was registered.
+func (r *Room) Rendered(objectID uint64) (*image.Gray, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.rasters[objectID] == nil {
+		return nil, fmt.Errorf("room %s: no raster registered for object %d", r.Name, objectID)
+	}
+	return r.annotatedLocked(objectID).Render(), nil
+}
+
+// Freeze locks an object against changes by other partners.
+func (r *Room) Freeze(actor string, objectID uint64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[actor]; !ok {
+		return fmt.Errorf("room %s: no member %q", r.Name, actor)
+	}
+	if holder, ok := r.frozen[objectID]; ok {
+		return fmt.Errorf("room %s: object %d already frozen by %s", r.Name, objectID, holder)
+	}
+	r.frozen[objectID] = actor
+	r.broadcastLocked(Event{Actor: actor, Kind: EvFreeze, ObjectID: objectID}, false)
+	return nil
+}
+
+// Release lifts a freeze; only the holder may release.
+func (r *Room) Release(actor string, objectID uint64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	holder, ok := r.frozen[objectID]
+	if !ok {
+		return fmt.Errorf("room %s: object %d is not frozen", r.Name, objectID)
+	}
+	if holder != actor {
+		return fmt.Errorf("room %s: object %d is frozen by %s, not %s", r.Name, objectID, holder, actor)
+	}
+	delete(r.frozen, objectID)
+	r.broadcastLocked(Event{Actor: actor, Kind: EvRelease, ObjectID: objectID}, false)
+	return nil
+}
+
+// FrozenBy reports who holds the freeze on an object ("" if unfrozen).
+func (r *Room) FrozenBy(objectID uint64) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.frozen[objectID]
+}
+
+// ShareSearch propagates the results of a voice search (word or speaker
+// spotting) to all partners — the cooperative integration of §3.2: "if
+// one does keyword searches, the results will be visible and usable to
+// other partners in the chat room".
+func (r *Room) ShareSearch(actor string, kind EventKind, keyword string, hits []voice.Hit) error {
+	if kind != EvWordSearch && kind != EvSpeakerSearch {
+		return fmt.Errorf("room %s: %v is not a search kind", r.Name, kind)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[actor]; !ok {
+		return fmt.Errorf("room %s: no member %q", r.Name, actor)
+	}
+	r.broadcastLocked(Event{Actor: actor, Kind: kind, Keyword: keyword, Hits: hits}, false)
+	return nil
+}
+
+// Chat propagates a free-text message.
+func (r *Room) Chat(actor, text string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[actor]; !ok {
+		return fmt.Errorf("room %s: no member %q", r.Name, actor)
+	}
+	r.broadcastLocked(Event{Actor: actor, Kind: EvChat, Text: text}, false)
+	return nil
+}
+
+// History returns buffered events with Seq greater than since.
+func (r *Room) History(since uint64) []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Event
+	for _, ev := range r.buf {
+		if ev.Seq > since {
+			out = append(out, ev)
+		}
+	}
+	return out
+}

@@ -1,0 +1,319 @@
+package room
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"mmconf/internal/media/image"
+	"mmconf/internal/media/voice"
+)
+
+// waitFor polls until cond is true or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestTriggerFiresOnMatchingKind(t *testing.T) {
+	r := newRoom(t)
+	alice, _, _, _ := r.Join("alice")
+	drain(alice)
+
+	// Rule: when any word search hits, surface the voice component as
+	// audio for everyone (the natural telemedicine trigger).
+	trig, err := r.AddTrigger("surface-voice", []EventKind{EvWordSearch}, func(r *Room, ev Event) error {
+		if len(ev.Hits) == 0 {
+			return nil
+		}
+		return r.SystemChoice("voice", "audio")
+	})
+	if err != nil {
+		t.Fatalf("AddTrigger: %v", err)
+	}
+	// Force the voice away from audio first.
+	if err := r.Choice("alice", "voice", "transcript"); err != nil {
+		t.Fatal(err)
+	}
+	hits := []voice.Hit{{Word: "urgent", Start: 0, End: 100, Score: 2}}
+	if err := r.ShareSearch("alice", EvWordSearch, "urgent", hits); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "trigger to fire", func() bool { return trig.Fired() >= 1 })
+	// The system choice must land and flip the presentation back.
+	waitFor(t, "system choice", func() bool {
+		v, err := r.Engine().ViewFor("alice")
+		return err == nil && v.Outcome["voice"] == "audio"
+	})
+	// The system event is in the change buffer with the trigger actor.
+	found := false
+	for _, ev := range r.History(0) {
+		if ev.Kind == EvChoice && ev.Actor == triggerActor && ev.Variable == "voice" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("trigger action missing from change buffer")
+	}
+}
+
+func TestTriggerKindFilter(t *testing.T) {
+	r := newRoom(t)
+	r.Join("alice")
+	trig, err := r.AddTrigger("chat-only", []EventKind{EvChat}, func(r *Room, ev Event) error {
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Choice("alice", "ct", "segmented"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Chat("alice", "hello"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "chat trigger", func() bool { return trig.Fired() == 1 })
+	// The choice must not have fired it.
+	time.Sleep(50 * time.Millisecond)
+	if trig.Fired() != 1 {
+		t.Errorf("fired = %d, want 1 (kind filter leaked)", trig.Fired())
+	}
+}
+
+func TestTriggerNoCascade(t *testing.T) {
+	r := newRoom(t)
+	r.Join("alice")
+	trig, err := r.AddTrigger("echo", []EventKind{EvChat}, func(r *Room, ev Event) error {
+		return r.SystemChat("echo: " + ev.Text)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Chat("alice", "ping"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "echo trigger", func() bool { return trig.Fired() >= 1 })
+	time.Sleep(100 * time.Millisecond)
+	if got := trig.Fired(); got != 1 {
+		t.Fatalf("trigger fired %d times — system chat re-triggered it", got)
+	}
+	// Exactly one echo in the buffer.
+	echoes := 0
+	for _, ev := range r.History(0) {
+		if ev.Kind == EvChat && ev.Actor == triggerActor {
+			echoes++
+		}
+	}
+	if echoes != 1 {
+		t.Errorf("echoes = %d", echoes)
+	}
+}
+
+func TestTriggerDeactivatesOnError(t *testing.T) {
+	r := newRoom(t)
+	r.Join("alice")
+	trig, err := r.AddTrigger("flaky", []EventKind{EvChat}, func(r *Room, ev Event) error {
+		return fmt.Errorf("boom")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Chat("alice", "one")
+	waitFor(t, "first firing", func() bool { return trig.Fired() == 1 })
+	waitFor(t, "deactivation", func() bool { return !trig.Active() })
+	r.Chat("alice", "two")
+	time.Sleep(50 * time.Millisecond)
+	if trig.Fired() != 1 {
+		t.Errorf("deactivated trigger fired again: %d", trig.Fired())
+	}
+}
+
+func TestTriggerManagement(t *testing.T) {
+	r := newRoom(t)
+	if _, err := r.AddTrigger("", nil, func(*Room, Event) error { return nil }); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := r.AddTrigger("x", nil, nil); err == nil {
+		t.Error("nil function accepted")
+	}
+	t1, _ := r.AddTrigger("a", nil, func(*Room, Event) error { return nil })
+	t2, _ := r.AddTrigger("b", nil, func(*Room, Event) error { return nil })
+	if got := r.Triggers(); len(got) != 2 || got[0].ID != t1.ID || got[1].ID != t2.ID {
+		t.Errorf("Triggers = %v", got)
+	}
+	if err := r.RemoveTrigger(t1.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RemoveTrigger(t1.ID); err == nil {
+		t.Error("double remove accepted")
+	}
+	if got := r.Triggers(); len(got) != 1 || got[0].ID != t2.ID {
+		t.Errorf("Triggers after remove = %v", got)
+	}
+}
+
+func TestSystemChoiceRequiresMembers(t *testing.T) {
+	r := newRoom(t)
+	if err := r.SystemChoice("ct", "hidden"); err == nil {
+		t.Error("system choice on empty room accepted")
+	}
+	r.Join("alice")
+	if err := r.SystemChoice("nosuch", "x"); err == nil {
+		t.Error("unknown variable accepted")
+	}
+	if err := r.SystemChoice("ct", "hidden"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBroadcastFloorControl(t *testing.T) {
+	r := newRoom(t)
+	alice, _, _, _ := r.Join("alice")
+	bob, _, _, _ := r.Join("bob")
+	drain(alice)
+	drain(bob)
+
+	if err := r.StartBroadcast("ghost"); err == nil {
+		t.Error("non-member presenter accepted")
+	}
+	if err := r.StartBroadcast("alice"); err != nil {
+		t.Fatalf("StartBroadcast: %v", err)
+	}
+	if r.Broadcaster() != "alice" {
+		t.Error("Broadcaster wrong")
+	}
+	if err := r.StartBroadcast("bob"); err == nil {
+		t.Error("second broadcast accepted")
+	}
+	// Bob cannot change the presentation; alice can.
+	if err := r.Choice("bob", "ct", "hidden"); err == nil {
+		t.Error("non-presenter choice accepted during broadcast")
+	}
+	if _, err := r.Operation("bob", "ct", "zoom", "full", true); err == nil {
+		t.Error("non-presenter operation accepted during broadcast")
+	}
+	if err := r.Choice("alice", "ct", "segmented"); err != nil {
+		t.Fatalf("presenter choice: %v", err)
+	}
+	// Bob's pushed presentation mirrors the presenter.
+	sawMirror := false
+	for _, ev := range drain(bob) {
+		if ev.Kind == EvPresentation && ev.Outcome["ct"] == "segmented" {
+			sawMirror = true
+		}
+	}
+	if !sawMirror {
+		t.Error("bob did not receive the presenter's view")
+	}
+	// Content actions stay open to everyone.
+	if err := r.Chat("bob", "question: lower lobe?"); err != nil {
+		t.Errorf("chat blocked during broadcast: %v", err)
+	}
+	// Only the presenter stops the broadcast.
+	if err := r.StopBroadcast("bob"); err == nil {
+		t.Error("non-presenter stop accepted")
+	}
+	if err := r.StopBroadcast("alice"); err != nil {
+		t.Fatalf("StopBroadcast: %v", err)
+	}
+	if err := r.StopBroadcast("alice"); err == nil {
+		t.Error("double stop accepted")
+	}
+	// Bob regains the floor.
+	if err := r.Choice("bob", "ct", "full"); err != nil {
+		t.Errorf("post-broadcast choice blocked: %v", err)
+	}
+}
+
+func TestBroadcastEndsWhenPresenterLeaves(t *testing.T) {
+	r := newRoom(t)
+	r.Join("alice")
+	bob, _, _, _ := r.Join("bob")
+	drain(bob)
+	if err := r.StartBroadcast("alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Leave("alice"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Broadcaster() != "" {
+		t.Error("broadcast survived the presenter's departure")
+	}
+	sawStop := false
+	for _, ev := range drain(bob) {
+		if ev.Kind == EvBroadcastStop {
+			sawStop = true
+		}
+	}
+	if !sawStop {
+		t.Error("broadcast-stop event not propagated")
+	}
+	if err := r.Choice("bob", "ct", "hidden"); err != nil {
+		t.Errorf("floor not released: %v", err)
+	}
+}
+
+func TestBroadcastEventKindNames(t *testing.T) {
+	if EvBroadcastStart.String() != "broadcast-start" || EvBroadcastStop.String() != "broadcast-stop" {
+		t.Errorf("names: %s, %s", EvBroadcastStart, EvBroadcastStop)
+	}
+}
+
+func TestMinutesSnapshotAndComponent(t *testing.T) {
+	r := newRoom(t)
+	base, _ := image.Phantom(32, 32, 1)
+	r.RegisterRaster(11, base)
+	alice, _, _, _ := r.Join("alice")
+	drain(alice)
+	r.Chat("alice", "suspicious density upper lobe")
+	r.ShareSearch("alice", EvWordSearch, "urgent", []voice.Hit{{Word: "urgent", Start: 1, End: 2, Score: 1}})
+	if _, err := r.Annotate("alice", 11, image.TextElement, 5, 5, 0, 0, "lesion", 1); err != nil {
+		t.Fatal(err)
+	}
+	m := r.Minutes()
+	if len(m.Chat) != 1 || len(m.Searches) != 1 || len(m.Annotations[11]) != 1 {
+		t.Fatalf("minutes = %+v", m)
+	}
+	tr := m.Transcript()
+	for _, want := range []string{"suspicious density", "urgent", "lesion", "object 11"} {
+		if !strings.Contains(tr, want) {
+			t.Errorf("transcript missing %q:\n%s", want, tr)
+		}
+	}
+	name, err := r.AddMinutesComponent("alice", tr)
+	if err != nil {
+		t.Fatalf("AddMinutesComponent: %v", err)
+	}
+	doc := r.Engine().Document()
+	comp, err := doc.Component(name)
+	if err != nil {
+		t.Fatalf("minutes component missing: %v", err)
+	}
+	if string(comp.Presentations[0].Inline) != tr {
+		t.Error("transcript not stored inline")
+	}
+	// The new component shows up in members' presentations.
+	v, err := r.Engine().ViewFor("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Outcome[name] != "text" || !v.Visible[name] {
+		t.Errorf("minutes not presented: %v", v.Outcome[name])
+	}
+	// A second save gets a fresh name.
+	name2, err := r.AddMinutesComponent("alice", "more")
+	if err != nil || name2 == name {
+		t.Errorf("second minutes name %q (%v)", name2, err)
+	}
+	if _, err := r.AddMinutesComponent("ghost", "x"); err == nil {
+		t.Error("non-member save accepted")
+	}
+}

@@ -1,0 +1,487 @@
+// Package server implements the interaction server of the paper (§3,
+// §5.3): it serves multimedia objects and documents out of the database
+// server, manages the shared rooms, keeps track of user actions, hands
+// them to the presentation module, and propagates every change to all
+// clients in the room over the wire layer's push channel.
+package server
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"mmconf/internal/document"
+	"mmconf/internal/media/compress"
+	"mmconf/internal/media/image"
+	"mmconf/internal/mediadb"
+	"mmconf/internal/proto"
+	"mmconf/internal/room"
+	"mmconf/internal/wire"
+)
+
+// Server is the interaction server.
+type Server struct {
+	db  *mediadb.MediaDB
+	rpc *wire.Server
+
+	mu    sync.Mutex
+	rooms map[string]*roomState
+}
+
+// roomState binds a live room to its document id.
+type roomState struct {
+	room  *room.Room
+	docID string
+	doc   *document.Document
+}
+
+// membership tracks one peer's presence in one room.
+type membership struct {
+	room   string
+	user   string
+	member *room.Member
+	done   chan struct{}
+}
+
+// New builds a server over an opened multimedia database.
+func New(db *mediadb.MediaDB) *Server {
+	s := &Server{db: db, rpc: wire.NewServer(), rooms: make(map[string]*roomState)}
+	s.register()
+	s.rpc.OnPeerClose(s.evictPeer)
+	return s
+}
+
+// Serve accepts connections on l until it closes.
+func (s *Server) Serve(l net.Listener) error { return s.rpc.Serve(l) }
+
+// ServeConn serves a single established connection (in-process setups).
+func (s *Server) ServeConn(conn net.Conn) { s.rpc.ServeConn(conn) }
+
+// Close shuts down listeners and rooms.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	for name, rs := range s.rooms {
+		rs.room.Close()
+		delete(s.rooms, name)
+	}
+	s.mu.Unlock()
+	return s.rpc.Close()
+}
+
+// register installs all RPC handlers.
+func (s *Server) register() {
+	s.rpc.Register(proto.MListDocuments, s.handleListDocuments)
+	s.rpc.Register(proto.MGetDocument, s.handleGetDocument)
+	s.rpc.Register(proto.MGetImage, s.handleGetImage)
+	s.rpc.Register(proto.MGetAudio, s.handleGetAudio)
+	s.rpc.Register(proto.MGetCmp, s.handleGetCmp)
+	s.rpc.Register(proto.MPutImageTexts, s.handlePutImageTexts)
+	s.rpc.Register(proto.MJoinRoom, s.handleJoinRoom)
+	s.rpc.Register(proto.MLeaveRoom, s.handleLeaveRoom)
+	s.rpc.Register(proto.MChoice, s.handleChoice)
+	s.rpc.Register(proto.MOperation, s.handleOperation)
+	s.rpc.Register(proto.MAnnotate, s.handleAnnotate)
+	s.rpc.Register(proto.MDeleteAnnotation, s.handleDeleteAnnotation)
+	s.rpc.Register(proto.MFreeze, s.handleFreeze)
+	s.rpc.Register(proto.MRelease, s.handleRelease)
+	s.rpc.Register(proto.MShareSearch, s.handleShareSearch)
+	s.rpc.Register(proto.MChat, s.handleChat)
+	s.rpc.Register(proto.MHistory, s.handleHistory)
+	s.rpc.Register(proto.MBroadcastStart, s.handleBroadcastStart)
+	s.rpc.Register(proto.MBroadcastStop, s.handleBroadcastStop)
+	s.rpc.Register(proto.MSaveMinutes, s.handleSaveMinutes)
+}
+
+// handleSaveMinutes persists the discussion's durable results: the
+// transcript becomes a new document component (stored with the document),
+// and each image object's current annotation overlay is written into its
+// FLD_TEXTS column.
+func (s *Server) handleSaveMinutes(p *wire.Peer, payload []byte) (any, error) {
+	var req proto.SaveMinutesReq
+	if err := wire.Unmarshal(payload, &req); err != nil {
+		return nil, err
+	}
+	var component string
+	err := s.withMembership(p, req.Room, req.User, func(r *room.Room) error {
+		minutes := r.Minutes()
+		name, err := r.AddMinutesComponent(req.User, minutes.Transcript())
+		if err != nil {
+			return err
+		}
+		component = name
+		for objectID, anns := range minutes.Annotations {
+			data, err := image.MarshalAnnotations(anns)
+			if err != nil {
+				return err
+			}
+			// Only image objects carry a FLD_TEXTS column; other object
+			// kinds simply skip persistence of marks.
+			if err := s.db.UpdateImageTexts(objectID, string(data)); err != nil {
+				continue
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	rs := s.rooms[req.Room]
+	s.mu.Unlock()
+	if rs == nil {
+		return nil, fmt.Errorf("server: no room %q", req.Room)
+	}
+	if err := s.db.PutDocument(rs.doc); err != nil {
+		return nil, err
+	}
+	return proto.SaveMinutesResp{Component: component}, nil
+}
+
+func (s *Server) handleBroadcastStart(p *wire.Peer, payload []byte) (any, error) {
+	var req proto.BroadcastReq
+	if err := wire.Unmarshal(payload, &req); err != nil {
+		return nil, err
+	}
+	return nil, s.withMembership(p, req.Room, req.User, func(r *room.Room) error {
+		return r.StartBroadcast(req.User)
+	})
+}
+
+func (s *Server) handleBroadcastStop(p *wire.Peer, payload []byte) (any, error) {
+	var req proto.BroadcastReq
+	if err := wire.Unmarshal(payload, &req); err != nil {
+		return nil, err
+	}
+	return nil, s.withMembership(p, req.Room, req.User, func(r *room.Room) error {
+		return r.StopBroadcast(req.User)
+	})
+}
+
+func (s *Server) handleListDocuments(p *wire.Peer, payload []byte) (any, error) {
+	ids, titles, err := s.db.ListDocuments()
+	if err != nil {
+		return nil, err
+	}
+	return proto.ListDocumentsResp{IDs: ids, Titles: titles}, nil
+}
+
+func (s *Server) handleGetDocument(p *wire.Peer, payload []byte) (any, error) {
+	var req proto.GetDocumentReq
+	if err := wire.Unmarshal(payload, &req); err != nil {
+		return nil, err
+	}
+	doc, err := s.db.GetDocument(req.DocID)
+	if err != nil {
+		return nil, err
+	}
+	data, err := doc.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return proto.GetDocumentResp{DocData: data}, nil
+}
+
+func (s *Server) handleGetImage(p *wire.Peer, payload []byte) (any, error) {
+	var req proto.GetImageReq
+	if err := wire.Unmarshal(payload, &req); err != nil {
+		return nil, err
+	}
+	img, err := s.db.GetImage(req.ID)
+	if err != nil {
+		return nil, err
+	}
+	return proto.GetImageResp{Quality: img.Quality, Texts: img.Texts, CM: img.CM, Data: img.Data}, nil
+}
+
+func (s *Server) handleGetAudio(p *wire.Peer, payload []byte) (any, error) {
+	var req proto.GetAudioReq
+	if err := wire.Unmarshal(payload, &req); err != nil {
+		return nil, err
+	}
+	a, err := s.db.GetAudio(req.ID)
+	if err != nil {
+		return nil, err
+	}
+	return proto.GetAudioResp{Filename: a.Filename, Sectors: a.Sectors, Data: a.Data}, nil
+}
+
+// handleGetCmp serves a compressed stream, truncating the body to the
+// requested layer count so low-bandwidth clients transfer less.
+func (s *Server) handleGetCmp(p *wire.Peer, payload []byte) (any, error) {
+	var req proto.GetCmpReq
+	if err := wire.Unmarshal(payload, &req); err != nil {
+		return nil, err
+	}
+	c, err := s.db.GetCmp(req.ID)
+	if err != nil {
+		return nil, err
+	}
+	body := c.Data
+	if req.MaxLayers > 0 {
+		stream, err := compress.Unmarshal(c.Header, c.Data)
+		if err != nil {
+			return nil, err
+		}
+		body = c.Data[:stream.PrefixBytes(req.MaxLayers)]
+	}
+	return proto.GetCmpResp{Filename: c.Filename, Header: c.Header, Data: body}, nil
+}
+
+func (s *Server) handlePutImageTexts(p *wire.Peer, payload []byte) (any, error) {
+	var req proto.PutImageTextsReq
+	if err := wire.Unmarshal(payload, &req); err != nil {
+		return nil, err
+	}
+	return nil, s.db.UpdateImageTexts(req.ID, req.Texts)
+}
+
+// roomFor returns (creating on demand) the named room bound to docID.
+func (s *Server) roomFor(name, docID string) (*roomState, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rs, ok := s.rooms[name]; ok {
+		if docID != "" && rs.docID != docID {
+			return nil, fmt.Errorf("server: room %q is bound to document %q, not %q", name, rs.docID, docID)
+		}
+		return rs, nil
+	}
+	if docID == "" {
+		return nil, fmt.Errorf("server: room %q does not exist; first joiner must name a document", name)
+	}
+	doc, err := s.db.GetDocument(docID)
+	if err != nil {
+		return nil, err
+	}
+	r, err := room.New(name, doc)
+	if err != nil {
+		return nil, err
+	}
+	// Register base rasters for annotation rendering where available.
+	for _, c := range doc.Components() {
+		for _, pres := range c.Presentations {
+			if pres.ObjectID == 0 || pres.Kind != document.KindImage {
+				continue
+			}
+			if img, err := s.db.GetImage(pres.ObjectID); err == nil {
+				if raster, err := image.Decode(img.Data); err == nil {
+					r.RegisterRaster(pres.ObjectID, raster)
+				}
+			}
+		}
+	}
+	rs := &roomState{room: r, docID: docID, doc: doc}
+	s.rooms[name] = rs
+	return rs, nil
+}
+
+// peerMemberships returns the peer's membership map, creating it if
+// needed. Keyed by room name.
+func peerMemberships(p *wire.Peer) map[string]*membership {
+	if v, ok := p.Meta("memberships"); ok {
+		return v.(map[string]*membership)
+	}
+	m := make(map[string]*membership)
+	p.SetMeta("memberships", m)
+	return m
+}
+
+func (s *Server) handleJoinRoom(p *wire.Peer, payload []byte) (any, error) {
+	var req proto.JoinRoomReq
+	if err := wire.Unmarshal(payload, &req); err != nil {
+		return nil, err
+	}
+	if req.User == "" {
+		return nil, fmt.Errorf("server: join needs a user name")
+	}
+	rs, err := s.roomFor(req.Room, req.DocID)
+	if err != nil {
+		return nil, err
+	}
+	member, history, view, err := rs.room.Join(req.User)
+	if err != nil {
+		return nil, err
+	}
+	ms := peerMemberships(p)
+	if _, dup := ms[req.Room]; dup {
+		_ = rs.room.Leave(req.User)
+		return nil, fmt.Errorf("server: this connection already joined room %q", req.Room)
+	}
+	mb := &membership{room: req.Room, user: req.User, member: member, done: make(chan struct{})}
+	ms[req.Room] = mb
+	// Forward the member's event stream to the client as pushes.
+	go func() {
+		for ev := range member.Events() {
+			if err := p.Push(proto.MEvent, ev); err != nil {
+				return
+			}
+		}
+		close(mb.done)
+	}()
+	docData, err := rs.doc.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return proto.JoinRoomResp{
+		DocData: docData, History: history,
+		Outcome: view.Outcome, Visible: view.Visible,
+	}, nil
+}
+
+func (s *Server) handleLeaveRoom(p *wire.Peer, payload []byte) (any, error) {
+	var req proto.LeaveRoomReq
+	if err := wire.Unmarshal(payload, &req); err != nil {
+		return nil, err
+	}
+	ms := peerMemberships(p)
+	mb, ok := ms[req.Room]
+	if !ok || mb.user != req.User {
+		return nil, fmt.Errorf("server: this connection is not %q in room %q", req.User, req.Room)
+	}
+	delete(ms, req.Room)
+	rs, err := s.roomFor(req.Room, "")
+	if err != nil {
+		return nil, err
+	}
+	return nil, rs.room.Leave(req.User)
+}
+
+// evictPeer removes a disconnected client from every room it had joined.
+func (s *Server) evictPeer(p *wire.Peer) {
+	for name, mb := range peerMemberships(p) {
+		s.mu.Lock()
+		rs, ok := s.rooms[name]
+		s.mu.Unlock()
+		if ok {
+			_ = rs.room.Leave(mb.user)
+		}
+	}
+}
+
+// withMembership validates that the calling connection owns the claimed
+// (room, user) pair, then runs fn on the live room.
+func (s *Server) withMembership(p *wire.Peer, roomName, user string, fn func(*room.Room) error) error {
+	mb, ok := peerMemberships(p)[roomName]
+	if !ok || mb.user != user {
+		return fmt.Errorf("server: this connection is not %q in room %q", user, roomName)
+	}
+	s.mu.Lock()
+	rs, ok := s.rooms[roomName]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("server: no room %q", roomName)
+	}
+	return fn(rs.room)
+}
+
+func (s *Server) handleChoice(p *wire.Peer, payload []byte) (any, error) {
+	var req proto.ChoiceReq
+	if err := wire.Unmarshal(payload, &req); err != nil {
+		return nil, err
+	}
+	return nil, s.withMembership(p, req.Room, req.User, func(r *room.Room) error {
+		return r.Choice(req.User, req.Variable, req.Value)
+	})
+}
+
+func (s *Server) handleOperation(p *wire.Peer, payload []byte) (any, error) {
+	var req proto.OperationReq
+	if err := wire.Unmarshal(payload, &req); err != nil {
+		return nil, err
+	}
+	var derived string
+	err := s.withMembership(p, req.Room, req.User, func(r *room.Room) error {
+		var err error
+		derived, err = r.Operation(req.User, req.Component, req.Op, req.ActiveWhen, req.Private)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return proto.OperationResp{DerivedVar: derived}, nil
+}
+
+func (s *Server) handleAnnotate(p *wire.Peer, payload []byte) (any, error) {
+	var req proto.AnnotateReq
+	if err := wire.Unmarshal(payload, &req); err != nil {
+		return nil, err
+	}
+	var id int
+	err := s.withMembership(p, req.Room, req.User, func(r *room.Room) error {
+		var err error
+		id, err = r.Annotate(req.User, req.ObjectID, image.AnnotationKind(req.Kind),
+			req.X1, req.Y1, req.X2, req.Y2, req.Text, req.Intensity)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return proto.AnnotateResp{AnnotationID: id}, nil
+}
+
+func (s *Server) handleDeleteAnnotation(p *wire.Peer, payload []byte) (any, error) {
+	var req proto.DeleteAnnotationReq
+	if err := wire.Unmarshal(payload, &req); err != nil {
+		return nil, err
+	}
+	return nil, s.withMembership(p, req.Room, req.User, func(r *room.Room) error {
+		return r.DeleteAnnotation(req.User, req.ObjectID, req.AnnotationID)
+	})
+}
+
+func (s *Server) handleFreeze(p *wire.Peer, payload []byte) (any, error) {
+	var req proto.FreezeReq
+	if err := wire.Unmarshal(payload, &req); err != nil {
+		return nil, err
+	}
+	return nil, s.withMembership(p, req.Room, req.User, func(r *room.Room) error {
+		return r.Freeze(req.User, req.ObjectID)
+	})
+}
+
+func (s *Server) handleRelease(p *wire.Peer, payload []byte) (any, error) {
+	var req proto.ReleaseReq
+	if err := wire.Unmarshal(payload, &req); err != nil {
+		return nil, err
+	}
+	return nil, s.withMembership(p, req.Room, req.User, func(r *room.Room) error {
+		return r.Release(req.User, req.ObjectID)
+	})
+}
+
+func (s *Server) handleShareSearch(p *wire.Peer, payload []byte) (any, error) {
+	var req proto.ShareSearchReq
+	if err := wire.Unmarshal(payload, &req); err != nil {
+		return nil, err
+	}
+	kind := room.EvWordSearch
+	if req.Speaker {
+		kind = room.EvSpeakerSearch
+	}
+	return nil, s.withMembership(p, req.Room, req.User, func(r *room.Room) error {
+		return r.ShareSearch(req.User, kind, req.Keyword, req.Hits)
+	})
+}
+
+func (s *Server) handleChat(p *wire.Peer, payload []byte) (any, error) {
+	var req proto.ChatReq
+	if err := wire.Unmarshal(payload, &req); err != nil {
+		return nil, err
+	}
+	return nil, s.withMembership(p, req.Room, req.User, func(r *room.Room) error {
+		return r.Chat(req.User, req.Text)
+	})
+}
+
+func (s *Server) handleHistory(p *wire.Peer, payload []byte) (any, error) {
+	var req proto.HistoryReq
+	if err := wire.Unmarshal(payload, &req); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	rs, ok := s.rooms[req.Room]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("server: no room %q", req.Room)
+	}
+	return proto.HistoryResp{Events: rs.room.History(req.Since)}, nil
+}

@@ -1,0 +1,377 @@
+package store
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"mmconf/internal/blob"
+)
+
+// Options configure a DB.
+type Options struct {
+	// Sync selects the WAL durability mode. The zero value is SyncAlways.
+	Sync SyncMode
+	// GroupSize is the group-commit batch for SyncGroup (default 64).
+	GroupSize int
+}
+
+// DB is the database server's storage engine: a directory holding a
+// snapshot, a write-ahead log, and a blob heap. Open replays the WAL over
+// the snapshot, so a crash at any point loses at most the operations the
+// sync mode had not yet flushed.
+type DB struct {
+	mu    sync.RWMutex
+	dir   string
+	opts  Options
+	wal   *wal
+	blobs *blob.Store
+	state map[string]*table
+}
+
+const (
+	snapshotFile = "snapshot.gob"
+	walFile      = "wal.log"
+	heapFile     = "heap.blob"
+)
+
+// Open opens (or creates) a database in dir.
+func Open(dir string, opts Options) (*DB, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: mkdir %s: %w", dir, err)
+	}
+	db := &DB{dir: dir, opts: opts, state: make(map[string]*table)}
+	if err := db.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := replayWAL(filepath.Join(dir, walFile), db.apply); err != nil {
+		return nil, err
+	}
+	w, err := openWAL(filepath.Join(dir, walFile), opts.Sync, opts.GroupSize)
+	if err != nil {
+		return nil, err
+	}
+	db.wal = w
+	bs, err := blob.Open(filepath.Join(dir, heapFile))
+	if err != nil {
+		w.close()
+		return nil, err
+	}
+	db.blobs = bs
+	return db, nil
+}
+
+// Close flushes and closes the database.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var first error
+	if err := db.wal.flush(); err != nil {
+		first = err
+	}
+	if err := db.blobs.Sync(); err != nil && first == nil {
+		first = err
+	}
+	if err := db.wal.close(); err != nil && first == nil {
+		first = err
+	}
+	if err := db.blobs.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// Flush forces pending group-committed WAL records and blob writes to disk.
+func (db *DB) Flush() error {
+	if err := db.blobs.Sync(); err != nil {
+		return err
+	}
+	return db.wal.flush()
+}
+
+// tableLocked returns the internal table; the caller holds db.mu.
+func (db *DB) tableLocked(name string) (*table, error) {
+	tb, ok := db.state[name]
+	if !ok {
+		return nil, fmt.Errorf("store: no table %q", name)
+	}
+	return tb, nil
+}
+
+// logAndApply logs rec and applies it to memory. Caller holds db.mu.
+func (db *DB) logAndApply(rec walRecord) error {
+	if err := db.wal.append(rec); err != nil {
+		return err
+	}
+	return db.apply(rec)
+}
+
+// apply folds one WAL record into the in-memory state. It must stay a
+// pure function of (state, record) so recovery replays deterministically.
+func (db *DB) apply(rec walRecord) error {
+	switch rec.Op {
+	case opCreateTable:
+		if _, dup := db.state[rec.Table]; dup {
+			return fmt.Errorf("store: table %q already exists", rec.Table)
+		}
+		tb, err := newTable(rec.Table, rec.Schema)
+		if err != nil {
+			return err
+		}
+		db.state[rec.Table] = tb
+		return nil
+	case opDropTable:
+		if _, ok := db.state[rec.Table]; !ok {
+			return fmt.Errorf("store: no table %q", rec.Table)
+		}
+		delete(db.state, rec.Table)
+		return nil
+	}
+	tb, err := db.tableLocked(rec.Table)
+	if err != nil {
+		return err
+	}
+	switch rec.Op {
+	case opInsert:
+		return tb.insert(rec.ID, rec.Vals)
+	case opUpdate:
+		return tb.update(rec.ID, rec.Vals)
+	case opDelete:
+		return tb.delete(rec.ID)
+	case opCreateIndex:
+		return tb.createIndex(rec.Col)
+	default:
+		return fmt.Errorf("store: unknown wal op %d", rec.Op)
+	}
+}
+
+// CreateTable creates a new relation.
+func (db *DB) CreateTable(name string, schema []Column) (*Table, error) {
+	if _, err := newTable(name, schema); err != nil {
+		return nil, err // validate before logging
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.state[name]; dup {
+		return nil, fmt.Errorf("store: table %q already exists", name)
+	}
+	if err := db.logAndApply(walRecord{Op: opCreateTable, Table: name, Schema: schema}); err != nil {
+		return nil, err
+	}
+	return &Table{db: db, name: name}, nil
+}
+
+// DropTable removes a relation and all its rows. Blob payloads referenced
+// by the dropped rows remain in the heap until Compact.
+func (db *DB) DropTable(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.state[name]; !ok {
+		return fmt.Errorf("store: no table %q", name)
+	}
+	return db.logAndApply(walRecord{Op: opDropTable, Table: name})
+}
+
+// Table returns a handle to an existing relation.
+func (db *DB) Table(name string) (*Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if _, ok := db.state[name]; !ok {
+		return nil, fmt.Errorf("store: no table %q", name)
+	}
+	return &Table{db: db, name: name}, nil
+}
+
+// HasTable reports whether the relation exists.
+func (db *DB) HasTable(name string) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	_, ok := db.state[name]
+	return ok
+}
+
+// Tables lists the relation names, sorted.
+func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.state))
+	for n := range db.state {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PutBlob stores a payload in the heap and returns its handle, to be kept
+// in a TBlob column.
+func (db *DB) PutBlob(data []byte) (blob.Handle, error) {
+	return db.blobs.Put(data)
+}
+
+// GetBlob fetches a payload by handle.
+func (db *DB) GetBlob(h blob.Handle) ([]byte, error) {
+	return db.blobs.Get(h)
+}
+
+// WALStats reports cumulative WAL appends and fsyncs (for the E4 group-
+// commit ablation).
+func (db *DB) WALStats() (appends, syncs int64) {
+	return db.wal.stats()
+}
+
+// snapshot is the gob form of the full relational state.
+type dbSnapshot struct {
+	Tables []tableSnapshot
+}
+
+type tableSnapshot struct {
+	Name    string
+	Schema  []Column
+	NextID  uint64
+	IDs     []uint64
+	Rows    [][]value
+	Indexes []string
+}
+
+// Checkpoint writes the current state as a snapshot and truncates the WAL.
+// The snapshot goes through a temp file and atomic rename, so a crash
+// mid-checkpoint recovers from the previous snapshot plus the intact WAL.
+func (db *DB) Checkpoint() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.checkpointLocked()
+}
+
+func (db *DB) checkpointLocked() error {
+	var snap dbSnapshot
+	names := make([]string, 0, len(db.state))
+	for n := range db.state {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		tb := db.state[n]
+		ts := tableSnapshot{Name: n, Schema: tb.schema, NextID: tb.nextID}
+		ids := make([]uint64, 0, len(tb.rows))
+		for id := range tb.rows {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			ts.IDs = append(ts.IDs, id)
+			ts.Rows = append(ts.Rows, tb.rows[id])
+		}
+		for col := range tb.indexes {
+			ts.Indexes = append(ts.Indexes, col)
+		}
+		sort.Strings(ts.Indexes)
+		snap.Tables = append(snap.Tables, ts)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return fmt.Errorf("store: snapshot encode: %w", err)
+	}
+	tmp := filepath.Join(db.dir, snapshotFile+".tmp")
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("store: snapshot write: %w", err)
+	}
+	f, err := os.Open(tmp)
+	if err == nil {
+		_ = f.Sync()
+		_ = f.Close()
+	}
+	if err := os.Rename(tmp, filepath.Join(db.dir, snapshotFile)); err != nil {
+		return fmt.Errorf("store: snapshot rename: %w", err)
+	}
+	if err := db.blobs.Sync(); err != nil {
+		return err
+	}
+	return db.wal.truncate()
+}
+
+// CompactBlobs rewrites the blob heap keeping only the payloads still
+// referenced by some TBlob column, updates every handle, and checkpoints.
+// It returns the bytes reclaimed. Readers and writers are excluded for
+// the duration. Crash-safety note: the heap swap and the checkpoint are
+// two separate atomic renames; a crash exactly between them leaves a
+// snapshot/WAL whose handles no longer match the compacted heap — every
+// such read fails loudly (magic/CRC checks), it cannot return wrong
+// data. Run compaction at quiet times and back up first, as one would
+// with any offline vacuum.
+func (db *DB) CompactBlobs() (reclaimed int64, err error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var live []blob.Handle
+	for _, tb := range db.state {
+		for ci, col := range tb.schema {
+			if col.Type != TBlob {
+				continue
+			}
+			for _, vals := range tb.rows {
+				live = append(live, vals[ci].H)
+			}
+		}
+	}
+	before := db.blobs.Size()
+	moved, err := db.blobs.Compact(live)
+	if err != nil {
+		return 0, err
+	}
+	for _, tb := range db.state {
+		for ci, col := range tb.schema {
+			if col.Type != TBlob {
+				continue
+			}
+			for _, vals := range tb.rows {
+				if nh, ok := moved[vals[ci].H]; ok {
+					vals[ci].H = nh
+				}
+			}
+		}
+	}
+	if err := db.checkpointLocked(); err != nil {
+		return 0, err
+	}
+	return before - db.blobs.Size(), nil
+}
+
+// loadSnapshot restores state from the snapshot file, if present.
+func (db *DB) loadSnapshot() error {
+	data, err := os.ReadFile(filepath.Join(db.dir, snapshotFile))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: read snapshot: %w", err)
+	}
+	var snap dbSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return fmt.Errorf("store: decode snapshot: %w", err)
+	}
+	for _, ts := range snap.Tables {
+		tb, err := newTable(ts.Name, ts.Schema)
+		if err != nil {
+			return err
+		}
+		if len(ts.IDs) != len(ts.Rows) {
+			return fmt.Errorf("store: snapshot table %q shape mismatch", ts.Name)
+		}
+		for i, id := range ts.IDs {
+			if err := tb.insert(id, ts.Rows[i]); err != nil {
+				return err
+			}
+		}
+		tb.nextID = ts.NextID
+		for _, col := range ts.Indexes {
+			if err := tb.createIndex(col); err != nil {
+				return err
+			}
+		}
+		db.state[ts.Name] = tb
+	}
+	return nil
+}

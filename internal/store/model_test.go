@@ -1,0 +1,158 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickModelEquivalence drives the store with random operation
+// sequences and checks it against a trivial in-memory model, then reopens
+// the database and checks the model again — the classic model-based
+// durability property.
+func TestQuickModelEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dir := t.TempDir()
+		db, err := Open(dir, Options{Sync: SyncNever})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		tbl, err := db.CreateTable("t", []Column{
+			{Name: "s", Type: TString},
+			{Name: "n", Type: TInt},
+		})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		type modelRow struct {
+			s string
+			n int64
+		}
+		model := make(map[uint64]modelRow)
+		var ids []uint64
+
+		ops := 50 + rng.Intn(150)
+		for i := 0; i < ops; i++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3: // insert
+				s := fmt.Sprintf("s%d", rng.Intn(1000))
+				n := int64(rng.Intn(1000))
+				id, err := tbl.Insert(Row{s, n})
+				if err != nil {
+					t.Logf("insert: %v", err)
+					return false
+				}
+				if _, dup := model[id]; dup {
+					t.Logf("id %d reused", id)
+					return false
+				}
+				model[id] = modelRow{s, n}
+				ids = append(ids, id)
+			case 4, 5: // update existing or fail on missing
+				if len(ids) == 0 {
+					continue
+				}
+				id := ids[rng.Intn(len(ids))]
+				_, exists := model[id]
+				s := fmt.Sprintf("u%d", rng.Intn(1000))
+				n := int64(rng.Intn(1000))
+				err := tbl.Update(id, Row{s, n})
+				if exists && err != nil {
+					t.Logf("update existing failed: %v", err)
+					return false
+				}
+				if !exists && err == nil {
+					t.Log("update of deleted row accepted")
+					return false
+				}
+				if exists {
+					model[id] = modelRow{s, n}
+				}
+			case 6: // delete
+				if len(ids) == 0 {
+					continue
+				}
+				id := ids[rng.Intn(len(ids))]
+				_, exists := model[id]
+				err := tbl.Delete(id)
+				if exists != (err == nil) {
+					t.Logf("delete mismatch: exists=%v err=%v", exists, err)
+					return false
+				}
+				delete(model, id)
+			case 7: // point reads
+				if len(ids) == 0 {
+					continue
+				}
+				id := ids[rng.Intn(len(ids))]
+				want, exists := model[id]
+				row, ok, err := tbl.Get(id)
+				if err != nil || ok != exists {
+					t.Logf("get mismatch: %v %v vs %v", ok, err, exists)
+					return false
+				}
+				if ok && (row[0].(string) != want.s || row[1].(int64) != want.n) {
+					t.Logf("row drift: %v vs %+v", row, want)
+					return false
+				}
+			case 8: // full scan agreement
+				seen := make(map[uint64]modelRow)
+				tbl.Scan(func(id uint64, row Row) bool {
+					seen[id] = modelRow{row[0].(string), row[1].(int64)}
+					return true
+				})
+				if len(seen) != len(model) {
+					t.Logf("scan size %d vs model %d", len(seen), len(model))
+					return false
+				}
+				for id, want := range model {
+					if seen[id] != want {
+						t.Logf("scan drift at %d", id)
+						return false
+					}
+				}
+			case 9: // occasional checkpoint
+				if err := db.Checkpoint(); err != nil {
+					t.Logf("checkpoint: %v", err)
+					return false
+				}
+			}
+		}
+		if err := db.Close(); err != nil {
+			t.Logf("close: %v", err)
+			return false
+		}
+		// Reopen and verify durability of the final model state.
+		db2, err := Open(dir, Options{Sync: SyncNever})
+		if err != nil {
+			t.Logf("reopen: %v", err)
+			return false
+		}
+		defer db2.Close()
+		tbl2, err := db2.Table("t")
+		if err != nil {
+			t.Logf("table after reopen: %v", err)
+			return false
+		}
+		count, _ := tbl2.Len()
+		if count != len(model) {
+			t.Logf("rows after reopen %d vs model %d", count, len(model))
+			return false
+		}
+		for id, want := range model {
+			row, ok, err := tbl2.Get(id)
+			if err != nil || !ok || row[0].(string) != want.s || row[1].(int64) != want.n {
+				t.Logf("durability drift at %d: %v %v %v", id, row, ok, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,312 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+)
+
+// table is the in-memory state of one relation. All access is mediated by
+// the owning DB's lock.
+type table struct {
+	name    string
+	schema  []Column
+	colIdx  map[string]int
+	nextID  uint64
+	rows    map[uint64][]value
+	indexes map[string]map[string][]uint64 // column -> key -> sorted row ids
+}
+
+func newTable(name string, schema []Column) (*table, error) {
+	if name == "" {
+		return nil, fmt.Errorf("store: empty table name")
+	}
+	if len(schema) == 0 {
+		return nil, fmt.Errorf("store: table %q has no columns", name)
+	}
+	ci := make(map[string]int, len(schema))
+	for i, c := range schema {
+		if c.Name == "" {
+			return nil, fmt.Errorf("store: table %q has a column with empty name", name)
+		}
+		if _, dup := ci[c.Name]; dup {
+			return nil, fmt.Errorf("store: table %q repeats column %q", name, c.Name)
+		}
+		ci[c.Name] = i
+	}
+	return &table{
+		name:    name,
+		schema:  schema,
+		colIdx:  ci,
+		nextID:  1,
+		rows:    make(map[uint64][]value),
+		indexes: make(map[string]map[string][]uint64),
+	}, nil
+}
+
+// insert places vals under id, maintaining indexes. Caller assigns id.
+func (t *table) insert(id uint64, vals []value) error {
+	if _, dup := t.rows[id]; dup {
+		return fmt.Errorf("store: table %q: duplicate row id %d", t.name, id)
+	}
+	t.rows[id] = vals
+	if id >= t.nextID {
+		t.nextID = id + 1
+	}
+	return t.indexRow(id, vals, true)
+}
+
+func (t *table) update(id uint64, vals []value) error {
+	old, ok := t.rows[id]
+	if !ok {
+		return fmt.Errorf("store: table %q: no row %d", t.name, id)
+	}
+	if err := t.indexRow(id, old, false); err != nil {
+		return err
+	}
+	t.rows[id] = vals
+	return t.indexRow(id, vals, true)
+}
+
+func (t *table) delete(id uint64) error {
+	old, ok := t.rows[id]
+	if !ok {
+		return fmt.Errorf("store: table %q: no row %d", t.name, id)
+	}
+	if err := t.indexRow(id, old, false); err != nil {
+		return err
+	}
+	delete(t.rows, id)
+	return nil
+}
+
+// indexRow adds or removes one row from every secondary index.
+func (t *table) indexRow(id uint64, vals []value, add bool) error {
+	for col, idx := range t.indexes {
+		ci := t.colIdx[col]
+		key, err := indexKey(vals[ci])
+		if err != nil {
+			return err
+		}
+		if add {
+			ids := idx[key]
+			pos := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
+			ids = append(ids, 0)
+			copy(ids[pos+1:], ids[pos:])
+			ids[pos] = id
+			idx[key] = ids
+		} else {
+			ids := idx[key]
+			pos := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
+			if pos < len(ids) && ids[pos] == id {
+				idx[key] = append(ids[:pos], ids[pos+1:]...)
+				if len(idx[key]) == 0 {
+					delete(idx, key)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// createIndex builds a secondary hash index over col from current rows.
+func (t *table) createIndex(col string) error {
+	ci, ok := t.colIdx[col]
+	if !ok {
+		return fmt.Errorf("store: table %q has no column %q", t.name, col)
+	}
+	switch t.schema[ci].Type {
+	case TInt, TString:
+	default:
+		return fmt.Errorf("store: table %q column %q (%s) is not indexable", t.name, col, t.schema[ci].Type)
+	}
+	if _, dup := t.indexes[col]; dup {
+		return fmt.Errorf("store: table %q already has an index on %q", t.name, col)
+	}
+	idx := make(map[string][]uint64)
+	for id, vals := range t.rows {
+		key, err := indexKey(vals[ci])
+		if err != nil {
+			return err
+		}
+		ids := idx[key]
+		pos := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
+		ids = append(ids, 0)
+		copy(ids[pos+1:], ids[pos:])
+		ids[pos] = id
+		idx[key] = ids
+	}
+	t.indexes[col] = idx
+	return nil
+}
+
+// Table is the public handle to one relation of a DB.
+type Table struct {
+	db   *DB
+	name string
+}
+
+// Name returns the table's name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns a copy of the table's column definitions.
+func (t *Table) Schema() ([]Column, error) {
+	t.db.mu.RLock()
+	defer t.db.mu.RUnlock()
+	tb, err := t.db.tableLocked(t.name)
+	if err != nil {
+		return nil, err
+	}
+	return append([]Column(nil), tb.schema...), nil
+}
+
+// Insert appends a row, returning its assigned id.
+func (t *Table) Insert(row Row) (uint64, error) {
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
+	tb, err := t.db.tableLocked(t.name)
+	if err != nil {
+		return 0, err
+	}
+	vals, err := encodeRow(tb.schema, row)
+	if err != nil {
+		return 0, err
+	}
+	id := tb.nextID
+	rec := walRecord{Op: opInsert, Table: t.name, ID: id, Vals: vals}
+	if err := t.db.logAndApply(rec); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// Get fetches the row with the given id; ok is false if it does not exist.
+func (t *Table) Get(id uint64) (Row, bool, error) {
+	t.db.mu.RLock()
+	defer t.db.mu.RUnlock()
+	tb, err := t.db.tableLocked(t.name)
+	if err != nil {
+		return nil, false, err
+	}
+	vals, ok := tb.rows[id]
+	if !ok {
+		return nil, false, nil
+	}
+	return decodeRow(vals), true, nil
+}
+
+// Update replaces the row with the given id.
+func (t *Table) Update(id uint64, row Row) error {
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
+	tb, err := t.db.tableLocked(t.name)
+	if err != nil {
+		return err
+	}
+	if _, ok := tb.rows[id]; !ok {
+		return fmt.Errorf("store: table %q: no row %d", t.name, id)
+	}
+	vals, err := encodeRow(tb.schema, row)
+	if err != nil {
+		return err
+	}
+	return t.db.logAndApply(walRecord{Op: opUpdate, Table: t.name, ID: id, Vals: vals})
+}
+
+// Delete removes the row with the given id.
+func (t *Table) Delete(id uint64) error {
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
+	tb, err := t.db.tableLocked(t.name)
+	if err != nil {
+		return err
+	}
+	if _, ok := tb.rows[id]; !ok {
+		return fmt.Errorf("store: table %q: no row %d", t.name, id)
+	}
+	return t.db.logAndApply(walRecord{Op: opDelete, Table: t.name, ID: id})
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() (int, error) {
+	t.db.mu.RLock()
+	defer t.db.mu.RUnlock()
+	tb, err := t.db.tableLocked(t.name)
+	if err != nil {
+		return 0, err
+	}
+	return len(tb.rows), nil
+}
+
+// Scan visits every row in ascending id order; fn returning false stops
+// the scan early.
+func (t *Table) Scan(fn func(id uint64, row Row) bool) error {
+	t.db.mu.RLock()
+	defer t.db.mu.RUnlock()
+	tb, err := t.db.tableLocked(t.name)
+	if err != nil {
+		return err
+	}
+	ids := make([]uint64, 0, len(tb.rows))
+	for id := range tb.rows {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if !fn(id, decodeRow(tb.rows[id])) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// CreateIndex builds (and logs) a secondary index over an int or string
+// column.
+func (t *Table) CreateIndex(col string) error {
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
+	tb, err := t.db.tableLocked(t.name)
+	if err != nil {
+		return err
+	}
+	ci, ok := tb.colIdx[col]
+	if !ok {
+		return fmt.Errorf("store: table %q has no column %q", t.name, col)
+	}
+	switch tb.schema[ci].Type {
+	case TInt, TString:
+	default:
+		return fmt.Errorf("store: table %q column %q (%s) is not indexable", t.name, col, tb.schema[ci].Type)
+	}
+	if _, dup := tb.indexes[col]; dup {
+		return fmt.Errorf("store: table %q already has an index on %q", t.name, col)
+	}
+	return t.db.logAndApply(walRecord{Op: opCreateIndex, Table: t.name, Col: col})
+}
+
+// LookupInt returns the ids of rows whose indexed int column equals v.
+func (t *Table) LookupInt(col string, v int64) ([]uint64, error) {
+	return t.lookup(col, value{Kind: TInt, I: v})
+}
+
+// LookupString returns the ids of rows whose indexed string column equals v.
+func (t *Table) LookupString(col string, v string) ([]uint64, error) {
+	return t.lookup(col, value{Kind: TString, S: v})
+}
+
+func (t *Table) lookup(col string, v value) ([]uint64, error) {
+	t.db.mu.RLock()
+	defer t.db.mu.RUnlock()
+	tb, err := t.db.tableLocked(t.name)
+	if err != nil {
+		return nil, err
+	}
+	idx, ok := tb.indexes[col]
+	if !ok {
+		return nil, fmt.Errorf("store: table %q has no index on %q", t.name, col)
+	}
+	key, err := indexKey(v)
+	if err != nil {
+		return nil, err
+	}
+	return append([]uint64(nil), idx[key]...), nil
+}

@@ -1,0 +1,151 @@
+// Package store implements the database server of the conferencing system:
+// an embedded object-relational store playing the role the paper assigns
+// to Oracle (§3, §5.2, Fig. 7). It provides typed tables addressed through
+// a catalog, BLOB columns backed by the blob heap, write-ahead logging
+// with group commit, crash recovery, secondary hash indexes, and full
+// scans. The multimedia schema itself (MULTIMEDIA_OBJECTS_TABLE and the
+// per-type object tables) is layered on top by package mediadb.
+package store
+
+import (
+	"fmt"
+
+	"mmconf/internal/blob"
+)
+
+// ColumnType enumerates the value types a column may hold.
+type ColumnType uint8
+
+// Column types. TBlob columns store blob.Handle references into the heap;
+// the payload itself never enters the relational layer.
+const (
+	TInt ColumnType = iota
+	TFloat
+	TString
+	TBytes
+	TBlob
+)
+
+// String returns the type's lowercase name.
+func (t ColumnType) String() string {
+	switch t {
+	case TInt:
+		return "int"
+	case TFloat:
+		return "float"
+	case TString:
+		return "string"
+	case TBytes:
+		return "bytes"
+	case TBlob:
+		return "blob"
+	default:
+		return fmt.Sprintf("ColumnType(%d)", uint8(t))
+	}
+}
+
+// Column is one field of a table schema.
+type Column struct {
+	Name string
+	Type ColumnType
+}
+
+// Row is an ordered tuple of column values. Legal dynamic types per
+// column type: TInt→int64, TFloat→float64, TString→string, TBytes→[]byte,
+// TBlob→blob.Handle.
+type Row []any
+
+// value is the gob-friendly tagged union used in the WAL and snapshots
+// (gob cannot round-trip bare interface values without global type
+// registration, and a closed union keeps the on-disk format explicit).
+type value struct {
+	Kind ColumnType
+	I    int64
+	F    float64
+	S    string
+	B    []byte
+	H    blob.Handle
+}
+
+// encodeRow validates row against schema and converts it to the tagged form.
+func encodeRow(schema []Column, row Row) ([]value, error) {
+	if len(row) != len(schema) {
+		return nil, fmt.Errorf("store: row has %d values, schema has %d columns", len(row), len(schema))
+	}
+	out := make([]value, len(row))
+	for i, v := range row {
+		col := schema[i]
+		switch col.Type {
+		case TInt:
+			x, ok := v.(int64)
+			if !ok {
+				return nil, typeErr(col, v)
+			}
+			out[i] = value{Kind: TInt, I: x}
+		case TFloat:
+			x, ok := v.(float64)
+			if !ok {
+				return nil, typeErr(col, v)
+			}
+			out[i] = value{Kind: TFloat, F: x}
+		case TString:
+			x, ok := v.(string)
+			if !ok {
+				return nil, typeErr(col, v)
+			}
+			out[i] = value{Kind: TString, S: x}
+		case TBytes:
+			x, ok := v.([]byte)
+			if !ok {
+				return nil, typeErr(col, v)
+			}
+			out[i] = value{Kind: TBytes, B: append([]byte(nil), x...)}
+		case TBlob:
+			x, ok := v.(blob.Handle)
+			if !ok {
+				return nil, typeErr(col, v)
+			}
+			out[i] = value{Kind: TBlob, H: x}
+		default:
+			return nil, fmt.Errorf("store: column %q has unknown type %v", col.Name, col.Type)
+		}
+	}
+	return out, nil
+}
+
+func typeErr(col Column, v any) error {
+	return fmt.Errorf("store: column %q (%s) cannot hold %T", col.Name, col.Type, v)
+}
+
+// decodeRow converts the tagged form back to a Row.
+func decodeRow(vals []value) Row {
+	row := make(Row, len(vals))
+	for i, v := range vals {
+		switch v.Kind {
+		case TInt:
+			row[i] = v.I
+		case TFloat:
+			row[i] = v.F
+		case TString:
+			row[i] = v.S
+		case TBytes:
+			row[i] = append([]byte(nil), v.B...)
+		case TBlob:
+			row[i] = v.H
+		}
+	}
+	return row
+}
+
+// indexKey renders a value as a deterministic index key. Only TInt and
+// TString columns are indexable.
+func indexKey(v value) (string, error) {
+	switch v.Kind {
+	case TInt:
+		return fmt.Sprintf("i%d", v.I), nil
+	case TString:
+		return "s" + v.S, nil
+	default:
+		return "", fmt.Errorf("store: %s columns are not indexable", v.Kind)
+	}
+}

@@ -1,0 +1,344 @@
+// Package wire is the remote-invocation layer of the system — the role
+// Java RMI and JDBC play in the paper (§5.3): clients invoke interaction-
+// server methods across the network with language-native serialization,
+// and the server pushes room events back over the same connection. The
+// protocol is length-free gob framing over any net.Conn: every message is
+// a gob-encoded envelope carrying a method name, a correlation id, and an
+// opaque gob payload.
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// msgKind distinguishes envelope roles.
+type msgKind uint8
+
+const (
+	kindRequest msgKind = iota
+	kindResponse
+	kindPush
+)
+
+// envelope is the on-wire message.
+type envelope struct {
+	Kind    msgKind
+	ID      uint64 // request/response correlation
+	Method  string
+	Payload []byte // gob-encoded body
+	Err     string // response only
+}
+
+// Marshal gob-encodes a body for use as an envelope payload.
+func Marshal(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("wire: marshal %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal decodes an envelope payload into v (a pointer).
+func Unmarshal(data []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("wire: unmarshal %T: %w", v, err)
+	}
+	return nil
+}
+
+// Handler processes one request on the server; the returned value is gob-
+// encoded as the response payload.
+type Handler func(p *Peer, payload []byte) (any, error)
+
+// Server dispatches requests to registered handlers.
+type Server struct {
+	mu        sync.RWMutex
+	handlers  map[string]Handler
+	onClose   func(*Peer)
+	nextPeer  uint64
+	listeners []net.Listener
+}
+
+// NewServer returns an empty server.
+func NewServer() *Server {
+	return &Server{handlers: make(map[string]Handler)}
+}
+
+// Register installs a handler for a method name.
+func (s *Server) Register(method string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[method] = h
+}
+
+// OnPeerClose installs a callback invoked when a peer's connection ends
+// (used by the interaction server to evict the member from its rooms).
+func (s *Server) OnPeerClose(fn func(*Peer)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onClose = fn
+}
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	s.listeners = append(s.listeners, l)
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("wire: accept: %w", err)
+		}
+		go s.ServeConn(conn)
+	}
+}
+
+// Close shuts every listener down.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for _, l := range s.listeners {
+		if err := l.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.listeners = nil
+	return first
+}
+
+// Peer is the server-side view of one client connection. Its Push method
+// is how the interaction server propagates room events.
+type Peer struct {
+	ID   uint64
+	conn net.Conn
+	enc  *gob.Encoder
+	wmu  sync.Mutex
+
+	mu   sync.Mutex
+	meta map[string]any // per-connection session state (user, rooms)
+}
+
+// SetMeta stores per-connection session state.
+func (p *Peer) SetMeta(key string, v any) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.meta[key] = v
+}
+
+// Meta retrieves per-connection session state.
+func (p *Peer) Meta(key string) (any, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	v, ok := p.meta[key]
+	return v, ok
+}
+
+// Push sends an unsolicited message to the client.
+func (p *Peer) Push(method string, body any) error {
+	payload, err := Marshal(body)
+	if err != nil {
+		return err
+	}
+	return p.send(envelope{Kind: kindPush, Method: method, Payload: payload})
+}
+
+// Close tears the connection down.
+func (p *Peer) Close() error { return p.conn.Close() }
+
+func (p *Peer) send(env envelope) error {
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	if err := p.enc.Encode(env); err != nil {
+		return fmt.Errorf("wire: send: %w", err)
+	}
+	return nil
+}
+
+// ServeConn runs the request loop for one connection (exported so tests
+// and in-process setups can serve a net.Pipe end directly).
+func (s *Server) ServeConn(conn net.Conn) {
+	peer := &Peer{
+		ID:   atomic.AddUint64(&s.nextPeer, 1),
+		conn: conn,
+		enc:  gob.NewEncoder(conn),
+		meta: make(map[string]any),
+	}
+	dec := gob.NewDecoder(conn)
+	defer func() {
+		conn.Close()
+		s.mu.RLock()
+		onClose := s.onClose
+		s.mu.RUnlock()
+		if onClose != nil {
+			onClose(peer)
+		}
+	}()
+	for {
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			return // EOF or broken peer: drop the connection
+		}
+		if env.Kind != kindRequest {
+			continue // clients must not send responses/pushes
+		}
+		s.mu.RLock()
+		h, ok := s.handlers[env.Method]
+		s.mu.RUnlock()
+		go func(env envelope) {
+			resp := envelope{Kind: kindResponse, ID: env.ID, Method: env.Method}
+			if !ok {
+				resp.Err = fmt.Sprintf("wire: unknown method %q", env.Method)
+			} else {
+				result, err := h(peer, env.Payload)
+				if err != nil {
+					resp.Err = err.Error()
+				} else if result != nil {
+					payload, err := Marshal(result)
+					if err != nil {
+						resp.Err = err.Error()
+					} else {
+						resp.Payload = payload
+					}
+				}
+			}
+			_ = peer.send(resp)
+		}(env)
+	}
+}
+
+// PushHandler receives server pushes on the client.
+type PushHandler func(method string, payload []byte)
+
+// Client is the caller side of the protocol.
+type Client struct {
+	conn   net.Conn
+	enc    *gob.Encoder
+	wmu    sync.Mutex
+	nextID uint64
+
+	mu      sync.Mutex
+	pending map[uint64]chan envelope
+	onPush  PushHandler
+	closed  bool
+	readErr error
+}
+
+// Dial connects to a server address over TCP.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (e.g. a net.Pipe end or a
+// netsim.ThrottledConn).
+func NewClient(conn net.Conn) *Client {
+	c := &Client{
+		conn:    conn,
+		enc:     gob.NewEncoder(conn),
+		pending: make(map[uint64]chan envelope),
+	}
+	go c.readLoop()
+	return c
+}
+
+// OnPush installs the push handler. Install it before triggering any
+// server activity that may push.
+func (c *Client) OnPush(h PushHandler) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onPush = h
+}
+
+func (c *Client) readLoop() {
+	dec := gob.NewDecoder(c.conn)
+	for {
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			c.mu.Lock()
+			c.closed = true
+			if err != io.EOF {
+				c.readErr = err
+			}
+			for id, ch := range c.pending {
+				close(ch)
+				delete(c.pending, id)
+			}
+			c.mu.Unlock()
+			return
+		}
+		switch env.Kind {
+		case kindResponse:
+			c.mu.Lock()
+			ch := c.pending[env.ID]
+			delete(c.pending, env.ID)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- env
+			}
+		case kindPush:
+			c.mu.Lock()
+			h := c.onPush
+			c.mu.Unlock()
+			if h != nil {
+				h(env.Method, env.Payload)
+			}
+		}
+	}
+}
+
+// Call invokes a server method, decoding the response into reply (pass
+// nil to discard the result).
+func (c *Client) Call(method string, args, reply any) error {
+	payload, err := Marshal(args)
+	if err != nil {
+		return err
+	}
+	id := atomic.AddUint64(&c.nextID, 1)
+	ch := make(chan envelope, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return fmt.Errorf("wire: connection closed")
+	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	env := envelope{Kind: kindRequest, ID: id, Method: method, Payload: payload}
+	c.wmu.Lock()
+	err = c.enc.Encode(env)
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return fmt.Errorf("wire: call %s: %w", method, err)
+	}
+	resp, ok := <-ch
+	if !ok {
+		return fmt.Errorf("wire: connection closed during %s", method)
+	}
+	if resp.Err != "" {
+		return errors.New(resp.Err)
+	}
+	if reply != nil {
+		return Unmarshal(resp.Payload, reply)
+	}
+	return nil
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,183 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"mmconf/internal/document"
+	"mmconf/internal/media/compress"
+	"mmconf/internal/media/image"
+	"mmconf/internal/mediadb"
+	"mmconf/internal/store"
+)
+
+func TestMedicalRecordStructure(t *testing.T) {
+	d, err := MedicalRecord("p1", 1)
+	if err != nil {
+		t.Fatalf("MedicalRecord: %v", err)
+	}
+	if len(d.Components()) != 7 {
+		t.Errorf("components = %d", len(d.Components()))
+	}
+	v, err := d.DefaultPresentation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Outcome["ct"] != "full" || v.Outcome["xray"] != "icon" || v.Outcome["voice"] != "audio" {
+		t.Errorf("default = %v", v.Outcome)
+	}
+	// Determinism.
+	d2, _ := MedicalRecord("p1", 1)
+	labs1, _ := d.Component("labs")
+	labs2, _ := d2.Component("labs")
+	if string(labs1.Presentations[0].Inline) != string(labs2.Presentations[0].Inline) {
+		t.Error("record not deterministic for equal seeds")
+	}
+}
+
+func TestWideRecord(t *testing.T) {
+	d, err := WideRecord("w", 20, 2)
+	if err != nil {
+		t.Fatalf("WideRecord: %v", err)
+	}
+	if len(d.Components()) != 21 {
+		t.Errorf("components = %d", len(d.Components()))
+	}
+	if err := d.Prefs.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.DefaultPresentation(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WideRecord("w", 0, 1); err == nil {
+		t.Error("zero components accepted")
+	}
+}
+
+func TestPopulate(t *testing.T) {
+	db, err := store.Open(t.TempDir(), store.Options{Sync: store.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	m, err := mediadb.Open(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Populate(m, "p42", 7)
+	if err != nil {
+		t.Fatalf("Populate: %v", err)
+	}
+	// The document is stored and loadable.
+	back, err := m.GetDocument("p42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := back.Component("ct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _ := ct.Presentation("full")
+	if full.ObjectID != rec.CTID {
+		t.Errorf("ct full object id = %d, want %d", full.ObjectID, rec.CTID)
+	}
+	// The CT image object decodes to a raster.
+	img, err := m.GetImage(rec.CTID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raster, err := image.Decode(img.Data)
+	if err != nil || raster.W != 256 {
+		t.Errorf("stored CT: %v, %v", raster, err)
+	}
+	// The compressed stream decodes progressively.
+	cmp, err := m.GetCmp(rec.CmpID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := compress.Unmarshal(cmp.Header, cmp.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := stream.Decode(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := image.PSNR(raster, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 25 || math.IsNaN(p) {
+		t.Errorf("base-layer PSNR vs stored CT = %v", p)
+	}
+	// The voice object's PCM and ground truth round-trip.
+	voice, err := m.GetAudio(rec.VoiceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wave := DecodeWave(voice.Data)
+	if len(wave) < 8000 {
+		t.Errorf("voice length = %d samples", len(wave))
+	}
+	if len(rec.Truth) != 4 {
+		t.Errorf("truth segments = %d", len(rec.Truth))
+	}
+}
+
+func TestWaveCodecRoundTrip(t *testing.T) {
+	in := []float64{0, 0.5, -0.5, 1, -1, 0.25}
+	out := DecodeWave(encodeWave(in))
+	if len(out) != len(in) {
+		t.Fatal("length drift")
+	}
+	for i := range in {
+		if math.Abs(in[i]-out[i]) > 1.0/32000 {
+			t.Errorf("sample %d: %v vs %v", i, in[i], out[i])
+		}
+	}
+	// Clipping.
+	clipped := DecodeWave(encodeWave([]float64{2, -2}))
+	if math.Abs(clipped[0]-1) > 1e-3 || math.Abs(clipped[1]+1) > 1e-3 {
+		t.Errorf("clipping: %v", clipped)
+	}
+}
+
+func TestSession(t *testing.T) {
+	d, _ := MedicalRecord("p1", 1)
+	choices := Session(d, []string{"alice", "bob"}, 50, 3)
+	if len(choices) != 50 {
+		t.Fatalf("choices = %d", len(choices))
+	}
+	hidden := 0
+	for _, c := range choices {
+		if c.Viewer != "alice" && c.Viewer != "bob" {
+			t.Errorf("unknown viewer %q", c.Viewer)
+		}
+		dom, err := d.Prefs.Domain(c.Variable)
+		if err != nil {
+			t.Fatalf("choice names unknown variable %q", c.Variable)
+		}
+		found := false
+		for _, v := range dom {
+			if v == c.Value {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("choice %v not in domain %v", c, dom)
+		}
+		if c.Value == "hidden" || c.Value == document.VisHidden {
+			hidden++
+		}
+	}
+	if hidden > 25 {
+		t.Errorf("%d/50 choices hide components — weighting broken", hidden)
+	}
+	// Determinism.
+	again := Session(d, []string{"alice", "bob"}, 50, 3)
+	for i := range choices {
+		if choices[i] != again[i] {
+			t.Fatal("session not deterministic")
+		}
+	}
+}
