@@ -6,6 +6,7 @@
 package mmconf_bench
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -234,7 +235,7 @@ func BenchmarkE5Propagation(b *testing.B) {
 			defer r.Close()
 			var wg sync.WaitGroup
 			for i := 0; i < n; i++ {
-				m, _, _, err := r.Join(fmt.Sprintf("m%02d", i))
+				m, _, _, err := r.Join(context.Background(), fmt.Sprintf("m%02d", i))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -249,12 +250,80 @@ func BenchmarkE5Propagation(b *testing.B) {
 			b.ResetTimer()
 			values := []string{"segmented", "full", "lowres"}
 			for i := 0; i < b.N; i++ {
-				if err := r.Choice("m00", "ct", values[i%len(values)]); err != nil {
+				if err := r.Choice(context.Background(), "m00", "ct", values[i%len(values)]); err != nil {
 					b.Fatal(err)
 				}
 			}
 			b.StopTimer()
 			r.Close()
+			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkE5MultiRoom measures cross-room choice throughput through the
+// whole pipeline (client → wire → typed handler → room → push fan-out)
+// with one concurrent session per room. The shards axis re-runs the same
+// load against a single-shard registry — the pre-sharding shape, where
+// every room lookup met the same lock — versus the shipped 32-shard
+// table; the isolated lock cost is in BenchmarkRegistryLookup
+// (internal/server).
+func BenchmarkE5MultiRoom(b *testing.B) {
+	const roomN = 8
+	for _, shards := range []int{1, 32} {
+		b.Run(fmt.Sprintf("rooms=%d/shards=%d", roomN, shards), func(b *testing.B) {
+			db, err := store.Open(b.TempDir(), store.Options{Sync: store.SyncNever})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			m, err := mediadb.Open(db)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := workload.Populate(m, "p1", 1); err != nil {
+				b.Fatal(err)
+			}
+			srv := server.NewWith(m, server.Options{RegistryShards: shards})
+			defer srv.Close()
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			go srv.Serve(l)
+			sessions := make([]*client.Session, roomN)
+			for i := range sessions {
+				cli, err := client.Dial(l.Addr().String(), fmt.Sprintf("bench%02d", i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer cli.Close()
+				s, _, err := cli.Join(fmt.Sprintf("ward-%d", i), "p1", 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sessions[i] = s
+			}
+			values := []string{"segmented", "full", "lowres"}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for i, s := range sessions {
+				n := b.N / roomN
+				if i == 0 {
+					n += b.N % roomN
+				}
+				wg.Add(1)
+				go func(s *client.Session, n int) {
+					defer wg.Done()
+					for j := 0; j < n; j++ {
+						if err := s.Choice("ct", values[j%len(values)]); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(s, n)
+			}
 			wg.Wait()
 		})
 	}

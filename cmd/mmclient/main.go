@@ -27,13 +27,17 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"mmconf/internal/client"
 	"mmconf/internal/document"
@@ -54,13 +58,18 @@ func main() {
 }
 
 func run(addr, user, roomName, docID string, buffer int64) error {
+	// Every request is bounded by this context: Ctrl-C aborts a call in
+	// flight (the server abandons the work too) and ends the session.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	c, err := client.Dial(addr, user)
 	if err != nil {
 		return err
 	}
 	defer c.Close()
 
-	session, history, err := c.Join(roomName, docID, buffer)
+	session, history, err := c.JoinCtx(ctx, roomName, docID, buffer)
 	if err != nil {
 		return err
 	}
@@ -75,32 +84,44 @@ func run(addr, user, roomName, docID string, buffer int64) error {
 		for ev := range c.Events() {
 			session.ApplyEvent(ev)
 			printEvent(user, ev)
+			if ev.Kind == room.EvShutdown {
+				fmt.Println("server is shutting down; session over")
+				stop()
+				os.Exit(0)
+			}
 		}
 	}()
 
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Print("> ")
 	for sc.Scan() {
+		if ctx.Err() != nil {
+			break
+		}
 		line := strings.TrimSpace(sc.Text())
 		if line == "quit" || line == "exit" {
 			break
 		}
 		if line != "" {
-			if err := execute(c, session, line); err != nil {
+			if err := execute(ctx, c, session, line); err != nil {
 				fmt.Printf("error: %v\n", err)
 			}
 		}
 		fmt.Print("> ")
 	}
-	return session.Leave()
+	// Leave with its own short deadline: the session context may already
+	// be cancelled when we got here via Ctrl-C.
+	lctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return session.LeaveCtx(lctx)
 }
 
-func execute(c *client.Client, s *client.Session, line string) error {
+func execute(ctx context.Context, c *client.Client, s *client.Session, line string) error {
 	fields := strings.Fields(line)
 	cmd, args := fields[0], fields[1:]
 	switch cmd {
 	case "docs":
-		ids, titles, err := c.ListDocuments()
+		ids, titles, err := c.ListDocumentsCtx(ctx)
 		if err != nil {
 			return err
 		}
@@ -119,12 +140,12 @@ func execute(c *client.Client, s *client.Session, line string) error {
 		if len(args) > 1 {
 			value = args[1]
 		}
-		return s.Choice(args[0], value)
+		return s.ChoiceCtx(ctx, args[0], value)
 	case "op", "opp":
 		if len(args) != 3 {
 			return fmt.Errorf("usage: %s <component> <operation> <active-when>", cmd)
 		}
-		derived, err := s.Operation(args[0], args[1], args[2], cmd == "opp")
+		derived, err := s.OperationCtx(ctx, args[0], args[1], args[2], cmd == "opp")
 		if err != nil {
 			return err
 		}
@@ -197,9 +218,9 @@ func execute(c *client.Client, s *client.Session, line string) error {
 		}
 		return s.StopBroadcast()
 	case "chat":
-		return s.Chat(strings.Join(args, " "))
+		return s.ChatCtx(ctx, strings.Join(args, " "))
 	case "history":
-		evs, err := s.History(0)
+		evs, err := s.HistoryCtx(ctx, 0)
 		if err != nil {
 			return err
 		}
@@ -299,5 +320,7 @@ func printEvent(self string, ev room.Event) {
 		fmt.Printf("[%d] %s joined\n", ev.Seq, ev.Actor)
 	case room.EvLeave:
 		fmt.Printf("[%d] %s left\n", ev.Seq, ev.Actor)
+	case room.EvShutdown:
+		fmt.Printf("[%d] server announced shutdown\n", ev.Seq)
 	}
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"testing"
@@ -66,7 +67,7 @@ func TestExecuteCommands(t *testing.T) {
 		"history",
 	}
 	for _, cmd := range commands {
-		if err := execute(c, s, cmd); err != nil {
+		if err := execute(context.Background(), c, s, cmd); err != nil {
 			t.Errorf("execute(%q): %v", cmd, err)
 		}
 	}
@@ -78,7 +79,7 @@ func TestExecuteDeleteAnnotation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := execute(c, s, fmt.Sprintf("del %d %d", rec.CTID, annID)); err != nil {
+	if err := execute(context.Background(), c, s, fmt.Sprintf("del %d %d", rec.CTID, annID)); err != nil {
 		t.Errorf("del: %v", err)
 	}
 }
@@ -102,7 +103,7 @@ func TestExecuteErrors(t *testing.T) {
 		"choice nosuchvar value",
 	}
 	for _, cmd := range bad {
-		if err := execute(c, s, cmd); err == nil {
+		if err := execute(context.Background(), c, s, cmd); err == nil {
 			t.Errorf("execute(%q) accepted", cmd)
 		}
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -18,6 +19,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"mmconf/internal/mediadb"
 	"mmconf/internal/server"
@@ -83,12 +85,21 @@ func run(addr, data string, seed int, syncMode string) error {
 	}
 	log.Printf("interaction server listening on %s (data: %s)", l.Addr(), data)
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	go func() {
-		<-sig
-		log.Printf("shutting down")
-		srv.Close()
-	}()
-	return srv.Serve(l)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(l) }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		stop() // a second signal kills immediately
+		log.Printf("signal received: draining (announcing shutdown to rooms, 10s budget)")
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		return <-errCh // Serve returns once its listener closed
+	}
 }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -32,11 +33,11 @@ func run() error {
 	}
 	defer r.Close()
 
-	adams, _, _, err := r.Join("dr-adams")
+	adams, _, _, err := r.Join(context.Background(), "dr-adams")
 	if err != nil {
 		return err
 	}
-	baker, _, _, err := r.Join("dr-baker")
+	baker, _, _, err := r.Join(context.Background(), "dr-baker")
 	if err != nil {
 		return err
 	}
@@ -62,7 +63,7 @@ func run() error {
 
 	// Baker prefers reading transcripts — until a search hit fires the rule.
 	step("baker switches the commentary to transcript", func() error {
-		return r.Choice("dr-baker", "voice", "transcript")
+		return r.Choice(context.Background(), "dr-baker", "voice", "transcript")
 	})
 	step("adams runs a word search that hits", func() error {
 		hits := []voice.Hit{{Word: "urgent", Start: 4000, End: 9600, Score: 2.1}}
@@ -81,7 +82,7 @@ func run() error {
 		return r.StartBroadcast("dr-adams")
 	})
 	step("baker tries to change the presentation (rejected)", func() error {
-		err := r.Choice("dr-baker", "ct", "hidden")
+		err := r.Choice(context.Background(), "dr-baker", "ct", "hidden")
 		if err == nil {
 			return fmt.Errorf("floor control failed")
 		}
@@ -89,13 +90,13 @@ func run() error {
 		return nil
 	})
 	step("adams walks through the segmented CT; everyone mirrors her", func() error {
-		return r.Choice("dr-adams", "ct", "segmented")
+		return r.Choice(context.Background(), "dr-adams", "ct", "segmented")
 	})
 	step("adams ends the broadcast", func() error {
 		return r.StopBroadcast("dr-adams")
 	})
 	step("baker has the floor again", func() error {
-		return r.Choice("dr-baker", "ct", "full")
+		return r.Choice(context.Background(), "dr-baker", "ct", "full")
 	})
 	time.Sleep(200 * time.Millisecond)
 	return nil

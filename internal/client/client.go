@@ -6,6 +6,7 @@
 package client
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -92,8 +93,13 @@ func (c *Client) Close() error { return c.rpc.Close() }
 
 // ListDocuments returns stored document ids and titles.
 func (c *Client) ListDocuments() (ids, titles []string, err error) {
+	return c.ListDocumentsCtx(context.Background())
+}
+
+// ListDocumentsCtx is ListDocuments bounded by ctx.
+func (c *Client) ListDocumentsCtx(ctx context.Context) (ids, titles []string, err error) {
 	var resp proto.ListDocumentsResp
-	if err := c.rpc.Call(proto.MListDocuments, proto.ListDocumentsReq{}, &resp); err != nil {
+	if err := c.rpc.CallCtx(ctx, proto.MListDocuments, proto.ListDocumentsReq{}, &resp); err != nil {
 		return nil, nil, err
 	}
 	return resp.IDs, resp.Titles, nil
@@ -101,8 +107,13 @@ func (c *Client) ListDocuments() (ids, titles []string, err error) {
 
 // GetDocument fetches and decodes a document.
 func (c *Client) GetDocument(docID string) (*document.Document, error) {
+	return c.GetDocumentCtx(context.Background(), docID)
+}
+
+// GetDocumentCtx is GetDocument bounded by ctx.
+func (c *Client) GetDocumentCtx(ctx context.Context, docID string) (*document.Document, error) {
 	var resp proto.GetDocumentResp
-	if err := c.rpc.Call(proto.MGetDocument, proto.GetDocumentReq{DocID: docID}, &resp); err != nil {
+	if err := c.rpc.CallCtx(ctx, proto.MGetDocument, proto.GetDocumentReq{DocID: docID}, &resp); err != nil {
 		return nil, err
 	}
 	return document.Unmarshal(resp.DocData)
@@ -174,8 +185,13 @@ type Session struct {
 // Join enters a room around a document. bufferBytes > 0 enables the
 // client-side prefetch cache of that size.
 func (c *Client) Join(roomName, docID string, bufferBytes int64) (*Session, []room.Event, error) {
+	return c.JoinCtx(context.Background(), roomName, docID, bufferBytes)
+}
+
+// JoinCtx is Join bounded by ctx.
+func (c *Client) JoinCtx(ctx context.Context, roomName, docID string, bufferBytes int64) (*Session, []room.Event, error) {
 	var resp proto.JoinRoomResp
-	err := c.rpc.Call(proto.MJoinRoom, proto.JoinRoomReq{
+	err := c.rpc.CallCtx(ctx, proto.MJoinRoom, proto.JoinRoomReq{
 		Room: roomName, DocID: docID, User: c.user,
 	}, &resp)
 	if err != nil {
@@ -204,6 +220,9 @@ func (c *Client) Join(roomName, docID string, bufferBytes int64) (*Session, []ro
 	return s, resp.History, nil
 }
 
+// User returns the user this session belongs to.
+func (s *Session) User() string { return s.client.user }
+
 // View returns the latest presentation for this user.
 func (s *Session) View() document.View {
 	s.mu.Lock()
@@ -223,7 +242,12 @@ func (s *Session) ApplyEvent(ev room.Event) {
 
 // Choice sends a presentation selection for this user.
 func (s *Session) Choice(variable, value string) error {
-	return s.client.rpc.Call(proto.MChoice, proto.ChoiceReq{
+	return s.ChoiceCtx(context.Background(), variable, value)
+}
+
+// ChoiceCtx is Choice bounded by ctx.
+func (s *Session) ChoiceCtx(ctx context.Context, variable, value string) error {
+	return s.client.rpc.CallCtx(ctx, proto.MChoice, proto.ChoiceReq{
 		Room: s.Room, User: s.client.user, Variable: variable, Value: value,
 	}, nil)
 }
@@ -231,8 +255,13 @@ func (s *Session) Choice(variable, value string) error {
 // Operation applies a media operation (§4.2) and returns the derived
 // variable name.
 func (s *Session) Operation(component, op, activeWhen string, private bool) (string, error) {
+	return s.OperationCtx(context.Background(), component, op, activeWhen, private)
+}
+
+// OperationCtx is Operation bounded by ctx.
+func (s *Session) OperationCtx(ctx context.Context, component, op, activeWhen string, private bool) (string, error) {
 	var resp proto.OperationResp
-	err := s.client.rpc.Call(proto.MOperation, proto.OperationReq{
+	err := s.client.rpc.CallCtx(ctx, proto.MOperation, proto.OperationReq{
 		Room: s.Room, User: s.client.user,
 		Component: component, Op: op, ActiveWhen: activeWhen, Private: private,
 	}, &resp)
@@ -289,7 +318,12 @@ func (s *Session) ShareSearch(speaker bool, keyword string, hits []voice.Hit) er
 
 // Chat sends a free-text message to the room.
 func (s *Session) Chat(text string) error {
-	return s.client.rpc.Call(proto.MChat, proto.ChatReq{
+	return s.ChatCtx(context.Background(), text)
+}
+
+// ChatCtx is Chat bounded by ctx.
+func (s *Session) ChatCtx(ctx context.Context, text string) error {
+	return s.client.rpc.CallCtx(ctx, proto.MChat, proto.ChatReq{
 		Room: s.Room, User: s.client.user, Text: text,
 	}, nil)
 }
@@ -322,8 +356,13 @@ func (s *Session) SaveMinutes() (string, error) {
 
 // History replays room events newer than since.
 func (s *Session) History(since uint64) ([]room.Event, error) {
+	return s.HistoryCtx(context.Background(), since)
+}
+
+// HistoryCtx is History bounded by ctx.
+func (s *Session) HistoryCtx(ctx context.Context, since uint64) ([]room.Event, error) {
 	var resp proto.HistoryResp
-	if err := s.client.rpc.Call(proto.MHistory, proto.HistoryReq{Room: s.Room, Since: since}, &resp); err != nil {
+	if err := s.client.rpc.CallCtx(ctx, proto.MHistory, proto.HistoryReq{Room: s.Room, Since: since}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Events, nil
@@ -331,7 +370,12 @@ func (s *Session) History(since uint64) ([]room.Event, error) {
 
 // Leave exits the room.
 func (s *Session) Leave() error {
-	return s.client.rpc.Call(proto.MLeaveRoom, proto.LeaveRoomReq{
+	return s.LeaveCtx(context.Background())
+}
+
+// LeaveCtx is Leave bounded by ctx.
+func (s *Session) LeaveCtx(ctx context.Context) error {
+	return s.client.rpc.CallCtx(ctx, proto.MLeaveRoom, proto.LeaveRoomReq{
 		Room: s.Room, User: s.client.user,
 	}, nil)
 }

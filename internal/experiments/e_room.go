@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"fmt"
 	"sync"
@@ -62,11 +63,11 @@ func diffVsWholeDocument() (diffBytes, docBytes int, mediaBytes int64, err error
 		return 0, 0, 0, err
 	}
 	defer r.Close()
-	m, _, _, err := r.Join("a")
+	m, _, _, err := r.Join(context.Background(), "a")
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	if err := r.Choice("a", "ct", "segmented"); err != nil {
+	if err := r.Choice(context.Background(), "a", "ct", "segmented"); err != nil {
 		return 0, 0, 0, err
 	}
 	// What a full redisplay would re-transfer: the view's media payloads.
@@ -108,7 +109,7 @@ func propagationRun(n int) (choiceLat, chatLat time.Duration, eventsPerSec float
 	defer r.Close()
 	members := make([]*room.Member, n)
 	for i := 0; i < n; i++ {
-		m, _, _, err := r.Join(fmt.Sprintf("m%02d", i))
+		m, _, _, err := r.Join(context.Background(), fmt.Sprintf("m%02d", i))
 		if err != nil {
 			return 0, 0, 0, err
 		}
@@ -168,7 +169,7 @@ func propagationRun(n int) (choiceLat, chatLat time.Duration, eventsPerSec float
 			func(ev room.Event) bool {
 				return ev.Kind == room.EvPresentation && ev.Outcome["ct"] == val
 			},
-			func() error { return r.Choice("m00", "ct", val) },
+			func() error { return r.Choice(context.Background(), "m00", "ct", val) },
 		)
 		if err != nil {
 			return 0, 0, 0, err

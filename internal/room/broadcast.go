@@ -9,11 +9,30 @@ import "fmt"
 // the duration; content actions (annotations, chat, searches) remain open
 // to all, as in a real case conference.
 
-// Broadcast event kinds, appended after the base kinds.
+// Broadcast event kinds, appended after the base kinds. EvShutdown is
+// the server-drain announcement: members receiving it know the room is
+// about to close and no reconnect will find it.
 const (
 	EvBroadcastStart EventKind = iota + EvChat + 1
 	EvBroadcastStop
+	EvShutdown
 )
+
+// serverActor is the synthetic actor name server-originated events carry.
+const serverActor = "system/server"
+
+// AnnounceShutdown broadcasts the server-drain event to every member.
+// It does not close the room — the drain sequence closes rooms only
+// after in-flight handlers finish, so the announcement reaches clients
+// while their connections are still up.
+func (r *Room) AnnounceShutdown() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	r.broadcastLocked(Event{Actor: serverActor, Kind: EvShutdown}, false)
+}
 
 // StartBroadcast makes the named member the presenter. Fails if a
 // broadcast is already running.

@@ -1,0 +1,47 @@
+package room
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"mmconf/internal/workload"
+)
+
+// TestCancelledContextAbortsEntryPoints checks that a dead request
+// context stops Join/Choice/Operation before any room state mutates.
+func TestCancelledContextAbortsEntryPoints(t *testing.T) {
+	doc, err := workload.MedicalRecord("p1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := New("ward", doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, _, _, err := r.Join(context.Background(), "alice"); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, _, err := r.Join(ctx, "bob"); !errors.Is(err, context.Canceled) {
+		t.Errorf("Join on dead context: %v", err)
+	}
+	if got := r.Members(); len(got) != 1 {
+		t.Errorf("aborted join still admitted a member: %v", got)
+	}
+	if err := r.Choice(ctx, "alice", "ct", "segmented"); !errors.Is(err, context.Canceled) {
+		t.Errorf("Choice on dead context: %v", err)
+	}
+	if _, err := r.Operation(ctx, "alice", "ct", "zoom", "full", false); !errors.Is(err, context.Canceled) {
+		t.Errorf("Operation on dead context: %v", err)
+	}
+	// No event reached the change buffer beyond alice's join.
+	for _, ev := range r.History(0) {
+		if ev.Kind == EvChoice || ev.Kind == EvOperation {
+			t.Errorf("aborted call left an event behind: %+v", ev)
+		}
+	}
+}

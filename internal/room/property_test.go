@@ -1,6 +1,7 @@
 package room
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -45,7 +46,7 @@ func TestQuickRoomInvariants(t *testing.T) {
 			if present[u] {
 				return
 			}
-			m, _, _, err := r.Join(u)
+			m, _, _, err := r.Join(context.Background(), u)
 			if err != nil {
 				t.Logf("join: %v", err)
 				return
@@ -82,7 +83,7 @@ func TestQuickRoomInvariants(t *testing.T) {
 					v := vars[rng.Intn(len(vars))]
 					val := v.Domain[rng.Intn(len(v.Domain))]
 					// May legitimately fail during a broadcast.
-					_ = r.Choice(u, v.Name, val)
+					_ = r.Choice(context.Background(), u, v.Name, val)
 				}
 			case 5:
 				if present[u] {

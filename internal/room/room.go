@@ -10,6 +10,7 @@
 package room
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -45,7 +46,7 @@ func (k EventKind) String() string {
 	names := [...]string{"join", "leave", "choice", "operation", "annotate",
 		"delete-annotation", "freeze", "release", "presentation",
 		"word-search", "speaker-search", "chat",
-		"broadcast-start", "broadcast-stop"}
+		"broadcast-start", "broadcast-stop", "shutdown"}
 	if int(k) < len(names) {
 		return names[k]
 	}
@@ -159,10 +160,15 @@ func (r *Room) triggerLoop() {
 func (r *Room) Engine() *core.Engine { return r.engine }
 
 // Join adds a member, replays the change buffer to them as a catch-up
-// snapshot, and announces the join to everyone.
-func (r *Room) Join(name string) (*Member, []Event, document.View, error) {
+// snapshot, and announces the join to everyone. A cancelled ctx aborts
+// before any state changes — the request's client is already gone, so
+// admitting it would strand a membership nobody drains.
+func (r *Room) Join(ctx context.Context, name string) (*Member, []Event, document.View, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, document.View{}, fmt.Errorf("room %s: join %s: %w", r.Name, name, err)
+	}
 	if r.closed {
 		return nil, nil, document.View{}, fmt.Errorf("room %s: closed", r.Name)
 	}
@@ -309,10 +315,15 @@ func (r *Room) deliverLocked(m *Member, ev Event) {
 	}
 }
 
-// Choice records a presentation choice and propagates it.
-func (r *Room) Choice(actor, variable, value string) error {
+// Choice records a presentation choice and propagates it. A cancelled
+// ctx aborts before the engine mutates, so no propagation work runs for
+// a request whose client stopped waiting.
+func (r *Room) Choice(ctx context.Context, actor, variable, value string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("room %s: choice by %s: %w", r.Name, actor, err)
+	}
 	if _, ok := r.members[actor]; !ok {
 		return fmt.Errorf("room %s: no member %q", r.Name, actor)
 	}
@@ -329,9 +340,12 @@ func (r *Room) Choice(actor, variable, value string) error {
 // Operation applies a media operation (§4.2) and propagates it. Shared
 // operations change everyone's network; private ones only the actor's
 // overlay — but the event is still announced so partners see the action.
-func (r *Room) Operation(actor, component, op, activeWhen string, private bool) (string, error) {
+func (r *Room) Operation(ctx context.Context, actor, component, op, activeWhen string, private bool) (string, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return "", fmt.Errorf("room %s: operation by %s: %w", r.Name, actor, err)
+	}
 	if _, ok := r.members[actor]; !ok {
 		return "", fmt.Errorf("room %s: no member %q", r.Name, actor)
 	}

@@ -1,6 +1,7 @@
 package room
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -57,7 +58,7 @@ func kinds(evs []Event) map[EventKind]int {
 
 func TestJoinLeaveAndPropagation(t *testing.T) {
 	r := newRoom(t)
-	alice, hist, view, err := r.Join("alice")
+	alice, hist, view, err := r.Join(context.Background(), "alice")
 	if err != nil {
 		t.Fatalf("Join: %v", err)
 	}
@@ -67,10 +68,10 @@ func TestJoinLeaveAndPropagation(t *testing.T) {
 	if view.Outcome["ct"] != "full" {
 		t.Errorf("initial view: %v", view.Outcome)
 	}
-	if _, _, _, err := r.Join("alice"); err == nil {
+	if _, _, _, err := r.Join(context.Background(), "alice"); err == nil {
 		t.Error("duplicate join accepted")
 	}
-	bob, hist2, _, err := r.Join("bob")
+	bob, hist2, _, err := r.Join(context.Background(), "bob")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,11 +113,11 @@ func TestJoinLeaveAndPropagation(t *testing.T) {
 
 func TestChoicePropagatesPresentation(t *testing.T) {
 	r := newRoom(t)
-	alice, _, _, _ := r.Join("alice")
-	bob, _, _, _ := r.Join("bob")
+	alice, _, _, _ := r.Join(context.Background(), "alice")
+	bob, _, _, _ := r.Join(context.Background(), "bob")
 	drain(alice)
 	drain(bob)
-	if err := r.Choice("alice", "ct", "segmented"); err != nil {
+	if err := r.Choice(context.Background(), "alice", "ct", "segmented"); err != nil {
 		t.Fatalf("Choice: %v", err)
 	}
 	bobEvs := drain(bob)
@@ -134,21 +135,21 @@ func TestChoicePropagatesPresentation(t *testing.T) {
 			}
 		}
 	}
-	if err := r.Choice("ghost", "ct", "full"); err == nil {
+	if err := r.Choice(context.Background(), "ghost", "ct", "full"); err == nil {
 		t.Error("non-member choice accepted")
 	}
-	if err := r.Choice("alice", "ct", "nosuch"); err == nil {
+	if err := r.Choice(context.Background(), "alice", "ct", "nosuch"); err == nil {
 		t.Error("invalid choice accepted")
 	}
 }
 
 func TestOperationSharedAndPrivate(t *testing.T) {
 	r := newRoom(t)
-	alice, _, _, _ := r.Join("alice")
-	bob, _, _, _ := r.Join("bob")
+	alice, _, _, _ := r.Join(context.Background(), "alice")
+	bob, _, _, _ := r.Join(context.Background(), "bob")
 	drain(alice)
 	drain(bob)
-	name, err := r.Operation("alice", "ct", "segmentation", "full", false)
+	name, err := r.Operation(context.Background(), "alice", "ct", "segmentation", "full", false)
 	if err != nil {
 		t.Fatalf("Operation: %v", err)
 	}
@@ -171,7 +172,7 @@ func TestOperationSharedAndPrivate(t *testing.T) {
 		t.Fatal("operation not propagated")
 	}
 	// Private operation: announced, but bob's presentation has no such var.
-	pname, err := r.Operation("alice", "xray", "zoom", "icon", true)
+	pname, err := r.Operation(context.Background(), "alice", "xray", "zoom", "icon", true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +183,7 @@ func TestOperationSharedAndPrivate(t *testing.T) {
 			}
 		}
 	}
-	if _, err := r.Operation("ghost", "ct", "zoom", "full", false); err == nil {
+	if _, err := r.Operation(context.Background(), "ghost", "ct", "zoom", "full", false); err == nil {
 		t.Error("non-member operation accepted")
 	}
 }
@@ -191,8 +192,8 @@ func TestAnnotationsPropagate(t *testing.T) {
 	r := newRoom(t)
 	base, _ := image.Phantom(64, 64, 1)
 	r.RegisterRaster(11, base)
-	alice, _, _, _ := r.Join("alice")
-	bob, _, _, _ := r.Join("bob")
+	alice, _, _, _ := r.Join(context.Background(), "alice")
+	bob, _, _, _ := r.Join(context.Background(), "bob")
 	drain(alice)
 	drain(bob)
 
@@ -245,8 +246,8 @@ func TestAnnotationsPropagate(t *testing.T) {
 
 func TestFreezeDiscipline(t *testing.T) {
 	r := newRoom(t)
-	alice, _, _, _ := r.Join("alice")
-	bob, _, _, _ := r.Join("bob")
+	alice, _, _, _ := r.Join(context.Background(), "alice")
+	bob, _, _, _ := r.Join(context.Background(), "bob")
 	drain(alice)
 	drain(bob)
 	if err := r.Freeze("alice", 11); err != nil {
@@ -262,7 +263,7 @@ func TestFreezeDiscipline(t *testing.T) {
 	if _, err := r.Annotate("bob", 11, image.LineElement, 0, 0, 5, 5, "", 1); err == nil {
 		t.Error("annotate on frozen object accepted")
 	}
-	if _, err := r.Operation("bob", "ct", "zoom", "full", false); err == nil {
+	if _, err := r.Operation(context.Background(), "bob", "ct", "zoom", "full", false); err == nil {
 		t.Error("operation on frozen component accepted")
 	}
 	// The holder still can.
@@ -280,7 +281,7 @@ func TestFreezeDiscipline(t *testing.T) {
 		t.Error("double release accepted")
 	}
 	// After release bob can operate again.
-	if _, err := r.Operation("bob", "ct", "zoom", "full", false); err != nil {
+	if _, err := r.Operation(context.Background(), "bob", "ct", "zoom", "full", false); err != nil {
 		t.Errorf("post-release operation failed: %v", err)
 	}
 	// Freeze auto-releases when the holder leaves.
@@ -295,8 +296,8 @@ func TestFreezeDiscipline(t *testing.T) {
 
 func TestCooperativeSearchAndChat(t *testing.T) {
 	r := newRoom(t)
-	alice, _, _, _ := r.Join("alice")
-	bob, _, _, _ := r.Join("bob")
+	alice, _, _, _ := r.Join(context.Background(), "alice")
+	bob, _, _, _ := r.Join(context.Background(), "bob")
 	drain(alice)
 	drain(bob)
 	hits := []voice.Hit{{Word: "urgent", Start: 100, End: 200, Score: 2.5}}
@@ -335,11 +336,11 @@ func TestCooperativeSearchAndChat(t *testing.T) {
 
 func TestHistoryCatchUp(t *testing.T) {
 	r := newRoom(t)
-	r.Join("alice")
-	r.Choice("alice", "ct", "segmented")
+	r.Join(context.Background(), "alice")
+	r.Choice(context.Background(), "alice", "ct", "segmented")
 	r.Chat("alice", "first")
 	// A late joiner replays everything.
-	_, hist, _, err := r.Join("bob")
+	_, hist, _, err := r.Join(context.Background(), "bob")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -365,8 +366,8 @@ func TestHistoryCatchUp(t *testing.T) {
 
 func TestSlowMemberLosesOldestEvents(t *testing.T) {
 	r := newRoom(t)
-	sloth, _, _, _ := r.Join("sloth") // never drains during the flood
-	active, _, _, _ := r.Join("active")
+	sloth, _, _, _ := r.Join(context.Background(), "sloth") // never drains during the flood
+	active, _, _, _ := r.Join(context.Background(), "active")
 	go func() {
 		for range active.Events() {
 		}
@@ -414,7 +415,7 @@ func TestRoomValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	r.Close()
-	if _, _, _, err := r.Join("alice"); err == nil {
+	if _, _, _, err := r.Join(context.Background(), "alice"); err == nil {
 		t.Error("join on closed room accepted")
 	}
 	if r.Engine() == nil {

@@ -1,6 +1,7 @@
 package room
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -25,7 +26,7 @@ func waitFor(t *testing.T, what string, cond func() bool) {
 
 func TestTriggerFiresOnMatchingKind(t *testing.T) {
 	r := newRoom(t)
-	alice, _, _, _ := r.Join("alice")
+	alice, _, _, _ := r.Join(context.Background(), "alice")
 	drain(alice)
 
 	// Rule: when any word search hits, surface the voice component as
@@ -40,7 +41,7 @@ func TestTriggerFiresOnMatchingKind(t *testing.T) {
 		t.Fatalf("AddTrigger: %v", err)
 	}
 	// Force the voice away from audio first.
-	if err := r.Choice("alice", "voice", "transcript"); err != nil {
+	if err := r.Choice(context.Background(), "alice", "voice", "transcript"); err != nil {
 		t.Fatal(err)
 	}
 	hits := []voice.Hit{{Word: "urgent", Start: 0, End: 100, Score: 2}}
@@ -67,14 +68,14 @@ func TestTriggerFiresOnMatchingKind(t *testing.T) {
 
 func TestTriggerKindFilter(t *testing.T) {
 	r := newRoom(t)
-	r.Join("alice")
+	r.Join(context.Background(), "alice")
 	trig, err := r.AddTrigger("chat-only", []EventKind{EvChat}, func(r *Room, ev Event) error {
 		return nil
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.Choice("alice", "ct", "segmented"); err != nil {
+	if err := r.Choice(context.Background(), "alice", "ct", "segmented"); err != nil {
 		t.Fatal(err)
 	}
 	if err := r.Chat("alice", "hello"); err != nil {
@@ -90,7 +91,7 @@ func TestTriggerKindFilter(t *testing.T) {
 
 func TestTriggerNoCascade(t *testing.T) {
 	r := newRoom(t)
-	r.Join("alice")
+	r.Join(context.Background(), "alice")
 	trig, err := r.AddTrigger("echo", []EventKind{EvChat}, func(r *Room, ev Event) error {
 		return r.SystemChat("echo: " + ev.Text)
 	})
@@ -119,7 +120,7 @@ func TestTriggerNoCascade(t *testing.T) {
 
 func TestTriggerDeactivatesOnError(t *testing.T) {
 	r := newRoom(t)
-	r.Join("alice")
+	r.Join(context.Background(), "alice")
 	trig, err := r.AddTrigger("flaky", []EventKind{EvChat}, func(r *Room, ev Event) error {
 		return fmt.Errorf("boom")
 	})
@@ -165,7 +166,7 @@ func TestSystemChoiceRequiresMembers(t *testing.T) {
 	if err := r.SystemChoice("ct", "hidden"); err == nil {
 		t.Error("system choice on empty room accepted")
 	}
-	r.Join("alice")
+	r.Join(context.Background(), "alice")
 	if err := r.SystemChoice("nosuch", "x"); err == nil {
 		t.Error("unknown variable accepted")
 	}
@@ -176,8 +177,8 @@ func TestSystemChoiceRequiresMembers(t *testing.T) {
 
 func TestBroadcastFloorControl(t *testing.T) {
 	r := newRoom(t)
-	alice, _, _, _ := r.Join("alice")
-	bob, _, _, _ := r.Join("bob")
+	alice, _, _, _ := r.Join(context.Background(), "alice")
+	bob, _, _, _ := r.Join(context.Background(), "bob")
 	drain(alice)
 	drain(bob)
 
@@ -194,13 +195,13 @@ func TestBroadcastFloorControl(t *testing.T) {
 		t.Error("second broadcast accepted")
 	}
 	// Bob cannot change the presentation; alice can.
-	if err := r.Choice("bob", "ct", "hidden"); err == nil {
+	if err := r.Choice(context.Background(), "bob", "ct", "hidden"); err == nil {
 		t.Error("non-presenter choice accepted during broadcast")
 	}
-	if _, err := r.Operation("bob", "ct", "zoom", "full", true); err == nil {
+	if _, err := r.Operation(context.Background(), "bob", "ct", "zoom", "full", true); err == nil {
 		t.Error("non-presenter operation accepted during broadcast")
 	}
-	if err := r.Choice("alice", "ct", "segmented"); err != nil {
+	if err := r.Choice(context.Background(), "alice", "ct", "segmented"); err != nil {
 		t.Fatalf("presenter choice: %v", err)
 	}
 	// Bob's pushed presentation mirrors the presenter.
@@ -228,15 +229,15 @@ func TestBroadcastFloorControl(t *testing.T) {
 		t.Error("double stop accepted")
 	}
 	// Bob regains the floor.
-	if err := r.Choice("bob", "ct", "full"); err != nil {
+	if err := r.Choice(context.Background(), "bob", "ct", "full"); err != nil {
 		t.Errorf("post-broadcast choice blocked: %v", err)
 	}
 }
 
 func TestBroadcastEndsWhenPresenterLeaves(t *testing.T) {
 	r := newRoom(t)
-	r.Join("alice")
-	bob, _, _, _ := r.Join("bob")
+	r.Join(context.Background(), "alice")
+	bob, _, _, _ := r.Join(context.Background(), "bob")
 	drain(bob)
 	if err := r.StartBroadcast("alice"); err != nil {
 		t.Fatal(err)
@@ -256,7 +257,7 @@ func TestBroadcastEndsWhenPresenterLeaves(t *testing.T) {
 	if !sawStop {
 		t.Error("broadcast-stop event not propagated")
 	}
-	if err := r.Choice("bob", "ct", "hidden"); err != nil {
+	if err := r.Choice(context.Background(), "bob", "ct", "hidden"); err != nil {
 		t.Errorf("floor not released: %v", err)
 	}
 }
@@ -271,7 +272,7 @@ func TestMinutesSnapshotAndComponent(t *testing.T) {
 	r := newRoom(t)
 	base, _ := image.Phantom(32, 32, 1)
 	r.RegisterRaster(11, base)
-	alice, _, _, _ := r.Join("alice")
+	alice, _, _, _ := r.Join(context.Background(), "alice")
 	drain(alice)
 	r.Chat("alice", "suspicious density upper lobe")
 	r.ShareSearch("alice", EvWordSearch, "urgent", []voice.Hit{{Word: "urgent", Start: 1, End: 2, Score: 1}})

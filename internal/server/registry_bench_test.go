@@ -1,0 +1,68 @@
+package server
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// These benchmarks isolate the room-table lock. shards=1 collapses the
+// registry to a single mutex — the shape of the pre-refactor global
+// `mu sync.Mutex` + map — so shards=1 vs shards=32 is the before/after
+// of the sharding change. The write-lock variant models the old code
+// exactly (it took a full Lock on every room lookup); the read-lock
+// variant is the new hot path.
+
+func benchRegistryLookup(b *testing.B, shards, rooms int, write bool) {
+	g := newRegistry(shards)
+	names := make([]string, rooms)
+	for i := range names {
+		names[i] = fmt.Sprintf("ward-%d", i)
+		if _, _, err := g.getOrCreate(names[i], func() (*roomState, error) {
+			return &roomState{}, nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var miss atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			name := names[i%rooms]
+			i++
+			if write {
+				// Old-style lookup: full lock even when the room exists.
+				if _, _, err := g.getOrCreate(name, func() (*roomState, error) {
+					return &roomState{}, nil
+				}); err != nil {
+					miss.Add(1)
+				}
+			} else {
+				if _, ok := g.get(name); !ok {
+					miss.Add(1)
+				}
+			}
+		}
+	})
+	if miss.Load() != 0 {
+		b.Fatalf("%d lookups missed", miss.Load())
+	}
+}
+
+func BenchmarkRegistryLookup(b *testing.B) {
+	const rooms = 64
+	for _, bc := range []struct {
+		name   string
+		shards int
+		write  bool
+	}{
+		{"globalLock", 1, true}, // pre-refactor shape
+		{"1shard-rlock", 1, false},
+		{"32shards-rlock", 32, false}, // shipped configuration
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			benchRegistryLookup(b, bc.shards, rooms, bc.write)
+		})
+	}
+}

@@ -3,12 +3,23 @@
 // server, manages the shared rooms, keeps track of user actions, hands
 // them to the presentation module, and propagates every change to all
 // clients in the room over the wire layer's push channel.
+//
+// Requests flow through the wire package's typed pipeline: every method
+// registers through wire.Typed (which owns unmarshal/marshal), a default
+// interceptor chain provides stats, panic recovery, per-request deadlines
+// and slow-request logging, and the per-request context reaches the room
+// entry points so work for a dead or impatient client is abandoned.
+// Rooms live in a sharded registry so traffic in different rooms never
+// contends on a single lock.
 package server
 
 import (
+	"context"
 	"fmt"
+	"log"
 	"net"
 	"sync"
+	"time"
 
 	"mmconf/internal/document"
 	"mmconf/internal/media/compress"
@@ -19,13 +30,32 @@ import (
 	"mmconf/internal/wire"
 )
 
+// Options tunes the request pipeline. The zero value selects the
+// defaults noted on each field.
+type Options struct {
+	// RequestTimeout bounds every handler (default 30s; negative
+	// disables the deadline entirely).
+	RequestTimeout time.Duration
+	// MethodTimeouts overrides RequestTimeout per method name.
+	MethodTimeouts map[string]time.Duration
+	// SlowThreshold is the slow-request log bar (default 250ms).
+	SlowThreshold time.Duration
+	// Logf receives slow-request reports (default log.Printf).
+	Logf func(format string, args ...any)
+	// RegistryShards sizes the room table (default 32).
+	RegistryShards int
+}
+
 // Server is the interaction server.
 type Server struct {
-	db  *mediadb.MediaDB
-	rpc *wire.Server
-
-	mu    sync.Mutex
-	rooms map[string]*roomState
+	db    *mediadb.MediaDB
+	rpc   *wire.Server
+	reg   *registry
+	stats *wire.Stats
+	// forwarders counts the event-forwarding goroutines (one per room
+	// membership) so Shutdown can flush queued pushes before closing
+	// connections.
+	forwarders sync.WaitGroup
 }
 
 // roomState binds a live room to its document id.
@@ -40,16 +70,48 @@ type membership struct {
 	room   string
 	user   string
 	member *room.Member
-	done   chan struct{}
 }
 
-// New builds a server over an opened multimedia database.
-func New(db *mediadb.MediaDB) *Server {
-	s := &Server{db: db, rpc: wire.NewServer(), rooms: make(map[string]*roomState)}
+// New builds a server over an opened multimedia database with default
+// pipeline options.
+func New(db *mediadb.MediaDB) *Server { return NewWith(db, Options{}) }
+
+// NewWith builds a server with explicit pipeline options.
+func NewWith(db *mediadb.MediaDB, o Options) *Server {
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	if o.RequestTimeout < 0 {
+		o.RequestTimeout = 0 // wire.Timeout treats 0 as unbounded
+	}
+	if o.SlowThreshold == 0 {
+		o.SlowThreshold = 250 * time.Millisecond
+	}
+	if o.Logf == nil {
+		o.Logf = log.Printf
+	}
+	s := &Server{
+		db:    db,
+		rpc:   wire.NewServer(),
+		reg:   newRegistry(o.RegistryShards),
+		stats: wire.NewStats(),
+	}
+	// Stats sits outermost so even recovered panics count as errors;
+	// recovery wraps the timeout so a panic in a deadline-bound handler
+	// still converts to a clean response.
+	s.rpc.Use(
+		wire.WithStats(s.stats),
+		wire.Recovery(),
+		wire.Timeout(o.RequestTimeout, o.MethodTimeouts),
+		wire.SlowLog(o.SlowThreshold, o.Logf),
+	)
 	s.register()
 	s.rpc.OnPeerClose(s.evictPeer)
 	return s
 }
+
+// Stats exposes the pipeline's per-method request counters.
+func (s *Server) Stats() *wire.Stats { return s.stats }
 
 // Serve accepts connections on l until it closes.
 func (s *Server) Serve(l net.Listener) error { return s.rpc.Serve(l) }
@@ -57,50 +119,410 @@ func (s *Server) Serve(l net.Listener) error { return s.rpc.Serve(l) }
 // ServeConn serves a single established connection (in-process setups).
 func (s *Server) ServeConn(conn net.Conn) { s.rpc.ServeConn(conn) }
 
-// Close shuts down listeners and rooms.
-func (s *Server) Close() error {
-	s.mu.Lock()
-	for name, rs := range s.rooms {
-		rs.room.Close()
-		delete(s.rooms, name)
+// Shutdown drains the server gracefully: stop accepting connections and
+// reject new requests, announce the shutdown to every room (members
+// receive room.EvShutdown while their connections are still up), wait
+// for in-flight handlers until ctx expires, then close rooms and tear
+// down the remaining connections.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.rpc.Drain()
+	s.reg.forEach(func(name string, rs *roomState) { rs.room.AnnounceShutdown() })
+	err := s.rpc.AwaitIdle(ctx)
+	s.reg.closeAll()
+	// Closing the rooms ended every member event stream; wait (bounded
+	// by ctx) for the forwarding goroutines to flush their queued
+	// pushes — the shutdown announcement among them — while the
+	// connections are still up.
+	flushed := make(chan struct{})
+	go func() {
+		s.forwarders.Wait()
+		close(flushed)
+	}()
+	select {
+	case <-flushed:
+	case <-ctx.Done():
+		if err == nil {
+			err = ctx.Err()
+		}
 	}
-	s.mu.Unlock()
-	return s.rpc.Close()
+	if cerr := s.rpc.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
-// register installs all RPC handlers.
+// Close shuts down with a default 5-second drain budget.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return s.Shutdown(ctx)
+}
+
+// register installs all RPC handlers through the typed adapter.
 func (s *Server) register() {
-	s.rpc.Register(proto.MListDocuments, s.handleListDocuments)
-	s.rpc.Register(proto.MGetDocument, s.handleGetDocument)
-	s.rpc.Register(proto.MGetImage, s.handleGetImage)
-	s.rpc.Register(proto.MGetAudio, s.handleGetAudio)
-	s.rpc.Register(proto.MGetCmp, s.handleGetCmp)
-	s.rpc.Register(proto.MPutImageTexts, s.handlePutImageTexts)
-	s.rpc.Register(proto.MJoinRoom, s.handleJoinRoom)
-	s.rpc.Register(proto.MLeaveRoom, s.handleLeaveRoom)
-	s.rpc.Register(proto.MChoice, s.handleChoice)
-	s.rpc.Register(proto.MOperation, s.handleOperation)
-	s.rpc.Register(proto.MAnnotate, s.handleAnnotate)
-	s.rpc.Register(proto.MDeleteAnnotation, s.handleDeleteAnnotation)
-	s.rpc.Register(proto.MFreeze, s.handleFreeze)
-	s.rpc.Register(proto.MRelease, s.handleRelease)
-	s.rpc.Register(proto.MShareSearch, s.handleShareSearch)
-	s.rpc.Register(proto.MChat, s.handleChat)
-	s.rpc.Register(proto.MHistory, s.handleHistory)
-	s.rpc.Register(proto.MBroadcastStart, s.handleBroadcastStart)
-	s.rpc.Register(proto.MBroadcastStop, s.handleBroadcastStop)
-	s.rpc.Register(proto.MSaveMinutes, s.handleSaveMinutes)
+	s.rpc.Register(proto.MListDocuments, wire.Typed(s.handleListDocuments))
+	s.rpc.Register(proto.MGetDocument, wire.Typed(s.handleGetDocument))
+	s.rpc.Register(proto.MGetImage, wire.Typed(s.handleGetImage))
+	s.rpc.Register(proto.MGetAudio, wire.Typed(s.handleGetAudio))
+	s.rpc.Register(proto.MGetCmp, wire.Typed(s.handleGetCmp))
+	s.rpc.Register(proto.MPutImageTexts, wire.Typed(s.handlePutImageTexts))
+	s.rpc.Register(proto.MJoinRoom, wire.Typed(s.handleJoinRoom))
+	s.rpc.Register(proto.MLeaveRoom, wire.Typed(s.handleLeaveRoom))
+	s.rpc.Register(proto.MChoice, wire.Typed(s.handleChoice))
+	s.rpc.Register(proto.MOperation, wire.Typed(s.handleOperation))
+	s.rpc.Register(proto.MAnnotate, wire.Typed(s.handleAnnotate))
+	s.rpc.Register(proto.MDeleteAnnotation, wire.Typed(s.handleDeleteAnnotation))
+	s.rpc.Register(proto.MFreeze, wire.Typed(s.handleFreeze))
+	s.rpc.Register(proto.MRelease, wire.Typed(s.handleRelease))
+	s.rpc.Register(proto.MShareSearch, wire.Typed(s.handleShareSearch))
+	s.rpc.Register(proto.MChat, wire.Typed(s.handleChat))
+	s.rpc.Register(proto.MHistory, wire.Typed(s.handleHistory))
+	s.rpc.Register(proto.MBroadcastStart, wire.Typed(s.handleBroadcastStart))
+	s.rpc.Register(proto.MBroadcastStop, wire.Typed(s.handleBroadcastStop))
+	s.rpc.Register(proto.MSaveMinutes, wire.Typed(s.handleSaveMinutes))
+}
+
+// --- database methods ---
+
+func (s *Server) handleListDocuments(ctx context.Context, p *wire.Peer, req *proto.ListDocumentsReq) (*proto.ListDocumentsResp, error) {
+	ids, titles, err := s.db.ListDocuments()
+	if err != nil {
+		return nil, err
+	}
+	return &proto.ListDocumentsResp{IDs: ids, Titles: titles}, nil
+}
+
+func (s *Server) handleGetDocument(ctx context.Context, p *wire.Peer, req *proto.GetDocumentReq) (*proto.GetDocumentResp, error) {
+	doc, err := s.db.GetDocument(req.DocID)
+	if err != nil {
+		return nil, err
+	}
+	data, err := doc.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return &proto.GetDocumentResp{DocData: data}, nil
+}
+
+func (s *Server) handleGetImage(ctx context.Context, p *wire.Peer, req *proto.GetImageReq) (*proto.GetImageResp, error) {
+	img, err := s.db.GetImage(req.ID)
+	if err != nil {
+		return nil, err
+	}
+	return &proto.GetImageResp{Quality: img.Quality, Texts: img.Texts, CM: img.CM, Data: img.Data}, nil
+}
+
+func (s *Server) handleGetAudio(ctx context.Context, p *wire.Peer, req *proto.GetAudioReq) (*proto.GetAudioResp, error) {
+	a, err := s.db.GetAudio(req.ID)
+	if err != nil {
+		return nil, err
+	}
+	return &proto.GetAudioResp{Filename: a.Filename, Sectors: a.Sectors, Data: a.Data}, nil
+}
+
+// handleGetCmp serves a compressed stream, truncating the body to the
+// requested layer count so low-bandwidth clients transfer less.
+func (s *Server) handleGetCmp(ctx context.Context, p *wire.Peer, req *proto.GetCmpReq) (*proto.GetCmpResp, error) {
+	c, err := s.db.GetCmp(req.ID)
+	if err != nil {
+		return nil, err
+	}
+	body := c.Data
+	if req.MaxLayers > 0 {
+		stream, err := compress.Unmarshal(c.Header, c.Data)
+		if err != nil {
+			return nil, err
+		}
+		if req.MaxLayers > len(stream.Layers) {
+			return nil, fmt.Errorf("server: stream %d has %d layers, not %d", req.ID, len(stream.Layers), req.MaxLayers)
+		}
+		n := stream.PrefixBytes(req.MaxLayers)
+		if n > len(c.Data) {
+			return nil, fmt.Errorf("server: stream %d is corrupt: %d-layer prefix (%d bytes) exceeds body (%d bytes)",
+				req.ID, req.MaxLayers, n, len(c.Data))
+		}
+		body = c.Data[:n]
+	}
+	return &proto.GetCmpResp{Filename: c.Filename, Header: c.Header, Data: body}, nil
+}
+
+func (s *Server) handlePutImageTexts(ctx context.Context, p *wire.Peer, req *proto.PutImageTextsReq) (*wire.None, error) {
+	return nil, s.db.UpdateImageTexts(req.ID, req.Texts)
+}
+
+// --- room lookup and membership ---
+
+// roomFor returns (creating on demand) the named room bound to docID.
+func (s *Server) roomFor(name, docID string) (*roomState, error) {
+	rs, ok := s.reg.get(name)
+	if !ok {
+		if docID == "" {
+			return nil, fmt.Errorf("server: room %q does not exist; first joiner must name a document", name)
+		}
+		var created bool
+		var err error
+		rs, created, err = s.reg.getOrCreate(name, func() (*roomState, error) {
+			return s.buildRoom(name, docID)
+		})
+		if err != nil {
+			return nil, err
+		}
+		if created {
+			return rs, nil
+		}
+		// Another joiner won the race; fall through to the binding check.
+	}
+	if docID != "" && rs.docID != docID {
+		return nil, fmt.Errorf("server: room %q is bound to document %q, not %q", name, rs.docID, docID)
+	}
+	return rs, nil
+}
+
+// buildRoom fetches the document and constructs a live room around it.
+func (s *Server) buildRoom(name, docID string) (*roomState, error) {
+	doc, err := s.db.GetDocument(docID)
+	if err != nil {
+		return nil, err
+	}
+	r, err := room.New(name, doc)
+	if err != nil {
+		return nil, err
+	}
+	// Register base rasters for annotation rendering where available.
+	for _, c := range doc.Components() {
+		for _, pres := range c.Presentations {
+			if pres.ObjectID == 0 || pres.Kind != document.KindImage {
+				continue
+			}
+			if img, err := s.db.GetImage(pres.ObjectID); err == nil {
+				if raster, err := image.Decode(img.Data); err == nil {
+					r.RegisterRaster(pres.ObjectID, raster)
+				}
+			}
+		}
+	}
+	return &roomState{room: r, docID: docID, doc: doc}, nil
+}
+
+// peerSessions is a connection's room memberships, keyed by room name.
+// Requests on one connection dispatch concurrently, so the map carries
+// its own lock.
+type peerSessions struct {
+	mu    sync.Mutex
+	rooms map[string]*membership
+}
+
+// sessionsOf returns the peer's membership table, creating it if needed.
+func sessionsOf(p *wire.Peer) *peerSessions {
+	return p.MetaSetDefault("sessions", &peerSessions{rooms: make(map[string]*membership)}).(*peerSessions)
+}
+
+func (ps *peerSessions) add(mb *membership) (dup bool) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if _, dup := ps.rooms[mb.room]; dup {
+		return true
+	}
+	ps.rooms[mb.room] = mb
+	return false
+}
+
+func (ps *peerSessions) lookup(room string) (*membership, bool) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	mb, ok := ps.rooms[room]
+	return mb, ok
+}
+
+func (ps *peerSessions) drop(room string) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	delete(ps.rooms, room)
+}
+
+func (ps *peerSessions) snapshot() []*membership {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	out := make([]*membership, 0, len(ps.rooms))
+	for _, mb := range ps.rooms {
+		out = append(out, mb)
+	}
+	return out
+}
+
+func (s *Server) handleJoinRoom(ctx context.Context, p *wire.Peer, req *proto.JoinRoomReq) (*proto.JoinRoomResp, error) {
+	if req.User == "" {
+		return nil, fmt.Errorf("server: join needs a user name")
+	}
+	rs, err := s.roomFor(req.Room, req.DocID)
+	if err != nil {
+		return nil, err
+	}
+	member, history, view, err := rs.room.Join(ctx, req.User)
+	if err != nil {
+		return nil, err
+	}
+	sessions := sessionsOf(p)
+	mb := &membership{room: req.Room, user: req.User, member: member}
+	if sessions.add(mb) {
+		_ = rs.room.Leave(req.User)
+		return nil, fmt.Errorf("server: this connection already joined room %q", req.Room)
+	}
+	// Forward the member's event stream to the client as pushes.
+	s.forwarders.Add(1)
+	go func() {
+		defer s.forwarders.Done()
+		for ev := range member.Events() {
+			if err := p.Push(proto.MEvent, ev); err != nil {
+				return
+			}
+		}
+	}()
+	docData, err := rs.doc.MarshalBinary()
+	if err != nil {
+		// Unwind the join: without this the member and its forwarding
+		// goroutine would leak on the marshal error path.
+		sessions.drop(req.Room)
+		_ = rs.room.Leave(req.User)
+		return nil, err
+	}
+	return &proto.JoinRoomResp{
+		DocData: docData, History: history,
+		Outcome: view.Outcome, Visible: view.Visible,
+	}, nil
+}
+
+func (s *Server) handleLeaveRoom(ctx context.Context, p *wire.Peer, req *proto.LeaveRoomReq) (*wire.None, error) {
+	sessions := sessionsOf(p)
+	mb, ok := sessions.lookup(req.Room)
+	if !ok || mb.user != req.User {
+		return nil, fmt.Errorf("server: this connection is not %q in room %q", req.User, req.Room)
+	}
+	sessions.drop(req.Room)
+	rs, ok := s.reg.get(req.Room)
+	if !ok {
+		return nil, fmt.Errorf("server: no room %q", req.Room)
+	}
+	return nil, rs.room.Leave(req.User)
+}
+
+// evictPeer removes a disconnected client from every room it had joined.
+func (s *Server) evictPeer(p *wire.Peer) {
+	for _, mb := range sessionsOf(p).snapshot() {
+		if rs, ok := s.reg.get(mb.room); ok {
+			_ = rs.room.Leave(mb.user)
+		}
+	}
+}
+
+// withMembership validates that the calling connection owns the claimed
+// (room, user) pair, then runs fn on the live room.
+func (s *Server) withMembership(p *wire.Peer, roomName, user string, fn func(*room.Room) error) error {
+	mb, ok := sessionsOf(p).lookup(roomName)
+	if !ok || mb.user != user {
+		return fmt.Errorf("server: this connection is not %q in room %q", user, roomName)
+	}
+	rs, ok := s.reg.get(roomName)
+	if !ok {
+		return fmt.Errorf("server: no room %q", roomName)
+	}
+	return fn(rs.room)
+}
+
+// --- room methods ---
+
+func (s *Server) handleChoice(ctx context.Context, p *wire.Peer, req *proto.ChoiceReq) (*wire.None, error) {
+	return nil, s.withMembership(p, req.Room, req.User, func(r *room.Room) error {
+		return r.Choice(ctx, req.User, req.Variable, req.Value)
+	})
+}
+
+func (s *Server) handleOperation(ctx context.Context, p *wire.Peer, req *proto.OperationReq) (*proto.OperationResp, error) {
+	var derived string
+	err := s.withMembership(p, req.Room, req.User, func(r *room.Room) error {
+		var err error
+		derived, err = r.Operation(ctx, req.User, req.Component, req.Op, req.ActiveWhen, req.Private)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &proto.OperationResp{DerivedVar: derived}, nil
+}
+
+func (s *Server) handleAnnotate(ctx context.Context, p *wire.Peer, req *proto.AnnotateReq) (*proto.AnnotateResp, error) {
+	var id int
+	err := s.withMembership(p, req.Room, req.User, func(r *room.Room) error {
+		var err error
+		id, err = r.Annotate(req.User, req.ObjectID, image.AnnotationKind(req.Kind),
+			req.X1, req.Y1, req.X2, req.Y2, req.Text, req.Intensity)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &proto.AnnotateResp{AnnotationID: id}, nil
+}
+
+func (s *Server) handleDeleteAnnotation(ctx context.Context, p *wire.Peer, req *proto.DeleteAnnotationReq) (*wire.None, error) {
+	return nil, s.withMembership(p, req.Room, req.User, func(r *room.Room) error {
+		return r.DeleteAnnotation(req.User, req.ObjectID, req.AnnotationID)
+	})
+}
+
+func (s *Server) handleFreeze(ctx context.Context, p *wire.Peer, req *proto.FreezeReq) (*wire.None, error) {
+	return nil, s.withMembership(p, req.Room, req.User, func(r *room.Room) error {
+		return r.Freeze(req.User, req.ObjectID)
+	})
+}
+
+func (s *Server) handleRelease(ctx context.Context, p *wire.Peer, req *proto.ReleaseReq) (*wire.None, error) {
+	return nil, s.withMembership(p, req.Room, req.User, func(r *room.Room) error {
+		return r.Release(req.User, req.ObjectID)
+	})
+}
+
+func (s *Server) handleShareSearch(ctx context.Context, p *wire.Peer, req *proto.ShareSearchReq) (*wire.None, error) {
+	kind := room.EvWordSearch
+	if req.Speaker {
+		kind = room.EvSpeakerSearch
+	}
+	return nil, s.withMembership(p, req.Room, req.User, func(r *room.Room) error {
+		return r.ShareSearch(req.User, kind, req.Keyword, req.Hits)
+	})
+}
+
+func (s *Server) handleChat(ctx context.Context, p *wire.Peer, req *proto.ChatReq) (*wire.None, error) {
+	return nil, s.withMembership(p, req.Room, req.User, func(r *room.Room) error {
+		return r.Chat(req.User, req.Text)
+	})
+}
+
+func (s *Server) handleHistory(ctx context.Context, p *wire.Peer, req *proto.HistoryReq) (*proto.HistoryResp, error) {
+	rs, ok := s.reg.get(req.Room)
+	if !ok {
+		return nil, fmt.Errorf("server: no room %q", req.Room)
+	}
+	return &proto.HistoryResp{Events: rs.room.History(req.Since)}, nil
+}
+
+func (s *Server) handleBroadcastStart(ctx context.Context, p *wire.Peer, req *proto.BroadcastReq) (*wire.None, error) {
+	return nil, s.withMembership(p, req.Room, req.User, func(r *room.Room) error {
+		return r.StartBroadcast(req.User)
+	})
+}
+
+func (s *Server) handleBroadcastStop(ctx context.Context, p *wire.Peer, req *proto.BroadcastReq) (*wire.None, error) {
+	return nil, s.withMembership(p, req.Room, req.User, func(r *room.Room) error {
+		return r.StopBroadcast(req.User)
+	})
 }
 
 // handleSaveMinutes persists the discussion's durable results: the
 // transcript becomes a new document component (stored with the document),
 // and each image object's current annotation overlay is written into its
 // FLD_TEXTS column.
-func (s *Server) handleSaveMinutes(p *wire.Peer, payload []byte) (any, error) {
-	var req proto.SaveMinutesReq
-	if err := wire.Unmarshal(payload, &req); err != nil {
-		return nil, err
-	}
+func (s *Server) handleSaveMinutes(ctx context.Context, p *wire.Peer, req *proto.SaveMinutesReq) (*proto.SaveMinutesResp, error) {
 	var component string
 	err := s.withMembership(p, req.Room, req.User, func(r *room.Room) error {
 		minutes := r.Minutes()
@@ -125,363 +547,12 @@ func (s *Server) handleSaveMinutes(p *wire.Peer, payload []byte) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	rs := s.rooms[req.Room]
-	s.mu.Unlock()
-	if rs == nil {
+	rs, ok := s.reg.get(req.Room)
+	if !ok {
 		return nil, fmt.Errorf("server: no room %q", req.Room)
 	}
 	if err := s.db.PutDocument(rs.doc); err != nil {
 		return nil, err
 	}
-	return proto.SaveMinutesResp{Component: component}, nil
-}
-
-func (s *Server) handleBroadcastStart(p *wire.Peer, payload []byte) (any, error) {
-	var req proto.BroadcastReq
-	if err := wire.Unmarshal(payload, &req); err != nil {
-		return nil, err
-	}
-	return nil, s.withMembership(p, req.Room, req.User, func(r *room.Room) error {
-		return r.StartBroadcast(req.User)
-	})
-}
-
-func (s *Server) handleBroadcastStop(p *wire.Peer, payload []byte) (any, error) {
-	var req proto.BroadcastReq
-	if err := wire.Unmarshal(payload, &req); err != nil {
-		return nil, err
-	}
-	return nil, s.withMembership(p, req.Room, req.User, func(r *room.Room) error {
-		return r.StopBroadcast(req.User)
-	})
-}
-
-func (s *Server) handleListDocuments(p *wire.Peer, payload []byte) (any, error) {
-	ids, titles, err := s.db.ListDocuments()
-	if err != nil {
-		return nil, err
-	}
-	return proto.ListDocumentsResp{IDs: ids, Titles: titles}, nil
-}
-
-func (s *Server) handleGetDocument(p *wire.Peer, payload []byte) (any, error) {
-	var req proto.GetDocumentReq
-	if err := wire.Unmarshal(payload, &req); err != nil {
-		return nil, err
-	}
-	doc, err := s.db.GetDocument(req.DocID)
-	if err != nil {
-		return nil, err
-	}
-	data, err := doc.MarshalBinary()
-	if err != nil {
-		return nil, err
-	}
-	return proto.GetDocumentResp{DocData: data}, nil
-}
-
-func (s *Server) handleGetImage(p *wire.Peer, payload []byte) (any, error) {
-	var req proto.GetImageReq
-	if err := wire.Unmarshal(payload, &req); err != nil {
-		return nil, err
-	}
-	img, err := s.db.GetImage(req.ID)
-	if err != nil {
-		return nil, err
-	}
-	return proto.GetImageResp{Quality: img.Quality, Texts: img.Texts, CM: img.CM, Data: img.Data}, nil
-}
-
-func (s *Server) handleGetAudio(p *wire.Peer, payload []byte) (any, error) {
-	var req proto.GetAudioReq
-	if err := wire.Unmarshal(payload, &req); err != nil {
-		return nil, err
-	}
-	a, err := s.db.GetAudio(req.ID)
-	if err != nil {
-		return nil, err
-	}
-	return proto.GetAudioResp{Filename: a.Filename, Sectors: a.Sectors, Data: a.Data}, nil
-}
-
-// handleGetCmp serves a compressed stream, truncating the body to the
-// requested layer count so low-bandwidth clients transfer less.
-func (s *Server) handleGetCmp(p *wire.Peer, payload []byte) (any, error) {
-	var req proto.GetCmpReq
-	if err := wire.Unmarshal(payload, &req); err != nil {
-		return nil, err
-	}
-	c, err := s.db.GetCmp(req.ID)
-	if err != nil {
-		return nil, err
-	}
-	body := c.Data
-	if req.MaxLayers > 0 {
-		stream, err := compress.Unmarshal(c.Header, c.Data)
-		if err != nil {
-			return nil, err
-		}
-		body = c.Data[:stream.PrefixBytes(req.MaxLayers)]
-	}
-	return proto.GetCmpResp{Filename: c.Filename, Header: c.Header, Data: body}, nil
-}
-
-func (s *Server) handlePutImageTexts(p *wire.Peer, payload []byte) (any, error) {
-	var req proto.PutImageTextsReq
-	if err := wire.Unmarshal(payload, &req); err != nil {
-		return nil, err
-	}
-	return nil, s.db.UpdateImageTexts(req.ID, req.Texts)
-}
-
-// roomFor returns (creating on demand) the named room bound to docID.
-func (s *Server) roomFor(name, docID string) (*roomState, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if rs, ok := s.rooms[name]; ok {
-		if docID != "" && rs.docID != docID {
-			return nil, fmt.Errorf("server: room %q is bound to document %q, not %q", name, rs.docID, docID)
-		}
-		return rs, nil
-	}
-	if docID == "" {
-		return nil, fmt.Errorf("server: room %q does not exist; first joiner must name a document", name)
-	}
-	doc, err := s.db.GetDocument(docID)
-	if err != nil {
-		return nil, err
-	}
-	r, err := room.New(name, doc)
-	if err != nil {
-		return nil, err
-	}
-	// Register base rasters for annotation rendering where available.
-	for _, c := range doc.Components() {
-		for _, pres := range c.Presentations {
-			if pres.ObjectID == 0 || pres.Kind != document.KindImage {
-				continue
-			}
-			if img, err := s.db.GetImage(pres.ObjectID); err == nil {
-				if raster, err := image.Decode(img.Data); err == nil {
-					r.RegisterRaster(pres.ObjectID, raster)
-				}
-			}
-		}
-	}
-	rs := &roomState{room: r, docID: docID, doc: doc}
-	s.rooms[name] = rs
-	return rs, nil
-}
-
-// peerMemberships returns the peer's membership map, creating it if
-// needed. Keyed by room name.
-func peerMemberships(p *wire.Peer) map[string]*membership {
-	if v, ok := p.Meta("memberships"); ok {
-		return v.(map[string]*membership)
-	}
-	m := make(map[string]*membership)
-	p.SetMeta("memberships", m)
-	return m
-}
-
-func (s *Server) handleJoinRoom(p *wire.Peer, payload []byte) (any, error) {
-	var req proto.JoinRoomReq
-	if err := wire.Unmarshal(payload, &req); err != nil {
-		return nil, err
-	}
-	if req.User == "" {
-		return nil, fmt.Errorf("server: join needs a user name")
-	}
-	rs, err := s.roomFor(req.Room, req.DocID)
-	if err != nil {
-		return nil, err
-	}
-	member, history, view, err := rs.room.Join(req.User)
-	if err != nil {
-		return nil, err
-	}
-	ms := peerMemberships(p)
-	if _, dup := ms[req.Room]; dup {
-		_ = rs.room.Leave(req.User)
-		return nil, fmt.Errorf("server: this connection already joined room %q", req.Room)
-	}
-	mb := &membership{room: req.Room, user: req.User, member: member, done: make(chan struct{})}
-	ms[req.Room] = mb
-	// Forward the member's event stream to the client as pushes.
-	go func() {
-		for ev := range member.Events() {
-			if err := p.Push(proto.MEvent, ev); err != nil {
-				return
-			}
-		}
-		close(mb.done)
-	}()
-	docData, err := rs.doc.MarshalBinary()
-	if err != nil {
-		return nil, err
-	}
-	return proto.JoinRoomResp{
-		DocData: docData, History: history,
-		Outcome: view.Outcome, Visible: view.Visible,
-	}, nil
-}
-
-func (s *Server) handleLeaveRoom(p *wire.Peer, payload []byte) (any, error) {
-	var req proto.LeaveRoomReq
-	if err := wire.Unmarshal(payload, &req); err != nil {
-		return nil, err
-	}
-	ms := peerMemberships(p)
-	mb, ok := ms[req.Room]
-	if !ok || mb.user != req.User {
-		return nil, fmt.Errorf("server: this connection is not %q in room %q", req.User, req.Room)
-	}
-	delete(ms, req.Room)
-	rs, err := s.roomFor(req.Room, "")
-	if err != nil {
-		return nil, err
-	}
-	return nil, rs.room.Leave(req.User)
-}
-
-// evictPeer removes a disconnected client from every room it had joined.
-func (s *Server) evictPeer(p *wire.Peer) {
-	for name, mb := range peerMemberships(p) {
-		s.mu.Lock()
-		rs, ok := s.rooms[name]
-		s.mu.Unlock()
-		if ok {
-			_ = rs.room.Leave(mb.user)
-		}
-	}
-}
-
-// withMembership validates that the calling connection owns the claimed
-// (room, user) pair, then runs fn on the live room.
-func (s *Server) withMembership(p *wire.Peer, roomName, user string, fn func(*room.Room) error) error {
-	mb, ok := peerMemberships(p)[roomName]
-	if !ok || mb.user != user {
-		return fmt.Errorf("server: this connection is not %q in room %q", user, roomName)
-	}
-	s.mu.Lock()
-	rs, ok := s.rooms[roomName]
-	s.mu.Unlock()
-	if !ok {
-		return fmt.Errorf("server: no room %q", roomName)
-	}
-	return fn(rs.room)
-}
-
-func (s *Server) handleChoice(p *wire.Peer, payload []byte) (any, error) {
-	var req proto.ChoiceReq
-	if err := wire.Unmarshal(payload, &req); err != nil {
-		return nil, err
-	}
-	return nil, s.withMembership(p, req.Room, req.User, func(r *room.Room) error {
-		return r.Choice(req.User, req.Variable, req.Value)
-	})
-}
-
-func (s *Server) handleOperation(p *wire.Peer, payload []byte) (any, error) {
-	var req proto.OperationReq
-	if err := wire.Unmarshal(payload, &req); err != nil {
-		return nil, err
-	}
-	var derived string
-	err := s.withMembership(p, req.Room, req.User, func(r *room.Room) error {
-		var err error
-		derived, err = r.Operation(req.User, req.Component, req.Op, req.ActiveWhen, req.Private)
-		return err
-	})
-	if err != nil {
-		return nil, err
-	}
-	return proto.OperationResp{DerivedVar: derived}, nil
-}
-
-func (s *Server) handleAnnotate(p *wire.Peer, payload []byte) (any, error) {
-	var req proto.AnnotateReq
-	if err := wire.Unmarshal(payload, &req); err != nil {
-		return nil, err
-	}
-	var id int
-	err := s.withMembership(p, req.Room, req.User, func(r *room.Room) error {
-		var err error
-		id, err = r.Annotate(req.User, req.ObjectID, image.AnnotationKind(req.Kind),
-			req.X1, req.Y1, req.X2, req.Y2, req.Text, req.Intensity)
-		return err
-	})
-	if err != nil {
-		return nil, err
-	}
-	return proto.AnnotateResp{AnnotationID: id}, nil
-}
-
-func (s *Server) handleDeleteAnnotation(p *wire.Peer, payload []byte) (any, error) {
-	var req proto.DeleteAnnotationReq
-	if err := wire.Unmarshal(payload, &req); err != nil {
-		return nil, err
-	}
-	return nil, s.withMembership(p, req.Room, req.User, func(r *room.Room) error {
-		return r.DeleteAnnotation(req.User, req.ObjectID, req.AnnotationID)
-	})
-}
-
-func (s *Server) handleFreeze(p *wire.Peer, payload []byte) (any, error) {
-	var req proto.FreezeReq
-	if err := wire.Unmarshal(payload, &req); err != nil {
-		return nil, err
-	}
-	return nil, s.withMembership(p, req.Room, req.User, func(r *room.Room) error {
-		return r.Freeze(req.User, req.ObjectID)
-	})
-}
-
-func (s *Server) handleRelease(p *wire.Peer, payload []byte) (any, error) {
-	var req proto.ReleaseReq
-	if err := wire.Unmarshal(payload, &req); err != nil {
-		return nil, err
-	}
-	return nil, s.withMembership(p, req.Room, req.User, func(r *room.Room) error {
-		return r.Release(req.User, req.ObjectID)
-	})
-}
-
-func (s *Server) handleShareSearch(p *wire.Peer, payload []byte) (any, error) {
-	var req proto.ShareSearchReq
-	if err := wire.Unmarshal(payload, &req); err != nil {
-		return nil, err
-	}
-	kind := room.EvWordSearch
-	if req.Speaker {
-		kind = room.EvSpeakerSearch
-	}
-	return nil, s.withMembership(p, req.Room, req.User, func(r *room.Room) error {
-		return r.ShareSearch(req.User, kind, req.Keyword, req.Hits)
-	})
-}
-
-func (s *Server) handleChat(p *wire.Peer, payload []byte) (any, error) {
-	var req proto.ChatReq
-	if err := wire.Unmarshal(payload, &req); err != nil {
-		return nil, err
-	}
-	return nil, s.withMembership(p, req.Room, req.User, func(r *room.Room) error {
-		return r.Chat(req.User, req.Text)
-	})
-}
-
-func (s *Server) handleHistory(p *wire.Peer, payload []byte) (any, error) {
-	var req proto.HistoryReq
-	if err := wire.Unmarshal(payload, &req); err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	rs, ok := s.rooms[req.Room]
-	s.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("server: no room %q", req.Room)
-	}
-	return proto.HistoryResp{Events: rs.room.History(req.Since)}, nil
+	return &proto.SaveMinutesResp{Component: component}, nil
 }

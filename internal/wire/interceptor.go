@@ -1,0 +1,160 @@
+package wire
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Interceptor wraps a Handler with cross-cutting behavior — the
+// middleware seam of the dispatch pipeline. Interceptors read the
+// request's method and peer from the context (ContextMethod,
+// ContextPeer) rather than taking extra parameters, so they compose
+// like plain decorators.
+type Interceptor func(next Handler) Handler
+
+// Chain wraps h with ics so that ics[0] is the outermost interceptor
+// (first to see the request, last to see the response).
+func Chain(h Handler, ics ...Interceptor) Handler {
+	for i := len(ics) - 1; i >= 0; i-- {
+		h = ics[i](h)
+	}
+	return h
+}
+
+// Recovery converts a handler panic into an error response, so one bad
+// request cannot take the whole server process down.
+func Recovery() Interceptor {
+	return func(next Handler) Handler {
+		return func(ctx context.Context, p *Peer, payload []byte) (result any, err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					method, _ := ContextMethod(ctx)
+					result = nil
+					err = fmt.Errorf("wire: internal error in %s: %v\n%s", method, r, debug.Stack())
+				}
+			}()
+			return next(ctx, p, payload)
+		}
+	}
+}
+
+// Timeout attaches a deadline to every request context: perMethod
+// overrides win, otherwise def applies (def <= 0 leaves the context
+// unbounded). The deadline only takes effect in handlers that honor
+// their context — which is the contract of the request path (server →
+// room all check for cancellation).
+func Timeout(def time.Duration, perMethod map[string]time.Duration) Interceptor {
+	return func(next Handler) Handler {
+		return func(ctx context.Context, p *Peer, payload []byte) (any, error) {
+			d := def
+			if method, ok := ContextMethod(ctx); ok {
+				if md, ok := perMethod[method]; ok {
+					d = md
+				}
+			}
+			if d <= 0 {
+				return next(ctx, p, payload)
+			}
+			ctx, cancel := context.WithTimeout(ctx, d)
+			defer cancel()
+			return next(ctx, p, payload)
+		}
+	}
+}
+
+// SlowLog reports requests that take longer than threshold to logf
+// (log.Printf-shaped). A nil logf disables the interceptor.
+func SlowLog(threshold time.Duration, logf func(format string, args ...any)) Interceptor {
+	return func(next Handler) Handler {
+		if logf == nil {
+			return next
+		}
+		return func(ctx context.Context, p *Peer, payload []byte) (any, error) {
+			start := time.Now()
+			result, err := next(ctx, p, payload)
+			if d := time.Since(start); d > threshold {
+				method, _ := ContextMethod(ctx)
+				logf("wire: slow request %s from peer %d: %v (err=%v)", method, p.ID, d, err)
+			}
+			return result, err
+		}
+	}
+}
+
+// MethodStats aggregates the observed requests of one method.
+type MethodStats struct {
+	Requests uint64
+	Errors   uint64
+	// TotalLatency accumulates handler wall time; divide by Requests
+	// for the mean.
+	TotalLatency time.Duration
+	MaxLatency   time.Duration
+}
+
+// Stats counts requests, errors and latency per method — the pluggable
+// observability hook of the dispatch pipeline. A single Stats may be
+// shared across servers; all methods are safe for concurrent use.
+type Stats struct {
+	mu      sync.Mutex
+	methods map[string]*MethodStats
+}
+
+// NewStats returns an empty collector.
+func NewStats() *Stats { return &Stats{methods: make(map[string]*MethodStats)} }
+
+func (st *Stats) observe(method string, d time.Duration, err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ms := st.methods[method]
+	if ms == nil {
+		ms = &MethodStats{}
+		st.methods[method] = ms
+	}
+	ms.Requests++
+	if err != nil {
+		ms.Errors++
+	}
+	ms.TotalLatency += d
+	if d > ms.MaxLatency {
+		ms.MaxLatency = d
+	}
+}
+
+// Method returns a copy of one method's counters (zero value if the
+// method has never been called).
+func (st *Stats) Method(name string) MethodStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if ms := st.methods[name]; ms != nil {
+		return *ms
+	}
+	return MethodStats{}
+}
+
+// Snapshot copies every method's counters.
+func (st *Stats) Snapshot() map[string]MethodStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make(map[string]MethodStats, len(st.methods))
+	for name, ms := range st.methods {
+		out[name] = *ms
+	}
+	return out
+}
+
+// WithStats records every dispatched request into st.
+func WithStats(st *Stats) Interceptor {
+	return func(next Handler) Handler {
+		return func(ctx context.Context, p *Peer, payload []byte) (any, error) {
+			start := time.Now()
+			result, err := next(ctx, p, payload)
+			if method, ok := ContextMethod(ctx); ok {
+				st.observe(method, time.Since(start), err)
+			}
+			return result, err
+		}
+	}
+}

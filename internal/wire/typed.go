@@ -1,0 +1,33 @@
+package wire
+
+import "context"
+
+// None is the response type of methods that return no body. A typed
+// handler with Resp = None returns nil and the client sees an empty
+// payload (gob cannot encode a fieldless struct, so None values are
+// never marshaled — the adapter drops nil responses).
+type None struct{}
+
+// Typed adapts a strongly-typed handler to the wire Handler shape,
+// owning the gob unmarshal of the request and the marshal of the
+// response. A nil *Resp (the only option when Resp is None) produces an
+// empty response payload.
+//
+// This is the seam every interaction-server method registers through:
+//
+//	s.Register(proto.MChat, wire.Typed(func(ctx context.Context, p *wire.Peer, req *proto.ChatReq) (*wire.None, error) {
+//		...
+//	}))
+func Typed[Req any, Resp any](h func(ctx context.Context, p *Peer, req *Req) (*Resp, error)) Handler {
+	return func(ctx context.Context, p *Peer, payload []byte) (any, error) {
+		req := new(Req)
+		if err := Unmarshal(payload, req); err != nil {
+			return nil, err
+		}
+		resp, err := h(ctx, p, req)
+		if err != nil || resp == nil {
+			return nil, err
+		}
+		return resp, nil
+	}
+}

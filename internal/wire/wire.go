@@ -5,10 +5,18 @@
 // protocol is length-free gob framing over any net.Conn: every message is
 // a gob-encoded envelope carrying a method name, a correlation id, and an
 // opaque gob payload.
+//
+// Requests dispatch through a typed pipeline: a per-request
+// context.Context (carrying the peer, the method name, and any deadline
+// installed by the Timeout interceptor) flows through the interceptor
+// chain (see interceptor.go) into the handler. The context is cancelled
+// when the peer's connection drops, so a dead client aborts its own
+// in-flight work instead of leaving it running.
 package wire
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -16,6 +24,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // msgKind distinguishes envelope roles.
@@ -54,21 +63,60 @@ func Unmarshal(data []byte, v any) error {
 }
 
 // Handler processes one request on the server; the returned value is gob-
-// encoded as the response payload.
-type Handler func(p *Peer, payload []byte) (any, error)
+// encoded as the response payload. Most handlers are built with Typed,
+// which owns the unmarshal/marshal boilerplate.
+type Handler func(ctx context.Context, p *Peer, payload []byte) (any, error)
+
+// ctxKey keys the request-scoped values the dispatcher installs.
+type ctxKey int
+
+const (
+	peerKey ctxKey = iota
+	methodKey
+)
+
+// ContextPeer returns the peer whose request the context belongs to.
+func ContextPeer(ctx context.Context) (*Peer, bool) {
+	p, ok := ctx.Value(peerKey).(*Peer)
+	return p, ok
+}
+
+// ContextMethod returns the method name of the request the context
+// belongs to.
+func ContextMethod(ctx context.Context) (string, bool) {
+	m, ok := ctx.Value(methodKey).(string)
+	return m, ok
+}
+
+// ErrDraining is returned to clients whose request arrives after the
+// server began a graceful shutdown.
+var ErrDraining = errors.New("wire: server draining")
 
 // Server dispatches requests to registered handlers.
 type Server struct {
-	mu        sync.RWMutex
-	handlers  map[string]Handler
-	onClose   func(*Peer)
-	nextPeer  uint64
-	listeners []net.Listener
+	mu           sync.RWMutex
+	handlers     map[string]Handler
+	interceptors []Interceptor
+	onClose      func(*Peer)
+	nextPeer     uint64
+	listeners    []net.Listener
+	peers        map[uint64]*Peer
+	draining     bool
+
+	inflight sync.WaitGroup
+	baseCtx  context.Context
+	cancel   context.CancelFunc
 }
 
 // NewServer returns an empty server.
 func NewServer() *Server {
-	return &Server{handlers: make(map[string]Handler)}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		handlers: make(map[string]Handler),
+		peers:    make(map[uint64]*Peer),
+		baseCtx:  ctx,
+		cancel:   cancel,
+	}
 }
 
 // Register installs a handler for a method name.
@@ -76,6 +124,16 @@ func (s *Server) Register(method string, h Handler) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.handlers[method] = h
+}
+
+// Use appends interceptors to the dispatch chain. The first interceptor
+// installed is the outermost wrapper. Install interceptors before
+// serving; installation is not synchronized with in-flight dispatches
+// beyond the registration lock.
+func (s *Server) Use(ics ...Interceptor) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.interceptors = append(s.interceptors, ics...)
 }
 
 // OnPeerClose installs a callback invoked when a peer's connection ends
@@ -103,10 +161,53 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 }
 
-// Close shuts every listener down.
+// Drain stops accepting new connections and begins rejecting new
+// requests with ErrDraining. In-flight handlers keep running; wait for
+// them with AwaitIdle.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	ls := s.listeners
+	s.listeners = nil
+	s.mu.Unlock()
+	for _, l := range ls {
+		l.Close()
+	}
+}
+
+// AwaitIdle blocks until every in-flight handler has returned or ctx
+// expires, whichever is first.
+func (s *Server) AwaitIdle(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Shutdown drains the server gracefully: stop accepting, wait for
+// in-flight handlers up to ctx's deadline, then cancel any stragglers
+// and tear down every connection.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.Drain()
+	err := s.AwaitIdle(ctx)
+	if cerr := s.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Close tears everything down immediately: listeners stop, every
+// in-flight request context is cancelled, and peer connections close.
+// For a graceful stop use Shutdown.
 func (s *Server) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	var first error
 	for _, l := range s.listeners {
 		if err := l.Close(); err != nil && first == nil {
@@ -114,6 +215,16 @@ func (s *Server) Close() error {
 		}
 	}
 	s.listeners = nil
+	s.draining = true
+	peers := make([]*Peer, 0, len(s.peers))
+	for _, p := range s.peers {
+		peers = append(peers, p)
+	}
+	s.mu.Unlock()
+	s.cancel()
+	for _, p := range peers {
+		p.Close()
+	}
 	return first
 }
 
@@ -134,6 +245,19 @@ func (p *Peer) SetMeta(key string, v any) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.meta[key] = v
+}
+
+// MetaSetDefault stores v under key only if the key is unset and
+// returns the stored value (existing or v) — an atomic get-or-create,
+// safe against concurrent requests on the same connection.
+func (p *Peer) MetaSetDefault(key string, v any) any {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if cur, ok := p.meta[key]; ok {
+		return cur
+	}
+	p.meta[key] = v
+	return v
 }
 
 // Meta retrieves per-connection session state.
@@ -174,12 +298,21 @@ func (s *Server) ServeConn(conn net.Conn) {
 		enc:  gob.NewEncoder(conn),
 		meta: make(map[string]any),
 	}
+	// connCtx is the parent of every request context on this connection;
+	// it dies with the connection, so a dead client cancels its own
+	// in-flight handlers.
+	connCtx, connCancel := context.WithCancel(s.baseCtx)
+	s.mu.Lock()
+	s.peers[peer.ID] = peer
+	s.mu.Unlock()
 	dec := gob.NewDecoder(conn)
 	defer func() {
+		connCancel()
 		conn.Close()
-		s.mu.RLock()
+		s.mu.Lock()
+		delete(s.peers, peer.ID)
 		onClose := s.onClose
-		s.mu.RUnlock()
+		s.mu.Unlock()
 		if onClose != nil {
 			onClose(peer)
 		}
@@ -194,13 +327,28 @@ func (s *Server) ServeConn(conn net.Conn) {
 		}
 		s.mu.RLock()
 		h, ok := s.handlers[env.Method]
+		ics := s.interceptors
+		draining := s.draining
+		if !draining {
+			// Count in-flight work while holding the read lock: Drain sets
+			// the flag under the write lock, so it cannot observe a zero
+			// WaitGroup between our check and our Add.
+			s.inflight.Add(1)
+		}
 		s.mu.RUnlock()
+		if draining {
+			_ = peer.send(envelope{Kind: kindResponse, ID: env.ID, Method: env.Method, Err: ErrDraining.Error()})
+			continue
+		}
 		go func(env envelope) {
+			defer s.inflight.Done()
 			resp := envelope{Kind: kindResponse, ID: env.ID, Method: env.Method}
 			if !ok {
 				resp.Err = fmt.Sprintf("wire: unknown method %q", env.Method)
 			} else {
-				result, err := h(peer, env.Payload)
+				ctx := context.WithValue(connCtx, peerKey, peer)
+				ctx = context.WithValue(ctx, methodKey, env.Method)
+				result, err := Chain(h, ics...)(ctx, peer, env.Payload)
 				if err != nil {
 					resp.Err = err.Error()
 				} else if result != nil {
@@ -303,6 +451,14 @@ func (c *Client) readLoop() {
 // Call invokes a server method, decoding the response into reply (pass
 // nil to discard the result).
 func (c *Client) Call(method string, args, reply any) error {
+	return c.CallCtx(context.Background(), method, args, reply)
+}
+
+// CallCtx invokes a server method, abandoning the wait when ctx ends.
+// An abandoned call's response is discarded if it arrives later; the
+// server side may still run to completion unless its own timeout or the
+// connection's death cancels it.
+func (c *Client) CallCtx(ctx context.Context, method string, args, reply any) error {
 	payload, err := Marshal(args)
 	if err != nil {
 		return err
@@ -327,7 +483,16 @@ func (c *Client) Call(method string, args, reply any) error {
 		c.mu.Unlock()
 		return fmt.Errorf("wire: call %s: %w", method, err)
 	}
-	resp, ok := <-ch
+	var resp envelope
+	var ok bool
+	select {
+	case resp, ok = <-ch:
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return fmt.Errorf("wire: call %s: %w", method, ctx.Err())
+	}
 	if !ok {
 		return fmt.Errorf("wire: connection closed during %s", method)
 	}
@@ -342,3 +507,10 @@ func (c *Client) Call(method string, args, reply any) error {
 
 // Close terminates the connection.
 func (c *Client) Close() error { return c.conn.Close() }
+
+// CallTimeout is a convenience CallCtx with a fresh deadline.
+func (c *Client) CallTimeout(d time.Duration, method string, args, reply any) error {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	return c.CallCtx(ctx, method, args, reply)
+}

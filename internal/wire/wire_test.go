@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -21,17 +22,17 @@ type echoReply struct {
 func startServer(t *testing.T) (*Server, string) {
 	t.Helper()
 	s := NewServer()
-	s.Register("echo", func(p *Peer, payload []byte) (any, error) {
+	s.Register("echo", func(ctx context.Context, p *Peer, payload []byte) (any, error) {
 		var a echoArgs
 		if err := Unmarshal(payload, &a); err != nil {
 			return nil, err
 		}
 		return echoReply{Text: a.Text, N: a.N * 2}, nil
 	})
-	s.Register("fail", func(p *Peer, payload []byte) (any, error) {
+	s.Register("fail", func(ctx context.Context, p *Peer, payload []byte) (any, error) {
 		return nil, fmt.Errorf("deliberate failure")
 	})
-	s.Register("void", func(p *Peer, payload []byte) (any, error) {
+	s.Register("void", func(ctx context.Context, p *Peer, payload []byte) (any, error) {
 		return nil, nil
 	})
 	l, err := net.Listen("tcp", "127.0.0.1:0")
@@ -114,7 +115,7 @@ func TestConcurrentCalls(t *testing.T) {
 
 func TestServerPush(t *testing.T) {
 	s := NewServer()
-	s.Register("subscribe", func(p *Peer, payload []byte) (any, error) {
+	s.Register("subscribe", func(ctx context.Context, p *Peer, payload []byte) (any, error) {
 		go func() {
 			for i := 0; i < 3; i++ {
 				p.Push("tick", echoReply{N: i})
@@ -166,7 +167,7 @@ func TestServerPush(t *testing.T) {
 
 func TestPeerMetaAndCloseCallback(t *testing.T) {
 	s := NewServer()
-	s.Register("login", func(p *Peer, payload []byte) (any, error) {
+	s.Register("login", func(ctx context.Context, p *Peer, payload []byte) (any, error) {
 		var a echoArgs
 		if err := Unmarshal(payload, &a); err != nil {
 			return nil, err
@@ -174,7 +175,7 @@ func TestPeerMetaAndCloseCallback(t *testing.T) {
 		p.SetMeta("user", a.Text)
 		return nil, nil
 	})
-	s.Register("whoami", func(p *Peer, payload []byte) (any, error) {
+	s.Register("whoami", func(ctx context.Context, p *Peer, payload []byte) (any, error) {
 		u, ok := p.Meta("user")
 		if !ok {
 			return nil, fmt.Errorf("not logged in")
@@ -237,7 +238,7 @@ func TestCallAfterClose(t *testing.T) {
 func TestInProcessPipe(t *testing.T) {
 	// ServeConn + NewClient work over net.Pipe — no TCP needed.
 	s := NewServer()
-	s.Register("echo", func(p *Peer, payload []byte) (any, error) {
+	s.Register("echo", func(ctx context.Context, p *Peer, payload []byte) (any, error) {
 		var a echoArgs
 		if err := Unmarshal(payload, &a); err != nil {
 			return nil, err

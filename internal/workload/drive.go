@@ -1,0 +1,35 @@
+package workload
+
+import "context"
+
+// ChoiceSender is the slice of a client session Replay drives: it knows
+// whose session it is and can send one presentation choice. The client
+// package's Session satisfies it. (An interface rather than the concrete
+// type because the client depends on this package via the prefetcher.)
+type ChoiceSender interface {
+	User() string
+	ChoiceCtx(ctx context.Context, variable, value string) error
+}
+
+// Replay drives a scripted conference (from Session) against a live room
+// through the client API: every choice scripted for the session's user is
+// sent as that user's presentation selection, in script order. It returns
+// how many choices were applied. Replay stops at the first failed call or
+// when ctx is cancelled — load generators hand it the run's deadline and
+// get a clean partial count back.
+func Replay(ctx context.Context, s ChoiceSender, script []Choice) (int, error) {
+	applied := 0
+	for _, ch := range script {
+		if ch.Viewer != s.User() {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return applied, err
+		}
+		if err := s.ChoiceCtx(ctx, ch.Variable, ch.Value); err != nil {
+			return applied, err
+		}
+		applied++
+	}
+	return applied, nil
+}

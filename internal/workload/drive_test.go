@@ -1,0 +1,108 @@
+package workload_test
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+
+	"mmconf/internal/client"
+	"mmconf/internal/mediadb"
+	"mmconf/internal/room"
+	"mmconf/internal/server"
+	"mmconf/internal/store"
+	"mmconf/internal/workload"
+)
+
+// liveSystem boots a populated database and TCP interaction server.
+func liveSystem(t *testing.T) (addr string, rec *workload.PopulatedRecord) {
+	t.Helper()
+	db, err := store.Open(t.TempDir(), store.Options{Sync: store.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	m, err := mediadb.Open(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err = workload.Populate(m, "p1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(m)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close() })
+	return l.Addr().String(), rec
+}
+
+func TestReplayDrivesScriptedChoices(t *testing.T) {
+	addr, rec := liveSystem(t)
+	c, err := client.Dial(addr, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s, _, err := c.Join("consult", "p1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := workload.Session(rec.Doc, []string{"alice", "bob"}, 24, 7)
+	want := 0
+	for _, ch := range script {
+		if ch.Viewer == "alice" {
+			want++
+		}
+	}
+	if want == 0 {
+		t.Fatal("script has no choices for alice; pick another seed")
+	}
+	n, err := workload.Replay(context.Background(), s, script)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if n != want {
+		t.Errorf("replay applied %d choices, script had %d for alice", n, want)
+	}
+	// Every applied choice reached the room's change buffer.
+	hist, err := s.History(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for _, ev := range hist {
+		if ev.Kind == room.EvChoice && ev.Actor == "alice" {
+			got++
+		}
+	}
+	if got != want {
+		t.Errorf("room logged %d choice events, want %d", got, want)
+	}
+}
+
+func TestReplayStopsOnCancelledContext(t *testing.T) {
+	addr, rec := liveSystem(t)
+	c, err := client.Dial(addr, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s, _, err := c.Join("consult", "p1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	script := workload.Session(rec.Doc, []string{"alice"}, 8, 3)
+	n, err := workload.Replay(ctx, s, script)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("replay on dead context: n=%d err=%v", n, err)
+	}
+	if n != 0 {
+		t.Errorf("replay applied %d choices on a dead context", n)
+	}
+}
