@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -23,9 +24,11 @@ import (
 	"mmconf/internal/mediadb"
 	"mmconf/internal/netsim"
 	"mmconf/internal/prefetch"
+	"mmconf/internal/proto"
 	"mmconf/internal/room"
 	"mmconf/internal/server"
 	"mmconf/internal/store"
+	"mmconf/internal/wire"
 	"mmconf/internal/workload"
 )
 
@@ -329,6 +332,95 @@ func BenchmarkE5MultiRoom(b *testing.B) {
 	}
 }
 
+// BenchmarkE5FanOut measures push fan-out through the propagation/
+// delivery path (room broadcast → event forwarders → wire writers →
+// TCP) as room size grows: one member issues b.N chats from enough
+// concurrent senders to keep the path saturated (a single synchronous
+// caller would measure its own RPC round-trip, not fan-out), and every
+// member receives at the wire layer — envelopes only, no per-member
+// payload decode, so the metric isolates the server's delivery cost
+// rather than n in-process clients' unmarshal work. events/s counts
+// event pushes actually received across all members per second.
+func BenchmarkE5FanOut(b *testing.B) {
+	for _, n := range []int{2, 8, 16, 32} {
+		b.Run(fmt.Sprintf("members=%d", n), func(b *testing.B) {
+			db, err := store.Open(b.TempDir(), store.Options{Sync: store.SyncNever})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			m, err := mediadb.Open(db)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := workload.Populate(m, "p1", 1); err != nil {
+				b.Fatal(err)
+			}
+			srv := server.New(m)
+			defer srv.Close()
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			go srv.Serve(l)
+			var delivered atomic.Int64
+			conns := make([]*wire.Client, n)
+			for i := 0; i < n; i++ {
+				c, err := wire.Dial(l.Addr().String())
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Close()
+				c.OnPush(func(method string, payload []byte) {
+					if method == proto.MEvent {
+						delivered.Add(1)
+					}
+				})
+				if err := c.Call(proto.MJoinRoom, proto.JoinRoomReq{
+					Room: "fanout", DocID: "p1", User: fmt.Sprintf("m%02d", i),
+				}, nil); err != nil {
+					b.Fatal(err)
+				}
+				conns[i] = c
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			const senders = 16
+			var swg sync.WaitGroup
+			for w := 0; w < senders; w++ {
+				iters := b.N / senders
+				if w == 0 {
+					iters += b.N % senders
+				}
+				swg.Add(1)
+				go func(iters int) {
+					defer swg.Done()
+					req := proto.ChatReq{Room: "fanout", User: "m00", Text: "x"}
+					for j := 0; j < iters; j++ {
+						if err := conns[0].Call(proto.MChat, req, nil); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(iters)
+			}
+			swg.Wait()
+			// Every chat was broadcast before its response; drain the
+			// delivery tail until the received count goes quiet.
+			for last, stable := delivered.Load(), 0; stable < 10; {
+				time.Sleep(2 * time.Millisecond)
+				if cur := delivered.Load(); cur == last {
+					stable++
+				} else {
+					last, stable = cur, 0
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(delivered.Load())/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}
+
 // --- E6: multi-layer compression (Fig. 9) ---
 
 func BenchmarkE6Encode(b *testing.B) {
@@ -360,6 +452,65 @@ func BenchmarkE6DecodeLayers(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := stream.Decode(k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE6GetCmpCached measures the server's object cache on the
+// layer-retrieval path: nocache re-runs the store fetch + header parse
+// + prefix computation per request (the pre-cache shape, selected with
+// a negative CacheBytes); cached serves repeats from the byte-bounded
+// LRU. Requests go over raw wire calls — the client-side layer
+// decompression (measured by BenchmarkE6DecodeLayers) would otherwise
+// dominate and mask the server-side difference.
+func BenchmarkE6GetCmpCached(b *testing.B) {
+	for _, mode := range []struct {
+		name       string
+		cacheBytes int64
+	}{
+		{"nocache", -1},
+		{"cached", 0}, // 0 selects the default cache size
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			db, err := store.Open(b.TempDir(), store.Options{Sync: store.SyncNever})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			m, err := mediadb.Open(db)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rec, err := workload.Populate(m, "p1", 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv := server.NewWith(m, server.Options{CacheBytes: mode.cacheBytes})
+			defer srv.Close()
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			go srv.Serve(l)
+			c, err := wire.Dial(l.Addr().String())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			req := proto.GetCmpReq{ID: rec.CmpID, MaxLayers: 1}
+			var resp proto.GetCmpResp
+			if err := c.Call(proto.MGetCmp, req, &resp); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(resp.Data)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var resp proto.GetCmpResp
+				if err := c.Call(proto.MGetCmp, req, &resp); err != nil {
 					b.Fatal(err)
 				}
 			}

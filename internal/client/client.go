@@ -178,6 +178,9 @@ type Session struct {
 	// View is the latest presentation pushed or computed for this user.
 	mu   sync.Mutex
 	view document.View
+	// resync is set when a pushed event carries the server's queue-
+	// overflow hint (events were dropped; replay from History).
+	resync bool
 	// Buffer is the §4.4 prefetch cache (nil if disabled).
 	Buffer *prefetch.Prefetcher
 }
@@ -231,13 +234,31 @@ func (s *Session) View() document.View {
 }
 
 // ApplyEvent folds a pushed event into the session (clients call this for
-// each event from Events()); EvPresentation events update the view.
+// each event from Events()); EvPresentation events update the view, and
+// an event carrying the Resync hint flags the session (NeedsResync) —
+// the server dropped older events from this member's queue, so the
+// local stream has a gap to fill from History.
 func (s *Session) ApplyEvent(ev room.Event) {
-	if ev.Kind == room.EvPresentation && ev.Room == s.Room {
-		s.mu.Lock()
-		s.view = document.View{Outcome: ev.Outcome, Visible: ev.Visible}
-		s.mu.Unlock()
+	if ev.Room != s.Room {
+		return
 	}
+	s.mu.Lock()
+	if ev.Kind == room.EvPresentation {
+		s.view = document.View{Outcome: ev.Outcome, Visible: ev.Visible}
+	}
+	if ev.Resync {
+		s.resync = true
+	}
+	s.mu.Unlock()
+}
+
+// NeedsResync reports whether the server signalled that this session's
+// event stream has a gap (its member queue overflowed and events were
+// dropped). Replaying History clears the flag.
+func (s *Session) NeedsResync() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.resync
 }
 
 // Choice sends a presentation selection for this user.
@@ -359,12 +380,17 @@ func (s *Session) History(since uint64) ([]room.Event, error) {
 	return s.HistoryCtx(context.Background(), since)
 }
 
-// HistoryCtx is History bounded by ctx.
+// HistoryCtx is History bounded by ctx. A successful replay clears the
+// session's resync flag: the returned events cover any gap the server's
+// queue overflow opened.
 func (s *Session) HistoryCtx(ctx context.Context, since uint64) ([]room.Event, error) {
 	var resp proto.HistoryResp
 	if err := s.client.rpc.CallCtx(ctx, proto.MHistory, proto.HistoryReq{Room: s.Room, Since: since}, &resp); err != nil {
 		return nil, err
 	}
+	s.mu.Lock()
+	s.resync = false
+	s.mu.Unlock()
 	return resp.Events, nil
 }
 

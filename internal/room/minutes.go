@@ -107,6 +107,7 @@ func (r *Room) AddMinutesComponent(actor, transcript string) (string, error) {
 	if err := doc.AddComponent(doc.Root.Name, comp, nil, []string{"text", "hidden"}); err != nil {
 		return "", err
 	}
+	r.bumpDocLocked() // the document grew a component: drop the cached snapshot
 	r.broadcastLocked(Event{Actor: actor, Kind: EvChat,
 		Text: fmt.Sprintf("discussion minutes saved as component %q", name)}, true)
 	return name, nil

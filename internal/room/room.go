@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"mmconf/internal/core"
 	"mmconf/internal/cpnet"
@@ -78,6 +79,41 @@ type Event struct {
 	Hits    []voice.Hit
 	// EvChat.
 	Text string
+
+	// Resync hints that this member's queue overflowed since its last
+	// delivered event: older events were dropped, so the client should
+	// replay from History instead of trusting its local stream.
+	Resync bool
+
+	// shared memoizes the event's wire encoding across an N-member
+	// fan-out (set by fanOutLocked; nil for per-member events, which
+	// encode individually). Unexported, so gob never sees it.
+	shared *sharedEnc
+}
+
+// sharedEnc is the once-computed wire payload of a fanned-out event.
+type sharedEnc struct {
+	once sync.Once
+	data []byte
+	err  error
+}
+
+// EncodeShared returns the event's wire payload via marshal, computing
+// it at most once across every copy of a fanned-out event — an N-member
+// room does one gob encode per broadcast event instead of N. encoded
+// reports whether this call ran marshal (false = a shared encoding was
+// reused). Callers must not modify the returned bytes.
+func (ev *Event) EncodeShared(marshal func(any) ([]byte, error)) (data []byte, encoded bool, err error) {
+	if ev.shared == nil {
+		data, err = marshal(*ev)
+		return data, true, err
+	}
+	s := ev.shared
+	s.once.Do(func() {
+		encoded = true
+		s.data, s.err = marshal(*ev)
+	})
+	return s.data, encoded, s.err
 }
 
 // memberQueueSize bounds each member's event queue; a member that stops
@@ -94,11 +130,21 @@ type Member struct {
 	Name string
 	room *Room
 	ch   chan Event
+	// drops counts queued events discarded because this member stopped
+	// draining; needResync (guarded by room.mu) flags that the next
+	// delivered event must carry the Resync hint.
+	drops      atomic.Uint64
+	needResync bool
 }
 
 // Events returns the member's event stream. The channel closes when the
 // member leaves or is evicted.
 func (m *Member) Events() <-chan Event { return m.ch }
+
+// Drops reports how many queued events were discarded for this member
+// because its queue overflowed. A client seeing Event.Resync (set on
+// the first event delivered after a drop) should replay from History.
+func (m *Member) Drops() uint64 { return m.drops.Load() }
 
 // Room is one shared session around a document.
 type Room struct {
@@ -116,6 +162,18 @@ type Room struct {
 
 	// broadcaster is the presenting member while a broadcast runs ("").
 	broadcaster string
+
+	// dropHook, when set, observes every discarded member-queue event
+	// (called under r.mu — keep it cheap; the server counts drops into
+	// its stats here).
+	dropHook func(member string)
+
+	// docVer counts shared document mutations; docSnap caches the
+	// document's serialized form at docSnapVer so joins stop
+	// re-marshaling an unchanged document.
+	docVer     uint64
+	docSnapVer uint64
+	docSnap    []byte
 
 	// Dynamic event triggers (future work of §6, implemented here).
 	triggers   []*Trigger
@@ -158,6 +216,36 @@ func (r *Room) triggerLoop() {
 
 // Engine exposes the room's presentation engine.
 func (r *Room) Engine() *core.Engine { return r.engine }
+
+// OnQueueDrop installs a hook observing every discarded member-queue
+// event. The hook runs under the room lock — keep it cheap.
+func (r *Room) OnQueueDrop(fn func(member string)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.dropHook = fn
+}
+
+// bumpDocLocked invalidates the cached document snapshot; call after
+// any shared document mutation. Callers hold r.mu.
+func (r *Room) bumpDocLocked() { r.docVer++ }
+
+// DocSnapshot returns the shared document's serialized form, cached
+// until the next document mutation (so an N-viewer join storm marshals
+// once, not N times). hit reports whether the cache served the bytes.
+// Callers must not modify the returned slice.
+func (r *Room) DocSnapshot() (data []byte, hit bool, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.docSnap != nil && r.docSnapVer == r.docVer {
+		return r.docSnap, true, nil
+	}
+	data, err = r.engine.Document().MarshalBinary()
+	if err != nil {
+		return nil, false, err
+	}
+	r.docSnap, r.docSnapVer = data, r.docVer
+	return data, false, nil
+}
 
 // Join adds a member, replays the change buffer to them as a catch-up
 // snapshot, and announces the join to everyone. A cancelled ctx aborts
@@ -289,8 +377,13 @@ func (r *Room) broadcastLocked(ev Event, reconfigure bool) {
 	}
 }
 
-// fanOutLocked delivers one event to every member.
+// fanOutLocked delivers one event to every member. With more than one
+// member the copies share a memoized wire encoding (EncodeShared), so
+// the push path gob-encodes the event once for the whole room.
 func (r *Room) fanOutLocked(ev Event) {
+	if len(r.members) > 1 {
+		ev.shared = &sharedEnc{}
+	}
 	for _, m := range r.members {
 		r.deliverLocked(m, ev)
 	}
@@ -300,15 +393,30 @@ func (r *Room) fanOutLocked(ev Event) {
 // oldest queued event is discarded to make room, so a stalled client
 // never blocks the room and, once it resumes draining, can resynchronize
 // from History (mirroring the paper's buffer, which discards changes "as
-// soon as they are not needed by the clients").
+// soon as they are not needed by the clients"). Drops are counted per
+// member and reported to the drop hook, and the first event delivered
+// after a drop carries the Resync hint so the client knows its stream
+// has a gap.
 func (r *Room) deliverLocked(m *Member, ev Event) {
 	for {
+		if m.needResync {
+			// This copy is member-specific now: detach it from the
+			// shared encoding so the hint is not broadcast to everyone.
+			ev.Resync = true
+			ev.shared = nil
+		}
 		select {
 		case m.ch <- ev:
+			m.needResync = false
 			return
 		default:
 			select {
 			case <-m.ch: // drop the oldest queued event
+				m.drops.Add(1)
+				m.needResync = true
+				if r.dropHook != nil {
+					r.dropHook(m.Name)
+				}
 			default:
 			}
 		}
@@ -359,6 +467,10 @@ func (r *Room) Operation(ctx context.Context, actor, component, op, activeWhen s
 	if err != nil {
 		return "", err
 	}
+	// Shared operations extend the document's preference network;
+	// invalidate the cached snapshot (private overlays are cheap to
+	// over-invalidate, so bump unconditionally for safety).
+	r.bumpDocLocked()
 	r.broadcastLocked(Event{
 		Actor: actor, Kind: EvOperation,
 		Component: component, Op: op, ActiveWhen: activeWhen,

@@ -185,3 +185,54 @@ drained:
 		t.Error("request accepted after shutdown")
 	}
 }
+
+// TestDrainFlushesQueuedPushes checks the batched peer writers lose
+// nothing on a graceful stop: a burst of events still queued behind the
+// coalescing writer when Shutdown begins must reach the client before
+// the connections close, followed by the shutdown announcement.
+func TestDrainFlushesQueuedPushes(t *testing.T) {
+	srv, addr := testSystemWith(t, Options{})
+	alice := dial(t, addr, "alice")
+	if _, _, err := alice.Join("consult", "p1", 0); err != nil {
+		t.Fatal(err)
+	}
+	bob := dial(t, addr, "bob")
+	sb, _, err := bob.Join("consult", "p1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const burst = 50
+	for i := 0; i < burst; i++ {
+		if err := sb.Chat(fmt.Sprintf("note %d", i)); err != nil {
+			t.Fatalf("chat %d: %v", i, err)
+		}
+	}
+	// Shut down immediately: the burst is broadcast into member queues
+	// but much of it still sits behind alice's batched writer.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	chats := 0
+	deadline := time.After(3 * time.Second)
+	for {
+		select {
+		case ev, ok := <-alice.Events():
+			if !ok {
+				t.Fatalf("stream closed with %d/%d chats and no shutdown announcement", chats, burst)
+			}
+			switch ev.Kind {
+			case room.EvChat:
+				chats++
+			case room.EvShutdown:
+				if chats != burst {
+					t.Errorf("shutdown announced after %d/%d chats delivered", chats, burst)
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatalf("drain delivered %d/%d chats, no shutdown announcement", chats, burst)
+		}
+	}
+}

@@ -1,0 +1,267 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mmconf/internal/client"
+	"mmconf/internal/proto"
+	"mmconf/internal/room"
+	"mmconf/internal/wire"
+)
+
+// TestEncodeOnceFanOut joins k clients to one room and checks the
+// encode-once contract end to end with the push-path counters: one
+// broadcast event costs exactly one gob encode, the other k-1
+// deliveries reuse the shared bytes.
+func TestEncodeOnceFanOut(t *testing.T) {
+	srv, addr, _ := testSystem(t)
+	const k = 4
+	clients := make([]*client.Client, k)
+	sessions := make([]*client.Session, k)
+	for i := range clients {
+		c := dial(t, addr, fmt.Sprintf("u%d", i))
+		s, _, err := c.Join("tumor-board", "p1", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i], sessions[i] = c, s
+	}
+	// Quiesce: once every client has seen the last join, all join
+	// fan-out has been counted (counters increment before the push).
+	last := fmt.Sprintf("u%d", k-1)
+	for _, c := range clients {
+		waitEvent(t, c, func(ev room.Event) bool {
+			return ev.Kind == room.EvJoin && ev.Actor == last
+		})
+	}
+	before := srv.Stats().Counters()
+	if err := sessions[0].Chat("fan out once"); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range clients {
+		ev := waitEvent(t, c, func(ev room.Event) bool { return ev.Kind == room.EvChat })
+		if ev.Text != "fan out once" {
+			t.Fatalf("client %d got chat %q", i, ev.Text)
+		}
+	}
+	after := srv.Stats().Counters()
+	delta := func(name string) uint64 { return after[name] - before[name] }
+	if got := delta(CounterFanoutEvents); got != k {
+		t.Errorf("fanned events = %d, want %d", got, k)
+	}
+	if got := delta(CounterFanoutEncodes); got != 1 {
+		t.Errorf("broadcast encoded %d times across %d members, want 1", got, k)
+	}
+	if got := delta(CounterEncodesSaved); got != k-1 {
+		t.Errorf("encodes saved = %d, want %d", got, k-1)
+	}
+}
+
+// TestGetCmpCacheHitsAcrossClients has two clients pull the same
+// compression-layer prefix: the second request (and every repeat) must
+// be served from the object cache without a store fetch.
+func TestGetCmpCacheHitsAcrossClients(t *testing.T) {
+	srv, addr, rec := testSystem(t)
+	a := dial(t, addr, "alice")
+	b := dial(t, addr, "bob")
+	imgA, layersA, err := a.GetCmp(rec.CmpID, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgB, layersB, err := b.GetCmp(rec.CmpID, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if layersA != layersB || imgA.W != imgB.W || imgA.H != imgB.H {
+		t.Errorf("cached response differs: %dx%d/%d vs %dx%d/%d",
+			imgA.W, imgA.H, layersA, imgB.W, imgB.H, layersB)
+	}
+	if hits := srv.Stats().Counter(CounterObjCacheHits); hits == 0 {
+		t.Error("second client's GetCmp missed the cache")
+	}
+	if misses := srv.Stats().Counter(CounterObjCacheMisses); misses != 1 {
+		t.Errorf("cache misses = %d, want 1 (one store fetch for both clients)", misses)
+	}
+	// A different layer prefix is a different cache entry.
+	if _, _, err := a.GetCmp(rec.CmpID, 2); err != nil {
+		t.Fatal(err)
+	}
+	if misses := srv.Stats().Counter(CounterObjCacheMisses); misses != 2 {
+		t.Errorf("cache misses after new prefix = %d, want 2", misses)
+	}
+}
+
+// TestPutImageTextsInvalidatesCache checks the cache serves updated
+// image texts after a mutation, not the stale cached response.
+func TestPutImageTextsInvalidatesCache(t *testing.T) {
+	_, addr, rec := testSystem(t)
+	c := dial(t, addr, "alice")
+	if _, _, err := c.GetImage(rec.CTID); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.GetImage(rec.CTID); err != nil { // now cached
+		t.Fatal(err)
+	}
+	raw, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	if err := raw.Call(proto.MPutImageTexts, proto.PutImageTextsReq{ID: rec.CTID, Texts: "updated findings"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, texts, err := c.GetImage(rec.CTID); err != nil || texts != "updated findings" {
+		t.Errorf("texts after invalidation = %q, %v; want the updated value", texts, err)
+	}
+}
+
+// TestDocSnapshotReusedAcrossJoins checks the second joiner of a room
+// is served the marshaled document from the per-room snapshot cache.
+func TestDocSnapshotReusedAcrossJoins(t *testing.T) {
+	srv, addr, _ := testSystem(t)
+	a := dial(t, addr, "alice")
+	if _, _, err := a.Join("consult", "p1", 0); err != nil {
+		t.Fatal(err)
+	}
+	b := dial(t, addr, "bob")
+	if _, _, err := b.Join("consult", "p1", 0); err != nil {
+		t.Fatal(err)
+	}
+	if hits := srv.Stats().Counter(CounterDocCacheHits); hits == 0 {
+		t.Error("second join rebuilt the document snapshot")
+	}
+}
+
+// TestPushResponseOrderUnderLoad interleaves one client's RPC traffic
+// (History calls) with a flood of pushed events from another member and
+// checks the event stream stays in order: the batched per-peer writer
+// must preserve FIFO between pushes and responses.
+func TestPushResponseOrderUnderLoad(t *testing.T) {
+	_, addr, _ := testSystem(t)
+	alice := dial(t, addr, "alice")
+	sa, _, err := alice.Join("consult", "p1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob := dial(t, addr, "bob")
+	sb, _, err := bob.Join("consult", "p1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const chats = 100
+	var lastSeq atomic.Uint64
+	var order atomic.Bool
+	order.Store(true)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for ev := range alice.Events() {
+			if ev.Seq <= lastSeq.Load() {
+				order.Store(false)
+			}
+			lastSeq.Store(ev.Seq)
+			if ev.Kind == room.EvChat && ev.Text == "fin" {
+				return
+			}
+		}
+	}()
+	errs := make(chan error, 1)
+	go func() {
+		for i := 0; i < chats; i++ {
+			if err := sb.Chat(fmt.Sprintf("note %d", i)); err != nil {
+				errs <- err
+				return
+			}
+		}
+		errs <- sb.Chat("fin")
+	}()
+	for i := 0; i < 50; i++ {
+		if _, err := sa.History(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("final chat never arrived")
+	}
+	if !order.Load() {
+		t.Error("event Seq went backwards under concurrent push/response traffic")
+	}
+}
+
+// failConn wraps a net.Conn so writes can be made to fail on demand
+// while Close is a no-op: the read loop stays alive, so only the
+// forwarder's push-failure path — not disconnect eviction — can remove
+// the member from its room.
+type failConn struct {
+	net.Conn
+	fail *atomic.Bool
+}
+
+func (f *failConn) Write(b []byte) (int, error) {
+	if f.fail.Load() {
+		return 0, fmt.Errorf("injected write failure")
+	}
+	return f.Conn.Write(b)
+}
+
+func (f *failConn) Close() error { return nil }
+
+// TestForwarderPushFailureLeavesRoom breaks one member's push channel
+// and checks the forwarder removes the stranded membership from the
+// room (the other member sees EvLeave) instead of keeping a ghost
+// member until disconnect.
+func TestForwarderPushFailureLeavesRoom(t *testing.T) {
+	srv, addr, _ := testSystem(t)
+	bob := dial(t, addr, "bob")
+	sb, _, err := bob.Join("consult", "p1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mallory joins over an in-process pipe whose server-side writes can
+	// be failed without closing the connection.
+	var fail atomic.Bool
+	sc, cc := net.Pipe()
+	go srv.ServeConn(&failConn{Conn: sc, fail: &fail})
+	mallory := wire.NewClient(cc)
+	defer mallory.Close()
+	mallory.OnPush(func(string, []byte) {})
+	var joinResp proto.JoinRoomResp
+	if err := mallory.Call(proto.MJoinRoom, proto.JoinRoomReq{Room: "consult", User: "mallory"}, &joinResp); err != nil {
+		t.Fatal(err)
+	}
+	waitEvent(t, bob, func(ev room.Event) bool {
+		return ev.Kind == room.EvJoin && ev.Actor == "mallory"
+	})
+	fail.Store(true)
+	// Each chat is a broadcast reaching mallory's dead writer: the first
+	// surfaces the write error, a later push fails fast and makes the
+	// forwarder leave the room on mallory's behalf.
+	deadline := time.After(5 * time.Second)
+	left := make(chan room.Event, 1)
+	go func() {
+		left <- waitEvent(t, bob, func(ev room.Event) bool {
+			return ev.Kind == room.EvLeave && ev.Actor == "mallory"
+		})
+	}()
+	for i := 0; ; i++ {
+		if err := sb.Chat(fmt.Sprintf("probe %d", i)); err != nil {
+			t.Fatalf("chat %d: %v", i, err)
+		}
+		select {
+		case <-left:
+			return
+		case <-deadline:
+			t.Fatal("stranded membership never left the room after push failure")
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}

@@ -44,14 +44,18 @@ type Options struct {
 	Logf func(format string, args ...any)
 	// RegistryShards sizes the room table (default 32).
 	RegistryShards int
+	// CacheBytes bounds the store-backed object response cache
+	// (default 64 MiB; negative disables caching).
+	CacheBytes int64
 }
 
 // Server is the interaction server.
 type Server struct {
-	db    *mediadb.MediaDB
-	rpc   *wire.Server
-	reg   *registry
-	stats *wire.Stats
+	db      *mediadb.MediaDB
+	rpc     *wire.Server
+	reg     *registry
+	stats   *wire.Stats
+	objects *objectCache
 	// forwarders counts the event-forwarding goroutines (one per room
 	// membership) so Shutdown can flush queued pushes before closing
 	// connections.
@@ -90,12 +94,20 @@ func NewWith(db *mediadb.MediaDB, o Options) *Server {
 	if o.Logf == nil {
 		o.Logf = log.Printf
 	}
+	if o.CacheBytes == 0 {
+		o.CacheBytes = 64 << 20
+	}
+	if o.CacheBytes < 0 {
+		o.CacheBytes = 0 // objectCache treats 0 as disabled
+	}
 	s := &Server{
 		db:    db,
 		rpc:   wire.NewServer(),
 		reg:   newRegistry(o.RegistryShards),
 		stats: wire.NewStats(),
 	}
+	s.objects = newObjectCache(o.CacheBytes, s.stats)
+	s.rpc.SetStats(s.stats) // peer writers count flushes/bytes here
 	// Stats sits outermost so even recovered panics count as errors;
 	// recovery wraps the timeout so a panic in a deadline-bound handler
 	// still converts to a clean response.
@@ -110,7 +122,9 @@ func NewWith(db *mediadb.MediaDB, o Options) *Server {
 	return s
 }
 
-// Stats exposes the pipeline's per-method request counters.
+// Stats exposes the pipeline's per-method request counters plus the
+// push-path/cache named counters (see the Counter* constants in
+// cache.go and package wire's CounterWriter*).
 func (s *Server) Stats() *wire.Stats { return s.stats }
 
 // Serve accepts connections on l until it closes.
@@ -145,6 +159,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			err = ctx.Err()
 		}
 	}
+	// Forwarders only enqueue pushes; force the batched peer writers to
+	// hand everything to the OS before the connections close.
+	_ = s.rpc.FlushPeers(ctx)
 	if cerr := s.rpc.Close(); err == nil {
 		err = cerr
 	}
@@ -205,24 +222,56 @@ func (s *Server) handleGetDocument(ctx context.Context, p *wire.Peer, req *proto
 }
 
 func (s *Server) handleGetImage(ctx context.Context, p *wire.Peer, req *proto.GetImageReq) (*proto.GetImageResp, error) {
-	img, err := s.db.GetImage(req.ID)
+	v, err := s.objects.get(imgKey(req.ID), func() (any, int64, error) {
+		img, err := s.db.GetImage(req.ID)
+		if err != nil {
+			return nil, 0, err
+		}
+		resp := &proto.GetImageResp{Quality: img.Quality, Texts: img.Texts, CM: img.CM, Data: img.Data}
+		return resp, int64(len(img.Data) + len(img.Texts) + 64), nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	return &proto.GetImageResp{Quality: img.Quality, Texts: img.Texts, CM: img.CM, Data: img.Data}, nil
+	return v.(*proto.GetImageResp), nil
 }
 
 func (s *Server) handleGetAudio(ctx context.Context, p *wire.Peer, req *proto.GetAudioReq) (*proto.GetAudioResp, error) {
-	a, err := s.db.GetAudio(req.ID)
+	v, err := s.objects.get(audKey(req.ID), func() (any, int64, error) {
+		a, err := s.db.GetAudio(req.ID)
+		if err != nil {
+			return nil, 0, err
+		}
+		resp := &proto.GetAudioResp{Filename: a.Filename, Sectors: a.Sectors, Data: a.Data}
+		return resp, int64(len(a.Data) + len(a.Sectors) + len(a.Filename) + 64), nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	return &proto.GetAudioResp{Filename: a.Filename, Sectors: a.Sectors, Data: a.Data}, nil
+	return v.(*proto.GetAudioResp), nil
 }
 
 // handleGetCmp serves a compressed stream, truncating the body to the
-// requested layer count so low-bandwidth clients transfer less.
+// requested layer count so low-bandwidth clients transfer less. The
+// (id, layers) result is cached: every viewer of a room pulling the
+// same layer prefix does one store fetch + header parse, not N.
 func (s *Server) handleGetCmp(ctx context.Context, p *wire.Peer, req *proto.GetCmpReq) (*proto.GetCmpResp, error) {
+	v, err := s.objects.get(cmpKey(req.ID, req.MaxLayers), func() (any, int64, error) {
+		resp, err := s.fetchCmp(req)
+		if err != nil {
+			return nil, 0, err
+		}
+		return resp, int64(len(resp.Data) + len(resp.Header) + len(resp.Filename) + 64), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*proto.GetCmpResp), nil
+}
+
+// fetchCmp is the uncached GetCmp body: store fetch, layer-header
+// parse, prefix truncation.
+func (s *Server) fetchCmp(req *proto.GetCmpReq) (*proto.GetCmpResp, error) {
 	c, err := s.db.GetCmp(req.ID)
 	if err != nil {
 		return nil, err
@@ -247,7 +296,11 @@ func (s *Server) handleGetCmp(ctx context.Context, p *wire.Peer, req *proto.GetC
 }
 
 func (s *Server) handlePutImageTexts(ctx context.Context, p *wire.Peer, req *proto.PutImageTextsReq) (*wire.None, error) {
-	return nil, s.db.UpdateImageTexts(req.ID, req.Texts)
+	if err := s.db.UpdateImageTexts(req.ID, req.Texts); err != nil {
+		return nil, err
+	}
+	s.objects.invalidate(imgKey(req.ID))
+	return nil, nil
 }
 
 // --- room lookup and membership ---
@@ -288,6 +341,7 @@ func (s *Server) buildRoom(name, docID string) (*roomState, error) {
 	if err != nil {
 		return nil, err
 	}
+	r.OnQueueDrop(func(string) { s.stats.Add(CounterQueueDrops, 1) })
 	// Register base rasters for annotation rendering where available.
 	for _, c := range doc.Components() {
 		for _, pres := range c.Presentations {
@@ -368,23 +422,47 @@ func (s *Server) handleJoinRoom(ctx context.Context, p *wire.Peer, req *proto.Jo
 		_ = rs.room.Leave(req.User)
 		return nil, fmt.Errorf("server: this connection already joined room %q", req.Room)
 	}
-	// Forward the member's event stream to the client as pushes.
+	// Forward the member's event stream to the client as pushes. Room
+	// broadcast events carry a shared memoized encoding, so an N-member
+	// fan-out gob-encodes each event once and every other forwarder
+	// pushes the same bytes (per-member presentation/resync events
+	// still encode individually).
 	s.forwarders.Add(1)
 	go func() {
 		defer s.forwarders.Done()
 		for ev := range member.Events() {
-			if err := p.Push(proto.MEvent, ev); err != nil {
+			payload, encoded, err := ev.EncodeShared(wire.Marshal)
+			if err == nil {
+				s.stats.Add(CounterFanoutEvents, 1)
+				if encoded {
+					s.stats.Add(CounterFanoutEncodes, 1)
+				} else {
+					s.stats.Add(CounterEncodesSaved, 1)
+				}
+				err = p.PushRaw(proto.MEvent, payload)
+			}
+			if err != nil {
+				// The client is unreachable: leave the room instead of
+				// stranding the membership until disconnect. Leave
+				// closes the event channel, ending this range.
+				sessions.drop(req.Room)
+				_ = rs.room.Leave(req.User)
 				return
 			}
 		}
 	}()
-	docData, err := rs.doc.MarshalBinary()
+	docData, hit, err := rs.room.DocSnapshot()
 	if err != nil {
 		// Unwind the join: without this the member and its forwarding
 		// goroutine would leak on the marshal error path.
 		sessions.drop(req.Room)
 		_ = rs.room.Leave(req.User)
 		return nil, err
+	}
+	if hit {
+		s.stats.Add(CounterDocCacheHits, 1)
+	} else {
+		s.stats.Add(CounterDocCacheMisses, 1)
 	}
 	return &proto.JoinRoomResp{
 		DocData: docData, History: history,
@@ -541,6 +619,7 @@ func (s *Server) handleSaveMinutes(ctx context.Context, p *wire.Peer, req *proto
 			if err := s.db.UpdateImageTexts(objectID, string(data)); err != nil {
 				continue
 			}
+			s.objects.invalidate(imgKey(objectID))
 		}
 		return nil
 	})

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -95,15 +96,48 @@ type MethodStats struct {
 }
 
 // Stats counts requests, errors and latency per method — the pluggable
-// observability hook of the dispatch pipeline. A single Stats may be
-// shared across servers; all methods are safe for concurrent use.
+// observability hook of the dispatch pipeline — plus named monotonic
+// counters for everything that is not a request (push fan-out, writer
+// flushes, cache hits). A single Stats may be shared across servers;
+// all methods are safe for concurrent use.
 type Stats struct {
 	mu      sync.Mutex
 	methods map[string]*MethodStats
+	// counters maps name -> *atomic.Uint64; sync.Map keeps Add
+	// lock-free on the push/write hot paths.
+	counters sync.Map
 }
 
 // NewStats returns an empty collector.
 func NewStats() *Stats { return &Stats{methods: make(map[string]*MethodStats)} }
+
+// Add increments the named monotonic counter by delta, creating it on
+// first use. Safe for concurrent use; hot paths pay one sync.Map load.
+func (st *Stats) Add(name string, delta uint64) {
+	c, ok := st.counters.Load(name)
+	if !ok {
+		c, _ = st.counters.LoadOrStore(name, new(atomic.Uint64))
+	}
+	c.(*atomic.Uint64).Add(delta)
+}
+
+// Counter returns the named counter's value (0 if never incremented).
+func (st *Stats) Counter(name string) uint64 {
+	if c, ok := st.counters.Load(name); ok {
+		return c.(*atomic.Uint64).Load()
+	}
+	return 0
+}
+
+// Counters snapshots every named counter.
+func (st *Stats) Counters() map[string]uint64 {
+	out := make(map[string]uint64)
+	st.counters.Range(func(k, v any) bool {
+		out[k.(string)] = v.(*atomic.Uint64).Load()
+		return true
+	})
+	return out
+}
 
 func (st *Stats) observe(method string, d time.Duration, err error) {
 	st.mu.Lock()

@@ -15,6 +15,7 @@
 package wire
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/gob"
@@ -102,6 +103,7 @@ type Server struct {
 	listeners    []net.Listener
 	peers        map[uint64]*Peer
 	draining     bool
+	stats        *Stats // optional counter sink handed to every peer writer
 
 	inflight sync.WaitGroup
 	baseCtx  context.Context
@@ -142,6 +144,14 @@ func (s *Server) OnPeerClose(fn func(*Peer)) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.onClose = fn
+}
+
+// SetStats installs the counter sink peer writers record into (writer
+// flushes, bytes, messages). Install before serving.
+func (s *Server) SetStats(st *Stats) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats = st
 }
 
 // Serve accepts connections until the listener closes.
@@ -192,15 +202,49 @@ func (s *Server) AwaitIdle(ctx context.Context) error {
 }
 
 // Shutdown drains the server gracefully: stop accepting, wait for
-// in-flight handlers up to ctx's deadline, then cancel any stragglers
-// and tear down every connection.
+// in-flight handlers up to ctx's deadline, flush every peer's queued
+// writes, then cancel any stragglers and tear down every connection.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.Drain()
 	err := s.AwaitIdle(ctx)
+	_ = s.FlushPeers(ctx)
 	if cerr := s.Close(); err == nil {
 		err = cerr
 	}
 	return err
+}
+
+// FlushPeers blocks (bounded by ctx) until every live peer's queued
+// writes have been handed to the operating system — the graceful-drain
+// step that keeps batched pushes from dying in a buffer when the
+// connections close. Per-peer flush errors are ignored (a broken peer
+// is already lost); only ctx expiry is reported.
+func (s *Server) FlushPeers(ctx context.Context) error {
+	s.mu.RLock()
+	peers := make([]*Peer, 0, len(s.peers))
+	for _, p := range s.peers {
+		peers = append(peers, p)
+	}
+	s.mu.RUnlock()
+	done := make(chan struct{})
+	go func() {
+		var wg sync.WaitGroup
+		for _, p := range peers {
+			wg.Add(1)
+			go func(p *Peer) {
+				defer wg.Done()
+				_ = p.Flush()
+			}(p)
+		}
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Close tears everything down immediately: listeners stop, every
@@ -228,16 +272,66 @@ func (s *Server) Close() error {
 	return first
 }
 
-// Peer is the server-side view of one client connection. Its Push method
-// is how the interaction server propagates room events.
+// Writer tuning: writeBufferSize is the bufio buffer in front of the
+// socket; writeQueueSize bounds the envelopes waiting for the writer
+// goroutine (senders block beyond it — natural backpressure);
+// writeBatchMax caps how many envelopes one batch encodes before the
+// coalesced flush, bounding the latency of the batch's first message.
+const (
+	writeBufferSize = 32 << 10
+	writeQueueSize  = 256
+	writeBatchMax   = 256
+)
+
+// Counter names the peer writer records into the server's Stats sink.
+const (
+	// CounterWriterMessages counts envelopes encoded onto connections.
+	CounterWriterMessages = "wire.writer_messages"
+	// CounterWriterFlushes counts explicit buffer flushes (a burst of
+	// messages coalesces into one flush, so flushes ≪ messages under
+	// load).
+	CounterWriterFlushes = "wire.writer_flushes"
+	// CounterWriterWrites counts actual socket writes (flushes plus
+	// bufio spills of oversized batches).
+	CounterWriterWrites = "wire.writer_writes"
+	// CounterWriterBytes totals bytes written to sockets.
+	CounterWriterBytes = "wire.writer_bytes"
+)
+
+// errPeerClosed reports a send on a peer whose connection ended.
+var errPeerClosed = errors.New("wire: peer connection closed")
+
+// Peer is the server-side view of one client connection. Its Push and
+// PushRaw methods are how the interaction server propagates room events.
+//
+// Writes are batched: senders enqueue envelopes to a per-peer writer
+// goroutine that gob-encodes them through a bufio.Writer and flushes
+// when the queue goes momentarily idle (or after writeBatchMax
+// envelopes). A burst of pushes and responses therefore costs one
+// syscall instead of one per envelope, while a lone message still
+// flushes immediately — the added latency is one channel hop. Per-peer
+// FIFO order is preserved: envelopes reach the socket in the order
+// send accepted them. Flush is the explicit barrier the drain path
+// uses to guarantee queued pushes hit the OS before close.
 type Peer struct {
 	ID   uint64
 	conn net.Conn
-	enc  *gob.Encoder
-	wmu  sync.Mutex
+
+	writeQ chan writeItem
+	stop   chan struct{} // closed by ServeConn teardown
+	dead   chan struct{} // closed when the writer exits; werr is valid after
+	werr   error
+	stats  *Stats // optional counter sink
 
 	mu   sync.Mutex
 	meta map[string]any // per-connection session state (user, rooms)
+}
+
+// writeItem is one unit of writer work: an envelope to encode, or (when
+// flush is non-nil) a flush barrier to acknowledge.
+type writeItem struct {
+	env   envelope
+	flush chan error
 }
 
 // SetMeta stores per-connection session state.
@@ -268,7 +362,8 @@ func (p *Peer) Meta(key string) (any, bool) {
 	return v, ok
 }
 
-// Push sends an unsolicited message to the client.
+// Push sends an unsolicited message to the client, marshaling body.
+// For room fan-out prefer PushRaw with a shared pre-marshaled payload.
 func (p *Peer) Push(method string, body any) error {
 	payload, err := Marshal(body)
 	if err != nil {
@@ -277,27 +372,156 @@ func (p *Peer) Push(method string, body any) error {
 	return p.send(envelope{Kind: kindPush, Method: method, Payload: payload})
 }
 
+// PushRaw sends an unsolicited message whose payload is already
+// gob-encoded — the encode-once fan-out path: the interaction server
+// marshals one room event once and hands every member's peer the same
+// bytes. The caller must not modify payload afterwards.
+func (p *Peer) PushRaw(method string, payload []byte) error {
+	return p.send(envelope{Kind: kindPush, Method: method, Payload: payload})
+}
+
+// Flush blocks until every message enqueued before the call has been
+// handed to the operating system — the drain path's ordering guarantee.
+func (p *Peer) Flush() error {
+	ch := make(chan error, 1)
+	select {
+	case p.writeQ <- writeItem{flush: ch}:
+	case <-p.dead:
+		return p.deadErr()
+	case <-p.stop:
+		return errPeerClosed
+	}
+	select {
+	case err := <-ch:
+		return err
+	case <-p.dead:
+		return p.deadErr()
+	}
+}
+
 // Close tears the connection down.
 func (p *Peer) Close() error { return p.conn.Close() }
 
+// send enqueues one envelope for the writer goroutine. A nil return
+// means the message is queued in FIFO order, not yet on the wire; a
+// peer whose writer has died (broken connection) fails fast.
 func (p *Peer) send(env envelope) error {
-	p.wmu.Lock()
-	defer p.wmu.Unlock()
-	if err := p.enc.Encode(env); err != nil {
-		return fmt.Errorf("wire: send: %w", err)
+	select {
+	case p.writeQ <- writeItem{env: env}:
+		return nil
+	case <-p.dead:
+		return p.deadErr()
+	case <-p.stop:
+		return errPeerClosed
 	}
-	return nil
+}
+
+// deadErr returns the writer's terminal error; call only after p.dead
+// is closed (the close is the happens-before edge that publishes werr).
+func (p *Peer) deadErr() error {
+	if p.werr != nil {
+		return p.werr
+	}
+	return errPeerClosed
+}
+
+// meteredWriter counts socket writes and bytes into a Stats sink.
+type meteredWriter struct {
+	w     io.Writer
+	stats *Stats
+}
+
+func (m meteredWriter) Write(b []byte) (int, error) {
+	n, err := m.w.Write(b)
+	if m.stats != nil {
+		m.stats.Add(CounterWriterWrites, 1)
+		m.stats.Add(CounterWriterBytes, uint64(n))
+	}
+	return n, err
+}
+
+// writeLoop is the peer's single writer goroutine: it drains writeQ,
+// gob-encoding envelopes into a buffered writer, and flushes when the
+// queue goes idle or a batch reaches writeBatchMax — so bursts coalesce
+// into few syscalls while a lone message flushes immediately.
+func (p *Peer) writeLoop() {
+	defer close(p.dead)
+	bw := bufio.NewWriterSize(meteredWriter{w: p.conn, stats: p.stats}, writeBufferSize)
+	enc := gob.NewEncoder(bw)
+	fail := func(err error) {
+		p.werr = fmt.Errorf("wire: send: %w", err)
+		// A connection we cannot write is useless: close it so the read
+		// loop ends and the peer is evicted.
+		p.conn.Close()
+	}
+	flush := func() error {
+		if bw.Buffered() == 0 {
+			return nil
+		}
+		if p.stats != nil {
+			p.stats.Add(CounterWriterFlushes, 1)
+		}
+		return bw.Flush()
+	}
+	for {
+		var it writeItem
+		select {
+		case <-p.stop:
+			_ = flush() // best effort on teardown
+			return
+		case it = <-p.writeQ:
+		}
+		for n := 0; ; n++ {
+			if it.flush != nil {
+				err := flush()
+				it.flush <- err
+				if err != nil {
+					fail(err)
+					return
+				}
+			} else {
+				if err := enc.Encode(it.env); err != nil {
+					fail(err)
+					return
+				}
+				if p.stats != nil {
+					p.stats.Add(CounterWriterMessages, 1)
+				}
+			}
+			if n >= writeBatchMax {
+				break
+			}
+			// Coalesce whatever is queued right now; stop at idle.
+			select {
+			case it = <-p.writeQ:
+				continue
+			default:
+			}
+			break
+		}
+		if err := flush(); err != nil {
+			fail(err)
+			return
+		}
+	}
 }
 
 // ServeConn runs the request loop for one connection (exported so tests
 // and in-process setups can serve a net.Pipe end directly).
 func (s *Server) ServeConn(conn net.Conn) {
+	s.mu.Lock()
+	st := s.stats
+	s.mu.Unlock()
 	peer := &Peer{
-		ID:   atomic.AddUint64(&s.nextPeer, 1),
-		conn: conn,
-		enc:  gob.NewEncoder(conn),
-		meta: make(map[string]any),
+		ID:     atomic.AddUint64(&s.nextPeer, 1),
+		conn:   conn,
+		writeQ: make(chan writeItem, writeQueueSize),
+		stop:   make(chan struct{}),
+		dead:   make(chan struct{}),
+		stats:  st,
+		meta:   make(map[string]any),
 	}
+	go peer.writeLoop()
 	// connCtx is the parent of every request context on this connection;
 	// it dies with the connection, so a dead client cancels its own
 	// in-flight handlers.
@@ -308,6 +532,7 @@ func (s *Server) ServeConn(conn net.Conn) {
 	dec := gob.NewDecoder(conn)
 	defer func() {
 		connCancel()
+		close(peer.stop) // stop the writer (it flushes best-effort first)
 		conn.Close()
 		s.mu.Lock()
 		delete(s.peers, peer.ID)
