@@ -50,20 +50,28 @@ func main() {
 	roomName := flag.String("room", "consult", "shared room to join")
 	docID := flag.String("doc", "", "document id (required for the first joiner)")
 	buffer := flag.Int64("buffer", 4<<20, "client prefetch buffer bytes (0 disables)")
+	reconnect := flag.Bool("reconnect", true, "redial and resume the session after a dropped connection")
+	retries := flag.Int("retries", 8, "redial attempts per outage (-1: unlimited)")
+	callTimeout := flag.Duration("call-timeout", 30*time.Second, "per-call deadline (0: unbounded)")
 	flag.Parse()
 
-	if err := run(*addr, *user, *roomName, *docID, *buffer); err != nil {
+	opts := client.Options{
+		Reconnect:   *reconnect,
+		MaxAttempts: *retries,
+		CallTimeout: *callTimeout,
+	}
+	if err := run(*addr, *user, *roomName, *docID, *buffer, opts); err != nil {
 		log.Fatalf("mmclient: %v", err)
 	}
 }
 
-func run(addr, user, roomName, docID string, buffer int64) error {
+func run(addr, user, roomName, docID string, buffer int64, opts client.Options) error {
 	// Every request is bounded by this context: Ctrl-C aborts a call in
 	// flight (the server abandons the work too) and ends the session.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	c, err := client.Dial(addr, user)
+	c, err := client.DialWith(addr, user, opts)
 	if err != nil {
 		return err
 	}

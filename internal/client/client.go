@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"mmconf/internal/cpnet"
 	"mmconf/internal/document"
@@ -22,64 +23,151 @@ import (
 	"mmconf/internal/wire"
 )
 
-// Client is one user's connection to the interaction server.
-type Client struct {
-	rpc  *wire.Client
-	user string
+// connState tracks the client's connection lifecycle.
+type connState int
 
-	mu     sync.Mutex
-	events chan room.Event
+const (
+	stateActive connState = iota
+	stateReconnecting
+	stateClosed
+)
+
+// Client is one user's connection to the interaction server. With
+// reconnection enabled (Options.Reconnect via DialWith/NewOverDialer) a
+// dropped connection is redialed with exponential backoff and every
+// joined room is resumed from its last seen event sequence.
+type Client struct {
+	user string
+	dial DialFunc // nil: connection loss is terminal
+	opts Options
+
+	mu       sync.Mutex
+	rpc      *wire.Client
+	state    connState
+	gen      uint64 // bumped per (re)connect; stale supervisors stand down
+	sessions map[string]*Session
+	events   chan room.Event
+
+	closeCh   chan struct{}
+	closeOnce sync.Once
+
+	attempts, successes, failures, gaveUp atomic.Uint64
 }
 
 // eventQueueSize bounds the locally buffered pushed events.
 const eventQueueSize = 1024
 
 // Dial connects to the interaction server at addr as the given user.
+// The connection does not auto-reconnect; use DialWith for that.
 func Dial(addr, user string) (*Client, error) {
+	return DialWith(addr, user, Options{})
+}
+
+// DialWith connects to addr with explicit fault-tolerance options.
+func DialWith(addr, user string, opts Options) (*Client, error) {
+	return NewOverDialer(netDialer(addr), user, opts)
+}
+
+// NewOverDialer builds a client over a custom dial function (a
+// netsim-faulted dialer in tests, or any tunneled transport). The
+// initial connect happens synchronously; with opts.Reconnect, later
+// drops redial through the same function.
+func NewOverDialer(dial DialFunc, user string, opts Options) (*Client, error) {
 	if user == "" {
 		return nil, fmt.Errorf("client: empty user name")
 	}
-	rpc, err := wire.Dial(addr)
+	if dial == nil {
+		return nil, fmt.Errorf("client: nil dial function")
+	}
+	opts.normalize()
+	c := newClient(user, dial, opts)
+	ctx, cancel := context.WithTimeout(context.Background(), opts.ConnectTimeout)
+	defer cancel()
+	conn, err := dial(ctx)
 	if err != nil {
 		return nil, err
 	}
-	return wrap(rpc, user), nil
+	c.attach(wire.NewClient(conn))
+	return c, nil
 }
 
 // NewOverConn wraps an established connection (in-process tests, or a
-// netsim-throttled conn).
+// netsim-throttled conn). Connection loss is terminal: there is nothing
+// to redial.
 func NewOverConn(conn net.Conn, user string) (*Client, error) {
 	if user == "" {
 		return nil, fmt.Errorf("client: empty user name")
 	}
-	return wrap(wire.NewClient(conn), user), nil
+	opts := Options{}
+	opts.normalize()
+	c := newClient(user, nil, opts)
+	c.attach(wire.NewClient(conn))
+	return c, nil
 }
 
-func wrap(rpc *wire.Client, user string) *Client {
-	c := &Client{rpc: rpc, user: user, events: make(chan room.Event, eventQueueSize)}
-	rpc.OnPush(func(method string, payload []byte) {
-		if method != proto.MEvent {
-			return
-		}
-		var ev room.Event
-		if err := wire.Unmarshal(payload, &ev); err != nil {
-			return
+func newClient(user string, dial DialFunc, opts Options) *Client {
+	return &Client{
+		user:     user,
+		dial:     dial,
+		opts:     opts,
+		sessions: make(map[string]*Session),
+		events:   make(chan room.Event, eventQueueSize),
+		closeCh:  make(chan struct{}),
+	}
+}
+
+// attach installs rpc as the live connection: push handler, per-call
+// deadline, and the supervisor that watches for connection death.
+// Callers must not hold c.mu.
+func (c *Client) attach(rpc *wire.Client) {
+	rpc.OnPush(c.onPush)
+	if c.opts.CallTimeout > 0 {
+		rpc.SetCallTimeout(c.opts.CallTimeout)
+	}
+	c.mu.Lock()
+	c.rpc = rpc
+	c.state = stateActive
+	c.gen++
+	gen := c.gen
+	c.mu.Unlock()
+	go c.supervise(rpc, gen)
+}
+
+// onPush routes a pushed room event: events for a joined room pass the
+// session's delivery gate (exactly-once across reconnects), everything
+// else flows straight through.
+func (c *Client) onPush(method string, payload []byte) {
+	if method != proto.MEvent {
+		return
+	}
+	var ev room.Event
+	if err := wire.Unmarshal(payload, &ev); err != nil {
+		return
+	}
+	c.mu.Lock()
+	s := c.sessions[ev.Room]
+	c.mu.Unlock()
+	if s != nil && !s.admit(ev) {
+		return
+	}
+	c.emit(ev)
+}
+
+// emit hands an event to the local stream, shedding the oldest buffered
+// event when full; History resynchronizes.
+func (c *Client) emit(ev room.Event) {
+	select {
+	case c.events <- ev:
+	default:
+		select {
+		case <-c.events:
+		default:
 		}
 		select {
 		case c.events <- ev:
 		default:
-			// Shed the oldest local event; History resynchronizes.
-			select {
-			case <-c.events:
-			default:
-			}
-			select {
-			case c.events <- ev:
-			default:
-			}
 		}
-	})
-	return c
+	}
 }
 
 // User returns the client's user name.
@@ -88,8 +176,23 @@ func (c *Client) User() string { return c.user }
 // Events returns the pushed room-event stream.
 func (c *Client) Events() <-chan room.Event { return c.events }
 
-// Close drops the connection (the server evicts the user from rooms).
-func (c *Client) Close() error { return c.rpc.Close() }
+// Close drops the connection and stops any reconnection. Server-side,
+// the user's sessions detach and expire after the grace period.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.state == stateClosed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.state = stateClosed
+	rpc := c.rpc
+	c.mu.Unlock()
+	c.closeOnce.Do(func() { close(c.closeCh) })
+	if rpc != nil {
+		return rpc.Close()
+	}
+	return nil
+}
 
 // ListDocuments returns stored document ids and titles.
 func (c *Client) ListDocuments() (ids, titles []string, err error) {
@@ -99,7 +202,7 @@ func (c *Client) ListDocuments() (ids, titles []string, err error) {
 // ListDocumentsCtx is ListDocuments bounded by ctx.
 func (c *Client) ListDocumentsCtx(ctx context.Context) (ids, titles []string, err error) {
 	var resp proto.ListDocumentsResp
-	if err := c.rpc.CallCtx(ctx, proto.MListDocuments, proto.ListDocumentsReq{}, &resp); err != nil {
+	if err := c.call(ctx, proto.MListDocuments, proto.ListDocumentsReq{}, &resp); err != nil {
 		return nil, nil, err
 	}
 	return resp.IDs, resp.Titles, nil
@@ -113,7 +216,7 @@ func (c *Client) GetDocument(docID string) (*document.Document, error) {
 // GetDocumentCtx is GetDocument bounded by ctx.
 func (c *Client) GetDocumentCtx(ctx context.Context, docID string) (*document.Document, error) {
 	var resp proto.GetDocumentResp
-	if err := c.rpc.CallCtx(ctx, proto.MGetDocument, proto.GetDocumentReq{DocID: docID}, &resp); err != nil {
+	if err := c.call(ctx, proto.MGetDocument, proto.GetDocumentReq{DocID: docID}, &resp); err != nil {
 		return nil, err
 	}
 	return document.Unmarshal(resp.DocData)
@@ -122,7 +225,7 @@ func (c *Client) GetDocumentCtx(ctx context.Context, docID string) (*document.Do
 // GetImage fetches an image object and decodes its raster.
 func (c *Client) GetImage(id uint64) (*image.Gray, string, error) {
 	var resp proto.GetImageResp
-	if err := c.rpc.Call(proto.MGetImage, proto.GetImageReq{ID: id}, &resp); err != nil {
+	if err := c.call(context.Background(), proto.MGetImage, proto.GetImageReq{ID: id}, &resp); err != nil {
 		return nil, "", err
 	}
 	g, err := image.Decode(resp.Data)
@@ -136,7 +239,7 @@ func (c *Client) GetImage(id uint64) (*image.Gray, string, error) {
 // cache, which stores bytes).
 func (c *Client) GetImageBytes(id uint64) ([]byte, error) {
 	var resp proto.GetImageResp
-	if err := c.rpc.Call(proto.MGetImage, proto.GetImageReq{ID: id}, &resp); err != nil {
+	if err := c.call(context.Background(), proto.MGetImage, proto.GetImageReq{ID: id}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Data, nil
@@ -145,7 +248,7 @@ func (c *Client) GetImageBytes(id uint64) ([]byte, error) {
 // GetAudio fetches an audio object: PCM bytes plus segmentation metadata.
 func (c *Client) GetAudio(id uint64) (pcm, sectors []byte, filename string, err error) {
 	var resp proto.GetAudioResp
-	if err := c.rpc.Call(proto.MGetAudio, proto.GetAudioReq{ID: id}, &resp); err != nil {
+	if err := c.call(context.Background(), proto.MGetAudio, proto.GetAudioReq{ID: id}, &resp); err != nil {
 		return nil, nil, "", err
 	}
 	return resp.Data, resp.Sectors, resp.Filename, nil
@@ -155,7 +258,7 @@ func (c *Client) GetAudio(id uint64) (pcm, sectors []byte, filename string, err 
 // and decodes it at that fidelity.
 func (c *Client) GetCmp(id uint64, maxLayers int) (*image.Gray, int, error) {
 	var resp proto.GetCmpResp
-	if err := c.rpc.Call(proto.MGetCmp, proto.GetCmpReq{ID: id, MaxLayers: maxLayers}, &resp); err != nil {
+	if err := c.call(context.Background(), proto.MGetCmp, proto.GetCmpReq{ID: id, MaxLayers: maxLayers}, &resp); err != nil {
 		return nil, 0, err
 	}
 	stream, err := compress.Unmarshal(resp.Header, resp.Data)
@@ -173,16 +276,129 @@ func (c *Client) GetCmp(id uint64, maxLayers int) (*image.Gray, int, error) {
 type Session struct {
 	client *Client
 	Room   string
+	docID  string // for resume: rebind the room if it must be recreated
 	// Doc is the session's local copy of the document.
 	Doc *document.Document
 	// View is the latest presentation pushed or computed for this user.
 	mu   sync.Mutex
 	view document.View
 	// resync is set when a pushed event carries the server's queue-
-	// overflow hint (events were dropped; replay from History).
+	// overflow hint (events were dropped; replay from History), and when
+	// a reconnect could not replay the outage exactly.
 	resync bool
+	// lastSeq gates pushed-event delivery: events at or below it already
+	// reached the stream, so replays across reconnects drop out. resuming
+	// parks live pushes in pending while a reconnect replays the outage,
+	// preserving order.
+	lastSeq  uint64
+	resuming bool
+	pending  []room.Event
 	// Buffer is the §4.4 prefetch cache (nil if disabled).
 	Buffer *prefetch.Prefetcher
+}
+
+// admit decides whether a pushed event reaches the client's stream.
+// During a resume the event parks in pending (delivered, gated, after
+// the replay); otherwise duplicates at or below lastSeq drop out.
+func (s *Session) admit(ev room.Event) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.resuming {
+		if len(s.pending) < eventQueueSize {
+			s.pending = append(s.pending, ev)
+		}
+		return false
+	}
+	return s.admitLocked(ev)
+}
+
+func (s *Session) admitLocked(ev room.Event) bool {
+	if ev.Seq != 0 && ev.Seq <= s.lastSeq {
+		return false
+	}
+	if ev.Seq != 0 {
+		s.lastSeq = ev.Seq
+	}
+	return true
+}
+
+// beginResume parks the session for replay: live pushes buffer in
+// pending until finishResume, and the returned sequence is the replay
+// cursor for the Resume request.
+func (s *Session) beginResume() (since uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.resuming = true
+	s.pending = nil
+	return s.lastSeq
+}
+
+// abortResume re-opens the delivery gate after a failed resume (budget
+// exhausted or client closed), flushing parked events so the stream
+// does not silently stall.
+func (s *Session) abortResume() {
+	s.mu.Lock()
+	pending := s.pending
+	s.pending = nil
+	s.resuming = false
+	// Emit under the lock: a racing push must not overtake the flush
+	// (emit is non-blocking, so holding s.mu here cannot deadlock).
+	for _, ev := range pending {
+		if s.admitLocked(ev) {
+			s.client.emit(ev)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// finishResume folds a reconnect's JoinRoom response into the session:
+// refresh view/document, emit the replayed outage events then any
+// pushes that raced in, all through the sequence gate so nothing is
+// delivered twice.
+func (s *Session) finishResume(resp *proto.JoinRoomResp) {
+	s.mu.Lock()
+	if !resp.Resumed || !resp.Complete {
+		// The outage cannot be replayed exactly (session expired into a
+		// fresh join, or the change buffer was trimmed): local state is
+		// suspect, make the gap visible exactly like a queue overflow.
+		s.resync = true
+	}
+	if !resp.Resumed && resp.LastSeq < s.lastSeq {
+		// Fresh join into a room younger than our gate: the room was
+		// recreated and sequences restarted. Reset or we would swallow
+		// every new event.
+		s.lastSeq = 0
+	}
+	if len(resp.DocData) > 0 {
+		if doc, err := document.Unmarshal(resp.DocData); err == nil {
+			s.Doc = doc
+		}
+	}
+	s.view = document.View{Outcome: resp.Outcome, Visible: resp.Visible}
+	// Emit under the lock: once resuming clears, a racing push may pass
+	// admit and emit — it must not overtake the replay (emit is
+	// non-blocking, so holding s.mu here cannot deadlock).
+	for _, ev := range resp.History {
+		if s.admitLocked(ev) {
+			s.client.emit(ev)
+		}
+	}
+	for _, ev := range s.pending {
+		if s.admitLocked(ev) {
+			s.client.emit(ev)
+		}
+	}
+	s.pending = nil
+	s.resuming = false
+	s.mu.Unlock()
+}
+
+// LastSeq reports the highest event sequence delivered to this session's
+// stream — the resume cursor a reconnect replays from.
+func (s *Session) LastSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastSeq
 }
 
 // Join enters a room around a document. bufferBytes > 0 enables the
@@ -194,7 +410,7 @@ func (c *Client) Join(roomName, docID string, bufferBytes int64) (*Session, []ro
 // JoinCtx is Join bounded by ctx.
 func (c *Client) JoinCtx(ctx context.Context, roomName, docID string, bufferBytes int64) (*Session, []room.Event, error) {
 	var resp proto.JoinRoomResp
-	err := c.rpc.CallCtx(ctx, proto.MJoinRoom, proto.JoinRoomReq{
+	err := c.call(ctx, proto.MJoinRoom, proto.JoinRoomReq{
 		Room: roomName, DocID: docID, User: c.user,
 	}, &resp)
 	if err != nil {
@@ -207,8 +423,17 @@ func (c *Client) JoinCtx(ctx context.Context, roomName, docID string, bufferByte
 	s := &Session{
 		client: c,
 		Room:   roomName,
+		docID:  docID,
 		Doc:    doc,
 		view:   document.View{Outcome: resp.Outcome, Visible: resp.Visible},
+	}
+	// Seed the delivery gate from the catch-up history: everything in it
+	// is already known, while our own join announcement (and all later
+	// events) carries a higher sequence and must still flow through.
+	for _, ev := range resp.History {
+		if ev.Seq > s.lastSeq {
+			s.lastSeq = ev.Seq
+		}
 	}
 	if bufferBytes > 0 {
 		cache, err := prefetch.NewCache(bufferBytes)
@@ -220,6 +445,9 @@ func (c *Client) JoinCtx(ctx context.Context, roomName, docID string, bufferByte
 			return nil, nil, err
 		}
 	}
+	c.mu.Lock()
+	c.sessions[roomName] = s
+	c.mu.Unlock()
 	return s, resp.History, nil
 }
 
@@ -268,7 +496,7 @@ func (s *Session) Choice(variable, value string) error {
 
 // ChoiceCtx is Choice bounded by ctx.
 func (s *Session) ChoiceCtx(ctx context.Context, variable, value string) error {
-	return s.client.rpc.CallCtx(ctx, proto.MChoice, proto.ChoiceReq{
+	return s.client.call(ctx, proto.MChoice, proto.ChoiceReq{
 		Room: s.Room, User: s.client.user, Variable: variable, Value: value,
 	}, nil)
 }
@@ -282,7 +510,7 @@ func (s *Session) Operation(component, op, activeWhen string, private bool) (str
 // OperationCtx is Operation bounded by ctx.
 func (s *Session) OperationCtx(ctx context.Context, component, op, activeWhen string, private bool) (string, error) {
 	var resp proto.OperationResp
-	err := s.client.rpc.CallCtx(ctx, proto.MOperation, proto.OperationReq{
+	err := s.client.call(ctx, proto.MOperation, proto.OperationReq{
 		Room: s.Room, User: s.client.user,
 		Component: component, Op: op, ActiveWhen: activeWhen, Private: private,
 	}, &resp)
@@ -292,7 +520,7 @@ func (s *Session) OperationCtx(ctx context.Context, component, op, activeWhen st
 // AnnotateText writes a text element on an image object.
 func (s *Session) AnnotateText(objectID uint64, x, y int, text string, intensity float64) (int, error) {
 	var resp proto.AnnotateResp
-	err := s.client.rpc.Call(proto.MAnnotate, proto.AnnotateReq{
+	err := s.client.call(context.Background(), proto.MAnnotate, proto.AnnotateReq{
 		Room: s.Room, User: s.client.user, ObjectID: objectID,
 		Kind: int(image.TextElement), X1: x, Y1: y, Text: text, Intensity: intensity,
 	}, &resp)
@@ -302,7 +530,7 @@ func (s *Session) AnnotateText(objectID uint64, x, y int, text string, intensity
 // AnnotateLine writes a line element on an image object.
 func (s *Session) AnnotateLine(objectID uint64, x1, y1, x2, y2 int, intensity float64) (int, error) {
 	var resp proto.AnnotateResp
-	err := s.client.rpc.Call(proto.MAnnotate, proto.AnnotateReq{
+	err := s.client.call(context.Background(), proto.MAnnotate, proto.AnnotateReq{
 		Room: s.Room, User: s.client.user, ObjectID: objectID,
 		Kind: int(image.LineElement), X1: x1, Y1: y1, X2: x2, Y2: y2, Intensity: intensity,
 	}, &resp)
@@ -311,28 +539,28 @@ func (s *Session) AnnotateLine(objectID uint64, x1, y1, x2, y2 int, intensity fl
 
 // DeleteAnnotation removes an overlay element.
 func (s *Session) DeleteAnnotation(objectID uint64, annotationID int) error {
-	return s.client.rpc.Call(proto.MDeleteAnnotation, proto.DeleteAnnotationReq{
+	return s.client.call(context.Background(), proto.MDeleteAnnotation, proto.DeleteAnnotationReq{
 		Room: s.Room, User: s.client.user, ObjectID: objectID, AnnotationID: annotationID,
 	}, nil)
 }
 
 // Freeze locks an object against edits by other partners.
 func (s *Session) Freeze(objectID uint64) error {
-	return s.client.rpc.Call(proto.MFreeze, proto.FreezeReq{
+	return s.client.call(context.Background(), proto.MFreeze, proto.FreezeReq{
 		Room: s.Room, User: s.client.user, ObjectID: objectID,
 	}, nil)
 }
 
 // Release lifts a freeze this user holds.
 func (s *Session) Release(objectID uint64) error {
-	return s.client.rpc.Call(proto.MRelease, proto.ReleaseReq{
+	return s.client.call(context.Background(), proto.MRelease, proto.ReleaseReq{
 		Room: s.Room, User: s.client.user, ObjectID: objectID,
 	}, nil)
 }
 
 // ShareSearch publishes voice-search results to the room.
 func (s *Session) ShareSearch(speaker bool, keyword string, hits []voice.Hit) error {
-	return s.client.rpc.Call(proto.MShareSearch, proto.ShareSearchReq{
+	return s.client.call(context.Background(), proto.MShareSearch, proto.ShareSearchReq{
 		Room: s.Room, User: s.client.user, Speaker: speaker, Keyword: keyword, Hits: hits,
 	}, nil)
 }
@@ -344,7 +572,7 @@ func (s *Session) Chat(text string) error {
 
 // ChatCtx is Chat bounded by ctx.
 func (s *Session) ChatCtx(ctx context.Context, text string) error {
-	return s.client.rpc.CallCtx(ctx, proto.MChat, proto.ChatReq{
+	return s.client.call(ctx, proto.MChat, proto.ChatReq{
 		Room: s.Room, User: s.client.user, Text: text,
 	}, nil)
 }
@@ -352,14 +580,14 @@ func (s *Session) ChatCtx(ctx context.Context, text string) error {
 // StartBroadcast takes the floor: every member mirrors this user's
 // presentation until StopBroadcast.
 func (s *Session) StartBroadcast() error {
-	return s.client.rpc.Call(proto.MBroadcastStart, proto.BroadcastReq{
+	return s.client.call(context.Background(), proto.MBroadcastStart, proto.BroadcastReq{
 		Room: s.Room, User: s.client.user,
 	}, nil)
 }
 
 // StopBroadcast releases the floor (presenter only).
 func (s *Session) StopBroadcast() error {
-	return s.client.rpc.Call(proto.MBroadcastStop, proto.BroadcastReq{
+	return s.client.call(context.Background(), proto.MBroadcastStop, proto.BroadcastReq{
 		Room: s.Room, User: s.client.user,
 	}, nil)
 }
@@ -369,7 +597,7 @@ func (s *Session) StopBroadcast() error {
 // new minutes component's name.
 func (s *Session) SaveMinutes() (string, error) {
 	var resp proto.SaveMinutesResp
-	err := s.client.rpc.Call(proto.MSaveMinutes, proto.SaveMinutesReq{
+	err := s.client.call(context.Background(), proto.MSaveMinutes, proto.SaveMinutesReq{
 		Room: s.Room, User: s.client.user,
 	}, &resp)
 	return resp.Component, err
@@ -385,7 +613,7 @@ func (s *Session) History(since uint64) ([]room.Event, error) {
 // queue overflow opened.
 func (s *Session) HistoryCtx(ctx context.Context, since uint64) ([]room.Event, error) {
 	var resp proto.HistoryResp
-	if err := s.client.rpc.CallCtx(ctx, proto.MHistory, proto.HistoryReq{Room: s.Room, Since: since}, &resp); err != nil {
+	if err := s.client.call(ctx, proto.MHistory, proto.HistoryReq{Room: s.Room, Since: since}, &resp); err != nil {
 		return nil, err
 	}
 	s.mu.Lock()
@@ -399,9 +627,16 @@ func (s *Session) Leave() error {
 	return s.LeaveCtx(context.Background())
 }
 
-// LeaveCtx is Leave bounded by ctx.
+// LeaveCtx is Leave bounded by ctx. The session stops being resumed on
+// reconnect whether or not the server acknowledged the leave.
 func (s *Session) LeaveCtx(ctx context.Context) error {
-	return s.client.rpc.CallCtx(ctx, proto.MLeaveRoom, proto.LeaveRoomReq{
+	c := s.client
+	c.mu.Lock()
+	if c.sessions[s.Room] == s {
+		delete(c.sessions, s.Room)
+	}
+	c.mu.Unlock()
+	return c.call(ctx, proto.MLeaveRoom, proto.LeaveRoomReq{
 		Room: s.Room, User: s.client.user,
 	}, nil)
 }

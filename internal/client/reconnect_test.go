@@ -1,0 +1,66 @@
+package client
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffDeterministicSchedule(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: 800 * time.Millisecond, Factor: 2}
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		800 * time.Millisecond, // capped at Max
+		800 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := b.delay(i + 1); got != w {
+			t.Errorf("delay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestBackoffJitterStaysBounded(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: time.Second, Factor: 2, Jitter: 0.5}
+	for attempt := 1; attempt <= 4; attempt++ {
+		base := Backoff{Base: b.Base, Max: b.Max, Factor: b.Factor}.delay(attempt)
+		lo := time.Duration(float64(base) * 0.5)
+		hi := time.Duration(float64(base) * 1.5)
+		for i := 0; i < 100; i++ {
+			if d := b.delay(attempt); d < lo || d > hi {
+				t.Fatalf("delay(%d) = %v outside [%v, %v]", attempt, d, lo, hi)
+			}
+		}
+	}
+}
+
+func TestOptionsNormalizeDefaults(t *testing.T) {
+	var o Options
+	o.normalize()
+	if o.MaxAttempts != 8 {
+		t.Errorf("MaxAttempts = %d", o.MaxAttempts)
+	}
+	if o.Backoff.Base != 50*time.Millisecond || o.Backoff.Max != 2*time.Second || o.Backoff.Factor != 2 {
+		t.Errorf("Backoff = %+v", o.Backoff)
+	}
+	if o.Backoff.Jitter != 0.2 {
+		t.Errorf("Jitter = %v, want default 0.2", o.Backoff.Jitter)
+	}
+	if o.ConnectTimeout != 5*time.Second {
+		t.Errorf("ConnectTimeout = %v", o.ConnectTimeout)
+	}
+	// Negative jitter means an explicitly deterministic schedule.
+	o = Options{Backoff: Backoff{Jitter: -1}}
+	o.normalize()
+	if o.Backoff.Jitter != 0 {
+		t.Errorf("negative Jitter normalized to %v, want 0", o.Backoff.Jitter)
+	}
+	// Unlimited retries survive normalization.
+	o = Options{MaxAttempts: -1}
+	o.normalize()
+	if o.MaxAttempts != -1 {
+		t.Errorf("MaxAttempts = %d, want -1 preserved", o.MaxAttempts)
+	}
+}

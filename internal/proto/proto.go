@@ -96,19 +96,34 @@ type PutImageTextsReq struct {
 
 // JoinRoomReq enters the named shared room around a document. The first
 // joiner binds the room to DocID; later joiners may pass an empty DocID.
+// With Resume set, the server first tries to revive a detached session
+// for (User, Room), replaying only events with Seq greater than
+// SinceSeq; if no such session survives, it falls back to a fresh join.
 type JoinRoomReq struct {
 	Room  string
 	DocID string
 	User  string
+
+	Resume   bool
+	SinceSeq uint64
 }
 
 // JoinRoomResp carries the document, the catch-up history, and the
-// member's initial presentation.
+// member's initial presentation. Resumed reports that a detached session
+// was revived (History then holds only the missed events, and DocData is
+// empty unless the replay is incomplete); Complete reports that History
+// covers everything after SinceSeq. LastSeq is the room's current event
+// sequence, letting a client that fell back to a fresh join reset its
+// delivery gate.
 type JoinRoomResp struct {
 	DocData []byte
 	History []room.Event
 	Outcome cpnet.Outcome
 	Visible map[string]bool
+
+	Resumed  bool
+	Complete bool
+	LastSeq  uint64
 }
 
 // LeaveRoomReq exits a room.

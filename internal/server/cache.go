@@ -35,6 +35,19 @@ const (
 	CounterObjCacheHits      = "cache.obj.hits"
 	CounterObjCacheMisses    = "cache.obj.misses"
 	CounterObjCacheEvictions = "cache.obj.evictions"
+	// CounterSessionDetached counts room sessions parked for possible
+	// resume after their connection dropped (or a push failed);
+	// CounterSessionResumed counts sessions revived within the grace
+	// period, and CounterSessionExpired those that ran it out and
+	// became real leaves.
+	CounterSessionDetached = "session.detached"
+	CounterSessionResumed  = "session.resumed"
+	CounterSessionExpired  = "session.expired"
+	// CounterReconnectResumes / Rejoins split reconnect joins (Resume
+	// set on JoinRoomReq) by outcome: an exact resume versus a fresh
+	// fallback join after the detached session was gone.
+	CounterReconnectResumes = "reconnect.resumes"
+	CounterReconnectRejoins = "reconnect.rejoins"
 )
 
 // Cache keys for store-backed object responses.

@@ -216,9 +216,9 @@ func (f *failConn) Write(b []byte) (int, error) {
 func (f *failConn) Close() error { return nil }
 
 // TestForwarderPushFailureLeavesRoom breaks one member's push channel
-// and checks the forwarder removes the stranded membership from the
-// room (the other member sees EvLeave) instead of keeping a ghost
-// member until disconnect.
+// and checks the forwarder detaches the stranded membership, which then
+// expires past the test grace into a real leave (the other member sees
+// EvLeave) instead of keeping a ghost member until disconnect.
 func TestForwarderPushFailureLeavesRoom(t *testing.T) {
 	srv, addr, _ := testSystem(t)
 	bob := dial(t, addr, "bob")

@@ -15,6 +15,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"net"
@@ -47,6 +48,10 @@ type Options struct {
 	// CacheBytes bounds the store-backed object response cache
 	// (default 64 MiB; negative disables caching).
 	CacheBytes int64
+	// SessionGrace is how long a dropped client's room sessions stay
+	// resumable before they expire into a real leave (default 30s;
+	// negative disables resumption — disconnect evicts immediately).
+	SessionGrace time.Duration
 }
 
 // Server is the interaction server.
@@ -56,6 +61,7 @@ type Server struct {
 	reg     *registry
 	stats   *wire.Stats
 	objects *objectCache
+	grace   time.Duration
 	// forwarders counts the event-forwarding goroutines (one per room
 	// membership) so Shutdown can flush queued pushes before closing
 	// connections.
@@ -100,11 +106,18 @@ func NewWith(db *mediadb.MediaDB, o Options) *Server {
 	if o.CacheBytes < 0 {
 		o.CacheBytes = 0 // objectCache treats 0 as disabled
 	}
+	if o.SessionGrace == 0 {
+		o.SessionGrace = 30 * time.Second
+	}
+	if o.SessionGrace < 0 {
+		o.SessionGrace = 0 // room.SetGrace treats 0 as disabled
+	}
 	s := &Server{
 		db:    db,
 		rpc:   wire.NewServer(),
 		reg:   newRegistry(o.RegistryShards),
 		stats: wire.NewStats(),
+		grace: o.SessionGrace,
 	}
 	s.objects = newObjectCache(o.CacheBytes, s.stats)
 	s.rpc.SetStats(s.stats) // peer writers count flushes/bytes here
@@ -342,6 +355,8 @@ func (s *Server) buildRoom(name, docID string) (*roomState, error) {
 		return nil, err
 	}
 	r.OnQueueDrop(func(string) { s.stats.Add(CounterQueueDrops, 1) })
+	r.SetGrace(s.grace)
+	r.OnSessionExpire(func(string) { s.stats.Add(CounterSessionExpired, 1) })
 	// Register base rasters for annotation rendering where available.
 	for _, c := range doc.Components() {
 		for _, pres := range c.Presentations {
@@ -412,9 +427,35 @@ func (s *Server) handleJoinRoom(ctx context.Context, p *wire.Peer, req *proto.Jo
 	if err != nil {
 		return nil, err
 	}
-	member, history, view, err := rs.room.Join(ctx, req.User)
-	if err != nil {
-		return nil, err
+	var (
+		member   *room.Member
+		history  []room.Event
+		view     document.View
+		resumed  bool
+		complete = true
+	)
+	if req.Resume {
+		m, missed, v, comp, rerr := rs.room.Resume(ctx, req.User, req.SinceSeq)
+		switch {
+		case rerr == nil:
+			member, history, view = m, missed, v
+			resumed, complete = true, comp
+			s.stats.Add(CounterSessionResumed, 1)
+			s.stats.Add(CounterReconnectResumes, 1)
+		case errors.Is(rerr, room.ErrNoSession):
+			// The detached session expired (or never existed): fall back
+			// to a fresh join so the reconnecting client still lands in
+			// the room, just without replay continuity.
+			s.stats.Add(CounterReconnectRejoins, 1)
+		default:
+			return nil, rerr
+		}
+	}
+	if member == nil {
+		member, history, view, err = rs.room.Join(ctx, req.User)
+		if err != nil {
+			return nil, err
+		}
 	}
 	sessions := sessionsOf(p)
 	mb := &membership{room: req.Room, user: req.User, member: member}
@@ -422,11 +463,41 @@ func (s *Server) handleJoinRoom(ctx context.Context, p *wire.Peer, req *proto.Jo
 		_ = rs.room.Leave(req.User)
 		return nil, fmt.Errorf("server: this connection already joined room %q", req.Room)
 	}
-	// Forward the member's event stream to the client as pushes. Room
-	// broadcast events carry a shared memoized encoding, so an N-member
-	// fan-out gob-encodes each event once and every other forwarder
-	// pushes the same bytes (per-member presentation/resync events
-	// still encode individually).
+	s.startForwarder(p, sessions, rs, req.Room, req.User, member)
+	resp := &proto.JoinRoomResp{
+		History: history,
+		Outcome: view.Outcome, Visible: view.Visible,
+		Resumed: resumed, Complete: complete,
+		LastSeq: rs.room.Seq(),
+	}
+	// A complete resume needs no document: the client's copy is still
+	// current and the missed events carry every change. Fresh joins and
+	// gappy resumes get the full snapshot.
+	if !resumed || !complete {
+		docData, hit, err := rs.room.DocSnapshot()
+		if err != nil {
+			// Unwind the join: without this the member and its forwarding
+			// goroutine would leak on the marshal error path.
+			sessions.drop(req.Room)
+			_ = rs.room.Leave(req.User)
+			return nil, err
+		}
+		if hit {
+			s.stats.Add(CounterDocCacheHits, 1)
+		} else {
+			s.stats.Add(CounterDocCacheMisses, 1)
+		}
+		resp.DocData = docData
+	}
+	return resp, nil
+}
+
+// startForwarder pumps the member's event stream to the client as pushes.
+// Room broadcast events carry a shared memoized encoding, so an N-member
+// fan-out gob-encodes each event once and every other forwarder pushes
+// the same bytes (per-member presentation/resync events still encode
+// individually).
+func (s *Server) startForwarder(p *wire.Peer, sessions *peerSessions, rs *roomState, roomName, user string, member *room.Member) {
 	s.forwarders.Add(1)
 	go func() {
 		defer s.forwarders.Done()
@@ -442,32 +513,18 @@ func (s *Server) handleJoinRoom(ctx context.Context, p *wire.Peer, req *proto.Jo
 				err = p.PushRaw(proto.MEvent, payload)
 			}
 			if err != nil {
-				// The client is unreachable: leave the room instead of
-				// stranding the membership until disconnect. Leave
-				// closes the event channel, ending this range.
-				sessions.drop(req.Room)
-				_ = rs.room.Leave(req.User)
+				// The client is unreachable: detach the session so a
+				// reconnecting client can resume it within the grace
+				// period (after which it expires into a real leave).
+				// Detach closes the event channel, ending this range.
+				sessions.drop(roomName)
+				if rs.room.Detach(member) {
+					s.stats.Add(CounterSessionDetached, 1)
+				}
 				return
 			}
 		}
 	}()
-	docData, hit, err := rs.room.DocSnapshot()
-	if err != nil {
-		// Unwind the join: without this the member and its forwarding
-		// goroutine would leak on the marshal error path.
-		sessions.drop(req.Room)
-		_ = rs.room.Leave(req.User)
-		return nil, err
-	}
-	if hit {
-		s.stats.Add(CounterDocCacheHits, 1)
-	} else {
-		s.stats.Add(CounterDocCacheMisses, 1)
-	}
-	return &proto.JoinRoomResp{
-		DocData: docData, History: history,
-		Outcome: view.Outcome, Visible: view.Visible,
-	}, nil
 }
 
 func (s *Server) handleLeaveRoom(ctx context.Context, p *wire.Peer, req *proto.LeaveRoomReq) (*wire.None, error) {
@@ -484,11 +541,15 @@ func (s *Server) handleLeaveRoom(ctx context.Context, p *wire.Peer, req *proto.L
 	return nil, rs.room.Leave(req.User)
 }
 
-// evictPeer removes a disconnected client from every room it had joined.
+// evictPeer detaches a disconnected client's sessions in every room it
+// had joined: each stays resumable for the grace period, then expires
+// into a real leave.
 func (s *Server) evictPeer(p *wire.Peer) {
 	for _, mb := range sessionsOf(p).snapshot() {
 		if rs, ok := s.reg.get(mb.room); ok {
-			_ = rs.room.Leave(mb.user)
+			if rs.room.Detach(mb.member) {
+				s.stats.Add(CounterSessionDetached, 1)
+			}
 		}
 	}
 }

@@ -17,6 +17,9 @@ import (
 )
 
 // testSystem spins up a populated database and a TCP interaction server.
+// The session grace is kept short so tests asserting eviction after a
+// disconnect (or a push failure) see the detached session expire into
+// EvLeave well inside waitEvent's deadline.
 func testSystem(t *testing.T) (*Server, string, *workload.PopulatedRecord) {
 	t.Helper()
 	db, err := store.Open(t.TempDir(), store.Options{Sync: store.SyncNever})
@@ -32,7 +35,7 @@ func testSystem(t *testing.T) (*Server, string, *workload.PopulatedRecord) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := New(m)
+	srv := NewWith(m, Options{SessionGrace: 75 * time.Millisecond})
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -246,6 +249,8 @@ func TestDisconnectEvictsFromRoom(t *testing.T) {
 		t.Fatal(err)
 	}
 	alice.Close() // abrupt disconnect — no Leave call
+	// The session first detaches (resumable), then the short test grace
+	// expires it into a real leave that bob observes.
 	waitEvent(t, bob, func(ev room.Event) bool {
 		return ev.Kind == room.EvLeave && ev.Actor == "alice"
 	})

@@ -31,6 +31,10 @@ type DB struct {
 	wal   *wal
 	blobs *blob.Store
 	state map[string]*table
+	// replaySkipped counts WAL records recovery could not apply and
+	// skipped (poisoned legacy records, or records a checkpoint already
+	// covers after a crash between snapshot rename and WAL truncation).
+	replaySkipped int
 }
 
 const (
@@ -48,9 +52,11 @@ func Open(dir string, opts Options) (*DB, error) {
 	if err := db.loadSnapshot(); err != nil {
 		return nil, err
 	}
-	if err := replayWAL(filepath.Join(dir, walFile), db.apply); err != nil {
+	skipped, err := replayWAL(filepath.Join(dir, walFile), db.apply)
+	if err != nil {
 		return nil, err
 	}
+	db.replaySkipped = skipped
 	w, err := openWAL(filepath.Join(dir, walFile), opts.Sync, opts.GroupSize)
 	if err != nil {
 		return nil, err
@@ -102,12 +108,62 @@ func (db *DB) tableLocked(name string) (*table, error) {
 	return tb, nil
 }
 
-// logAndApply logs rec and applies it to memory. Caller holds db.mu.
+// logAndApply validates rec against the current state, logs it, then
+// applies it. Validation MUST come first: a record that cannot apply
+// must never reach the WAL — it would be replayed at every future Open,
+// and a hard replay failure would brick the database over one bad
+// operation. Caller holds db.mu.
 func (db *DB) logAndApply(rec walRecord) error {
+	if err := db.validateLocked(rec); err != nil {
+		return err
+	}
 	if err := db.wal.append(rec); err != nil {
 		return err
 	}
 	return db.apply(rec)
+}
+
+// validateLocked checks that apply(rec) will succeed against the current
+// state, mutating nothing. It mirrors apply's error paths exactly (plus
+// a dry run of the index maintenance) so the WAL only ever holds
+// records that fold cleanly. Caller holds db.mu.
+func (db *DB) validateLocked(rec walRecord) error {
+	switch rec.Op {
+	case opCreateTable:
+		if _, dup := db.state[rec.Table]; dup {
+			return fmt.Errorf("store: table %q already exists", rec.Table)
+		}
+		_, err := newTable(rec.Table, rec.Schema)
+		return err
+	case opDropTable:
+		_, err := db.tableLocked(rec.Table)
+		return err
+	}
+	tb, err := db.tableLocked(rec.Table)
+	if err != nil {
+		return err
+	}
+	switch rec.Op {
+	case opInsert:
+		if _, dup := tb.rows[rec.ID]; dup {
+			return fmt.Errorf("store: table %q: duplicate row id %d", rec.Table, rec.ID)
+		}
+		return tb.validateRow(rec.Vals)
+	case opUpdate:
+		if _, ok := tb.rows[rec.ID]; !ok {
+			return fmt.Errorf("store: table %q: no row %d", rec.Table, rec.ID)
+		}
+		return tb.validateRow(rec.Vals)
+	case opDelete:
+		if _, ok := tb.rows[rec.ID]; !ok {
+			return fmt.Errorf("store: table %q: no row %d", rec.Table, rec.ID)
+		}
+		return nil
+	case opCreateIndex:
+		return tb.validateIndex(rec.Col)
+	default:
+		return fmt.Errorf("store: unknown wal op %d", rec.Op)
+	}
 }
 
 // apply folds one WAL record into the in-memory state. It must stay a
@@ -223,6 +279,15 @@ func (db *DB) WALStats() (appends, syncs int64) {
 	return db.wal.stats()
 }
 
+// ReplaySkipped reports how many WAL records the last Open skipped
+// because they no longer applied (see replayWAL). Zero in normal
+// operation.
+func (db *DB) ReplaySkipped() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.replaySkipped
+}
+
 // snapshot is the gob form of the full relational state.
 type dbSnapshot struct {
 	Tables []tableSnapshot
@@ -287,10 +352,30 @@ func (db *DB) checkpointLocked() error {
 	if err := os.Rename(tmp, filepath.Join(db.dir, snapshotFile)); err != nil {
 		return fmt.Errorf("store: snapshot rename: %w", err)
 	}
+	// The rename made the snapshot visible, but only in the in-memory
+	// directory: fsync the directory before truncating the WAL, or a
+	// power loss could forget the rename after the WAL is already gone —
+	// losing every operation since the previous checkpoint.
+	if err := syncDir(db.dir); err != nil {
+		return err
+	}
 	if err := db.blobs.Sync(); err != nil {
 		return err
 	}
 	return db.wal.truncate()
+}
+
+// syncDir fsyncs a directory, making recent renames in it durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: open dir %s: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: sync dir %s: %w", dir, err)
+	}
+	return nil
 }
 
 // CompactBlobs rewrites the blob heap keeping only the payloads still

@@ -108,6 +108,44 @@ func (t *table) indexRow(id uint64, vals []value, add bool) error {
 	return nil
 }
 
+// validateRow dry-runs the index maintenance an insert/update of vals
+// would do, mutating nothing (see DB.validateLocked).
+func (t *table) validateRow(vals []value) error {
+	if len(vals) != len(t.schema) {
+		return fmt.Errorf("store: table %q: row has %d values, schema has %d columns",
+			t.name, len(vals), len(t.schema))
+	}
+	for col := range t.indexes {
+		if _, err := indexKey(vals[t.colIdx[col]]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateIndex checks that createIndex(col) would succeed, mutating
+// nothing (see DB.validateLocked).
+func (t *table) validateIndex(col string) error {
+	ci, ok := t.colIdx[col]
+	if !ok {
+		return fmt.Errorf("store: table %q has no column %q", t.name, col)
+	}
+	switch t.schema[ci].Type {
+	case TInt, TString:
+	default:
+		return fmt.Errorf("store: table %q column %q (%s) is not indexable", t.name, col, t.schema[ci].Type)
+	}
+	if _, dup := t.indexes[col]; dup {
+		return fmt.Errorf("store: table %q already has an index on %q", t.name, col)
+	}
+	for _, vals := range t.rows {
+		if _, err := indexKey(vals[ci]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // createIndex builds a secondary hash index over col from current rows.
 func (t *table) createIndex(col string) error {
 	ci, ok := t.colIdx[col]

@@ -593,6 +593,15 @@ func (s *Server) ServeConn(conn net.Conn) {
 // PushHandler receives server pushes on the client.
 type PushHandler func(method string, payload []byte)
 
+// ErrClosed reports an operation on a client whose connection has ended.
+// Callers needing to distinguish a dead connection (redialable) from an
+// application error test with errors.Is.
+var ErrClosed = errors.New("wire: connection closed")
+
+// DefaultDialTimeout bounds Dial's TCP connect so a black-holed address
+// fails instead of hanging indefinitely.
+const DefaultDialTimeout = 10 * time.Second
+
 // Client is the caller side of the protocol.
 type Client struct {
 	conn   net.Conn
@@ -600,16 +609,31 @@ type Client struct {
 	wmu    sync.Mutex
 	nextID uint64
 
-	mu      sync.Mutex
-	pending map[uint64]chan envelope
-	onPush  PushHandler
-	closed  bool
-	readErr error
+	done chan struct{} // closed when the read loop exits
+
+	mu          sync.Mutex
+	pending     map[uint64]chan envelope
+	onPush      PushHandler
+	closed      bool
+	readErr     error
+	callTimeout time.Duration // default per-call deadline (0 = none)
 }
 
-// Dial connects to a server address over TCP.
+// Dial connects to a server address over TCP, bounded by
+// DefaultDialTimeout.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	ctx, cancel := context.WithTimeout(context.Background(), DefaultDialTimeout)
+	defer cancel()
+	return DialContext(ctx, addr)
+}
+
+// DialContext connects to a server address over TCP; the connect attempt
+// is abandoned when ctx ends (the redial path's building block — a
+// reconnecting client bounds each attempt instead of hanging on a
+// partitioned network).
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
 	}
@@ -623,9 +647,32 @@ func NewClient(conn net.Conn) *Client {
 		conn:    conn,
 		enc:     gob.NewEncoder(conn),
 		pending: make(map[uint64]chan envelope),
+		done:    make(chan struct{}),
 	}
 	go c.readLoop()
 	return c
+}
+
+// Done returns a channel closed when the connection ends (EOF, reset, or
+// Close). A reconnecting wrapper watches it to trigger redial.
+func (c *Client) Done() <-chan struct{} { return c.done }
+
+// Err reports why the connection ended (nil for a clean EOF or before it
+// ended). Valid once Done is closed.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.readErr
+}
+
+// SetCallTimeout installs a default per-call deadline applied to every
+// Call/CallCtx whose context carries no deadline of its own — so a hung
+// server or a silent partition fails the call instead of wedging the
+// caller forever. Zero disables the default.
+func (c *Client) SetCallTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.callTimeout = d
 }
 
 // OnPush installs the push handler. Install it before triggering any
@@ -637,6 +684,7 @@ func (c *Client) OnPush(h PushHandler) {
 }
 
 func (c *Client) readLoop() {
+	defer close(c.done)
 	dec := gob.NewDecoder(c.conn)
 	for {
 		var env envelope
@@ -693,7 +741,14 @@ func (c *Client) CallCtx(ctx context.Context, method string, args, reply any) er
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return fmt.Errorf("wire: connection closed")
+		return fmt.Errorf("wire: call %s: %w", method, ErrClosed)
+	}
+	if c.callTimeout > 0 {
+		if _, bounded := ctx.Deadline(); !bounded {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, c.callTimeout)
+			defer cancel()
+		}
 	}
 	c.pending[id] = ch
 	c.mu.Unlock()
@@ -704,8 +759,12 @@ func (c *Client) CallCtx(ctx context.Context, method string, args, reply any) er
 	c.wmu.Unlock()
 	if err != nil {
 		c.mu.Lock()
+		closed := c.closed
 		delete(c.pending, id)
 		c.mu.Unlock()
+		if closed {
+			return fmt.Errorf("wire: call %s: %w: %v", method, ErrClosed, err)
+		}
 		return fmt.Errorf("wire: call %s: %w", method, err)
 	}
 	var resp envelope
@@ -719,7 +778,7 @@ func (c *Client) CallCtx(ctx context.Context, method string, args, reply any) er
 		return fmt.Errorf("wire: call %s: %w", method, ctx.Err())
 	}
 	if !ok {
-		return fmt.Errorf("wire: connection closed during %s", method)
+		return fmt.Errorf("wire: %w during %s", ErrClosed, method)
 	}
 	if resp.Err != "" {
 		return errors.New(resp.Err)
