@@ -48,6 +48,8 @@ func main() {
 			func(string) (*experiments.Table, error) { return experiments.E8Prefetch() }},
 		{"E9", "online CP-net update cost (§4.2)",
 			func(string) (*experiments.Table, error) { return experiments.E9Update() }},
+		{"E11", "tail latency under concurrent conferencing",
+			experiments.E11TailLatency},
 	}
 
 	if *list {

@@ -4,24 +4,31 @@
 //
 // Usage:
 //
-//	mmserver -addr :7070 -data ./mmdata -seed 3
+//	mmserver -addr :7070 -data ./mmdata -seed 3 -debug-addr 127.0.0.1:7071
 //
 // -seed N populates the database with N synthetic medical records when it
 // is empty, so a fresh deployment has material to conference over.
+// -debug-addr starts an HTTP listener serving /debug/metrics (JSON
+// snapshot of per-method latency percentiles, counters and gauges),
+// /debug/traces (recent slow/errored request traces, ?id= filters) and
+// /debug/pprof. Leave it empty (the default) to disable.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"mmconf/internal/mediadb"
+	"mmconf/internal/obs"
 	"mmconf/internal/server"
 	"mmconf/internal/store"
 	"mmconf/internal/workload"
@@ -32,14 +39,15 @@ func main() {
 	data := flag.String("data", "./mmdata", "database directory")
 	seed := flag.Int("seed", 2, "synthetic records to create if the database is empty")
 	sync := flag.String("sync", "group", "WAL durability: always | group | never")
+	debugAddr := flag.String("debug-addr", "", "debug HTTP listen address (metrics, traces, pprof); empty disables")
 	flag.Parse()
 
-	if err := run(*addr, *data, *seed, *sync); err != nil {
+	if err := run(*addr, *data, *seed, *sync, *debugAddr); err != nil {
 		log.Fatalf("mmserver: %v", err)
 	}
 }
 
-func run(addr, data string, seed int, syncMode string) error {
+func run(addr, data string, seed int, syncMode, debugAddr string) error {
 	var mode store.SyncMode
 	switch syncMode {
 	case "always":
@@ -84,6 +92,22 @@ func run(addr, data string, seed int, syncMode string) error {
 		return err
 	}
 	log.Printf("interaction server listening on %s (data: %s)", l.Addr(), data)
+
+	if debugAddr != "" {
+		dl, err := net.Listen("tcp", debugAddr)
+		if err != nil {
+			l.Close()
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		defer dl.Close()
+		mux := obs.NewDebugMux(func() any { return srv.MetricsSnapshot() }, srv.Tracer())
+		go func() {
+			if err := http.Serve(dl, mux); err != nil && !errors.Is(err, net.ErrClosed) {
+				log.Printf("debug server stopped: %v", err)
+			}
+		}()
+		log.Printf("debug server listening on http://%s/debug/metrics (traces, pprof)", dl.Addr())
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

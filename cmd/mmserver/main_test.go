@@ -8,8 +8,16 @@ import (
 )
 
 func TestRunRejectsBadSyncMode(t *testing.T) {
-	if err := run("127.0.0.1:0", t.TempDir(), 0, "sometimes"); err == nil {
+	if err := run("127.0.0.1:0", t.TempDir(), 0, "sometimes", ""); err == nil {
 		t.Fatal("bad sync mode accepted")
+	}
+}
+
+func TestRunRejectsBadDebugAddr(t *testing.T) {
+	// The main listener binds fine; the debug listener's bad address must
+	// fail the run before serving starts.
+	if err := run("127.0.0.1:0", t.TempDir(), 0, "never", "999.999.999.999:99999"); err == nil {
+		t.Fatal("bad debug address accepted")
 	}
 }
 
@@ -17,7 +25,7 @@ func TestRunPopulatesEmptyDatabase(t *testing.T) {
 	dir := t.TempDir()
 	// An unlistenable address makes run return right after the populate
 	// phase, leaving the seeded database behind for inspection.
-	err := run("999.999.999.999:99999", dir, 2, "never")
+	err := run("999.999.999.999:99999", dir, 2, "never", "")
 	if err == nil {
 		t.Fatal("invalid listen address accepted")
 	}
@@ -36,7 +44,7 @@ func TestRunPopulatesEmptyDatabase(t *testing.T) {
 	}
 	// A second run against the same data dir must not duplicate records
 	// (it only seeds when empty).
-	if err := run("999.999.999.999:99999", dir, 2, "never"); err == nil {
+	if err := run("999.999.999.999:99999", dir, 2, "never", ""); err == nil {
 		t.Fatal("invalid listen address accepted on rerun")
 	}
 	db2, err := store.Open(dir, store.Options{Sync: store.SyncNever})

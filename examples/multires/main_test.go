@@ -1,0 +1,11 @@
+package main
+
+import "testing"
+
+// TestRunSmoke executes the example end to end: it must complete
+// without error so the documentation stays runnable as the code evolves.
+func TestRunSmoke(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatalf("example failed: %v", err)
+	}
+}

@@ -62,13 +62,17 @@ func run() error {
 	fmt.Printf("installed trigger %q (id %d)\n\n", trig.Name, trig.ID)
 
 	// Baker prefers reading transcripts — until a search hit fires the rule.
-	step("baker switches the commentary to transcript", func() error {
+	if err := step("baker switches the commentary to transcript", func() error {
 		return r.Choice(context.Background(), "dr-baker", "voice", "transcript")
-	})
-	step("adams runs a word search that hits", func() error {
+	}); err != nil {
+		return err
+	}
+	if err := step("adams runs a word search that hits", func() error {
 		hits := []voice.Hit{{Word: "urgent", Start: 4000, End: 9600, Score: 2.1}}
 		return r.ShareSearch("dr-adams", room.EvWordSearch, "urgent", hits)
-	})
+	}); err != nil {
+		return err
+	}
 	time.Sleep(200 * time.Millisecond) // triggers run asynchronously
 	v, err := r.Engine().ViewFor("dr-baker")
 	if err != nil {
@@ -78,36 +82,50 @@ func run() error {
 		v.Outcome["voice"], trig.Fired())
 
 	// --- Broadcasting: adams takes the floor. ---
-	step("adams starts broadcasting", func() error {
-		return r.StartBroadcast("dr-adams")
-	})
-	step("baker tries to change the presentation (rejected)", func() error {
-		err := r.Choice(context.Background(), "dr-baker", "ct", "hidden")
-		if err == nil {
-			return fmt.Errorf("floor control failed")
+	steps := []struct {
+		desc string
+		fn   func() error
+	}{
+		{"adams starts broadcasting", func() error {
+			return r.StartBroadcast("dr-adams")
+		}},
+		{"baker tries to change the presentation (rejected)", func() error {
+			err := r.Choice(context.Background(), "dr-baker", "ct", "hidden")
+			if err == nil {
+				return fmt.Errorf("floor control failed")
+			}
+			fmt.Printf("   room refused baker: %v\n", err)
+			return nil
+		}},
+		{"adams walks through the segmented CT; everyone mirrors her", func() error {
+			return r.Choice(context.Background(), "dr-adams", "ct", "segmented")
+		}},
+		{"adams ends the broadcast", func() error {
+			return r.StopBroadcast("dr-adams")
+		}},
+		{"baker has the floor again", func() error {
+			return r.Choice(context.Background(), "dr-baker", "ct", "full")
+		}},
+	}
+	for _, st := range steps {
+		if err := step(st.desc, st.fn); err != nil {
+			return err
 		}
-		fmt.Printf("   room refused baker: %v\n", err)
-		return nil
-	})
-	step("adams walks through the segmented CT; everyone mirrors her", func() error {
-		return r.Choice(context.Background(), "dr-adams", "ct", "segmented")
-	})
-	step("adams ends the broadcast", func() error {
-		return r.StopBroadcast("dr-adams")
-	})
-	step("baker has the floor again", func() error {
-		return r.Choice(context.Background(), "dr-baker", "ct", "full")
-	})
+	}
 	time.Sleep(200 * time.Millisecond)
 	return nil
 }
 
-func step(desc string, fn func() error) {
+// step runs one narrated action, returning any failure to the caller so
+// the example exits through run's single error path (and stays callable
+// from tests).
+func step(desc string, fn func() error) error {
 	fmt.Printf("-- %s\n", desc)
 	if err := fn(); err != nil {
-		log.Fatalf("%s: %v", desc, err)
+		return fmt.Errorf("%s: %w", desc, err)
 	}
 	time.Sleep(120 * time.Millisecond)
+	return nil
 }
 
 // narrate prints selected events as a client GUI would render them.

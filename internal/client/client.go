@@ -208,6 +208,37 @@ func (c *Client) ListDocumentsCtx(ctx context.Context) (ids, titles []string, er
 	return resp.IDs, resp.Titles, nil
 }
 
+// Stats fetches the server's live metrics snapshot: per-method latency
+// percentiles, named counters, gauges, and per-room status.
+func (c *Client) Stats() (*proto.StatsResp, error) {
+	return c.StatsCtx(context.Background())
+}
+
+// StatsCtx is Stats bounded by ctx.
+func (c *Client) StatsCtx(ctx context.Context) (*proto.StatsResp, error) {
+	var resp proto.StatsResp
+	if err := c.call(ctx, proto.MStats, proto.StatsReq{}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Traces fetches recent slow/errored request traces from the server's
+// ring, newest first. A non-zero id filters to that trace; limit <= 0
+// returns all retained.
+func (c *Client) Traces(id uint64, limit int) ([]proto.TraceInfo, error) {
+	return c.TracesCtx(context.Background(), id, limit)
+}
+
+// TracesCtx is Traces bounded by ctx.
+func (c *Client) TracesCtx(ctx context.Context, id uint64, limit int) ([]proto.TraceInfo, error) {
+	var resp proto.TracesResp
+	if err := c.call(ctx, proto.MTraces, proto.TracesReq{ID: id, Limit: limit}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Traces, nil
+}
+
 // GetDocument fetches and decodes a document.
 func (c *Client) GetDocument(docID string) (*document.Document, error) {
 	return c.GetDocumentCtx(context.Background(), docID)

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+
+	"mmconf/internal/client"
+	"mmconf/internal/mediadb"
+	"mmconf/internal/obs"
+	"mmconf/internal/proto"
+	"mmconf/internal/server"
+	"mmconf/internal/store"
+	"mmconf/internal/workload"
+)
+
+// E11TailLatency measures the tail of the interactive request path — the
+// latency distribution, not just the mean, of concurrent presentation
+// choices flowing client → server → room fan-out over real TCP. Client
+// round-trip times come from a shared log-bucketed histogram fed by
+// ReplayTimed; server-side handler times come back over the wire through
+// the sys.stats RPC, so the experiment also exercises the observability
+// surface it reports on.
+func E11TailLatency(workdir string) (*Table, error) {
+	t := &Table{
+		ID:      "E11",
+		Title:   "Tail latency under concurrent conferencing (client RTT vs server handle)",
+		Columns: []string{"series", "requests", "mean", "p50", "p90", "p99", "max"},
+	}
+	dir, err := os.MkdirTemp(workdir, "e11-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	db, err := store.Open(dir, store.Options{Sync: store.SyncNever})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	m, err := mediadb.Open(db)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := workload.Populate(m, "p1", 1); err != nil {
+		return nil, err
+	}
+	srv := server.New(m)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go srv.Serve(l)
+	defer srv.Close()
+
+	const viewers = 4
+	const choicesPerViewer = 60
+	names := make([]string, viewers)
+	for i := range names {
+		names[i] = fmt.Sprintf("viewer-%d", i)
+	}
+
+	clients := make([]*client.Client, viewers)
+	sessions := make([]*client.Session, viewers)
+	for i, name := range names {
+		c, err := client.Dial(l.Addr().String(), name)
+		if err != nil {
+			return nil, err
+		}
+		defer c.Close()
+		s, _, err := c.Join("e11-room", "p1", 0)
+		if err != nil {
+			return nil, err
+		}
+		clients[i] = c
+		sessions[i] = s
+	}
+
+	doc, err := clients[0].GetDocument("p1")
+	if err != nil {
+		return nil, err
+	}
+	script := workload.Session(doc, names, viewers*choicesPerViewer, 11)
+
+	// All viewers replay their share of the script concurrently into one
+	// shared RTT histogram — contention on the room is the point.
+	rtt := obs.NewHistogram()
+	var wg sync.WaitGroup
+	errs := make([]error, viewers)
+	for i := range sessions {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = workload.ReplayTimed(context.Background(), sessions[i], script, rtt)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	hs := rtt.Snapshot()
+	t.Rows = append(t.Rows, []string{
+		"client RTT " + proto.MChoice,
+		fmt.Sprint(hs.Count), fmtDur(hs.Mean()),
+		fmtDur(hs.Quantile(0.50)), fmtDur(hs.Quantile(0.90)),
+		fmtDur(hs.Quantile(0.99)), fmtDur(hs.Max),
+	})
+
+	// Server-side summaries fetched over the wire: the same numbers the
+	// -debug-addr metrics endpoint serves.
+	stats, err := clients[0].Stats()
+	if err != nil {
+		return nil, err
+	}
+	for _, method := range []string{proto.MChoice, proto.MJoinRoom} {
+		ms, ok := stats.Methods[method]
+		if !ok {
+			return nil, fmt.Errorf("experiments: sys.stats missing %s", method)
+		}
+		t.Rows = append(t.Rows, []string{
+			"server handle " + method,
+			fmt.Sprint(ms.Requests), fmtDur(ms.Mean),
+			fmtDur(ms.P50), fmtDur(ms.P90),
+			fmtDur(ms.P99), fmtDur(ms.Max),
+		})
+	}
+
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d viewers replaying %d choices each over loopback TCP into one room; client percentiles from a shared log-bucketed histogram (~6%% bucket resolution), server rows via the sys.stats RPC", viewers, choicesPerViewer),
+	)
+	return t, nil
+}

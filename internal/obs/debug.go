@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+)
+
+// NewDebugMux builds the handler behind mmserver's -debug-addr: JSON
+// metrics at /debug/metrics (expvar-style: one document, poll it),
+// recent slow/errored traces at /debug/traces (?id= filters, ?limit=
+// bounds), and the standard pprof surface under /debug/pprof/. metrics
+// is called per request and must return a JSON-marshalable snapshot;
+// nil funcs and recorders disable their endpoint with 404s.
+func NewDebugMux(metrics func() any, rec *Recorder) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if metrics == nil {
+			http.NotFound(w, r)
+			return
+		}
+		writeJSON(w, struct {
+			Goroutines int
+			HeapBytes  uint64
+			Metrics    any
+		}{
+			Goroutines: runtime.NumGoroutine(),
+			HeapBytes:  heapBytes(),
+			Metrics:    metrics(),
+		})
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		if rec == nil {
+			http.NotFound(w, r)
+			return
+		}
+		var out []TraceRecord
+		if idStr := r.URL.Query().Get("id"); idStr != "" {
+			id, err := strconv.ParseUint(idStr, 10, 64)
+			if err != nil {
+				http.Error(w, "bad id", http.StatusBadRequest)
+				return
+			}
+			out = rec.Find(id)
+		} else {
+			limit := 0
+			if ls := r.URL.Query().Get("limit"); ls != "" {
+				if n, err := strconv.Atoi(ls); err == nil {
+					limit = n
+				}
+			}
+			out = rec.Recent(limit)
+		}
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func heapBytes() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

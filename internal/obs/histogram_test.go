@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketIndexBounds(t *testing.T) {
+	// Exact buckets below 16ns.
+	for v := uint64(0); v < histSubBuckets; v++ {
+		if got := bucketIndex(v); got != int(v) {
+			t.Fatalf("bucketIndex(%d) = %d, want %d", v, got, v)
+		}
+	}
+	// Every value must land in a bucket whose upper bound is >= the value
+	// and whose predecessor's upper bound is < the value.
+	for _, v := range []uint64{16, 17, 31, 32, 100, 999, 1 << 20, 1<<20 + 1, 1 << 40, math.MaxInt64} {
+		i := bucketIndex(v)
+		if i < 0 || i >= histBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, i)
+		}
+		if up := bucketUpper(i); up < v && i != histBuckets-1 {
+			t.Fatalf("bucketUpper(bucketIndex(%d)) = %d < value", v, up)
+		}
+		if i > 0 && i != histBuckets-1 {
+			if up := bucketUpper(i - 1); up >= v {
+				t.Fatalf("bucket %d already covers %d (upper %d)", i-1, v, up)
+			}
+		}
+	}
+}
+
+func TestBucketUpperMonotonic(t *testing.T) {
+	prev := bucketUpper(0)
+	for i := 1; i < histBuckets; i++ {
+		up := bucketUpper(i)
+		if up <= prev {
+			t.Fatalf("bucketUpper(%d) = %d not > bucketUpper(%d) = %d", i, up, i-1, prev)
+		}
+		prev = up
+	}
+}
+
+func TestHistogramZeroObservations(t *testing.T) {
+	h := NewHistogram()
+	s := h.Snapshot()
+	if s.Count != 0 || s.Mean() != 0 || s.Max != 0 {
+		t.Fatalf("empty snapshot not zero: %+v", s)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+}
+
+func TestHistogramSingleObservation(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(37 * time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("Count = %d, want 1", s.Count)
+	}
+	if s.Max != 37*time.Millisecond || s.Mean() != 37*time.Millisecond {
+		t.Fatalf("Max/Mean = %v/%v, want 37ms", s.Max, s.Mean())
+	}
+	// Every quantile of a single observation is that observation (the
+	// bucket upper bound clamps to Max).
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 37*time.Millisecond {
+			t.Fatalf("Quantile(%v) = %v, want 37ms", q, got)
+		}
+	}
+}
+
+func TestHistogramNegativeClampsToZero(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-time.Second)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Max != 0 || s.Quantile(0.5) != 0 {
+		t.Fatalf("negative observation not clamped: %+v", s)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewHistogram()
+	huge := time.Duration(math.MaxInt64)
+	h.Observe(huge)
+	s := h.Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("Count = %d, want 1", s.Count)
+	}
+	if s.Max != huge {
+		t.Fatalf("Max = %v, want MaxInt64", s.Max)
+	}
+	// The quantile must come back clamped to Max, not a bucket bound past
+	// the int64 range.
+	if got := s.Quantile(0.99); got != huge {
+		t.Fatalf("Quantile(0.99) = %v, want Max", got)
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	// 1..1000 ms uniformly: every quantile estimate must be within one
+	// bucket width (~6%) of the true nearest-rank value.
+	h := NewHistogram()
+	var exact []time.Duration
+	for i := 1; i <= 1000; i++ {
+		d := time.Duration(i) * time.Millisecond
+		h.Observe(d)
+		exact = append(exact, d)
+	}
+	sort.Slice(exact, func(i, j int) bool { return exact[i] < exact[j] })
+	s := h.Snapshot()
+	for _, q := range []float64{0.50, 0.90, 0.99} {
+		want := exact[int(math.Ceil(q*1000))-1]
+		got := s.Quantile(q)
+		if got < want {
+			t.Fatalf("Quantile(%v) = %v below true value %v", q, got, want)
+		}
+		if float64(got) > float64(want)*1.07 {
+			t.Fatalf("Quantile(%v) = %v more than 7%% above true value %v", q, got, want)
+		}
+	}
+}
+
+func TestHistogramQuantileMonotonic(t *testing.T) {
+	// Property: for any observation set, Quantile is non-decreasing in q
+	// and Quantile(1) == Max.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		h := NewHistogram()
+		n := 1 + rng.Intn(500)
+		for i := 0; i < n; i++ {
+			h.Observe(time.Duration(rng.Int63n(int64(10 * time.Second))))
+		}
+		s := h.Snapshot()
+		prev := time.Duration(-1)
+		for q := 0.05; q <= 1.0; q += 0.05 {
+			cur := s.Quantile(q)
+			if cur < prev {
+				t.Fatalf("trial %d: Quantile(%v) = %v < Quantile(prev) = %v", trial, q, cur, prev)
+			}
+			prev = cur
+		}
+		if got := s.Quantile(1); got != s.Max {
+			t.Fatalf("trial %d: Quantile(1) = %v != Max %v", trial, got, s.Max)
+		}
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram()
+	const workers = 8
+	const per = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(w*per+i) * time.Microsecond)
+			}
+		}(w)
+	}
+	// Snapshots taken mid-flight must stay internally consistent (no
+	// panics, quantiles within observed range).
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			s := h.Snapshot()
+			if q := s.Quantile(0.99); q > s.Max {
+				t.Errorf("mid-flight Quantile(0.99) = %v > Max %v", q, s.Max)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("Count = %d, want %d", s.Count, workers*per)
+	}
+	wantMax := time.Duration(workers*per-1) * time.Microsecond
+	if s.Max != wantMax {
+		t.Fatalf("Max = %v, want %v", s.Max, wantMax)
+	}
+}

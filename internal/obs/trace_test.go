@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestMintIDUnique(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		id := MintID()
+		if id == 0 {
+			t.Fatal("MintID returned 0")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTraceSpans(t *testing.T) {
+	tr := NewTrace(42, "room.choice", 7)
+	end := tr.StartSpan("decode")
+	time.Sleep(time.Millisecond)
+	end()
+	tr.AddSpan("push", time.Now(), 5*time.Millisecond)
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "decode" || spans[0].Dur <= 0 {
+		t.Fatalf("decode span = %+v", spans[0])
+	}
+	if spans[1].Name != "push" || spans[1].Dur != 5*time.Millisecond {
+		t.Fatalf("push span = %+v", spans[1])
+	}
+	// Spans returns a copy: mutating it must not affect the trace.
+	spans[0].Name = "mutated"
+	if tr.Spans()[0].Name != "decode" {
+		t.Fatal("Spans returned a live reference")
+	}
+}
+
+func TestContextTraceRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if _, ok := TraceFrom(ctx); ok {
+		t.Fatal("empty context reported a trace")
+	}
+	// StartSpan without a trace is a safe no-op.
+	StartSpan(ctx, "nothing")()
+
+	tr := NewTrace(1, "m", 2)
+	ctx = ContextWithTrace(ctx, tr)
+	got, ok := TraceFrom(ctx)
+	if !ok || got != tr {
+		t.Fatal("trace did not round-trip through context")
+	}
+	StartSpan(ctx, "work")()
+	if len(tr.Spans()) != 1 {
+		t.Fatal("context StartSpan did not record on the trace")
+	}
+
+	if _, ok := IDFrom(context.Background()); ok {
+		t.Fatal("empty context reported a pinned id")
+	}
+	idCtx := ContextWithID(context.Background(), 99)
+	if id, ok := IDFrom(idCtx); !ok || id != 99 {
+		t.Fatalf("pinned id = %d, %v; want 99, true", id, ok)
+	}
+}
+
+func TestRecorderThreshold(t *testing.T) {
+	rec := NewRecorder(8, 10*time.Millisecond)
+	if rec.Threshold() != 10*time.Millisecond {
+		t.Fatalf("Threshold = %v", rec.Threshold())
+	}
+	// Fast and clean: skipped.
+	rec.Observe(NewTrace(1, "fast", 0), time.Millisecond, nil)
+	// Slow: recorded.
+	rec.Observe(NewTrace(2, "slow", 0), 20*time.Millisecond, nil)
+	// Fast but errored: recorded.
+	rec.Observe(NewTrace(3, "bad", 0), time.Millisecond, errors.New("boom"))
+	if got := rec.Recorded(); got != 2 {
+		t.Fatalf("Recorded = %d, want 2", got)
+	}
+	recent := rec.Recent(0)
+	if len(recent) != 2 {
+		t.Fatalf("Recent = %d records, want 2", len(recent))
+	}
+	// Newest first.
+	if recent[0].ID != 3 || recent[1].ID != 2 {
+		t.Fatalf("order = %d, %d; want 3, 2", recent[0].ID, recent[1].ID)
+	}
+	if recent[0].Err != "boom" {
+		t.Fatalf("Err = %q", recent[0].Err)
+	}
+}
+
+func TestRecorderRecordEverything(t *testing.T) {
+	rec := NewRecorder(8, -1)
+	rec.Observe(NewTrace(1, "m", 0), 0, nil)
+	if rec.Recorded() != 1 {
+		t.Fatal("negative threshold did not record a zero-latency request")
+	}
+}
+
+func TestRecorderRingWrapsAndFinds(t *testing.T) {
+	rec := NewRecorder(4, -1)
+	for i := 1; i <= 10; i++ {
+		rec.Observe(NewTrace(uint64(i), fmt.Sprintf("m%d", i), 0), time.Duration(i), nil)
+	}
+	recent := rec.Recent(0)
+	if len(recent) != 4 {
+		t.Fatalf("retained %d, want ring size 4", len(recent))
+	}
+	for i, want := range []uint64{10, 9, 8, 7} {
+		if recent[i].ID != want {
+			t.Fatalf("recent[%d].ID = %d, want %d", i, recent[i].ID, want)
+		}
+	}
+	if got := rec.Recent(2); len(got) != 2 || got[0].ID != 10 || got[1].ID != 9 {
+		t.Fatalf("Recent(2) = %+v", got)
+	}
+	if found := rec.Find(8); len(found) != 1 || found[0].Method != "m8" {
+		t.Fatalf("Find(8) = %+v", found)
+	}
+	if found := rec.Find(2); len(found) != 0 {
+		t.Fatalf("Find(2) found an evicted trace: %+v", found)
+	}
+}

@@ -5,6 +5,8 @@
 package proto
 
 import (
+	"time"
+
 	"mmconf/internal/cpnet"
 	"mmconf/internal/media/voice"
 	"mmconf/internal/room"
@@ -32,6 +34,11 @@ const (
 	MBroadcastStart   = "room.broadcastStart"
 	MBroadcastStop    = "room.broadcastStop"
 	MSaveMinutes      = "room.saveMinutes"
+	// MStats and MTraces are the runtime observability surface: live
+	// metrics (per-method latency percentiles, counters, gauges) and the
+	// ring of recent slow/errored request traces.
+	MStats  = "sys.stats"
+	MTraces = "sys.traces"
 	// MEvent is the push method carrying room.Event to clients.
 	MEvent = "room.event"
 )
@@ -226,3 +233,68 @@ type SaveMinutesReq struct {
 
 // SaveMinutesResp names the new minutes component.
 type SaveMinutesResp struct{ Component string }
+
+// StatsReq asks for the server's live metrics snapshot.
+type StatsReq struct{}
+
+// MethodSummary is one method's request statistics: counters plus the
+// latency distribution (mean and log-bucketed tail percentiles).
+type MethodSummary struct {
+	Requests uint64
+	Errors   uint64
+	Mean     time.Duration
+	Max      time.Duration
+	P50      time.Duration
+	P90      time.Duration
+	P99      time.Duration
+}
+
+// RoomStatus is one live room's gauges.
+type RoomStatus struct {
+	Name           string
+	Members        int
+	Detached       int
+	QueuedEvents   int
+	MaxQueueDepth  int
+	BufferedEvents int
+}
+
+// StatsResp is the metrics snapshot: per-method latency summaries, the
+// named monotonic counters (push.*, cache.*, session.*, wire.*), live
+// gauges (wire.peers, wire.write_backlog, cache.obj.bytes, rooms.*,
+// go.goroutines), and per-room status.
+type StatsResp struct {
+	Methods  map[string]MethodSummary
+	Counters map[string]uint64
+	Gauges   map[string]int64
+	Rooms    []RoomStatus
+}
+
+// TracesReq fetches recent slow/errored request traces. ID filters to
+// one trace id (0 = no filter); Limit bounds the count (0 = all
+// retained).
+type TracesReq struct {
+	ID    uint64
+	Limit int
+}
+
+// TraceSpan is one timed section of a traced request.
+type TraceSpan struct {
+	Name  string
+	Start time.Duration // offset from the request start
+	Dur   time.Duration
+}
+
+// TraceInfo is one completed request trace from the server's ring.
+type TraceInfo struct {
+	ID     uint64
+	Method string
+	Peer   uint64
+	Start  time.Time
+	Total  time.Duration
+	Err    string
+	Spans  []TraceSpan
+}
+
+// TracesResp carries the matching traces, newest first.
+type TracesResp struct{ Traces []TraceInfo }

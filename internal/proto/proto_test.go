@@ -1,0 +1,134 @@
+package proto
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"mmconf/internal/cpnet"
+	"mmconf/internal/media/voice"
+	"mmconf/internal/room"
+	"mmconf/internal/wire"
+)
+
+// roundTrip gob-encodes v through the wire codec into a fresh value of
+// the same type and returns it for comparison. Every body the protocol
+// defines must survive this unchanged — it is exactly what happens to a
+// request between client and server.
+func roundTrip(t *testing.T, v any) any {
+	t.Helper()
+	data, err := wire.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal %T: %v", v, err)
+	}
+	out := reflect.New(reflect.TypeOf(v))
+	if err := wire.Unmarshal(data, out.Interface()); err != nil {
+		t.Fatalf("unmarshal %T: %v", v, err)
+	}
+	return out.Elem().Interface()
+}
+
+// check round-trips v and requires deep equality.
+func check(t *testing.T, v any) {
+	t.Helper()
+	if got := roundTrip(t, v); !reflect.DeepEqual(got, v) {
+		t.Errorf("%T round-trip mismatch:\n got  %+v\n want %+v", v, got, v)
+	}
+}
+
+func TestRequestRoundTrips(t *testing.T) {
+	check(t, ListDocumentsReq{})
+	check(t, GetDocumentReq{DocID: "patient-001"})
+	check(t, GetImageReq{ID: 42})
+	check(t, GetAudioReq{ID: 43})
+	check(t, GetCmpReq{ID: 44, MaxLayers: 3})
+	check(t, PutImageTextsReq{ID: 45, Texts: "lesion, upper-left"})
+	check(t, LeaveRoomReq{Room: "r", User: "alice"})
+	check(t, ChoiceReq{Room: "r", User: "alice", Variable: "ct", Value: "hi-res"})
+	check(t, OperationReq{Room: "r", User: "alice", Component: "ct", Op: "zoom", ActiveWhen: "always", Private: true})
+	check(t, AnnotateReq{Room: "r", User: "a", ObjectID: 9, Kind: 1, X1: 1, Y1: 2, X2: 3, Y2: 4, Text: "note", Intensity: 0.5})
+	check(t, DeleteAnnotationReq{Room: "r", User: "a", ObjectID: 9, AnnotationID: 2})
+	check(t, FreezeReq{Room: "r", User: "a", ObjectID: 9})
+	check(t, ReleaseReq{Room: "r", User: "b", ObjectID: 9})
+	check(t, ShareSearchReq{
+		Room: "r", User: "a", Speaker: true, Keyword: "tumor",
+		Hits: []voice.Hit{{Word: "tumor", Start: 100, End: 250, Score: -1.25}},
+	})
+	check(t, ChatReq{Room: "r", User: "a", Text: "look at frame 3"})
+	check(t, HistoryReq{Room: "r", Since: 17})
+	check(t, BroadcastReq{Room: "r", User: "a"})
+	check(t, SaveMinutesReq{Room: "r", User: "a"})
+	check(t, StatsReq{})
+	check(t, TracesReq{ID: 0xdeadbeef, Limit: 5})
+}
+
+// TestJoinRoomRoundTripsResumeFields pins the session-resume protocol:
+// the request's Resume/SinceSeq and the response's
+// Resumed/Complete/LastSeq must survive the wire exactly — a silently
+// dropped Resume flag would turn every reconnect into a fresh join.
+func TestJoinRoomRoundTripsResumeFields(t *testing.T) {
+	req := JoinRoomReq{
+		Room: "consult", DocID: "patient-001", User: "alice",
+		Resume: true, SinceSeq: 123,
+	}
+	got := roundTrip(t, req).(JoinRoomReq)
+	if !got.Resume || got.SinceSeq != 123 {
+		t.Fatalf("resume fields lost: %+v", got)
+	}
+	check(t, req)
+
+	resp := JoinRoomResp{
+		DocData: []byte{1, 2, 3},
+		History: []room.Event{{Seq: 5, Room: "consult", Actor: "bob", Variable: "ct", Value: "lo"}},
+		Outcome: cpnet.Outcome{"ct": "hi"},
+		Visible: map[string]bool{"ct": true},
+		Resumed: true, Complete: true, LastSeq: 9,
+	}
+	got2 := roundTrip(t, resp).(JoinRoomResp)
+	if !got2.Resumed || !got2.Complete || got2.LastSeq != 9 {
+		t.Fatalf("resume fields lost: %+v", got2)
+	}
+	check(t, resp)
+}
+
+func TestResponseRoundTrips(t *testing.T) {
+	check(t, ListDocumentsResp{IDs: []string{"a", "b"}, Titles: []string{"A", "B"}})
+	check(t, GetDocumentResp{DocData: []byte{9, 8, 7}})
+	check(t, GetImageResp{Quality: 2, Texts: "t", CM: 1.5, Data: []byte{1}})
+	check(t, GetAudioResp{Filename: "v.au", Sectors: []byte{1, 2}, Data: []byte{3}})
+	check(t, GetCmpResp{Filename: "c.cmp", Header: []byte{1}, Data: []byte{2, 3}})
+	check(t, OperationResp{DerivedVar: "ct.zoom"})
+	check(t, AnnotateResp{AnnotationID: 7})
+	check(t, HistoryResp{Events: []room.Event{{Seq: 1, Room: "r", Actor: "a", Keyword: "k"}}})
+	check(t, SaveMinutesResp{Component: "minutes"})
+}
+
+func TestStatsRoundTrips(t *testing.T) {
+	resp := StatsResp{
+		Methods: map[string]MethodSummary{
+			MChoice: {Requests: 100, Errors: 1, Mean: time.Millisecond,
+				Max: 20 * time.Millisecond, P50: time.Millisecond,
+				P90: 3 * time.Millisecond, P99: 15 * time.Millisecond},
+		},
+		Counters: map[string]uint64{"push.events": 400},
+		Gauges:   map[string]int64{"wire.peers": 4, "cache.obj.bytes": 1 << 20},
+		Rooms: []RoomStatus{{
+			Name: "consult", Members: 4, Detached: 1,
+			QueuedEvents: 2, MaxQueueDepth: 256, BufferedEvents: 64,
+		}},
+	}
+	check(t, resp)
+}
+
+func TestTracesRoundTrips(t *testing.T) {
+	resp := TracesResp{Traces: []TraceInfo{{
+		ID: 77, Method: MChoice, Peer: 3,
+		Start: time.Unix(1700000000, 0).UTC(),
+		Total: 300 * time.Millisecond, Err: "deadline exceeded",
+		Spans: []TraceSpan{
+			{Name: "decode", Start: 0, Dur: time.Millisecond},
+			{Name: "handle", Start: time.Millisecond, Dur: 299 * time.Millisecond},
+		},
+	}}}
+	check(t, resp)
+}

@@ -23,6 +23,7 @@ import (
 	"mmconf/internal/document"
 	"mmconf/internal/media/image"
 	"mmconf/internal/media/voice"
+	"mmconf/internal/obs"
 )
 
 // EventKind classifies room events.
@@ -312,7 +313,9 @@ func (r *Room) Join(ctx context.Context, name string) (*Member, []Event, documen
 	m := &Member{Name: name, room: r, ch: make(chan Event, memberQueueSize)}
 	r.members[name] = m
 	history := append([]Event(nil), r.buf...)
+	endPush := obs.StartSpan(ctx, "push")
 	r.broadcastLocked(Event{Room: r.Name, Actor: name, Kind: EvJoin}, true)
+	endPush()
 	return m, history, view, nil
 }
 
@@ -485,6 +488,36 @@ func (r *Room) Members() []string {
 	return out
 }
 
+// Gauges is a point-in-time reading of a room's live load: how many
+// members (and parked sessions) it carries, how deep their undrained
+// event queues are, and how much change buffer it retains.
+type Gauges struct {
+	Members        int
+	Detached       int
+	QueuedEvents   int // sum of undrained member-queue depths
+	MaxQueueDepth  int // deepest single member queue
+	BufferedEvents int // change-buffer length (late-join catch-up)
+}
+
+// Gauges samples the room's live load for the metrics surface.
+func (r *Room) Gauges() Gauges {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := Gauges{
+		Members:        len(r.members),
+		Detached:       len(r.detached),
+		BufferedEvents: len(r.buf),
+	}
+	for _, m := range r.members {
+		d := len(m.ch)
+		g.QueuedEvents += d
+		if d > g.MaxQueueDepth {
+			g.MaxQueueDepth = d
+		}
+	}
+	return g
+}
+
 // Close evicts everyone and shuts the room down.
 func (r *Room) Close() {
 	r.mu.Lock()
@@ -616,7 +649,9 @@ func (r *Room) Choice(ctx context.Context, actor, variable, value string) error 
 	if _, err := r.engine.Choice(actor, variable, value); err != nil {
 		return err
 	}
+	endPush := obs.StartSpan(ctx, "push")
 	r.broadcastLocked(Event{Actor: actor, Kind: EvChoice, Variable: variable, Value: value}, true)
+	endPush()
 	return nil
 }
 
@@ -646,11 +681,13 @@ func (r *Room) Operation(ctx context.Context, actor, component, op, activeWhen s
 	// invalidate the cached snapshot (private overlays are cheap to
 	// over-invalidate, so bump unconditionally for safety).
 	r.bumpDocLocked()
+	endPush := obs.StartSpan(ctx, "push")
 	r.broadcastLocked(Event{
 		Actor: actor, Kind: EvOperation,
 		Component: component, Op: op, ActiveWhen: activeWhen,
 		DerivedVar: name, Private: private,
 	}, true)
+	endPush()
 	return name, nil
 }
 

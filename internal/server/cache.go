@@ -155,6 +155,17 @@ func (c *objectCache) get(key string, fill func() (any, int64, error)) (any, err
 	return f.val, f.err
 }
 
+// gauges reports the cache's live occupancy: resident bytes and entry
+// count (both 0 when the cache is disabled).
+func (c *objectCache) gauges() (bytes int64, entries int) {
+	if c.cap <= 0 {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.size, c.ll.Len()
+}
+
 // invalidate drops a key after its backing object mutated. An in-flight
 // fill for the key is marked stale so its (possibly pre-mutation)
 // result is served to its waiters but not cached.

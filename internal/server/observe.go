@@ -1,0 +1,105 @@
+package server
+
+import (
+	"context"
+	"runtime"
+	"sort"
+
+	"mmconf/internal/obs"
+	"mmconf/internal/proto"
+	"mmconf/internal/wire"
+)
+
+// MetricsSnapshot assembles the server's full observability view: every
+// method's latency summary (mean plus log-bucketed tail percentiles),
+// the named monotonic counters (push.*, cache.*, session.*, wire.*),
+// live gauges, and per-room status. It is the single source behind the
+// sys.stats RPC and the -debug-addr /debug/metrics endpoint.
+func (s *Server) MetricsSnapshot() *proto.StatsResp {
+	resp := &proto.StatsResp{
+		Methods:  make(map[string]proto.MethodSummary),
+		Counters: s.stats.Counters(),
+		Gauges:   make(map[string]int64),
+	}
+	for name, ms := range s.stats.Snapshot() {
+		resp.Methods[name] = proto.MethodSummary{
+			Requests: ms.Requests,
+			Errors:   ms.Errors,
+			Mean:     ms.Mean(),
+			Max:      ms.MaxLatency,
+			P50:      ms.P50,
+			P90:      ms.P90,
+			P99:      ms.P99,
+		}
+	}
+
+	peers, backlog := s.rpc.WriteBacklog()
+	resp.Gauges["wire.peers"] = int64(peers)
+	resp.Gauges["wire.write_backlog"] = int64(backlog)
+	bytes, entries := s.objects.gauges()
+	resp.Gauges["cache.obj.bytes"] = bytes
+	resp.Gauges["cache.obj.entries"] = int64(entries)
+	resp.Gauges["go.goroutines"] = int64(runtime.NumGoroutine())
+
+	var members, detached, queued, buffered int64
+	s.reg.forEach(func(name string, rs *roomState) {
+		g := rs.room.Gauges()
+		resp.Rooms = append(resp.Rooms, proto.RoomStatus{
+			Name:           name,
+			Members:        g.Members,
+			Detached:       g.Detached,
+			QueuedEvents:   g.QueuedEvents,
+			MaxQueueDepth:  g.MaxQueueDepth,
+			BufferedEvents: g.BufferedEvents,
+		})
+		members += int64(g.Members)
+		detached += int64(g.Detached)
+		queued += int64(g.QueuedEvents)
+		buffered += int64(g.BufferedEvents)
+	})
+	sort.Slice(resp.Rooms, func(i, j int) bool { return resp.Rooms[i].Name < resp.Rooms[j].Name })
+	resp.Gauges["rooms.live"] = int64(len(resp.Rooms))
+	resp.Gauges["rooms.members"] = members
+	resp.Gauges["rooms.detached"] = detached
+	resp.Gauges["rooms.queued_events"] = queued
+	resp.Gauges["rooms.buffered_events"] = buffered
+	return resp
+}
+
+// Traces returns recent slow/errored request traces, newest first. A
+// non-zero id filters to that trace; limit <= 0 returns all retained.
+func (s *Server) Traces(id uint64, limit int) []obs.TraceRecord {
+	if id != 0 {
+		recs := s.tracer.Find(id)
+		if limit > 0 && len(recs) > limit {
+			recs = recs[:limit]
+		}
+		return recs
+	}
+	return s.tracer.Recent(limit)
+}
+
+func (s *Server) handleStats(ctx context.Context, p *wire.Peer, req *proto.StatsReq) (*proto.StatsResp, error) {
+	return s.MetricsSnapshot(), nil
+}
+
+func (s *Server) handleTraces(ctx context.Context, p *wire.Peer, req *proto.TracesReq) (*proto.TracesResp, error) {
+	recs := s.Traces(req.ID, req.Limit)
+	resp := &proto.TracesResp{Traces: make([]proto.TraceInfo, 0, len(recs))}
+	for _, r := range recs {
+		ti := proto.TraceInfo{
+			ID:     r.ID,
+			Method: r.Method,
+			Peer:   r.Peer,
+			Start:  r.Start,
+			Total:  r.Total,
+			Err:    r.Err,
+			Spans:  make([]proto.TraceSpan, 0, len(r.Spans)),
+		}
+		for _, sp := range r.Spans {
+			ti.Spans = append(ti.Spans, proto.TraceSpan{Name: sp.Name, Start: sp.Start, Dur: sp.Dur})
+		}
+		resp.Traces = append(resp.Traces, ti)
+	}
+	return resp, nil
+}

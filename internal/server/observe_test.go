@@ -1,0 +1,198 @@
+package server
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"mmconf/internal/mediadb"
+	"mmconf/internal/proto"
+	"mmconf/internal/store"
+	"mmconf/internal/wire"
+	"mmconf/internal/workload"
+)
+
+// traceSystem is testSystem with the trace recorder set to keep every
+// request, so tests can assert on traces without manufacturing slowness.
+func traceSystem(t *testing.T) (*Server, string) {
+	t.Helper()
+	db, err := store.Open(t.TempDir(), store.Options{Sync: store.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	m, err := mediadb.Open(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := workload.Populate(m, "p1", 1); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewWith(m, Options{TraceThreshold: -1})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close() })
+	return srv, l.Addr().String()
+}
+
+// TestTracePropagationEndToEnd pins the tentpole guarantee: a trace id
+// minted at the client rides the wire frame into the server's context,
+// the typed adapter and the room attach their spans to it, and the
+// completed trace is queryable by that same id — both in-process and
+// over the sys.traces RPC.
+func TestTracePropagationEndToEnd(t *testing.T) {
+	srv, addr := traceSystem(t)
+	c := dial(t, addr, "alice")
+	s, _, err := c.Join("trace-room", "p1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const pinned = uint64(0xabcdef01)
+	ctx := wire.WithTraceID(context.Background(), pinned)
+	if err := s.ChoiceCtx(ctx, "ct", "segmented"); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := srv.Tracer().Find(pinned)
+	if len(recs) != 1 {
+		t.Fatalf("Find(%#x) = %d records, want 1", pinned, len(recs))
+	}
+	rec := recs[0]
+	if rec.Method != proto.MChoice {
+		t.Fatalf("traced method = %q, want %q", rec.Method, proto.MChoice)
+	}
+	if rec.Total <= 0 {
+		t.Fatalf("traced total = %v", rec.Total)
+	}
+	spans := map[string]bool{}
+	for _, sp := range rec.Spans {
+		spans[sp.Name] = true
+		if sp.Dur < 0 || sp.Start < 0 {
+			t.Fatalf("span %q has negative timing: %+v", sp.Name, sp)
+		}
+	}
+	for _, want := range []string{"decode", "handle", "push"} {
+		if !spans[want] {
+			t.Fatalf("trace missing %q span; got %+v", want, rec.Spans)
+		}
+	}
+
+	// The same trace must come back over the wire.
+	infos, err := c.Traces(pinned, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].ID != pinned || infos[0].Method != proto.MChoice {
+		t.Fatalf("sys.traces = %+v", infos)
+	}
+	if len(infos[0].Spans) != len(rec.Spans) {
+		t.Fatalf("RPC spans = %d, in-process = %d", len(infos[0].Spans), len(rec.Spans))
+	}
+}
+
+// TestTraceIDMintedWhenUnpinned checks that a plain call (no pinned id)
+// still gets traced under a server-visible nonzero id.
+func TestTraceIDMintedWhenUnpinned(t *testing.T) {
+	srv, addr := traceSystem(t)
+	c := dial(t, addr, "bob")
+	if _, _, err := c.ListDocuments(); err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, rec := range srv.Tracer().Recent(0) {
+		if rec.Method == proto.MListDocuments {
+			found = true
+			if rec.ID == 0 {
+				t.Fatal("minted trace id is 0")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("list call never entered the trace ring")
+	}
+}
+
+// TestErroredRequestAlwaysTraced checks the recorder's other entry
+// condition: failures are kept even when fast (with a real threshold).
+func TestErroredRequestAlwaysTraced(t *testing.T) {
+	db, err := store.Open(t.TempDir(), store.Options{Sync: store.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	m, err := mediadb.Open(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewWith(m, Options{SlowThreshold: time.Hour}) // nothing is "slow"
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close() })
+
+	c := dial(t, l.Addr().String(), "carol")
+	if _, err := c.GetDocument("no-such-doc"); err == nil {
+		t.Fatal("missing document fetch succeeded")
+	}
+	recs := srv.Tracer().Recent(0)
+	if len(recs) == 0 || recs[0].Err == "" {
+		t.Fatalf("errored request not in ring: %+v", recs)
+	}
+}
+
+func TestStatsRPCAndMetricsSnapshot(t *testing.T) {
+	srv, addr := traceSystem(t)
+	c := dial(t, addr, "alice")
+	s, _, err := c.Join("stats-room", "p1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := s.Choice("ct", "segmented"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, ok := stats.Methods[proto.MChoice]
+	if !ok || ms.Requests != 20 {
+		t.Fatalf("choice summary = %+v, %v", ms, ok)
+	}
+	if ms.P50 <= 0 || ms.P50 > ms.P90 || ms.P90 > ms.P99 || ms.P99 > ms.Max {
+		t.Fatalf("percentiles not ordered: %+v", ms)
+	}
+	if ms.Mean <= 0 {
+		t.Fatalf("mean = %v", ms.Mean)
+	}
+	if stats.Gauges["wire.peers"] < 1 {
+		t.Fatalf("wire.peers = %d", stats.Gauges["wire.peers"])
+	}
+	if stats.Gauges["rooms.live"] != 1 || stats.Gauges["rooms.members"] != 1 {
+		t.Fatalf("room gauges = %+v", stats.Gauges)
+	}
+	if len(stats.Rooms) != 1 || stats.Rooms[0].Name != "stats-room" || stats.Rooms[0].Members != 1 {
+		t.Fatalf("rooms = %+v", stats.Rooms)
+	}
+	if stats.Counters["push.events"] == 0 {
+		t.Fatalf("push.events counter missing: %+v", stats.Counters)
+	}
+
+	// The in-process snapshot behind -debug-addr agrees on structure.
+	snap := srv.MetricsSnapshot()
+	if snap.Methods[proto.MChoice].Requests < 20 {
+		t.Fatalf("MetricsSnapshot choice requests = %+v", snap.Methods[proto.MChoice])
+	}
+	if snap.Gauges["go.goroutines"] <= 0 {
+		t.Fatal("go.goroutines gauge missing")
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"mmconf/internal/media/compress"
 	"mmconf/internal/media/image"
 	"mmconf/internal/mediadb"
+	"mmconf/internal/obs"
 	"mmconf/internal/proto"
 	"mmconf/internal/room"
 	"mmconf/internal/wire"
@@ -52,6 +53,13 @@ type Options struct {
 	// resumable before they expire into a real leave (default 30s;
 	// negative disables resumption — disconnect evicts immediately).
 	SessionGrace time.Duration
+	// TraceThreshold selects which requests enter the slow-trace ring:
+	// total latency >= threshold, or any error (default: SlowThreshold;
+	// negative records every request — tests and live debugging).
+	TraceThreshold time.Duration
+	// TraceRing is how many slow/errored traces are retained (default
+	// obs.DefaultTraceRing).
+	TraceRing int
 }
 
 // Server is the interaction server.
@@ -60,6 +68,7 @@ type Server struct {
 	rpc     *wire.Server
 	reg     *registry
 	stats   *wire.Stats
+	tracer  *obs.Recorder
 	objects *objectCache
 	grace   time.Duration
 	// forwarders counts the event-forwarding goroutines (one per room
@@ -112,21 +121,28 @@ func NewWith(db *mediadb.MediaDB, o Options) *Server {
 	if o.SessionGrace < 0 {
 		o.SessionGrace = 0 // room.SetGrace treats 0 as disabled
 	}
+	if o.TraceThreshold == 0 {
+		o.TraceThreshold = o.SlowThreshold
+	}
 	s := &Server{
-		db:    db,
-		rpc:   wire.NewServer(),
-		reg:   newRegistry(o.RegistryShards),
-		stats: wire.NewStats(),
-		grace: o.SessionGrace,
+		db:     db,
+		rpc:    wire.NewServer(),
+		reg:    newRegistry(o.RegistryShards),
+		stats:  wire.NewStats(),
+		tracer: obs.NewRecorder(o.TraceRing, o.TraceThreshold),
+		grace:  o.SessionGrace,
 	}
 	s.objects = newObjectCache(o.CacheBytes, s.stats)
 	s.rpc.SetStats(s.stats) // peer writers count flushes/bytes here
 	// Stats sits outermost so even recovered panics count as errors;
 	// recovery wraps the timeout so a panic in a deadline-bound handler
-	// still converts to a clean response.
+	// still converts to a clean response. Tracing sits inside recovery:
+	// its trace context must be live when the typed adapter and the room
+	// record their decode/handle/push spans.
 	s.rpc.Use(
 		wire.WithStats(s.stats),
 		wire.Recovery(),
+		wire.Tracing(s.tracer),
 		wire.Timeout(o.RequestTimeout, o.MethodTimeouts),
 		wire.SlowLog(o.SlowThreshold, o.Logf),
 	)
@@ -139,6 +155,10 @@ func NewWith(db *mediadb.MediaDB, o Options) *Server {
 // push-path/cache named counters (see the Counter* constants in
 // cache.go and package wire's CounterWriter*).
 func (s *Server) Stats() *wire.Stats { return s.stats }
+
+// Tracer exposes the slow/errored request trace ring (the sys.traces
+// RPC and the -debug-addr trace endpoint read it).
+func (s *Server) Tracer() *obs.Recorder { return s.tracer }
 
 // Serve accepts connections on l until it closes.
 func (s *Server) Serve(l net.Listener) error { return s.rpc.Serve(l) }
@@ -210,6 +230,8 @@ func (s *Server) register() {
 	s.rpc.Register(proto.MBroadcastStart, wire.Typed(s.handleBroadcastStart))
 	s.rpc.Register(proto.MBroadcastStop, wire.Typed(s.handleBroadcastStop))
 	s.rpc.Register(proto.MSaveMinutes, wire.Typed(s.handleSaveMinutes))
+	s.rpc.Register(proto.MStats, wire.Typed(s.handleStats))
+	s.rpc.Register(proto.MTraces, wire.Typed(s.handleTraces))
 }
 
 // --- database methods ---

@@ -1,6 +1,10 @@
 package wire
 
-import "context"
+import (
+	"context"
+
+	"mmconf/internal/obs"
+)
 
 // None is the response type of methods that return no body. A typed
 // handler with Resp = None returns nil and the client sees an empty
@@ -11,7 +15,9 @@ type None struct{}
 // Typed adapts a strongly-typed handler to the wire Handler shape,
 // owning the gob unmarshal of the request and the marshal of the
 // response. A nil *Resp (the only option when Resp is None) produces an
-// empty response payload.
+// empty response payload. When the request carries a live trace (the
+// Tracing interceptor), the adapter times the decode and the handler
+// body as "decode" and "handle" spans.
 //
 // This is the seam every interaction-server method registers through:
 //
@@ -21,10 +27,15 @@ type None struct{}
 func Typed[Req any, Resp any](h func(ctx context.Context, p *Peer, req *Req) (*Resp, error)) Handler {
 	return func(ctx context.Context, p *Peer, payload []byte) (any, error) {
 		req := new(Req)
-		if err := Unmarshal(payload, req); err != nil {
+		endDecode := obs.StartSpan(ctx, "decode")
+		err := Unmarshal(payload, req)
+		endDecode()
+		if err != nil {
 			return nil, err
 		}
+		endHandle := obs.StartSpan(ctx, "handle")
 		resp, err := h(ctx, p, req)
+		endHandle()
 		if err != nil || resp == nil {
 			return nil, err
 		}

@@ -26,6 +26,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"mmconf/internal/obs"
 )
 
 // msgKind distinguishes envelope roles.
@@ -44,6 +46,10 @@ type envelope struct {
 	Method  string
 	Payload []byte // gob-encoded body
 	Err     string // response only
+	// Trace carries the request's trace id (requests only; minted by the
+	// client, or at ingress when a foreign client sends none), so one id
+	// follows the call from client log to server trace ring.
+	Trace uint64
 }
 
 // Marshal gob-encodes a body for use as an envelope payload.
@@ -74,6 +80,7 @@ type ctxKey int
 const (
 	peerKey ctxKey = iota
 	methodKey
+	traceIDKey
 )
 
 // ContextPeer returns the peer whose request the context belongs to.
@@ -87,6 +94,19 @@ func ContextPeer(ctx context.Context) (*Peer, bool) {
 func ContextMethod(ctx context.Context) (string, bool) {
 	m, ok := ctx.Value(methodKey).(string)
 	return m, ok
+}
+
+// ContextTraceID returns the request's trace id (0 outside a dispatch).
+func ContextTraceID(ctx context.Context) uint64 {
+	id, _ := ctx.Value(traceIDKey).(uint64)
+	return id
+}
+
+// WithTraceID pins the trace id an outgoing call will carry (an alias
+// for obs.ContextWithID, re-exported so callers of the wire client need
+// not import obs directly).
+func WithTraceID(ctx context.Context, id uint64) context.Context {
+	return obs.ContextWithID(ctx, id)
 }
 
 // ErrDraining is returned to clients whose request arrives after the
@@ -245,6 +265,19 @@ func (s *Server) FlushPeers(ctx context.Context) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+// WriteBacklog reports the live peer count and how many envelopes are
+// queued across their batched writers — the flush-backlog gauge of the
+// metrics surface (a growing backlog means clients are not draining as
+// fast as rooms produce).
+func (s *Server) WriteBacklog() (peers, queued int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, p := range s.peers {
+		queued += len(p.writeQ)
+	}
+	return len(s.peers), queued
 }
 
 // Close tears everything down immediately: listeners stop, every
@@ -571,8 +604,13 @@ func (s *Server) ServeConn(conn net.Conn) {
 			if !ok {
 				resp.Err = fmt.Sprintf("wire: unknown method %q", env.Method)
 			} else {
+				tid := env.Trace
+				if tid == 0 {
+					tid = obs.MintID() // foreign client sent no id: mint at ingress
+				}
 				ctx := context.WithValue(connCtx, peerKey, peer)
 				ctx = context.WithValue(ctx, methodKey, env.Method)
+				ctx = context.WithValue(ctx, traceIDKey, tid)
 				result, err := Chain(h, ics...)(ctx, peer, env.Payload)
 				if err != nil {
 					resp.Err = err.Error()
@@ -753,7 +791,13 @@ func (c *Client) CallCtx(ctx context.Context, method string, args, reply any) er
 	c.pending[id] = ch
 	c.mu.Unlock()
 
-	env := envelope{Kind: kindRequest, ID: id, Method: method, Payload: payload}
+	// Every call carries a trace id: the caller's (WithTraceID) when it
+	// wants to correlate, a fresh mint otherwise.
+	tid, hasTID := obs.IDFrom(ctx)
+	if !hasTID {
+		tid = obs.MintID()
+	}
+	env := envelope{Kind: kindRequest, ID: id, Method: method, Payload: payload, Trace: tid}
 	c.wmu.Lock()
 	err = c.enc.Encode(env)
 	c.wmu.Unlock()

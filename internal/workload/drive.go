@@ -1,6 +1,11 @@
 package workload
 
-import "context"
+import (
+	"context"
+	"time"
+
+	"mmconf/internal/obs"
+)
 
 // ChoiceSender is the slice of a client session Replay drives: it knows
 // whose session it is and can send one presentation choice. The client
@@ -18,6 +23,15 @@ type ChoiceSender interface {
 // when ctx is cancelled — load generators hand it the run's deadline and
 // get a clean partial count back.
 func Replay(ctx context.Context, s ChoiceSender, script []Choice) (int, error) {
+	return ReplayTimed(ctx, s, script, nil)
+}
+
+// ReplayTimed is Replay with per-call round-trip timing: every applied
+// choice's wall time is observed into hist (nil disables timing), so a
+// load generator can report client-side latency percentiles, not just
+// throughput. The tail-latency experiment (E11) runs many concurrent
+// replays into one shared histogram.
+func ReplayTimed(ctx context.Context, s ChoiceSender, script []Choice, hist *obs.Histogram) (int, error) {
 	applied := 0
 	for _, ch := range script {
 		if ch.Viewer != s.User() {
@@ -26,8 +40,12 @@ func Replay(ctx context.Context, s ChoiceSender, script []Choice) (int, error) {
 		if err := ctx.Err(); err != nil {
 			return applied, err
 		}
+		start := time.Now()
 		if err := s.ChoiceCtx(ctx, ch.Variable, ch.Value); err != nil {
 			return applied, err
+		}
+		if hist != nil {
+			hist.Observe(time.Since(start))
 		}
 		applied++
 	}
