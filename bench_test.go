@@ -7,6 +7,7 @@ package mmconf_bench
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -287,7 +288,10 @@ func BenchmarkE5MultiRoom(b *testing.B) {
 			if _, err := workload.Populate(m, "p1", 1); err != nil {
 				b.Fatal(err)
 			}
-			srv := server.NewWith(m, server.Options{RegistryShards: shards})
+			srv, err := server.NewWith(m, server.Options{RegistryShards: shards})
+			if err != nil {
+				b.Fatal(err)
+			}
 			defer srv.Close()
 			l, err := net.Listen("tcp", "127.0.0.1:0")
 			if err != nil {
@@ -488,7 +492,10 @@ func BenchmarkE6GetCmpCached(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			srv := server.NewWith(m, server.Options{CacheBytes: mode.cacheBytes})
+			srv, err := server.NewWith(m, server.Options{CacheBytes: mode.cacheBytes})
+			if err != nil {
+				b.Fatal(err)
+			}
 			defer srv.Close()
 			l, err := net.Listen("tcp", "127.0.0.1:0")
 			if err != nil {
@@ -725,6 +732,111 @@ func BenchmarkE9OverlayCompletion(b *testing.B) {
 		if _, err := doc.ReconfigPresentationFor(ov, nil); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- E12: admission control / overload protection ---
+
+// BenchmarkE12LimiterAcquire measures the uncontended admission hot
+// path: the slot take/release every admitted request pays on top of
+// its handler.
+func BenchmarkE12LimiterAcquire(b *testing.B) {
+	l := wire.NewLimiter(64, 128, wire.ShedByPriority)
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := l.Acquire(ctx, wire.PriorityInteractive, time.Second); err != nil {
+			b.Fatal(err)
+		}
+		l.Release(time.Microsecond)
+	}
+}
+
+// BenchmarkE12LimiterShed measures the fail-fast rejection path — the
+// cost of turning an excess request away, which under overload is paid
+// instead of the handler's full decode/fetch/encode cost.
+func BenchmarkE12LimiterShed(b *testing.B) {
+	l := wire.NewLimiter(1, 0, wire.ShedByPriority)
+	ctx := context.Background()
+	if err := l.Acquire(ctx, wire.PriorityBulk, 0); err != nil {
+		b.Fatal(err) // hold the only slot so every arrival sheds
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := l.Acquire(ctx, wire.PriorityBulk, 0); !errors.Is(err, wire.ErrOverloaded) {
+			b.Fatalf("Acquire = %v, want overload", err)
+		}
+	}
+}
+
+// BenchmarkE12TokenBucket measures the per-peer rate-limit charge
+// every non-control request pays when PerPeerRate is configured.
+func BenchmarkE12TokenBucket(b *testing.B) {
+	tb := wire.NewTokenBucket(1e9, 1<<30)
+	now := time.Now()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		now = now.Add(time.Microsecond)
+		if ok, _ := tb.Take(now); !ok {
+			b.Fatal("bucket ran dry")
+		}
+	}
+}
+
+// BenchmarkE12AdmissionRPC measures what the admission interceptor adds
+// to a cheap end-to-end RPC: disabled is the pre-admission pipeline,
+// enabled charges the per-peer bucket and takes a limiter slot on an
+// otherwise idle server.
+func BenchmarkE12AdmissionRPC(b *testing.B) {
+	for _, mode := range []struct {
+		name        string
+		maxInflight int
+		rate        float64
+	}{
+		{"disabled", -1, 0},
+		{"enabled", 1024, 1e9},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			db, err := store.Open(b.TempDir(), store.Options{Sync: store.SyncNever})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			m, err := mediadb.Open(db)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := workload.Populate(m, "p1", 1); err != nil {
+				b.Fatal(err)
+			}
+			srv, err := server.NewWith(m, server.Options{
+				MaxInflight: mode.maxInflight,
+				PerPeerRate: mode.rate,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			go srv.Serve(l)
+			c, err := wire.Dial(l.Addr().String())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var resp proto.ListDocumentsResp
+				if err := c.CallCtx(ctx, proto.MListDocuments, proto.ListDocumentsReq{}, &resp); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

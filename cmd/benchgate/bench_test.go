@@ -1,0 +1,172 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: mmconf
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkE12LimiterAcquire 	       3	       458.7 ns/op	      48 B/op	       0 allocs/op
+BenchmarkE12LimiterAcquire 	       3	       600.0 ns/op	      50 B/op	       0 allocs/op
+BenchmarkE12LimiterAcquire 	       3	       500.0 ns/op	      49 B/op	       0 allocs/op
+BenchmarkE12AdmissionRPC/enabled          	       3	   3427006 ns/op	   30354 B/op	     547 allocs/op
+BenchmarkE5FanOut/members=16-8	     100	     12345 ns/op
+PASS
+ok  	mmconf	1.243s
+`
+
+func TestParseBench(t *testing.T) {
+	bs, err := ParseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(bs), bs)
+	}
+	// Aggregate sorts by name.
+	if bs[1].Name != "BenchmarkE12LimiterAcquire" {
+		t.Fatalf("bs[1] = %q", bs[1].Name)
+	}
+	if bs[1].Runs != 3 || bs[1].NsPerOp != 500.0 {
+		t.Fatalf("median aggregation: runs=%d ns/op=%v, want 3 runs at the 500.0 median", bs[1].Runs, bs[1].NsPerOp)
+	}
+	if bs[0].Name != "BenchmarkE12AdmissionRPC/enabled" || bs[0].AllocsPerOp != 547 {
+		t.Fatalf("bs[0] = %+v", bs[0])
+	}
+	if bs[2].Name != "BenchmarkE5FanOut/members=16-8" || bs[2].NsPerOp != 12345 {
+		t.Fatalf("bs[2] = %+v", bs[2])
+	}
+}
+
+func TestParseBenchSkipsNonResultLines(t *testing.T) {
+	in := "BenchmarkNameOnly\nBenchmarkX-8\t10\t5 MB/s\nBenchmarkY-8\t20\t7.5 ns/op\n"
+	bs, err := ParseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The bare name and the ns/op-less line are skipped.
+	if len(bs) != 1 || bs[0].Name != "BenchmarkY-8" || bs[0].NsPerOp != 7.5 {
+		t.Fatalf("parsed %+v, want just BenchmarkY-8", bs)
+	}
+}
+
+func TestMedianEven(t *testing.T) {
+	if got := median([]float64{1, 2, 3, 10}); got != 2.5 {
+		t.Fatalf("median = %v, want 2.5", got)
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	base := []Benchmark{
+		{Name: "A", NsPerOp: 100},
+		{Name: "B", NsPerOp: 100},
+		{Name: "Gone", NsPerOp: 100},
+	}
+	current := []Benchmark{
+		{Name: "A", NsPerOp: 124}, // +24%: inside the 25% budget
+		{Name: "B", NsPerOp: 130}, // +30%: regressed
+		{Name: "Fresh", NsPerOp: 5},
+	}
+	rep := Compare(base, current, 25)
+	if len(rep.Regressions) != 1 || rep.Regressions[0].Name != "B" {
+		t.Fatalf("regressions = %+v, want just B", rep.Regressions)
+	}
+	if len(rep.MissingCurrent) != 1 || rep.MissingCurrent[0] != "Gone" {
+		t.Fatalf("missing = %v, want [Gone]", rep.MissingCurrent)
+	}
+	if len(rep.NewCurrent) != 1 || rep.NewCurrent[0] != "Fresh" {
+		t.Fatalf("new = %v, want [Fresh]", rep.NewCurrent)
+	}
+	out := rep.String()
+	if !strings.Contains(out, "REGRESSED") || !strings.Contains(out, "Fresh") {
+		t.Fatalf("report output missing markers:\n%s", out)
+	}
+}
+
+func TestCompareImprovementPasses(t *testing.T) {
+	base := []Benchmark{{Name: "A", NsPerOp: 100}}
+	current := []Benchmark{{Name: "A", NsPerOp: 20}} // -80%: faster is fine
+	if rep := Compare(base, current, 25); len(rep.Regressions) != 0 {
+		t.Fatalf("improvement flagged as regression: %+v", rep.Regressions)
+	}
+}
+
+func TestWriteBenchFmtRoundTrips(t *testing.T) {
+	in := []Benchmark{
+		{Name: "BenchmarkA-8", Runs: 1, Iters: 100, NsPerOp: 123.4, BPerOp: 48, AllocsPerOp: 2},
+	}
+	var sb strings.Builder
+	if err := WriteBenchFmt(&sb, in); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseBench(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].NsPerOp != 123.4 || back[0].BPerOp != 48 {
+		t.Fatalf("round trip = %+v", back)
+	}
+}
+
+func TestBaselineUpdateLoadCheck(t *testing.T) {
+	dir := t.TempDir()
+	benchTxt := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(benchTxt, []byte(sampleOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	expFile := filepath.Join(dir, "exp.json")
+	if err := os.WriteFile(expFile, []byte(`[{"id":"E12","rows":[["protected 3x","84%"]]}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	baseFile := filepath.Join(dir, "BENCH.json")
+	if err := cmdUpdate([]string{"-o", baseFile, "-experiments", expFile, "-note", "benchtime=3x", benchTxt}); err != nil {
+		t.Fatal(err)
+	}
+
+	base, err := LoadBaseline(baseFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Schema != baselineSchema || len(base.Benchmarks) != 3 || base.Note != "benchtime=3x" {
+		t.Fatalf("loaded baseline = %+v", base)
+	}
+	// The experiment tables survive verbatim.
+	raw, err := json.Marshal(base.Experiments)
+	if err != nil || !strings.Contains(string(raw), "protected 3x") {
+		t.Fatalf("experiments did not round-trip: %s, %v", raw, err)
+	}
+
+	// An identical run passes the gate.
+	if err := cmdCheck([]string{"-baseline", baseFile, "-max-regress", "25", benchTxt}); err != nil {
+		t.Fatalf("identical run failed the gate: %v", err)
+	}
+
+	// A 2x-slower run fails it.
+	slow := strings.ReplaceAll(sampleOutput, "458.7 ns/op", "45870.0 ns/op")
+	slow = strings.ReplaceAll(slow, "600.0 ns/op", "60000.0 ns/op")
+	slow = strings.ReplaceAll(slow, "500.0 ns/op", "50000.0 ns/op")
+	slowTxt := filepath.Join(dir, "slow.txt")
+	if err := os.WriteFile(slowTxt, []byte(slow), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdCheck([]string{"-baseline", baseFile, "-max-regress", "25", slowTxt}); err == nil {
+		t.Fatal("regressed run passed the gate")
+	}
+}
+
+func TestLoadBaselineRejectsWrongSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"other/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(path); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}

@@ -3,12 +3,14 @@
 //
 // Usage:
 //
-//	mmbench              # run everything
-//	mmbench -only E2,E8  # run a subset
-//	mmbench -list        # show the experiment index
+//	mmbench                       # run everything
+//	mmbench -only E2,E8           # run a subset
+//	mmbench -list                 # show the experiment index
+//	mmbench -json -o BENCH.json   # machine-readable results (CI baseline)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,9 +26,17 @@ type experiment struct {
 	run   func(workdir string) (*experiments.Table, error)
 }
 
+// jsonResult is one experiment's machine-readable record.
+type jsonResult struct {
+	*experiments.Table
+	Seconds float64 `json:"seconds"`
+}
+
 func main() {
 	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	asJSON := flag.Bool("json", false, "emit results as a JSON array instead of rendered tables")
+	out := flag.String("o", "", "write output to this file instead of stdout")
 	flag.Parse()
 
 	all := []experiment{
@@ -50,6 +60,8 @@ func main() {
 			func(string) (*experiments.Table, error) { return experiments.E9Update() }},
 		{"E11", "tail latency under concurrent conferencing",
 			experiments.E11TailLatency},
+		{"E12", "goodput under overload: admission control vs unprotected",
+			experiments.E12Overload},
 	}
 
 	if *list {
@@ -66,6 +78,17 @@ func main() {
 		}
 	}
 
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mmbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		dst = f
+	}
+
 	workdir, err := os.MkdirTemp("", "mmbench-*")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mmbench: %v\n", err)
@@ -73,6 +96,7 @@ func main() {
 	}
 	defer os.RemoveAll(workdir)
 
+	var results []jsonResult
 	failed := false
 	for _, e := range all {
 		if len(selected) > 0 && !selected[e.id] {
@@ -85,8 +109,22 @@ func main() {
 			failed = true
 			continue
 		}
-		fmt.Println(table)
-		fmt.Printf("(%s completed in %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		if *asJSON {
+			results = append(results, jsonResult{Table: table, Seconds: elapsed.Seconds()})
+			fmt.Fprintf(os.Stderr, "mmbench: %s completed in %v\n", e.id, elapsed.Round(time.Millisecond))
+			continue
+		}
+		fmt.Fprintln(dst, table)
+		fmt.Fprintf(dst, "(%s completed in %v)\n\n", e.id, elapsed.Round(time.Millisecond))
+	}
+	if *asJSON {
+		enc := json.NewEncoder(dst)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintf(os.Stderr, "mmbench: %v\n", err)
+			failed = true
+		}
 	}
 	if failed {
 		os.Exit(1)

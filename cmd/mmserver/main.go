@@ -40,14 +40,24 @@ func main() {
 	seed := flag.Int("seed", 2, "synthetic records to create if the database is empty")
 	sync := flag.String("sync", "group", "WAL durability: always | group | never")
 	debugAddr := flag.String("debug-addr", "", "debug HTTP listen address (metrics, traces, pprof); empty disables")
+	maxInflight := flag.Int("max-inflight", 0, "admission control: concurrent request cap (0: default 1024, negative: disabled)")
+	queueDepth := flag.Int("queue-depth", 0, "admission control: wait-queue bound once the cap is reached (0: default 128)")
+	peerRate := flag.Float64("peer-rate", 0, "per-connection sustained request rate limit in req/s (0: unlimited)")
+	peerBurst := flag.Int("peer-burst", 0, "per-connection burst allowance on top of -peer-rate (0: derived from the rate)")
 	flag.Parse()
 
-	if err := run(*addr, *data, *seed, *sync, *debugAddr); err != nil {
+	opts := server.Options{
+		MaxInflight:  *maxInflight,
+		QueueDepth:   *queueDepth,
+		PerPeerRate:  *peerRate,
+		PerPeerBurst: *peerBurst,
+	}
+	if err := run(*addr, *data, *seed, *sync, *debugAddr, opts); err != nil {
 		log.Fatalf("mmserver: %v", err)
 	}
 }
 
-func run(addr, data string, seed int, syncMode, debugAddr string) error {
+func run(addr, data string, seed int, syncMode, debugAddr string, opts server.Options) error {
 	var mode store.SyncMode
 	switch syncMode {
 	case "always":
@@ -86,7 +96,10 @@ func run(addr, data string, seed int, syncMode, debugAddr string) error {
 		}
 	}
 
-	srv := server.New(m)
+	srv, err := server.NewWith(m, opts)
+	if err != nil {
+		return err
+	}
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err

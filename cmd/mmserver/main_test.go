@@ -4,11 +4,12 @@ import (
 	"testing"
 
 	"mmconf/internal/mediadb"
+	"mmconf/internal/server"
 	"mmconf/internal/store"
 )
 
 func TestRunRejectsBadSyncMode(t *testing.T) {
-	if err := run("127.0.0.1:0", t.TempDir(), 0, "sometimes", ""); err == nil {
+	if err := run("127.0.0.1:0", t.TempDir(), 0, "sometimes", "", server.Options{}); err == nil {
 		t.Fatal("bad sync mode accepted")
 	}
 }
@@ -16,8 +17,16 @@ func TestRunRejectsBadSyncMode(t *testing.T) {
 func TestRunRejectsBadDebugAddr(t *testing.T) {
 	// The main listener binds fine; the debug listener's bad address must
 	// fail the run before serving starts.
-	if err := run("127.0.0.1:0", t.TempDir(), 0, "never", "999.999.999.999:99999"); err == nil {
+	if err := run("127.0.0.1:0", t.TempDir(), 0, "never", "999.999.999.999:99999", server.Options{}); err == nil {
 		t.Fatal("bad debug address accepted")
+	}
+}
+
+func TestRunRejectsBadOptions(t *testing.T) {
+	// Flag values flow into server.Options; nonsense must fail run with
+	// the validation error, not start a misconfigured server.
+	if err := run("127.0.0.1:0", t.TempDir(), 0, "never", "", server.Options{PerPeerRate: -1}); err == nil {
+		t.Fatal("negative per-peer rate accepted")
 	}
 }
 
@@ -25,7 +34,7 @@ func TestRunPopulatesEmptyDatabase(t *testing.T) {
 	dir := t.TempDir()
 	// An unlistenable address makes run return right after the populate
 	// phase, leaving the seeded database behind for inspection.
-	err := run("999.999.999.999:99999", dir, 2, "never", "")
+	err := run("999.999.999.999:99999", dir, 2, "never", "", server.Options{})
 	if err == nil {
 		t.Fatal("invalid listen address accepted")
 	}
@@ -44,7 +53,7 @@ func TestRunPopulatesEmptyDatabase(t *testing.T) {
 	}
 	// A second run against the same data dir must not duplicate records
 	// (it only seeds when empty).
-	if err := run("999.999.999.999:99999", dir, 2, "never", ""); err == nil {
+	if err := run("999.999.999.999:99999", dir, 2, "never", "", server.Options{}); err == nil {
 		t.Fatal("invalid listen address accepted on rerun")
 	}
 	db2, err := store.Open(dir, store.Options{Sync: store.SyncNever})

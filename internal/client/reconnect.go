@@ -82,6 +82,11 @@ type Options struct {
 	// (default 0: unbounded) — without it a silent partition hangs
 	// calls forever.
 	CallTimeout time.Duration
+	// RetryOverloaded retries a call shed by the server's admission
+	// control up to this many times, sleeping the server's retry-after
+	// hint between attempts (default 0: overload errors surface to the
+	// caller immediately; negative is treated as 0).
+	RetryOverloaded int
 }
 
 // normalize fills defaulted fields in place.
@@ -107,6 +112,9 @@ func (o *Options) normalize() {
 	if o.ConnectTimeout <= 0 {
 		o.ConnectTimeout = 5 * time.Second
 	}
+	if o.RetryOverloaded < 0 {
+		o.RetryOverloaded = 0
+	}
 }
 
 // ReconnectStats counts the client's redial activity.
@@ -131,9 +139,43 @@ func (c *Client) ReconnectStats() ReconnectStats {
 }
 
 // call is the single RPC entry point for every client method: it fails
-// fast while the connection is down and maps transport death to the
-// typed reconnect errors.
+// fast while the connection is down, maps transport death to the typed
+// reconnect errors, and (with Options.RetryOverloaded) backs off per
+// the server's retry-after hint when a request is shed by admission
+// control, then retries.
 func (c *Client) call(ctx context.Context, method string, req, resp any) error {
+	for retried := 0; ; retried++ {
+		err := c.callOnce(ctx, method, req, resp)
+		var oe *wire.OverloadError
+		if err == nil || !errors.As(err, &oe) || retried >= c.opts.RetryOverloaded {
+			return err
+		}
+		if werr := c.waitRetry(ctx, oe.RetryAfter); werr != nil {
+			return fmt.Errorf("client: call %s: %w (while backing off from %v)", method, werr, err)
+		}
+	}
+}
+
+// waitRetry sleeps an overload backoff, aborting early when the caller
+// gives up or the client closes.
+func (c *Client) waitRetry(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-c.closeCh:
+		return ErrClosed
+	}
+}
+
+// callOnce issues one RPC attempt against the current connection.
+func (c *Client) callOnce(ctx context.Context, method string, req, resp any) error {
 	c.mu.Lock()
 	rpc := c.rpc
 	state := c.state
@@ -189,9 +231,18 @@ func (c *Client) supervise(rpc *wire.Client, gen uint64) {
 // reconnectLoop redials with backoff until the connection and every
 // session are restored, the budget runs out, or the client closes.
 func (c *Client) reconnectLoop(sessions []*Session) {
+	// hint carries the server's retry-after from an overloaded resume
+	// attempt: the next redial waits at least that long, so a fleet of
+	// reconnecting clients does not re-stampede a saturated server.
+	var hint time.Duration
 	for attempt := 1; c.opts.MaxAttempts < 0 || attempt <= c.opts.MaxAttempts; attempt++ {
+		delay := c.opts.Backoff.delay(attempt)
+		if hint > delay {
+			delay = hint
+		}
+		hint = 0
 		select {
-		case <-time.After(c.opts.Backoff.delay(attempt)):
+		case <-time.After(delay):
 		case <-c.closeCh:
 			for _, s := range sessions {
 				s.abortResume()
@@ -212,8 +263,13 @@ func (c *Client) reconnectLoop(sessions []*Session) {
 			rpc.SetCallTimeout(c.opts.CallTimeout)
 		}
 		if err := c.resumeSessions(rpc, sessions); err != nil {
-			// The fresh connection died during resume; close it and pay
-			// another attempt.
+			// The fresh connection died during resume (or the server shed
+			// the resume under overload); close it and pay another
+			// attempt, honoring the server's retry-after if it sent one.
+			var oe *wire.OverloadError
+			if errors.As(err, &oe) {
+				hint = oe.RetryAfter
+			}
 			rpc.Close()
 			c.failures.Add(1)
 			continue
@@ -272,6 +328,11 @@ func (c *Client) resumeSessions(rpc *wire.Client, sessions []*Session) error {
 		case err == nil:
 			s.finishResume(&resp)
 		case errors.Is(err, wire.ErrClosed), errors.Is(err, context.DeadlineExceeded):
+			return err
+		case errors.Is(err, wire.ErrOverloaded):
+			// The server shed the resume: the session is still parked
+			// server-side; retry the whole attempt after the hint rather
+			// than marking this session out of sync.
 			return err
 		default:
 			// The server refused (room gone and not recreatable, doc

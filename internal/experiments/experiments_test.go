@@ -201,3 +201,42 @@ func TestE7Smoke(t *testing.T) {
 		t.Errorf("rows = %d:\n%s", len(tb.Rows), tb)
 	}
 }
+
+func TestE12Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// Shrunken run: tiny windows and a light control document keep this
+	// in test-suite territory. The smoke test checks shape and that the
+	// machinery holds together under -race, not the acceptance numbers —
+	// those need the full windows (go run ./cmd/mmbench -only E12).
+	tb, err := e12Overload(t.TempDir(), e12Params{
+		MaxInflight:  2,
+		QueueDepth:   16,
+		QueueTimeout: 50 * time.Millisecond,
+		RateHeadroom: 0.25,
+		SLO:          500 * time.Millisecond,
+		Conns:        4,
+		CalibWorkers: 4,
+		Calib:        150 * time.Millisecond,
+		Warmup:       100 * time.Millisecond,
+		Run:          250 * time.Millisecond,
+		Probes:       10,
+		ProbeEvery:   20 * time.Millisecond,
+		CtlDocParts:  50,
+		StreamBytes:  192 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows = %d:\n%s", len(tb.Rows), tb)
+	}
+	// The protected series must have shed rather than queued without
+	// bound: sheds at 3x come from the rate limiter and the bounded
+	// queue doing their job.
+	shed := tb.Rows[4][3]
+	if shed == "0" || shed == "-" {
+		t.Errorf("protected 3x shed nothing:\n%s", tb)
+	}
+}

@@ -10,7 +10,18 @@ import (
 	"mmconf/internal/cpnet"
 	"mmconf/internal/media/voice"
 	"mmconf/internal/room"
+	"mmconf/internal/wire"
 )
+
+// ErrOverloaded is the sentinel a request shed by the server's
+// admission-control layer matches (errors.Is). The concrete error is an
+// *OverloadedError carrying the server's retry-after hint; clients
+// should back off at least that long before retrying.
+var ErrOverloaded = wire.ErrOverloaded
+
+// OverloadedError is the typed overload rejection (alias of the wire
+// layer's error so both packages match the same values).
+type OverloadedError = wire.OverloadError
 
 // Method names.
 const (
@@ -255,6 +266,7 @@ type RoomStatus struct {
 	Members        int
 	Detached       int
 	QueuedEvents   int
+	QueuedBytes    int64
 	MaxQueueDepth  int
 	BufferedEvents int
 }

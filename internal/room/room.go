@@ -123,6 +123,29 @@ func (ev *Event) EncodeShared(marshal func(any) ([]byte, error)) (data []byte, e
 // draining for this many events is evicted rather than stalling the room.
 const memberQueueSize = 256
 
+// eventBaseSize is the assumed fixed overhead of one queued Event
+// (struct header, scalar fields, channel slot) for push-budget
+// accounting; variable-size payloads are added on top by approxSize.
+const eventBaseSize = 160
+
+// approxSize estimates the event's memory footprint for the per-member
+// push budget. It is deterministic over the payload fields only —
+// delivery-side mutations (Resync, shared) don't change it, so the
+// enqueue-side charge and the Consumed-side refund always match.
+func (ev *Event) approxSize() int64 {
+	n := int64(eventBaseSize)
+	n += int64(len(ev.Room) + len(ev.Actor) + len(ev.Variable) + len(ev.Value))
+	n += int64(len(ev.Component) + len(ev.Op) + len(ev.ActiveWhen) + len(ev.DerivedVar))
+	n += int64(len(ev.Annotation.Text) + len(ev.Keyword) + len(ev.Text))
+	for i := range ev.Hits {
+		n += 48 + int64(len(ev.Hits[i].Word))
+	}
+	for k := range ev.Visible {
+		n += 24 + int64(len(k))
+	}
+	return n
+}
+
 // changeBufferSize bounds the room's change buffer (oldest entries are
 // discarded first — "the changed objects are saved and discarded from the
 // room as soon as they are not needed").
@@ -138,6 +161,11 @@ type Member struct {
 	// delivered event must carry the Resync hint.
 	drops      atomic.Uint64
 	needResync bool
+	// queuedBytes tracks the estimated memory held by undrained queued
+	// events: charged on enqueue, refunded by Consumed (consumer side)
+	// or on drop (room side). Atomic because the consumer refunds
+	// outside the room lock.
+	queuedBytes atomic.Int64
 }
 
 // Events returns the member's event stream. The channel closes when the
@@ -148,6 +176,17 @@ func (m *Member) Events() <-chan Event { return m.ch }
 // because its queue overflowed. A client seeing Event.Resync (set on
 // the first event delivered after a drop) should replay from History.
 func (m *Member) Drops() uint64 { return m.drops.Load() }
+
+// Consumed refunds ev's share of the member's push budget after the
+// consumer has taken it off the Events channel and no longer holds it
+// queued. Consumers that never call Consumed should run with the push
+// budget disabled (SetPushBudget(0)); otherwise the budget fills with
+// phantom bytes and the member sheds events it could have afforded.
+func (m *Member) Consumed(ev Event) { m.queuedBytes.Add(-ev.approxSize()) }
+
+// QueuedBytes reports the estimated memory currently held by this
+// member's undrained queued events.
+func (m *Member) QueuedBytes() int64 { return m.queuedBytes.Load() }
 
 // Room is one shared session around a document.
 type Room struct {
@@ -182,6 +221,12 @@ type Room struct {
 	// (called under r.mu — keep it cheap; the server counts drops into
 	// its stats here).
 	dropHook func(member string)
+
+	// pushBudget caps the estimated bytes queued per member (0 or
+	// negative: disabled, count-bounded only). A slow consumer over
+	// budget sheds its oldest queued events — and gets a Resync hint —
+	// instead of buffering unboundedly.
+	pushBudget int64
 
 	// docVer counts shared document mutations; docSnap caches the
 	// document's serialized form at docSnapVer so joins stop
@@ -239,6 +284,15 @@ func (r *Room) OnQueueDrop(fn func(member string)) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.dropHook = fn
+}
+
+// SetPushBudget caps the estimated bytes of undrained events queued per
+// member (<= 0: disabled). Only enable it when the consumer refunds
+// delivered events via Member.Consumed — the server's forwarder does.
+func (r *Room) SetPushBudget(n int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pushBudget = n
 }
 
 // SetGrace sets how long a detached session survives before expiring
@@ -494,9 +548,10 @@ func (r *Room) Members() []string {
 type Gauges struct {
 	Members        int
 	Detached       int
-	QueuedEvents   int // sum of undrained member-queue depths
-	MaxQueueDepth  int // deepest single member queue
-	BufferedEvents int // change-buffer length (late-join catch-up)
+	QueuedEvents   int   // sum of undrained member-queue depths
+	QueuedBytes    int64 // estimated bytes across undrained member queues
+	MaxQueueDepth  int   // deepest single member queue
+	BufferedEvents int   // change-buffer length (late-join catch-up)
 }
 
 // Gauges samples the room's live load for the metrics surface.
@@ -511,6 +566,7 @@ func (r *Room) Gauges() Gauges {
 	for _, m := range r.members {
 		d := len(m.ch)
 		g.QueuedEvents += d
+		g.QueuedBytes += m.queuedBytes.Load()
 		if d > g.MaxQueueDepth {
 			g.MaxQueueDepth = d
 		}
@@ -605,7 +661,18 @@ func (r *Room) fanOutLocked(ev Event) {
 // member and reported to the drop hook, and the first event delivered
 // after a drop carries the Resync hint so the client knows its stream
 // has a gap.
+// A byte-bounded push budget (SetPushBudget) applies the same policy to
+// memory: when a member's undrained queue is over budget, its oldest
+// queued events are shed first, so one slow consumer in a room pushing
+// large events cannot grow the server heap without bound.
 func (r *Room) deliverLocked(m *Member, ev Event) {
+	sz := ev.approxSize()
+	// Shed oldest while over the byte budget (but never the event being
+	// delivered itself — an oversized single event still goes through,
+	// alone in the queue).
+	for r.pushBudget > 0 && m.queuedBytes.Load()+sz > r.pushBudget && len(m.ch) > 0 {
+		r.dropOldestLocked(m)
+	}
 	for {
 		if m.needResync {
 			// This copy is member-specific now: detach it from the
@@ -615,19 +682,28 @@ func (r *Room) deliverLocked(m *Member, ev Event) {
 		}
 		select {
 		case m.ch <- ev:
+			m.queuedBytes.Add(sz)
 			m.needResync = false
 			return
 		default:
-			select {
-			case <-m.ch: // drop the oldest queued event
-				m.drops.Add(1)
-				m.needResync = true
-				if r.dropHook != nil {
-					r.dropHook(m.Name)
-				}
-			default:
-			}
+			r.dropOldestLocked(m)
 		}
+	}
+}
+
+// dropOldestLocked discards the member's oldest queued event (if any),
+// refunding its budget charge and flagging the resync hint. Callers
+// hold r.mu.
+func (r *Room) dropOldestLocked(m *Member) {
+	select {
+	case old := <-m.ch:
+		m.queuedBytes.Add(-old.approxSize())
+		m.drops.Add(1)
+		m.needResync = true
+		if r.dropHook != nil {
+			r.dropHook(m.Name)
+		}
+	default:
 	}
 }
 

@@ -33,7 +33,10 @@ func testSystemWith(t *testing.T, o Options) (*Server, string) {
 	if _, err := workload.Populate(m, "p1", 1); err != nil {
 		t.Fatal(err)
 	}
-	srv := NewWith(m, o)
+	srv, err := NewWith(m, o)
+	if err != nil {
+		t.Fatal(err)
+	}
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

@@ -40,8 +40,12 @@ func (s *Server) MetricsSnapshot() *proto.StatsResp {
 	resp.Gauges["cache.obj.bytes"] = bytes
 	resp.Gauges["cache.obj.entries"] = int64(entries)
 	resp.Gauges["go.goroutines"] = int64(runtime.NumGoroutine())
+	if s.limiter != nil {
+		resp.Gauges["admission.inflight"] = int64(s.limiter.Inflight())
+		resp.Gauges["admission.queued"] = int64(s.limiter.Queued())
+	}
 
-	var members, detached, queued, buffered int64
+	var members, detached, queued, buffered, queuedBytes int64
 	s.reg.forEach(func(name string, rs *roomState) {
 		g := rs.room.Gauges()
 		resp.Rooms = append(resp.Rooms, proto.RoomStatus{
@@ -49,6 +53,7 @@ func (s *Server) MetricsSnapshot() *proto.StatsResp {
 			Members:        g.Members,
 			Detached:       g.Detached,
 			QueuedEvents:   g.QueuedEvents,
+			QueuedBytes:    g.QueuedBytes,
 			MaxQueueDepth:  g.MaxQueueDepth,
 			BufferedEvents: g.BufferedEvents,
 		})
@@ -56,6 +61,7 @@ func (s *Server) MetricsSnapshot() *proto.StatsResp {
 		detached += int64(g.Detached)
 		queued += int64(g.QueuedEvents)
 		buffered += int64(g.BufferedEvents)
+		queuedBytes += g.QueuedBytes
 	})
 	sort.Slice(resp.Rooms, func(i, j int) bool { return resp.Rooms[i].Name < resp.Rooms[j].Name })
 	resp.Gauges["rooms.live"] = int64(len(resp.Rooms))
@@ -63,6 +69,7 @@ func (s *Server) MetricsSnapshot() *proto.StatsResp {
 	resp.Gauges["rooms.detached"] = detached
 	resp.Gauges["rooms.queued_events"] = queued
 	resp.Gauges["rooms.buffered_events"] = buffered
+	resp.Gauges["rooms.queued_bytes"] = queuedBytes
 	return resp
 }
 

@@ -29,7 +29,10 @@ func traceSystem(t *testing.T) (*Server, string) {
 	if _, err := workload.Populate(m, "p1", 1); err != nil {
 		t.Fatal(err)
 	}
-	srv := NewWith(m, Options{TraceThreshold: -1})
+	srv, err := NewWith(m, Options{TraceThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -129,7 +132,10 @@ func TestErroredRequestAlwaysTraced(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := NewWith(m, Options{SlowThreshold: time.Hour}) // nothing is "slow"
+	srv, err := NewWith(m, Options{SlowThreshold: time.Hour}) // nothing is "slow"
+	if err != nil {
+		t.Fatal(err)
+	}
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

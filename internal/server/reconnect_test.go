@@ -427,7 +427,10 @@ func BenchmarkE10ResumeVsRejoin(b *testing.B) {
 		if _, err := workload.Populate(m, "p1", 1); err != nil {
 			b.Fatal(err)
 		}
-		srv := NewWith(m, Options{SessionGrace: 50 * time.Millisecond})
+		srv, err := NewWith(m, Options{SessionGrace: 50 * time.Millisecond})
+		if err != nil {
+			b.Fatal(err)
+		}
 		l, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			b.Fatal(err)

@@ -60,6 +60,33 @@ type Options struct {
 	// TraceRing is how many slow/errored traces are retained (default
 	// obs.DefaultTraceRing).
 	TraceRing int
+	// MaxInflight caps concurrently executing requests across the server
+	// (default 1024; negative disables admission control entirely —
+	// every request is admitted immediately, the pre-PR-5 behavior).
+	MaxInflight int
+	// QueueDepth bounds how many requests may wait for an execution slot
+	// once MaxInflight are running (default 128; 0 keeps the default,
+	// negative is invalid). Arrivals beyond it are shed with
+	// proto.ErrOverloaded.
+	QueueDepth int
+	// QueueTimeout sheds a queued request that cannot get a slot in time
+	// (default 1s; negative waits as long as the request context allows).
+	QueueTimeout time.Duration
+	// PerPeerRate limits each connection to a sustained request rate in
+	// requests/second (default 0: unlimited; negative is invalid).
+	// PerPeerBurst is the burst allowance on top (default: the rate
+	// rounded up, minimum 1).
+	PerPeerRate  float64
+	PerPeerBurst int
+	// ShedPolicy selects queue-full behavior: wire.ShedByPriority (the
+	// default) sheds bulk media fetches first and control RPCs last;
+	// wire.ShedFIFO sheds strictly by arrival order.
+	ShedPolicy wire.ShedPolicy
+	// MemberPushBudget caps the estimated bytes of undrained events
+	// queued per room member (default 1 MiB; negative disables). Slow
+	// consumers over budget lose their oldest queued events and get a
+	// Resync hint instead of buffering without bound.
+	MemberPushBudget int64
 }
 
 // Server is the interaction server.
@@ -71,6 +98,11 @@ type Server struct {
 	tracer  *obs.Recorder
 	objects *objectCache
 	grace   time.Duration
+	// limiter is the admission-control concurrency limiter (nil when
+	// MaxInflight is negative); pushBudget is the per-member event-queue
+	// byte cap handed to every room.
+	limiter    *wire.Limiter
+	pushBudget int64
 	// forwarders counts the event-forwarding goroutines (one per room
 	// membership) so Shutdown can flush queued pushes before closing
 	// connections.
@@ -93,10 +125,18 @@ type membership struct {
 
 // New builds a server over an opened multimedia database with default
 // pipeline options.
-func New(db *mediadb.MediaDB) *Server { return NewWith(db, Options{}) }
+func New(db *mediadb.MediaDB) *Server {
+	s, err := NewWith(db, Options{})
+	if err != nil {
+		// The zero Options always validate; reaching here is a bug in
+		// the defaulting/validation code itself.
+		panic(fmt.Sprintf("server: default options rejected: %v", err))
+	}
+	return s
+}
 
-// NewWith builds a server with explicit pipeline options.
-func NewWith(db *mediadb.MediaDB, o Options) *Server {
+// normalize applies the documented defaults in place.
+func (o *Options) normalize() {
 	if o.RequestTimeout == 0 {
 		o.RequestTimeout = 30 * time.Second
 	}
@@ -124,31 +164,136 @@ func NewWith(db *mediadb.MediaDB, o Options) *Server {
 	if o.TraceThreshold == 0 {
 		o.TraceThreshold = o.SlowThreshold
 	}
+	if o.MaxInflight == 0 {
+		o.MaxInflight = 1024
+	}
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 128
+	}
+	if o.QueueTimeout == 0 {
+		o.QueueTimeout = time.Second
+	}
+	if o.QueueTimeout < 0 {
+		o.QueueTimeout = 0 // wire.Limiter treats 0 as wait-for-context
+	}
+	if o.MemberPushBudget == 0 {
+		o.MemberPushBudget = 1 << 20
+	}
+	if o.MemberPushBudget < 0 {
+		o.MemberPushBudget = 0 // room.SetPushBudget treats 0 as disabled
+	}
+}
+
+// validate rejects nonsensical option values after normalize ran.
+// Fields with a documented negative-disables contract (RequestTimeout,
+// CacheBytes, SessionGrace, MaxInflight, QueueTimeout, MemberPushBudget)
+// were already folded by normalize and are not re-checked here.
+func (o *Options) validate() error {
+	if o.RegistryShards < 0 {
+		return fmt.Errorf("server: RegistryShards must be >= 0 (0 selects the default), got %d", o.RegistryShards)
+	}
+	if o.TraceRing < 0 {
+		return fmt.Errorf("server: TraceRing must be >= 0 (0 selects the default), got %d", o.TraceRing)
+	}
+	if o.QueueDepth < 0 {
+		return fmt.Errorf("server: QueueDepth must be >= 0 (0 selects the default), got %d", o.QueueDepth)
+	}
+	if o.PerPeerRate < 0 {
+		return fmt.Errorf("server: PerPeerRate must be >= 0 (0 disables), got %g", o.PerPeerRate)
+	}
+	if o.PerPeerBurst < 0 {
+		return fmt.Errorf("server: PerPeerBurst must be >= 0 (0 derives from the rate), got %d", o.PerPeerBurst)
+	}
+	if o.ShedPolicy != wire.ShedByPriority && o.ShedPolicy != wire.ShedFIFO {
+		return fmt.Errorf("server: unknown ShedPolicy %d", o.ShedPolicy)
+	}
+	for m := range o.MethodTimeouts {
+		if _, ok := methodClasses[m]; !ok {
+			return fmt.Errorf("server: MethodTimeouts names unknown method %q", m)
+		}
+	}
+	return nil
+}
+
+// NewWith builds a server with explicit pipeline options, rejecting
+// nonsensical values with an error rather than silently misbehaving.
+func NewWith(db *mediadb.MediaDB, o Options) (*Server, error) {
+	o.normalize()
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
 	s := &Server{
-		db:     db,
-		rpc:    wire.NewServer(),
-		reg:    newRegistry(o.RegistryShards),
-		stats:  wire.NewStats(),
-		tracer: obs.NewRecorder(o.TraceRing, o.TraceThreshold),
-		grace:  o.SessionGrace,
+		db:         db,
+		rpc:        wire.NewServer(),
+		reg:        newRegistry(o.RegistryShards),
+		stats:      wire.NewStats(),
+		tracer:     obs.NewRecorder(o.TraceRing, o.TraceThreshold),
+		grace:      o.SessionGrace,
+		pushBudget: o.MemberPushBudget,
 	}
 	s.objects = newObjectCache(o.CacheBytes, s.stats)
 	s.rpc.SetStats(s.stats) // peer writers count flushes/bytes here
+	if o.MaxInflight > 0 {
+		s.limiter = wire.NewLimiter(o.MaxInflight, o.QueueDepth, o.ShedPolicy)
+	}
 	// Stats sits outermost so even recovered panics count as errors;
 	// recovery wraps the timeout so a panic in a deadline-bound handler
 	// still converts to a clean response. Tracing sits inside recovery:
 	// its trace context must be live when the typed adapter and the room
-	// record their decode/handle/push spans.
+	// record their decode/handle/push spans. Admission sits inside
+	// tracing (shed requests and queue waits show up as traces/spans)
+	// but outside the timeout, so time spent waiting for a slot never
+	// consumes the handler's own deadline.
 	s.rpc.Use(
 		wire.WithStats(s.stats),
 		wire.Recovery(),
 		wire.Tracing(s.tracer),
+		wire.Admission(wire.AdmissionConfig{
+			Limiter:      s.limiter,
+			QueueTimeout: o.QueueTimeout,
+			Classes:      methodClasses,
+			PerPeerRate:  o.PerPeerRate,
+			PerPeerBurst: o.PerPeerBurst,
+			Stats:        s.stats,
+		}),
 		wire.Timeout(o.RequestTimeout, o.MethodTimeouts),
 		wire.SlowLog(o.SlowThreshold, o.Logf),
 	)
 	s.register()
 	s.rpc.OnPeerClose(s.evictPeer)
-	return s
+	return s, nil
+}
+
+// methodClasses assigns every RPC an admission priority: control RPCs
+// (join/resume/leave and the metrics surface) keep sessions alive and
+// shed last; bulk media fetches are individually expensive, retryable,
+// and shed first; everything else — the conference hot path — sits in
+// between. Doubling as the known-method set for Options validation.
+var methodClasses = map[string]wire.Priority{
+	proto.MJoinRoom:  wire.PriorityControl,
+	proto.MLeaveRoom: wire.PriorityControl,
+	proto.MStats:     wire.PriorityControl,
+	proto.MTraces:    wire.PriorityControl,
+	proto.MHistory:   wire.PriorityControl,
+
+	proto.MChoice:           wire.PriorityInteractive,
+	proto.MOperation:        wire.PriorityInteractive,
+	proto.MAnnotate:         wire.PriorityInteractive,
+	proto.MDeleteAnnotation: wire.PriorityInteractive,
+	proto.MFreeze:           wire.PriorityInteractive,
+	proto.MRelease:          wire.PriorityInteractive,
+	proto.MShareSearch:      wire.PriorityInteractive,
+	proto.MChat:             wire.PriorityInteractive,
+	proto.MBroadcastStart:   wire.PriorityInteractive,
+	proto.MBroadcastStop:    wire.PriorityInteractive,
+
+	proto.MListDocuments: wire.PriorityBulk,
+	proto.MGetDocument:   wire.PriorityBulk,
+	proto.MGetImage:      wire.PriorityBulk,
+	proto.MGetAudio:      wire.PriorityBulk,
+	proto.MGetCmp:        wire.PriorityBulk,
+	proto.MPutImageTexts: wire.PriorityBulk,
+	proto.MSaveMinutes:   wire.PriorityBulk,
 }
 
 // Stats exposes the pipeline's per-method request counters plus the
@@ -378,6 +523,9 @@ func (s *Server) buildRoom(name, docID string) (*roomState, error) {
 	}
 	r.OnQueueDrop(func(string) { s.stats.Add(CounterQueueDrops, 1) })
 	r.SetGrace(s.grace)
+	// Safe to enable: the forwarder refunds every delivered event via
+	// member.Consumed.
+	r.SetPushBudget(s.pushBudget)
 	r.OnSessionExpire(func(string) { s.stats.Add(CounterSessionExpired, 1) })
 	// Register base rasters for annotation rendering where available.
 	for _, c := range doc.Components() {
@@ -524,6 +672,9 @@ func (s *Server) startForwarder(p *wire.Peer, sessions *peerSessions, rs *roomSt
 	go func() {
 		defer s.forwarders.Done()
 		for ev := range member.Events() {
+			// Refund the event's push-budget charge: once it is off the
+			// queue the room no longer holds it for this member.
+			member.Consumed(ev)
 			payload, encoded, err := ev.EncodeShared(wire.Marshal)
 			if err == nil {
 				s.stats.Add(CounterFanoutEvents, 1)

@@ -35,7 +35,10 @@ func testSystem(t *testing.T) (*Server, string, *workload.PopulatedRecord) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := NewWith(m, Options{SessionGrace: 75 * time.Millisecond})
+	srv, err := NewWith(m, Options{SessionGrace: 75 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

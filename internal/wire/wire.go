@@ -825,6 +825,13 @@ func (c *Client) CallCtx(ctx context.Context, method string, args, reply any) er
 		return fmt.Errorf("wire: %w during %s", ErrClosed, method)
 	}
 	if resp.Err != "" {
+		// Errors cross the wire as strings; re-type the ones callers
+		// dispatch on. Overload rejections come back as *OverloadError so
+		// errors.Is(err, ErrOverloaded) works and the retry-after hint
+		// survives the round trip.
+		if oe, ok := ParseOverload(resp.Err); ok {
+			return oe
+		}
 		return errors.New(resp.Err)
 	}
 	if reply != nil {

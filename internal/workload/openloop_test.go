@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mmconf/internal/wire"
+)
+
+func TestOpenLoopTally(t *testing.T) {
+	// A fast op that cycles outcome: completed, shed, failed. The tally
+	// must route each error class to its own counter.
+	var n atomic.Int64
+	op := func(ctx context.Context) error {
+		switch n.Add(1) % 3 {
+		case 1:
+			return nil
+		case 2:
+			return wire.ErrOverloaded
+		default:
+			return errors.New("boom")
+		}
+	}
+	res := OpenLoop(context.Background(), op, OpenLoopOptions{
+		Rate:     1000,
+		Duration: 300 * time.Millisecond,
+		Warmup:   50 * time.Millisecond,
+	})
+	if res.Offered == 0 {
+		t.Fatal("no arrivals offered")
+	}
+	total := res.Completed + res.Shed + res.Failed + res.Dropped
+	if total != res.Offered {
+		t.Fatalf("tally leak: offered %d but accounted %d (%+v)", res.Offered, total, res)
+	}
+	for _, c := range []int64{res.Completed, res.Shed, res.Failed} {
+		if c == 0 {
+			t.Fatalf("an outcome class never tallied: %+v", res)
+		}
+	}
+	if res.Elapsed <= 0 {
+		t.Fatalf("elapsed = %v", res.Elapsed)
+	}
+	if g := res.Goodput(); g <= 0 {
+		t.Fatalf("goodput = %v", g)
+	}
+}
+
+func TestOpenLoopOfferedRateIndependentOfSlowOps(t *testing.T) {
+	// The defining open-loop property: a server that stops answering
+	// does not slow the arrival process. Ops block until cancelled, so a
+	// closed loop would stall after MaxOutstanding arrivals; the open
+	// loop keeps offering and sheds the excess at the driver.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	time.AfterFunc(400*time.Millisecond, cancel)
+	op := func(ctx context.Context) error {
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	res := OpenLoop(ctx, op, OpenLoopOptions{
+		Rate:           2000,
+		Duration:       250 * time.Millisecond,
+		MaxOutstanding: 8,
+	})
+	if res.Dropped == 0 {
+		t.Fatalf("wedged server produced no driver-side drops: %+v", res)
+	}
+	if res.Offered < res.Dropped {
+		t.Fatalf("offered %d < dropped %d", res.Offered, res.Dropped)
+	}
+}
+
+func TestOpenLoopWarmupExcluded(t *testing.T) {
+	// Arrivals during warmup run but are not tallied: with warmup equal
+	// to the whole wall-clock budget minus the window, offered counts
+	// only the measured window's arrivals.
+	res := OpenLoop(context.Background(), func(context.Context) error { return nil }, OpenLoopOptions{
+		Rate:     1000,
+		Duration: 100 * time.Millisecond,
+		Warmup:   200 * time.Millisecond,
+	})
+	// ~100 measured arrivals, never the ~300 of the full run. Generous
+	// bounds: CI timers are coarse.
+	if res.Offered < 20 || res.Offered > 200 {
+		t.Fatalf("offered = %d, want ~100 (warmup arrivals excluded)", res.Offered)
+	}
+}
+
+func TestOpenLoopGoodputZeroOnEmpty(t *testing.T) {
+	if g := (OpenLoopResult{}).Goodput(); g != 0 {
+		t.Fatalf("goodput of empty result = %v", g)
+	}
+}
