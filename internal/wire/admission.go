@@ -238,10 +238,18 @@ func (l *Limiter) Acquire(ctx context.Context, class Priority, queueTimeout time
 	case err := <-w.ch:
 		return err
 	case <-deadline:
-		return l.abandon(w, ci, ShedReasonDeadline)
+		// A concurrent grant wins (err nil): the caller runs and Releases.
+		err, _ := l.abandon(w, ci, ShedReasonDeadline)
+		return err
 	case <-ctx.Done():
-		if err := l.abandon(w, ci, ""); err != nil {
-			return err
+		err, granted := l.abandon(w, ci, "")
+		if granted {
+			// A concurrent Release granted the slot after the caller gave
+			// up. The caller won't run, so hand the slot straight back —
+			// otherwise it would leak and ratchet capacity down.
+			l.Release(0)
+		} else if err != nil {
+			return err // displaced concurrently
 		}
 		return ctx.Err()
 	}
@@ -249,26 +257,29 @@ func (l *Limiter) Acquire(ctx context.Context, class Priority, queueTimeout time
 
 // abandon removes w from its queue after a timeout or cancellation.
 // If the slot was granted (or the waiter displaced) concurrently, that
-// outcome wins: a granted slot is returned as nil so the caller still
-// runs (and Releases); shedReason == "" reports removal as nil so the
-// caller can surface its context error instead.
-func (l *Limiter) abandon(w *waiter, ci int, shedReason string) error {
+// outcome wins: granted reports the slot-granted case — the caller now
+// owns a slot it must either use (return err nil, run, Release) or
+// return via Release. When w was still queued, err is the shed error
+// for shedReason ("": nil, so the caller can surface its context error
+// instead).
+func (l *Limiter) abandon(w *waiter, ci int, shedReason string) (err error, granted bool) {
 	l.mu.Lock()
 	for i, q := range l.queues[ci] {
 		if q == w {
 			l.queues[ci] = append(l.queues[ci][:i], l.queues[ci][i+1:]...)
 			l.queued--
-			var err error
 			if shedReason != "" {
 				err = l.overloadLocked(shedReason)
 			}
 			l.mu.Unlock()
-			return err
+			return err, false
 		}
 	}
 	l.mu.Unlock()
-	// Resolved concurrently: honor whatever was delivered.
-	return <-w.ch
+	// Resolved concurrently: honor whatever was delivered — nil means a
+	// Release granted the slot to w.
+	err = <-w.ch
+	return err, err == nil
 }
 
 // displaceLocked evicts the newest waiter of the lowest-priority
@@ -295,14 +306,18 @@ func (l *Limiter) displaceLocked(ci int) bool {
 // Release returns a slot after a request ran for d, handing freed
 // capacity to the highest-priority waiters whose class ceiling admits
 // them — a release out of the control reserve does not promote a bulk
-// waiter past the main cap.
+// waiter past the main cap. d <= 0 records no service-time sample
+// (a slot returned unused, e.g. granted to an already-cancelled
+// waiter).
 func (l *Limiter) Release(d time.Duration) {
 	l.mu.Lock()
-	ns := float64(d)
-	if l.svcEWMA == 0 {
-		l.svcEWMA = ns
-	} else {
-		l.svcEWMA += 0.1 * (ns - l.svcEWMA)
+	if d > 0 {
+		ns := float64(d)
+		if l.svcEWMA == 0 {
+			l.svcEWMA = ns
+		} else {
+			l.svcEWMA += 0.1 * (ns - l.svcEWMA)
+		}
 	}
 	l.inflight--
 	var grants []*waiter
@@ -402,6 +417,15 @@ func (b *TokenBucket) Take(now time.Time) (ok bool, retryAfter time.Duration) {
 	return false, time.Duration(need / b.rate * float64(time.Second))
 }
 
+// Refund returns one token to the bucket, clamped to burst — used when
+// a charged request was subsequently shed before any work ran, so the
+// peer's rate budget is only spent on requests the server attempted.
+func (b *TokenBucket) Refund() {
+	b.mu.Lock()
+	b.tokens = math.Min(b.burst, b.tokens+1)
+	b.mu.Unlock()
+}
+
 // Tokens reports the current token balance (tests and gauges).
 func (b *TokenBucket) Tokens() float64 {
 	b.mu.Lock()
@@ -489,9 +513,10 @@ func Admission(cfg AdmissionConfig) Interceptor {
 			// limits exist to stop one peer flooding bulk work, and a
 			// rate-limited peer must still be able to leave cleanly, poll
 			// stats, and keep its session alive.
+			var bucket *TokenBucket
 			if cfg.PerPeerRate > 0 && p != nil && class != PriorityControl {
-				b := p.MetaSetDefault(peerBucketKey, NewTokenBucket(cfg.PerPeerRate, cfg.PerPeerBurst)).(*TokenBucket)
-				if ok, ra := b.Take(time.Now()); !ok {
+				bucket = p.MetaSetDefault(peerBucketKey, NewTokenBucket(cfg.PerPeerRate, cfg.PerPeerBurst)).(*TokenBucket)
+				if ok, ra := bucket.Take(time.Now()); !ok {
 					cfg.count(CounterShedRate)
 					return nil, &OverloadError{Reason: ShedReasonRate, RetryAfter: ra}
 				}
@@ -501,6 +526,12 @@ func Admission(cfg AdmissionConfig) Interceptor {
 				err := cfg.Limiter.Acquire(ctx, class, cfg.QueueTimeout)
 				endWait()
 				if err != nil {
+					// The charged token bought no work: refund it so a shed
+					// request doesn't also burn the peer's rate budget and
+					// rate-shed the very retry the hint asks for.
+					if bucket != nil {
+						bucket.Refund()
+					}
 					var oe *OverloadError
 					if errors.As(err, &oe) {
 						cfg.count(shedCounter(oe.Reason))

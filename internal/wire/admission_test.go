@@ -70,6 +70,23 @@ func TestTokenBucketBackwardsClock(t *testing.T) {
 	}
 }
 
+func TestTokenBucketRefund(t *testing.T) {
+	b := NewTokenBucket(10, 2)
+	now := time.Unix(1000, 0)
+	b.Take(now)
+	b.Take(now)
+	b.Refund()
+	if got := b.Tokens(); got != 1 {
+		t.Fatalf("tokens %v after refund, want 1", got)
+	}
+	// Refunds clamp at burst, never over-fill.
+	b.Refund()
+	b.Refund()
+	if got := b.Tokens(); got != 2 {
+		t.Fatalf("tokens %v after over-refund, want clamp at burst 2", got)
+	}
+}
+
 func TestTokenBucketConcurrent(t *testing.T) {
 	b := NewTokenBucket(1000, 100)
 	var admitted int64
@@ -178,6 +195,52 @@ func TestLimiterContextCancel(t *testing.T) {
 	}
 	if got := l.Queued(); got != 0 {
 		t.Fatalf("queued %d after cancel, want 0", got)
+	}
+	l.Release(time.Millisecond)
+}
+
+// TestLimiterCancelConcurrentGrantNoLeak pins the race between a
+// waiter's context cancellation and a concurrent Release granting it a
+// slot: whichever way the select resolves, the granted slot must end up
+// back in the limiter instead of leaking (a leak here ratchets capacity
+// down permanently under overload with client cancellations).
+func TestLimiterCancelConcurrentGrantNoLeak(t *testing.T) {
+	l := NewLimiter(1, 4, ShedByPriority)
+	if err := l.Acquire(context.Background(), PriorityBulk, 0); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- l.Acquire(ctx, PriorityBulk, 0) }()
+	waitFor(t, func() bool { return l.Queued() == 1 })
+	// Force the race: cancel the waiter and, while holding the lock so
+	// abandon cannot observe the queue yet, grant it a slot exactly the
+	// way a concurrent Release would.
+	l.mu.Lock()
+	cancel()
+	w := l.queues[int(PriorityBulk)][0]
+	l.queues[int(PriorityBulk)] = nil
+	l.queued--
+	l.inflight++
+	w.ch <- nil
+	l.mu.Unlock()
+	switch err := <-done; {
+	case err == nil:
+		// The select won via the grant channel: the caller owns the slot
+		// and is responsible for returning it.
+		l.Release(0)
+	case errors.Is(err, context.Canceled):
+		// The abandon path must have returned the granted slot itself.
+	default:
+		t.Fatalf("err = %v, want nil or context.Canceled", err)
+	}
+	if got := l.Inflight(); got != 1 {
+		t.Fatalf("inflight %d after cancelled grant, want 1 (slot leaked)", got)
+	}
+	l.Release(time.Millisecond)
+	// The returned slot is immediately reusable.
+	if err := l.Acquire(context.Background(), PriorityBulk, 0); err != nil {
+		t.Fatalf("reacquire after cancel: %v", err)
 	}
 	l.Release(time.Millisecond)
 }
@@ -423,6 +486,45 @@ func TestAdmissionInterceptorLimiterCounters(t *testing.T) {
 	if got := cfg.Limiter.Inflight(); got != 0 {
 		t.Fatalf("inflight %d after handler returned, want 0", got)
 	}
+}
+
+func TestAdmissionInterceptorShedRefundsToken(t *testing.T) {
+	cfg := AdmissionConfig{
+		Limiter:      NewLimiter(1, 0, ShedByPriority),
+		QueueTimeout: 10 * time.Millisecond,
+		Classes:      map[string]Priority{"db.get": PriorityBulk},
+		PerPeerRate:  0.001, // negligible refill over the test's lifetime
+		PerPeerBurst: 2,
+	}
+	block := make(chan struct{})
+	h := Admission(cfg)(func(ctx context.Context, p *Peer, payload []byte) (any, error) {
+		<-block
+		return "ok", nil
+	})
+	peer := &Peer{meta: map[string]any{}}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := h(admitCtx("db.get"), peer, nil); err != nil {
+			t.Errorf("admitted call: %v", err)
+		}
+	}()
+	waitFor(t, func() bool { return cfg.Limiter.Inflight() == 1 })
+	// Queue depth 0: the second call is charged a token, then shed by the
+	// limiter. The token must come back — otherwise a shed peer is
+	// double-penalized and its hinted retry may be rate-shed in turn.
+	if _, err := h(admitCtx("db.get"), peer, nil); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want overload", err)
+	}
+	v, ok := peer.Meta(peerBucketKey)
+	if !ok {
+		t.Fatal("peer bucket not created")
+	}
+	if got := v.(*TokenBucket).Tokens(); got < 1 {
+		t.Fatalf("tokens %v after limiter shed, want charged token refunded", got)
+	}
+	close(block)
+	<-done
 }
 
 // waitFor polls cond for up to a second — cheap synchronization with
