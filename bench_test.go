@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"mmconf/internal/blob"
 	"mmconf/internal/client"
 	"mmconf/internal/cpnet"
 	"mmconf/internal/document"
@@ -837,6 +838,143 @@ func BenchmarkE12AdmissionRPC(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// --- E13: content-addressed blob store ---
+
+// benchPayload fills a 64 KiB buffer with content unique to n, so
+// successive puts never dedup against each other.
+func benchPayload(p []byte, n int) {
+	for i := range p {
+		p[i] = byte(i) ^ byte(i>>8) ^ byte(n) ^ byte(n>>8) ^ byte(n>>16)
+	}
+}
+
+// BenchmarkE13PutDistinct measures cold puts: every payload is new, so
+// each one is chunked, hashed, and appended.
+func BenchmarkE13PutDistinct(b *testing.B) {
+	bs, err := blob.Open(b.TempDir(), blob.Options{CompactRatio: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer bs.Close()
+	payload := make([]byte, 64<<10)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchPayload(payload, i)
+		if _, err := bs.Put(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE13PutDedupHit measures warm puts: the payload is already
+// stored, so the put costs one SHA-256 pass and a refcount bump — no
+// disk writes. The gap to PutDistinct is the dedup win.
+func BenchmarkE13PutDedupHit(b *testing.B) {
+	bs, err := blob.Open(b.TempDir(), blob.Options{CompactRatio: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer bs.Close()
+	payload := make([]byte, 64<<10)
+	benchPayload(payload, 0)
+	if _, err := bs.Put(payload); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bs.Put(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE13Get measures reading a multi-chunk object back, including
+// per-chunk CRC and whole-object digest verification.
+func BenchmarkE13Get(b *testing.B) {
+	bs, err := blob.Open(b.TempDir(), blob.Options{CompactRatio: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer bs.Close()
+	payload := make([]byte, 256<<10)
+	benchPayload(payload, 0)
+	h, err := bs.Put(payload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bs.Get(h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE13Churn measures the put+release cycle that dominates
+// overwrite-heavy workloads: every release feeds the free lists and
+// every put is served from a reclaimed hole.
+func BenchmarkE13Churn(b *testing.B) {
+	bs, err := blob.Open(b.TempDir(), blob.Options{CompactRatio: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer bs.Close()
+	payload := make([]byte, 64<<10)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchPayload(payload, i)
+		h, err := bs.Put(payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := bs.Release(h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE13Compact measures migrating the live remainder out of
+// sparse segments: per iteration, 8 objects fill several small
+// segments, 6 are deleted, and Compact moves the survivors.
+func BenchmarkE13Compact(b *testing.B) {
+	payload := make([]byte, 32<<10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		bs, err := blob.Open(b.TempDir(), blob.Options{SegmentSize: 64 << 10, CompactRatio: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var handles []blob.Handle
+		for j := 0; j < 8; j++ {
+			benchPayload(payload, i*8+j)
+			h, err := bs.Put(payload)
+			if err != nil {
+				b.Fatal(err)
+			}
+			handles = append(handles, h)
+		}
+		for _, h := range handles[2:] {
+			if err := bs.Release(h); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		if _, err := bs.Compact(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		bs.Close()
+		b.StartTimer()
 	}
 }
 

@@ -1,5 +1,5 @@
 // Command benchgate maintains the repository's benchmark baseline
-// (BENCH_5.json) and gates CI on performance regressions against it.
+// (BENCH_6.json) and gates CI on performance regressions against it.
 //
 // The baseline is a JSON document holding the key `go test -bench`
 // results (ns/op, B/op, allocs/op — medians across -count repeats) plus
@@ -10,9 +10,9 @@
 //
 // Usage:
 //
-//	go test -run '^$' -bench ... -count=5 | benchgate update -o BENCH_5.json -experiments exp.json
-//	go test -run '^$' -bench ... -count=5 | benchgate check -baseline BENCH_5.json -max-regress 25
-//	benchgate fmt -baseline BENCH_5.json > baseline.txt   # feed benchstat
+//	go test -run '^$' -bench ... -count=5 | benchgate update -o BENCH_6.json -experiments exp.json
+//	go test -run '^$' -bench ... -count=5 | benchgate check -baseline BENCH_6.json -max-regress 25
+//	benchgate fmt -baseline BENCH_6.json > baseline.txt   # feed benchstat
 package main
 
 import (
@@ -73,7 +73,7 @@ func readBench(args []string) ([]Benchmark, error) {
 
 func cmdUpdate(args []string) error {
 	fs := flag.NewFlagSet("update", flag.ExitOnError)
-	out := fs.String("o", "BENCH_5.json", "baseline file to write")
+	out := fs.String("o", "BENCH_6.json", "baseline file to write")
 	expFile := fs.String("experiments", "", "mmbench -json output to embed (optional)")
 	note := fs.String("note", "", "free-form note recorded in the baseline (e.g. benchtime)")
 	fs.Parse(args)
@@ -105,7 +105,7 @@ func cmdUpdate(args []string) error {
 
 func cmdCheck(args []string) error {
 	fs := flag.NewFlagSet("check", flag.ExitOnError)
-	baseFile := fs.String("baseline", "BENCH_5.json", "baseline file to compare against")
+	baseFile := fs.String("baseline", "BENCH_6.json", "baseline file to compare against")
 	maxRegress := fs.Float64("max-regress", 25, "fail when ns/op regresses more than this percentage")
 	fs.Parse(args)
 	base, err := LoadBaseline(*baseFile)
@@ -129,7 +129,7 @@ func cmdCheck(args []string) error {
 
 func cmdFmt(args []string) error {
 	fs := flag.NewFlagSet("fmt", flag.ExitOnError)
-	baseFile := fs.String("baseline", "BENCH_5.json", "baseline file to render")
+	baseFile := fs.String("baseline", "BENCH_6.json", "baseline file to render")
 	fs.Parse(args)
 	base, err := LoadBaseline(*baseFile)
 	if err != nil {

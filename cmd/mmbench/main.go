@@ -62,6 +62,8 @@ func main() {
 			experiments.E11TailLatency},
 		{"E12", "goodput under overload: admission control vs unprotected",
 			experiments.E12Overload},
+		{"E13", "content-addressed blob store: dedup, hole reuse, compaction",
+			experiments.E13Blob},
 	}
 
 	if *list {

@@ -9,6 +9,9 @@
 //	mmstore -data ./mmdata doc <id>          # dump one document's structure and CP-net
 //	mmstore -data ./mmdata checkpoint        # snapshot state and truncate the WAL
 //	mmstore -data ./mmdata vacuum            # reclaim unreferenced BLOB space
+//	mmstore -data ./mmdata stats             # blob-store and WAL health gauges
+//	mmstore -data ./mmdata fsck              # verify every blob reference and payload checksum
+//	mmstore -data ./mmdata seed <id> [seed]  # populate a synthetic record (fixtures, demos)
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"mmconf/internal/document"
 	"mmconf/internal/mediadb"
 	"mmconf/internal/store"
+	"mmconf/internal/workload"
 )
 
 func main() {
@@ -28,7 +32,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: mmstore [-data dir] tables|types|docs|doc <id>|checkpoint|vacuum")
+		fmt.Fprintln(os.Stderr, "usage: mmstore [-data dir] tables|types|docs|doc <id>|checkpoint|vacuum|stats|fsck|seed <id> [seed]")
 		os.Exit(2)
 	}
 	if err := run(*data, args); err != nil {
@@ -109,7 +113,69 @@ func run(data string, args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("blob heap compacted; %d bytes reclaimed\n", reclaimed)
+		fmt.Printf("blob store compacted; %d bytes reclaimed\n", reclaimed)
+	case "stats":
+		bs, missing := db.BlobStats()
+		appends, syncs := db.WALStats()
+		fmt.Printf("blob objects        %d\n", bs.Manifests)
+		fmt.Printf("blob chunks         %d\n", bs.Chunks)
+		fmt.Printf("blob live bytes     %d\n", bs.LiveBytes)
+		fmt.Printf("blob free bytes     %d\n", bs.FreeBytes)
+		fmt.Printf("blob on-disk bytes  %d (%d segments)\n", bs.TotalBytes, bs.Segments)
+		fmt.Printf("blob dedup hits     %d (%d bytes saved)\n", bs.DedupHits, bs.DedupBytes)
+		fmt.Printf("blob hole reuses    %d\n", bs.HoleReuses)
+		fmt.Printf("blob compactions    %d (%d bytes moved)\n", bs.Compactions, bs.CompactedBytes)
+		fmt.Printf("blob missing refs   %d\n", missing)
+		fmt.Printf("wal appends/fsyncs  %d/%d\n", appends, syncs)
+		if bs.RebuiltFromScan {
+			fmt.Println("note: blob index was rebuilt by segment scan on this open")
+		}
+		if migrated := db.MigratedBlobs(); migrated > 0 {
+			fmt.Printf("note: %d payloads migrated from the legacy heap on this open\n", migrated)
+		}
+	case "fsck":
+		rep, err := db.FsckBlobs()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("objects %d  referenced %d  bytes-checked %d\n",
+			rep.Objects, rep.Referenced, rep.BytesChecked)
+		for _, d := range rep.Missing {
+			fmt.Printf("MISSING  %x\n", d)
+		}
+		for _, d := range rep.Corrupt {
+			fmt.Printf("CORRUPT  %x\n", d)
+		}
+		if rep.Orphans > 0 {
+			fmt.Printf("orphaned objects: %d (vacuum reclaims them)\n", rep.Orphans)
+		}
+		if rep.RefMismatches > 0 {
+			fmt.Printf("refcount mismatches: %d (healed on next open)\n", rep.RefMismatches)
+		}
+		if !rep.Clean() {
+			return fmt.Errorf("fsck: store is not clean (%d missing, %d corrupt, %d orphans, %d ref mismatches)",
+				len(rep.Missing), len(rep.Corrupt), rep.Orphans, rep.RefMismatches)
+		}
+		fmt.Println("clean: every reference resolves and every payload matches its digest")
+	case "seed":
+		if len(args) < 2 || len(args) > 3 {
+			return fmt.Errorf("usage: mmstore seed <doc-id> [seed]")
+		}
+		seed := int64(1)
+		if len(args) == 3 {
+			if _, err := fmt.Sscanf(args[2], "%d", &seed); err != nil {
+				return fmt.Errorf("seed: bad seed %q", args[2])
+			}
+		}
+		rec, err := workload.Populate(m, args[1], seed)
+		if err != nil {
+			return err
+		}
+		if err := db.Checkpoint(); err != nil {
+			return err
+		}
+		fmt.Printf("seeded document %s (images %d,%d; cmp %d; audio %d)\n",
+			args[1], rec.CTID, rec.XrayID, rec.CmpID, rec.VoiceID)
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}

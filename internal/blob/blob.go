@@ -1,263 +1,635 @@
-// Package blob implements the large-binary-object heap underlying the
-// database server. The paper stores every multimedia payload (images,
-// audio, compressed streams) as an Oracle BLOB of up to 4 GB; this package
-// provides the equivalent: an append-only, checksummed heap file that
-// hands out stable handles, plus compaction to reclaim space from deleted
-// objects.
+// Package blob implements the content-addressed large-object store
+// underlying the database server. The paper stores every multimedia
+// payload (images, audio, compressed streams) as an opaque Oracle BLOB;
+// the first generation of this package reproduced exactly that — an
+// append-only heap addressed by byte offset, with no dedup, no hole
+// reuse, and stop-the-world compaction. This generation rebuilds the
+// layer as content-addressed storage so "millions of multimedia objects"
+// fit on disk:
 //
-// Record layout on disk (all integers little-endian):
+//   - Payloads are split into fixed-size chunks keyed by SHA-256 digest.
+//     A manifest (itself a digest-keyed record) maps the object to its
+//     chunk list, so identical payloads — repeated compression layers,
+//     re-uploaded images, phantom copies — are stored exactly once.
+//   - Every chunk and manifest carries a reference count. Deletes
+//     decrement; at zero the record's block goes into a size-bucketed
+//     free list and is reused by later writes instead of waiting for a
+//     full rewrite.
+//   - Data lives in bounded segment files. Background compaction
+//     migrates live blocks off sparse segments and deletes them, without
+//     blocking readers.
+//   - The in-memory index is snapshotted to disk on flush/close; after a
+//     crash it is rebuilt by scanning the segments (every record is
+//     self-describing: magic, kind, lengths, digest, CRC).
 //
-//	magic  uint32  (0xB10BB10B)
-//	length uint32  (payload bytes)
-//	crc    uint32  (IEEE CRC-32 of the payload)
-//	payload
+// A Handle is the payload's SHA-256 digest plus its length. Handles are
+// stable across compaction — compaction moves bytes, never identities —
+// and they are exactly what cross-node replication needs to ship: a
+// digest list, followed by only the chunks the remote side is missing.
 //
-// A Handle is the byte offset of a record's magic word. Reads verify the
-// magic and checksum, so a torn or stale handle fails loudly instead of
+// Block layout on disk (all integers little-endian):
+//
+//	magic    uint32  (0xCA5C0DE5 live, 0xF7EEB10C free)
+//	kind     uint32  (1 chunk, 2 manifest)
+//	blockLen uint32  (allocated size, power of two, includes header)
+//	dataLen  uint32  (payload bytes)
+//	digest   [32]byte
+//	crc      uint32  (IEEE CRC-32 of the payload)
+//	payload  ...
+//
+// Reads verify the CRC of every chunk and the SHA-256 of the assembled
+// payload, so a torn block or a stale handle fails loudly instead of
 // returning corrupt media.
 package blob
 
 import (
-	"encoding/binary"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
 	"fmt"
-	"hash/crc32"
-	"io"
 	"os"
-	"path/filepath"
-	"sort"
 	"sync"
 )
 
 const (
-	recordMagic = 0xB10BB10B
-	headerSize  = 12
+	liveMagic = 0xCA5C0DE5
+	freeMagic = 0xF7EEB10C
+
+	kindChunk    = 1
+	kindManifest = 2
+
+	hdrSize  = 52
+	minBlock = 64
+
 	// MaxBlobSize mirrors the Oracle 4 GB BLOB limit the paper cites.
 	MaxBlobSize = 4 << 30
 )
 
-// Handle identifies a stored blob: the offset of its record header.
+// Digest is a SHA-256 content digest.
+type Digest [32]byte
+
+// Sum returns the content digest of data.
+func Sum(data []byte) Digest { return sha256.Sum256(data) }
+
+// String renders the digest as hex.
+func (d Digest) String() string { return hex.EncodeToString(d[:]) }
+
+// Handle identifies a stored payload by content: its SHA-256 digest and
+// length. The zero Handle means "no blob" and Get returns ErrNoBlob for
+// it. Offset is only meaningful on handles decoded from a pre-CAS
+// database (the offset-addressed heap generation); store.Open migrates
+// those in place, so a live system never sees one.
 type Handle struct {
-	Offset int64
+	Digest Digest
 	Length uint32
+	Offset int64 // legacy heap offset; zero on content-addressed handles
 }
 
-// Store is an append-only blob heap backed by one file. It is safe for
-// concurrent use: appends are serialized, reads use positional I/O.
+// IsZero reports whether h is the zero handle (no blob stored).
+func (h Handle) IsZero() bool { return h.Digest == (Digest{}) && h.Length == 0 && h.Offset == 0 }
+
+// Legacy reports whether h was minted by the pre-CAS offset-addressed
+// heap: no digest, but a nonzero offset or length.
+func (h Handle) Legacy() bool { return h.Digest == (Digest{}) && !h.IsZero() }
+
+// String renders the handle as a short digest prefix plus length.
+func (h Handle) String() string {
+	if h.IsZero() {
+		return "blob:zero"
+	}
+	if h.Legacy() {
+		return fmt.Sprintf("blob:legacy@%d+%d", h.Offset, h.Length)
+	}
+	return fmt.Sprintf("blob:%x+%d", h.Digest[:8], h.Length)
+}
+
+// Typed errors for the handle edge cases callers must distinguish.
+var (
+	// ErrNoBlob is returned by Get/Release on the zero Handle — a row
+	// whose blob column was never populated.
+	ErrNoBlob = errors.New("blob: zero handle (no blob stored)")
+	// ErrNotFound is returned when a well-formed handle has no object
+	// behind it (already released, or from a foreign store).
+	ErrNotFound = errors.New("blob: object not found")
+	// ErrLegacyHandle is returned when a pre-CAS offset handle reaches
+	// the content-addressed store; store.Open migrates these away.
+	ErrLegacyHandle = errors.New("blob: legacy heap handle not migrated")
+)
+
+// Options tune the store geometry. The zero value selects the defaults.
+type Options struct {
+	// ChunkSize is the split size for payloads. The default is 64 KiB
+	// minus the block header, so a full chunk's block (header + data)
+	// fills its power-of-two size class exactly instead of rounding up
+	// to double.
+	ChunkSize int
+	// SegmentSize caps each data file (default 16 MiB). Appends roll to
+	// a new segment past this; a single oversized block may exceed it.
+	SegmentSize int64
+	// CompactRatio is the live-bytes/size threshold below which a
+	// non-active segment is compacted in the background (default 0.5).
+	// Negative disables background compaction; explicit Compact calls
+	// still work.
+	CompactRatio float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.ChunkSize <= 0 {
+		o.ChunkSize = 64<<10 - hdrSize
+	}
+	if o.SegmentSize <= 0 {
+		o.SegmentSize = 16 << 20
+	}
+	if o.CompactRatio == 0 {
+		o.CompactRatio = 0.5
+	}
+	return o
+}
+
+// loc addresses one block on disk.
+type loc struct {
+	seg      int
+	off      int64
+	blockLen int64
+}
+
+// chunkEntry is the index record of one stored chunk.
+type chunkEntry struct {
+	loc
+	dataLen uint32
+	refs    int64
+}
+
+// manifestEntry is the index record of one stored object: the location
+// of its manifest block plus the decoded chunk list.
+type manifestEntry struct {
+	loc
+	dataLen uint32 // manifest record bytes
+	refs    int64
+	length  uint32 // payload bytes
+	chunks  []Digest
+}
+
+// Stats is a point-in-time snapshot of the store's counters and gauges.
+type Stats struct {
+	Puts, Gets, Releases int64
+	BytesIn, BytesOut    int64
+	// DedupHits counts Puts fully absorbed by an existing manifest;
+	// DedupBytes is the payload bytes those hits did not re-store.
+	// ChunkDedupHits counts chunk-level hits inside novel payloads.
+	DedupHits, DedupBytes, ChunkDedupHits int64
+	// HoleReuses counts block allocations served from the free lists.
+	HoleReuses int64
+	Chunks     int64 // live chunk records
+	Manifests  int64 // live objects
+	LiveBytes  int64 // bytes in live blocks (incl. headers, padding)
+	FreeBytes  int64 // bytes parked in the free lists
+	TotalBytes int64 // sum of segment file sizes
+	Segments   int64
+	// Compactions counts segments retired; CompactedBytes is the file
+	// bytes those segments returned to the filesystem.
+	Compactions, CompactedBytes int64
+	// RebuiltFromScan is set when Open could not use the index snapshot
+	// and recovered the index by scanning the segments.
+	RebuiltFromScan bool
+}
+
+// Store is a content-addressed blob store over a directory of segment
+// files plus an index snapshot. Safe for concurrent use.
 type Store struct {
 	mu   sync.Mutex
-	f    *os.File
-	path string
-	size int64 // next append offset
-	// stats
-	puts, gets, bytesIn, bytesOut int64
+	cond *sync.Cond // signaled when a segment's reader count drops
+
+	dir  string
+	opts Options
+
+	segs      map[int]*segment
+	active    *segment
+	nextSegID int
+	dirty     map[int]*segment // segments with unsynced writes
+
+	chunks    map[Digest]*chunkEntry
+	manifests map[Digest]*manifestEntry
+	free      map[int64][]loc // blockLen -> free blocks
+	freeBytes int64
+
+	closed bool
+
+	// background compactor
+	compactMu   sync.Mutex // serializes compaction passes
+	compactKick chan struct{}
+	stopc       chan struct{}
+	wg          sync.WaitGroup
+
+	st Stats
 }
 
-// Open opens (or creates) the heap file at path and verifies that its tail
-// is well-formed, truncating a torn final record left by a crash.
-func Open(path string) (*Store, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("blob: open %s: %w", path, err)
+// segment is one bounded data file.
+type segment struct {
+	id         int
+	f          *os.File
+	size       int64 // logical append point
+	live       int64 // bytes in live blocks
+	refs       int   // in-flight readers
+	compacting bool  // excluded from allocation while being drained
+}
+
+// Open opens (or creates) a content-addressed store in dir. If the
+// index snapshot is missing, corrupt, or stale against the segment
+// files, the index is rebuilt by scanning the segments; torn tails from
+// a crash mid-append are truncated away.
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("blob: mkdir %s: %w", dir, err)
 	}
-	s := &Store{f: f, path: path}
-	if err := s.recover(); err != nil {
-		f.Close()
+	s := &Store{
+		dir:         dir,
+		opts:        opts,
+		segs:        make(map[int]*segment),
+		dirty:       make(map[int]*segment),
+		chunks:      make(map[Digest]*chunkEntry),
+		manifests:   make(map[Digest]*manifestEntry),
+		free:        make(map[int64][]loc),
+		compactKick: make(chan struct{}, 1),
+		stopc:       make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	ids, err := listSegments(dir)
+	if err != nil {
 		return nil, err
+	}
+	if err := s.openSegments(ids); err != nil {
+		s.closeFiles()
+		return nil, err
+	}
+	if !s.loadIndex() {
+		if err := s.rebuildFromScan(); err != nil {
+			s.closeFiles()
+			return nil, err
+		}
+	}
+	if len(s.segs) == 0 {
+		if _, err := s.addSegment(); err != nil {
+			return nil, err
+		}
+	}
+	s.active = s.segs[s.maxSegID()]
+	if opts.CompactRatio > 0 {
+		s.wg.Add(1)
+		go s.compactor()
 	}
 	return s, nil
 }
 
-// recover scans the heap from the start, verifying each record header and
-// truncating at the first torn record. (Payload checksums are verified
-// lazily on Get; recovery only needs structural integrity to find the
-// append point.)
-func (s *Store) recover() error {
-	info, err := s.f.Stat()
-	if err != nil {
-		return fmt.Errorf("blob: stat: %w", err)
-	}
-	fileSize := info.Size()
-	var off int64
-	var hdr [headerSize]byte
-	for off+headerSize <= fileSize {
-		if _, err := s.f.ReadAt(hdr[:], off); err != nil {
-			return fmt.Errorf("blob: recover read at %d: %w", off, err)
-		}
-		if binary.LittleEndian.Uint32(hdr[0:4]) != recordMagic {
-			break
-		}
-		length := int64(binary.LittleEndian.Uint32(hdr[4:8]))
-		if off+headerSize+length > fileSize {
-			break // torn append
-		}
-		off += headerSize + length
-	}
-	if off < fileSize {
-		if err := s.f.Truncate(off); err != nil {
-			return fmt.Errorf("blob: truncating torn tail: %w", err)
+func (s *Store) maxSegID() int {
+	max := -1
+	for id := range s.segs {
+		if id > max {
+			max = id
 		}
 	}
-	s.size = off
-	return nil
+	return max
 }
 
-// Put appends a blob and returns its handle. The data is written but not
-// fsynced; call Sync for durability, or rely on the store layer's WAL
-// group commit.
+// Put stores data (deduplicated) and returns its content handle. A
+// payload already present only bumps its reference count. The data is
+// written but not fsynced; call Sync for durability, or rely on the
+// store layer's checkpoint/WAL discipline.
 func (s *Store) Put(data []byte) (Handle, error) {
 	if int64(len(data)) > MaxBlobSize {
 		return Handle{}, fmt.Errorf("blob: %d bytes exceeds the %d-byte BLOB limit", len(data), int64(MaxBlobSize))
 	}
-	var hdr [headerSize]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], recordMagic)
-	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(data)))
-	binary.LittleEndian.PutUint32(hdr[8:12], crc32.ChecksumIEEE(data))
+	d := Sum(data)
+	h := Handle{Digest: d, Length: uint32(len(data))}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	off := s.size
-	if _, err := s.f.WriteAt(hdr[:], off); err != nil {
-		return Handle{}, fmt.Errorf("blob: write header: %w", err)
+	if s.closed {
+		return Handle{}, fmt.Errorf("blob: store closed")
 	}
-	if _, err := s.f.WriteAt(data, off+headerSize); err != nil {
-		return Handle{}, fmt.Errorf("blob: write payload: %w", err)
+	s.st.Puts++
+	s.st.BytesIn += int64(len(data))
+	if me := s.manifests[d]; me != nil {
+		me.refs++
+		s.st.DedupHits++
+		s.st.DedupBytes += int64(len(data))
+		return h, nil
 	}
-	s.size = off + headerSize + int64(len(data))
-	s.puts++
-	s.bytesIn += int64(len(data))
-	return Handle{Offset: off, Length: uint32(len(data))}, nil
-}
 
-// Get reads the blob at h, verifying magic, length and checksum.
-func (s *Store) Get(h Handle) ([]byte, error) {
-	var hdr [headerSize]byte
-	if _, err := s.f.ReadAt(hdr[:], h.Offset); err != nil {
-		return nil, fmt.Errorf("blob: read header at %d: %w", h.Offset, err)
+	// Novel payload: store missing chunks, then the manifest.
+	var digests []Digest
+	var added []Digest // chunks increffed by this put, for unwind
+	unwind := func() {
+		for _, cd := range added {
+			if ce := s.chunks[cd]; ce != nil {
+				if ce.refs--; ce.refs <= 0 {
+					s.freeBlockLocked(ce.loc)
+					delete(s.chunks, cd)
+				}
+			}
+		}
 	}
-	if binary.LittleEndian.Uint32(hdr[0:4]) != recordMagic {
-		return nil, fmt.Errorf("blob: no record at offset %d", h.Offset)
+	for off := 0; off < len(data); off += s.opts.ChunkSize {
+		end := off + s.opts.ChunkSize
+		if end > len(data) {
+			end = len(data)
+		}
+		chunk := data[off:end]
+		cd := Sum(chunk)
+		if ce := s.chunks[cd]; ce != nil {
+			ce.refs++
+			s.st.ChunkDedupHits++
+		} else {
+			l, err := s.writeBlock(kindChunk, cd, chunk, -1)
+			if err != nil {
+				unwind()
+				return Handle{}, err
+			}
+			s.chunks[cd] = &chunkEntry{loc: l, dataLen: uint32(len(chunk)), refs: 1}
+		}
+		added = append(added, cd)
+		digests = append(digests, cd)
 	}
-	length := binary.LittleEndian.Uint32(hdr[4:8])
-	if length != h.Length {
-		return nil, fmt.Errorf("blob: handle length %d != stored length %d", h.Length, length)
-	}
-	data := make([]byte, length)
-	if _, err := io.ReadFull(io.NewSectionReader(s.f, h.Offset+headerSize, int64(length)), data); err != nil {
-		return nil, fmt.Errorf("blob: read payload: %w", err)
-	}
-	if crc32.ChecksumIEEE(data) != binary.LittleEndian.Uint32(hdr[8:12]) {
-		return nil, fmt.Errorf("blob: checksum mismatch at offset %d", h.Offset)
-	}
-	s.mu.Lock()
-	s.gets++
-	s.bytesOut += int64(len(data))
-	s.mu.Unlock()
-	return data, nil
-}
-
-// Sync flushes the heap file to stable storage.
-func (s *Store) Sync() error {
-	if err := s.f.Sync(); err != nil {
-		return fmt.Errorf("blob: sync: %w", err)
-	}
-	return nil
-}
-
-// Size returns the heap file's logical size in bytes.
-func (s *Store) Size() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.size
-}
-
-// Stats reports cumulative operation counters.
-func (s *Store) Stats() (puts, gets, bytesIn, bytesOut int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.puts, s.gets, s.bytesIn, s.bytesOut
-}
-
-// Close closes the heap file.
-func (s *Store) Close() error {
-	if err := s.f.Close(); err != nil {
-		return fmt.Errorf("blob: close: %w", err)
-	}
-	return nil
-}
-
-// Compact rewrites the heap keeping only the live handles and returns the
-// mapping from old to new handles, which the caller must apply to every
-// reference before using the store again. The rewrite goes through a
-// temporary file and an atomic rename, so a crash mid-compaction leaves
-// the original heap intact.
-func (s *Store) Compact(live []Handle) (map[Handle]Handle, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-
-	sorted := append([]Handle(nil), live...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Offset < sorted[j].Offset })
-
-	tmpPath := s.path + ".compact"
-	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	mb := encodeManifest(uint32(len(data)), digests)
+	l, err := s.writeBlock(kindManifest, d, mb, -1)
 	if err != nil {
-		return nil, fmt.Errorf("blob: compact: %w", err)
+		unwind()
+		return Handle{}, err
 	}
-	defer os.Remove(tmpPath)
+	s.manifests[d] = &manifestEntry{
+		loc: l, dataLen: uint32(len(mb)), refs: 1,
+		length: uint32(len(data)), chunks: digests,
+	}
+	return h, nil
+}
 
-	moved := make(map[Handle]Handle, len(sorted))
-	var out int64
-	var hdr [headerSize]byte
-	for _, h := range sorted {
-		if _, dup := moved[h]; dup {
+// Get reads the payload behind h, verifying every chunk CRC and the
+// whole-payload digest. The zero handle returns ErrNoBlob.
+func (s *Store) Get(h Handle) ([]byte, error) {
+	if h.IsZero() {
+		return nil, ErrNoBlob
+	}
+	if h.Legacy() {
+		return nil, fmt.Errorf("%w: %s", ErrLegacyHandle, h)
+	}
+	s.mu.Lock()
+	me := s.manifests[h.Digest]
+	if me == nil {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, h)
+	}
+	length := me.length
+	// Resolve every chunk location and pin the segments involved, so
+	// compaction cannot delete the files while the reads are in flight.
+	type read struct {
+		f       *os.File
+		off     int64
+		dataLen uint32
+	}
+	reads := make([]read, len(me.chunks))
+	pinned := make(map[int]*segment)
+	fail := func(err error) ([]byte, error) {
+		for _, sg := range pinned {
+			sg.refs--
+		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		return nil, err
+	}
+	for i, cd := range me.chunks {
+		ce := s.chunks[cd]
+		if ce == nil {
+			return fail(fmt.Errorf("blob: %s: missing chunk %x", h, cd[:8]))
+		}
+		sg := s.segs[ce.seg]
+		if sg == nil {
+			return fail(fmt.Errorf("blob: %s: chunk %x in missing segment %d", h, cd[:8], ce.seg))
+		}
+		if pinned[ce.seg] == nil {
+			sg.refs++
+			pinned[ce.seg] = sg
+		}
+		reads[i] = read{f: sg.f, off: ce.off, dataLen: ce.dataLen}
+	}
+	s.mu.Unlock()
+
+	buf := make([]byte, 0, length)
+	var readErr error
+	for _, r := range reads {
+		data, err := readBlockPayload(r.f, r.off, r.dataLen)
+		if err != nil {
+			readErr = err
+			break
+		}
+		buf = append(buf, data...)
+	}
+
+	s.mu.Lock()
+	for _, sg := range pinned {
+		sg.refs--
+	}
+	s.cond.Broadcast()
+	if readErr == nil {
+		s.st.Gets++
+		s.st.BytesOut += int64(len(buf))
+	}
+	s.mu.Unlock()
+
+	if readErr != nil {
+		return nil, fmt.Errorf("blob: %s: %w", h, readErr)
+	}
+	if uint32(len(buf)) != length || Sum(buf) != h.Digest {
+		return nil, fmt.Errorf("blob: %s: payload digest mismatch (%d bytes)", h, len(buf))
+	}
+	return buf, nil
+}
+
+// Contains reports whether an object with h's digest is stored.
+func (s *Store) Contains(h Handle) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.manifests[h.Digest] != nil
+}
+
+// Release decrements the object's reference count. At zero the manifest
+// and any chunks no other object shares go to the free lists, and their
+// blocks become reusable by later writes. Releasing the zero handle
+// returns ErrNoBlob; a legacy or unknown handle returns a typed error.
+func (s *Store) Release(h Handle) error {
+	if h.IsZero() {
+		return ErrNoBlob
+	}
+	if h.Legacy() {
+		return fmt.Errorf("%w: %s", ErrLegacyHandle, h)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	me := s.manifests[h.Digest]
+	if me == nil {
+		return fmt.Errorf("%w: %s", ErrNotFound, h)
+	}
+	s.st.Releases++
+	if me.refs--; me.refs > 0 {
+		return nil
+	}
+	s.dropManifestLocked(h.Digest, me)
+	s.kickCompactor()
+	return nil
+}
+
+// dropManifestLocked frees a zero-ref manifest and cascades to chunks.
+func (s *Store) dropManifestLocked(d Digest, me *manifestEntry) {
+	s.freeBlockLocked(me.loc)
+	delete(s.manifests, d)
+	for _, cd := range me.chunks {
+		ce := s.chunks[cd]
+		if ce == nil {
 			continue
 		}
-		if _, err := s.f.ReadAt(hdr[:], h.Offset); err != nil {
-			tmp.Close()
-			return nil, fmt.Errorf("blob: compact read: %w", err)
+		if ce.refs--; ce.refs <= 0 {
+			s.freeBlockLocked(ce.loc)
+			delete(s.chunks, cd)
 		}
-		if binary.LittleEndian.Uint32(hdr[0:4]) != recordMagic ||
-			binary.LittleEndian.Uint32(hdr[4:8]) != h.Length {
-			tmp.Close()
-			return nil, fmt.Errorf("blob: compact: live handle %+v is not a record", h)
+	}
+}
+
+// ResetRefs replaces every object's reference count with the caller's
+// authoritative counts (the store layer recomputes them from the
+// surviving table rows at every Open, making refcounts self-healing
+// after any crash). Objects absent from counts are freed; chunk counts
+// are recomputed from the surviving manifests. Digests present in
+// counts but missing from the store are returned.
+func (s *Store) ResetRefs(counts map[Digest]int64) (missing []Digest) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for d, me := range s.manifests {
+		want := counts[d]
+		if want <= 0 {
+			s.freeBlockLocked(me.loc)
+			delete(s.manifests, d)
+			continue
 		}
-		data := make([]byte, h.Length)
-		if _, err := io.ReadFull(io.NewSectionReader(s.f, h.Offset+headerSize, int64(h.Length)), data); err != nil {
-			tmp.Close()
-			return nil, fmt.Errorf("blob: compact read payload: %w", err)
+		me.refs = want
+	}
+	for d := range counts {
+		if counts[d] > 0 && s.manifests[d] == nil {
+			missing = append(missing, d)
 		}
-		if _, err := tmp.WriteAt(hdr[:], out); err != nil {
-			tmp.Close()
-			return nil, fmt.Errorf("blob: compact write: %w", err)
+	}
+	// Exact chunk counts: one reference per occurrence in a live manifest.
+	for _, ce := range s.chunks {
+		ce.refs = 0
+	}
+	for _, me := range s.manifests {
+		for _, cd := range me.chunks {
+			if ce := s.chunks[cd]; ce != nil {
+				ce.refs++
+			}
 		}
-		if _, err := tmp.WriteAt(data, out+headerSize); err != nil {
-			tmp.Close()
-			return nil, fmt.Errorf("blob: compact write payload: %w", err)
+	}
+	for d, ce := range s.chunks {
+		if ce.refs == 0 {
+			s.freeBlockLocked(ce.loc)
+			delete(s.chunks, d)
 		}
-		moved[h] = Handle{Offset: out, Length: h.Length}
-		out += headerSize + int64(h.Length)
 	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return nil, fmt.Errorf("blob: compact sync: %w", err)
+	s.kickCompactor()
+	return missing
+}
+
+// Objects returns a snapshot of every stored object digest and its
+// reference count (for fsck and replication planning).
+func (s *Store) Objects() map[Digest]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[Digest]int64, len(s.manifests))
+	for d, me := range s.manifests {
+		out[d] = me.refs
 	}
-	if err := tmp.Close(); err != nil {
-		return nil, fmt.Errorf("blob: compact close: %w", err)
+	return out
+}
+
+// Stats returns a snapshot of counters and gauges.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.statsLocked()
+}
+
+func (s *Store) statsLocked() Stats {
+	st := s.st
+	st.Chunks = int64(len(s.chunks))
+	st.Manifests = int64(len(s.manifests))
+	st.FreeBytes = s.freeBytes
+	st.Segments = int64(len(s.segs))
+	for _, sg := range s.segs {
+		st.LiveBytes += sg.live
+		st.TotalBytes += sg.size
 	}
-	if err := s.f.Close(); err != nil {
-		return nil, fmt.Errorf("blob: compact close old: %w", err)
+	return st
+}
+
+// Sync fsyncs every segment written since the last sync.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.syncLocked()
+}
+
+func (s *Store) syncLocked() error {
+	for id, sg := range s.dirty {
+		if err := sg.f.Sync(); err != nil {
+			return fmt.Errorf("blob: sync segment %d: %w", id, err)
+		}
+		delete(s.dirty, id)
 	}
-	if err := os.Rename(tmpPath, s.path); err != nil {
-		return nil, fmt.Errorf("blob: compact rename: %w", err)
+	return nil
+}
+
+// Flush syncs the segments and writes the index snapshot, so the next
+// Open can skip the recovery scan.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.syncLocked(); err != nil {
+		return err
 	}
-	f, err := os.OpenFile(s.path, os.O_RDWR, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("blob: compact reopen: %w", err)
+	return s.saveIndexLocked()
+}
+
+// Close stops background compaction, flushes, and closes the files.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
 	}
-	if dir, err := os.Open(filepath.Dir(s.path)); err == nil {
-		_ = dir.Sync()
-		_ = dir.Close()
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stopc)
+	s.wg.Wait()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	if err := s.syncLocked(); err != nil {
+		first = err
 	}
-	s.f = f
-	s.size = out
-	return moved, nil
+	if err := s.saveIndexLocked(); err != nil && first == nil {
+		first = err
+	}
+	for _, sg := range s.segs {
+		if err := sg.f.Close(); err != nil && first == nil {
+			first = fmt.Errorf("blob: close segment %d: %w", sg.id, err)
+		}
+	}
+	return first
+}
+
+// closeFiles closes segment files during a failed Open.
+func (s *Store) closeFiles() {
+	for _, sg := range s.segs {
+		sg.f.Close()
+	}
 }

@@ -2,23 +2,41 @@ package blob
 
 import (
 	"bytes"
-	"encoding/binary"
+	"errors"
 	"math/rand"
 	"os"
 	"path/filepath"
 	"testing"
 	"testing/quick"
+	"time"
 )
+
+// testOpts keeps segments small so compaction and rolling are exercised
+// without megabytes of test data.
+var testOpts = Options{ChunkSize: 4 << 10, SegmentSize: 64 << 10, CompactRatio: -1}
 
 func openTemp(t *testing.T) (*Store, string) {
 	t.Helper()
-	path := filepath.Join(t.TempDir(), "heap.blob")
-	s, err := Open(path)
+	dir := filepath.Join(t.TempDir(), "cas")
+	s, err := Open(dir, testOpts)
 	if err != nil {
 		t.Fatalf("Open: %v", err)
 	}
 	t.Cleanup(func() { s.Close() })
-	return s, path
+	return s, dir
+}
+
+func reopen(t *testing.T, s *Store, dir string) *Store {
+	t.Helper()
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	s2, err := Open(dir, testOpts)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	t.Cleanup(func() { s2.Close() })
+	return s2
 }
 
 func TestPutGetRoundTrip(t *testing.T) {
@@ -26,14 +44,17 @@ func TestPutGetRoundTrip(t *testing.T) {
 	payloads := [][]byte{
 		[]byte("hello"),
 		{},
-		bytes.Repeat([]byte{0xAB}, 1<<16),
-		[]byte{0},
+		bytes.Repeat([]byte{0xAB}, 1<<16), // spans multiple chunks
+		{0},
 	}
 	var handles []Handle
 	for _, p := range payloads {
 		h, err := s.Put(p)
 		if err != nil {
 			t.Fatalf("Put: %v", err)
+		}
+		if h.Digest != Sum(p) || h.Length != uint32(len(p)) {
+			t.Errorf("handle %v does not describe payload", h)
 		}
 		handles = append(handles, h)
 	}
@@ -46,34 +67,322 @@ func TestPutGetRoundTrip(t *testing.T) {
 			t.Errorf("payload %d mismatch: %d vs %d bytes", i, len(got), len(payloads[i]))
 		}
 	}
-	puts, gets, in, out := s.Stats()
-	if puts != 4 || gets != 4 {
-		t.Errorf("stats: puts=%d gets=%d", puts, gets)
+	st := s.Stats()
+	if st.Puts != 4 || st.Gets != 4 {
+		t.Errorf("stats: puts=%d gets=%d", st.Puts, st.Gets)
 	}
-	if in != out {
-		t.Errorf("stats: in=%d out=%d", in, out)
+	if st.BytesIn != st.BytesOut {
+		t.Errorf("stats: in=%d out=%d", st.BytesIn, st.BytesOut)
+	}
+	if st.Manifests != 4 {
+		t.Errorf("manifests = %d, want 4", st.Manifests)
 	}
 }
 
-func TestGetBadHandle(t *testing.T) {
+func TestZeroAndBadHandles(t *testing.T) {
 	s, _ := openTemp(t)
-	h, err := s.Put([]byte("data"))
+	if _, err := s.Get(Handle{}); !errors.Is(err, ErrNoBlob) {
+		t.Errorf("Get(zero) = %v, want ErrNoBlob", err)
+	}
+	if err := s.Release(Handle{}); !errors.Is(err, ErrNoBlob) {
+		t.Errorf("Release(zero) = %v, want ErrNoBlob", err)
+	}
+	if _, err := s.Get(Handle{Offset: 12, Length: 4}); !errors.Is(err, ErrLegacyHandle) {
+		t.Errorf("Get(legacy) = %v, want ErrLegacyHandle", err)
+	}
+	unknown := Handle{Digest: Sum([]byte("never stored")), Length: 12}
+	if _, err := s.Get(unknown); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get(unknown) = %v, want ErrNotFound", err)
+	}
+	if err := s.Release(unknown); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Release(unknown) = %v, want ErrNotFound", err)
+	}
+}
+
+func TestDedupIdenticalPayloads(t *testing.T) {
+	s, _ := openTemp(t)
+	payload := bytes.Repeat([]byte("layer"), 10_000) // ~50 KB, many chunks
+	h1, err := s.Put(payload)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Get(Handle{Offset: h.Offset + 1, Length: h.Length}); err == nil {
-		t.Error("misaligned handle accepted")
+	sizeAfterFirst := s.Stats().TotalBytes
+	for i := 0; i < 9; i++ {
+		h, err := s.Put(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h != h1 {
+			t.Fatalf("identical payload got different handle: %v vs %v", h, h1)
+		}
 	}
-	if _, err := s.Get(Handle{Offset: h.Offset, Length: h.Length + 1}); err == nil {
-		t.Error("wrong-length handle accepted")
+	st := s.Stats()
+	if st.DedupHits != 9 {
+		t.Errorf("dedup hits = %d, want 9", st.DedupHits)
 	}
-	if _, err := s.Get(Handle{Offset: 1 << 40, Length: 4}); err == nil {
-		t.Error("out-of-range handle accepted")
+	if st.TotalBytes != sizeAfterFirst {
+		t.Errorf("10 identical puts grew the store: %d -> %d bytes", sizeAfterFirst, st.TotalBytes)
+	}
+	if st.Manifests != 1 {
+		t.Errorf("manifests = %d, want 1", st.Manifests)
+	}
+	// The object survives until the last reference is released.
+	for i := 0; i < 9; i++ {
+		if err := s.Release(h1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Get(h1); err != nil {
+			t.Fatalf("Get after %d releases: %v", i+1, err)
+		}
+	}
+	if err := s.Release(h1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(h1); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get after final release = %v, want ErrNotFound", err)
 	}
 }
 
-func TestCorruptionDetected(t *testing.T) {
-	s, path := openTemp(t)
+func TestChunkLevelDedup(t *testing.T) {
+	s, _ := openTemp(t)
+	// Two distinct payloads sharing their first chunks: a re-encoded
+	// layer stream where only the tail differs.
+	shared := bytes.Repeat([]byte{0x5A}, 16<<10)
+	a := append(append([]byte(nil), shared...), []byte("tail-a")...)
+	b := append(append([]byte(nil), shared...), []byte("tail-b")...)
+	if _, err := s.Put(a); err != nil {
+		t.Fatal(err)
+	}
+	grew := s.Stats().TotalBytes
+	if _, err := s.Put(b); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.ChunkDedupHits == 0 {
+		t.Error("no chunk-level dedup between payloads sharing chunks")
+	}
+	// b should have cost far less than a: only the tail chunk + manifest.
+	if delta := st.TotalBytes - grew; delta > int64(len(b))/2 {
+		t.Errorf("second payload cost %d bytes, want far less than %d", delta, len(b))
+	}
+}
+
+func TestHoleReuseBoundsChurn(t *testing.T) {
+	s, _ := openTemp(t)
+	// Delete-heavy workload: put/release distinct payloads of one size
+	// class. The footprint must stabilize via hole reuse, with no
+	// compaction ever running (CompactRatio < 0 in testOpts).
+	payload := make([]byte, 3000)
+	var peak int64
+	for i := 0; i < 200; i++ {
+		rand.New(rand.NewSource(int64(i))).Read(payload)
+		h, err := s.Put(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Release(h); err != nil {
+			t.Fatal(err)
+		}
+		if tb := s.Stats().TotalBytes; tb > peak {
+			peak = tb
+		}
+	}
+	st := s.Stats()
+	if st.HoleReuses == 0 {
+		t.Fatal("no hole reuse under churn")
+	}
+	// 200 × ~3 KB cycled through; without reuse the store would be
+	// ~600 KB+. With reuse it stays within a few blocks of one payload.
+	if peak > 64<<10 {
+		t.Errorf("churn footprint peaked at %d bytes; hole reuse is not bounding growth", peak)
+	}
+}
+
+func TestBuddySplitReusesLargerHoles(t *testing.T) {
+	s, _ := openTemp(t)
+	big, _ := s.Put(bytes.Repeat([]byte{1}, 8<<10))
+	if err := s.Release(big); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Stats().TotalBytes
+	// Small puts must carve the freed 8 KB block rather than append.
+	for i := 0; i < 4; i++ {
+		data := bytes.Repeat([]byte{byte(2 + i)}, 900)
+		if _, err := s.Put(data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.TotalBytes != before {
+		t.Errorf("small puts appended (%d -> %d bytes) instead of splitting the freed block", before, st.TotalBytes)
+	}
+	if st.HoleReuses == 0 {
+		t.Error("expected hole reuses from buddy splitting")
+	}
+}
+
+func TestIndexSnapshotRoundTrip(t *testing.T) {
+	s, dir := openTemp(t)
+	var handles []Handle
+	for i := 0; i < 20; i++ {
+		data := bytes.Repeat([]byte{byte(i)}, 2000+137*i)
+		h, err := s.Put(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	s.Release(handles[3])
+	s.Release(handles[7])
+
+	s2 := reopen(t, s, dir)
+	if s2.Stats().RebuiltFromScan {
+		t.Error("clean close should reopen from the index snapshot, not a scan")
+	}
+	for i, h := range handles {
+		if i == 3 || i == 7 {
+			continue
+		}
+		got, err := s2.Get(h)
+		if err != nil {
+			t.Fatalf("Get(%d) after reopen: %v", i, err)
+		}
+		if !bytes.Equal(got, bytes.Repeat([]byte{byte(i)}, 2000+137*i)) {
+			t.Errorf("payload %d corrupted across reopen", i)
+		}
+	}
+	// Freed blocks stayed freed across the reopen.
+	if s2.Stats().FreeBytes == 0 {
+		t.Error("free lists lost across reopen")
+	}
+}
+
+func TestScanRebuildAfterCrash(t *testing.T) {
+	s, dir := openTemp(t)
+	var handles []Handle
+	var payloads [][]byte
+	for i := 0; i < 12; i++ {
+		data := bytes.Repeat([]byte{byte('a' + i)}, 5000)
+		h, err := s.Put(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+		payloads = append(payloads, data)
+	}
+	s.Release(handles[5])
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: segments are on disk, index snapshot is not (delete it to
+	// simulate dying before Flush).
+	s.Close()
+	if err := os.Remove(filepath.Join(dir, indexFile)); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, testOpts)
+	if err != nil {
+		t.Fatalf("reopen without index: %v", err)
+	}
+	defer s2.Close()
+	if !s2.Stats().RebuiltFromScan {
+		t.Error("expected a scan rebuild with the index snapshot missing")
+	}
+	for i, h := range handles {
+		if i == 5 {
+			continue
+		}
+		got, err := s2.Get(h)
+		if err != nil {
+			t.Fatalf("Get(%d) after rebuild: %v", i, err)
+		}
+		if !bytes.Equal(got, payloads[i]) {
+			t.Errorf("payload %d corrupted by rebuild", i)
+		}
+	}
+	// The released object must not resurrect with a live refcount the
+	// owner did not grant: scan sets refs=1 only for manifests still on
+	// disk; handles[5]'s blocks were freed and stamped.
+	if _, err := s2.Get(handles[5]); !errors.Is(err, ErrNotFound) {
+		t.Errorf("released object after rebuild = %v, want ErrNotFound", err)
+	}
+}
+
+func TestScanTruncatesTornAppend(t *testing.T) {
+	s, dir := openTemp(t)
+	h1, _ := s.Put([]byte("first payload"))
+	h2, _ := s.Put(bytes.Repeat([]byte{9}, 6000))
+	s.Close()
+	os.Remove(filepath.Join(dir, indexFile))
+
+	// Simulate a crash mid-chunk-append: a live header claiming more
+	// data than the file holds.
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.blk"))
+	if len(segs) == 0 {
+		t.Fatal("no segments")
+	}
+	last := segs[len(segs)-1]
+	f, err := os.OpenFile(last, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, _ := f.Stat()
+	hdr := make([]byte, hdrSize)
+	putHeader(hdr, kindChunk, 1<<20, 900_000, Sum([]byte("torn")), 0xDEAD)
+	f.WriteAt(hdr, info.Size())
+	f.WriteAt([]byte("partial data then power loss"), info.Size()+hdrSize)
+	f.Close()
+
+	s2, err := Open(dir, testOpts)
+	if err != nil {
+		t.Fatalf("reopen over torn append: %v", err)
+	}
+	defer s2.Close()
+	for _, h := range []Handle{h1, h2} {
+		if _, err := s2.Get(h); err != nil {
+			t.Errorf("payload lost to torn-tail truncation: %v", err)
+		}
+	}
+	// New puts land cleanly after the truncation point.
+	h3, err := s2.Put([]byte("post-recovery"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s2.Get(h3); string(got) != "post-recovery" {
+		t.Error("post-recovery put broken")
+	}
+}
+
+func TestCorruptIndexFallsBackToScan(t *testing.T) {
+	s, dir := openTemp(t)
+	h, _ := s.Put(bytes.Repeat([]byte{0xEE}, 10_000))
+	s.Close()
+	// Flip bytes in the middle of the index snapshot (crash mid-flush /
+	// silent corruption). Open must reject it by CRC and rescan.
+	path := filepath.Join(dir, indexFile)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, testOpts)
+	if err != nil {
+		t.Fatalf("reopen over corrupt index: %v", err)
+	}
+	defer s2.Close()
+	if !s2.Stats().RebuiltFromScan {
+		t.Error("corrupt index was trusted")
+	}
+	if got, err := s2.Get(h); err != nil || len(got) != 10_000 {
+		t.Errorf("payload after corrupt-index recovery: %d bytes, %v", len(got), err)
+	}
+}
+
+func TestCorruptionDetectedOnGet(t *testing.T) {
+	s, dir := openTemp(t)
 	h, err := s.Put(bytes.Repeat([]byte("x"), 100))
 	if err != nil {
 		t.Fatal(err)
@@ -81,12 +390,13 @@ func TestCorruptionDetected(t *testing.T) {
 	if err := s.Sync(); err != nil {
 		t.Fatal(err)
 	}
-	// Flip a payload byte on disk.
-	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.blk"))
+	f, err := os.OpenFile(segs[0], os.O_RDWR, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.WriteAt([]byte{'y'}, h.Offset+headerSize+50); err != nil {
+	// Flip a payload byte of the first block (the first chunk).
+	if _, err := f.WriteAt([]byte{'y'}, hdrSize+50); err != nil {
 		t.Fatal(err)
 	}
 	f.Close()
@@ -95,130 +405,189 @@ func TestCorruptionDetected(t *testing.T) {
 	}
 }
 
-func TestRecoverTruncatesTornTail(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "heap.blob")
-	s, err := Open(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	h1, _ := s.Put([]byte("first"))
-	h2, _ := s.Put([]byte("second"))
-	s.Sync()
-	s.Close()
-
-	// Simulate a crash mid-append: a valid header claiming more bytes
-	// than the file holds.
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var hdr [headerSize]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], recordMagic)
-	binary.LittleEndian.PutUint32(hdr[4:8], 9999)
-	f.Write(hdr[:])
-	f.Write([]byte("partial"))
-	f.Close()
-
-	s, err = Open(path)
-	if err != nil {
-		t.Fatalf("reopen: %v", err)
-	}
-	defer s.Close()
-	if got, err := s.Get(h1); err != nil || string(got) != "first" {
-		t.Errorf("h1 after recovery: %q, %v", got, err)
-	}
-	if got, err := s.Get(h2); err != nil || string(got) != "second" {
-		t.Errorf("h2 after recovery: %q, %v", got, err)
-	}
-	// The torn tail is gone; the next Put lands right after h2.
-	h3, err := s.Put([]byte("third"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if h3.Offset != h2.Offset+headerSize+int64(h2.Length) {
-		t.Errorf("append point after recovery = %d", h3.Offset)
-	}
-}
-
-func TestRecoverGarbageTail(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "heap.blob")
-	s, err := Open(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	h1, _ := s.Put([]byte("keep"))
-	s.Close()
-	if err := os.WriteFile(path+".junk", nil, 0o644); err != nil {
-		t.Fatal(err)
-	}
-	f, _ := os.OpenFile(path, os.O_RDWR|os.O_APPEND, 0)
-	f.Write([]byte("garbage that is not a record header at all"))
-	f.Close()
-	s, err = Open(path)
-	if err != nil {
-		t.Fatalf("reopen over garbage: %v", err)
-	}
-	defer s.Close()
-	if got, err := s.Get(h1); err != nil || string(got) != "keep" {
-		t.Errorf("h1 = %q, %v", got, err)
-	}
-}
-
-func TestCompact(t *testing.T) {
+func TestCompactReclaimsSparseSegments(t *testing.T) {
 	s, _ := openTemp(t)
+	var keep []Handle
+	var keepData [][]byte
+	for i := 0; i < 40; i++ {
+		data := bytes.Repeat([]byte{byte(i)}, 4000)
+		h, err := s.Put(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			keep = append(keep, h)
+			keepData = append(keepData, data)
+		} else if err := s.Release(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := s.Stats().TotalBytes
+	reclaimed, err := s.Compact()
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	st := s.Stats()
+	if reclaimed <= 0 || st.TotalBytes >= before {
+		t.Errorf("compaction reclaimed %d (size %d -> %d)", reclaimed, before, st.TotalBytes)
+	}
+	if st.Compactions == 0 {
+		t.Error("no segments were compacted")
+	}
+	// Handles are stable across compaction — same digests, new blocks.
+	for i, h := range keep {
+		got, err := s.Get(h)
+		if err != nil {
+			t.Fatalf("Get after compact: %v", err)
+		}
+		if !bytes.Equal(got, keepData[i]) {
+			t.Errorf("payload %d corrupted by compaction", i)
+		}
+	}
+	if _, err := s.Put([]byte("post-compact")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBackgroundCompaction(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cas")
+	opts := testOpts
+	opts.CompactRatio = 0.6
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
 	var handles []Handle
-	for i := 0; i < 10; i++ {
-		h, err := s.Put(bytes.Repeat([]byte{byte(i)}, 1000))
+	for i := 0; i < 60; i++ {
+		data := bytes.Repeat([]byte{byte(i)}, 4000)
+		h, err := s.Put(data)
 		if err != nil {
 			t.Fatal(err)
 		}
 		handles = append(handles, h)
 	}
-	before := s.Size()
-	// Keep only the even blobs.
-	var live []Handle
-	for i := 0; i < 10; i += 2 {
-		live = append(live, handles[i])
-	}
-	moved, err := s.Compact(live)
-	if err != nil {
-		t.Fatalf("Compact: %v", err)
-	}
-	if s.Size() >= before {
-		t.Errorf("compaction did not shrink: %d -> %d", before, s.Size())
-	}
-	for i := 0; i < 10; i += 2 {
-		nh, ok := moved[handles[i]]
-		if !ok {
-			t.Fatalf("handle %d missing from move map", i)
-		}
-		got, err := s.Get(nh)
-		if err != nil {
-			t.Fatalf("Get after compact: %v", err)
-		}
-		if !bytes.Equal(got, bytes.Repeat([]byte{byte(i)}, 1000)) {
-			t.Errorf("blob %d corrupted by compaction", i)
+	// Release most objects; the background compactor should eventually
+	// retire sparse segments.
+	for i, h := range handles {
+		if i%5 != 0 {
+			if err := s.Release(h); err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
-	// New puts continue to work after compaction.
-	h, err := s.Put([]byte("post-compact"))
-	if err != nil {
-		t.Fatal(err)
+	deadline := 200
+	for ; deadline > 0; deadline-- {
+		if s.Stats().Compactions > 0 {
+			break
+		}
+		// Nudge and give the compactor goroutine a chance to run.
+		s.mu.Lock()
+		s.kickCompactor()
+		s.mu.Unlock()
+		time.Sleep(2 * time.Millisecond)
+		if deadline%10 == 0 {
+			for _, i := range []int{0, 5, 10} {
+				if _, err := s.Get(handles[i]); err != nil {
+					t.Fatalf("read during background compaction: %v", err)
+				}
+			}
+		}
 	}
-	if got, _ := s.Get(h); string(got) != "post-compact" {
-		t.Error("post-compaction put broken")
+	if s.Stats().Compactions == 0 {
+		t.Fatal("background compactor never ran")
+	}
+	for i, h := range handles {
+		if i%5 != 0 {
+			continue
+		}
+		got, err := s.Get(h)
+		if err != nil || !bytes.Equal(got, bytes.Repeat([]byte{byte(i)}, 4000)) {
+			t.Fatalf("survivor %d after background compaction: %v", i, err)
+		}
 	}
 }
 
-func TestCompactEmpty(t *testing.T) {
-	s, _ := openTemp(t)
-	s.Put([]byte("doomed"))
-	moved, err := s.Compact(nil)
+func TestCrashMidCompactionDuplicatesDedupedOnScan(t *testing.T) {
+	s, dir := openTemp(t)
+	data := bytes.Repeat([]byte{0x77}, 3000)
+	h, err := s.Put(data)
 	if err != nil {
-		t.Fatalf("Compact(nil): %v", err)
+		t.Fatal(err)
 	}
-	if len(moved) != 0 || s.Size() != 0 {
-		t.Errorf("empty compaction: moved=%d size=%d", len(moved), s.Size())
+	// Distinct-content filler (a repeated byte would chunk-dedup to one
+	// block) forces a roll to a second segment.
+	fill := make([]byte, 60<<10)
+	rand.New(rand.NewSource(42)).Read(fill)
+	if _, err := s.Put(fill); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	os.Remove(filepath.Join(dir, indexFile))
+
+	// Simulate a crash between compaction's copy and the source delete:
+	// the same chunk block exists in two segments. The copy lands
+	// block-aligned in the destination, as writeBlock would place it —
+	// here at offset 0 of a fresh segment that was the compaction target.
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.blk"))
+	if len(segs) < 2 {
+		t.Fatalf("want ≥2 segments, have %d", len(segs))
+	}
+	src, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl := int64(4096) // 3000+52 rounds to 4096
+	if err := os.WriteFile(filepath.Join(dir, segName(99)), src[:bl], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, testOpts)
+	if err != nil {
+		t.Fatalf("reopen over duplicate blocks: %v", err)
+	}
+	defer s2.Close()
+	got, err := s2.Get(h)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("payload with duplicate blocks: %v", err)
+	}
+	// The duplicate was freed, not double-counted.
+	if st := s2.Stats(); st.FreeBytes == 0 {
+		t.Error("duplicate block was not freed on scan")
+	}
+}
+
+func TestResetRefs(t *testing.T) {
+	s, _ := openTemp(t)
+	a, _ := s.Put([]byte("payload a"))
+	b, _ := s.Put(bytes.Repeat([]byte("b"), 9000))
+	c, _ := s.Put([]byte("payload c"))
+	ghost := Sum([]byte("never stored"))
+
+	missing := s.ResetRefs(map[Digest]int64{
+		a.Digest: 3,
+		b.Digest: 1,
+		// c absent: must be freed as an orphan.
+		ghost: 2,
+	})
+	if len(missing) != 1 || missing[0] != ghost {
+		t.Errorf("missing = %v, want [ghost]", missing)
+	}
+	if _, err := s.Get(c); !errors.Is(err, ErrNotFound) {
+		t.Errorf("orphan survived ResetRefs: %v", err)
+	}
+	// a now needs exactly 3 releases to die.
+	s.Release(a)
+	s.Release(a)
+	if _, err := s.Get(a); err != nil {
+		t.Fatalf("a died early: %v", err)
+	}
+	s.Release(a)
+	if _, err := s.Get(a); !errors.Is(err, ErrNotFound) {
+		t.Error("a survived its final release")
+	}
+	if _, err := s.Get(b); err != nil {
+		t.Errorf("b: %v", err)
 	}
 }
 
@@ -226,7 +595,7 @@ func TestQuickPutGet(t *testing.T) {
 	s, _ := openTemp(t)
 	f := func(seed int64, n uint16) bool {
 		rng := rand.New(rand.NewSource(seed))
-		data := make([]byte, int(n)%4096)
+		data := make([]byte, int(n)%9000)
 		rng.Read(data)
 		h, err := s.Put(data)
 		if err != nil {
@@ -240,15 +609,22 @@ func TestQuickPutGet(t *testing.T) {
 	}
 }
 
-func TestConcurrentPutGet(t *testing.T) {
-	s, _ := openTemp(t)
+func TestConcurrentPutGetRelease(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cas")
+	opts := testOpts
+	opts.CompactRatio = 0.5 // background compactor on, racing the workers
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
 	const workers = 8
 	const per = 50
 	errc := make(chan error, workers)
 	for w := 0; w < workers; w++ {
 		go func(w int) {
 			for i := 0; i < per; i++ {
-				data := bytes.Repeat([]byte{byte(w)}, 64+i)
+				data := bytes.Repeat([]byte{byte(w)}, 1024+i*13)
 				h, err := s.Put(data)
 				if err != nil {
 					errc <- err
@@ -263,6 +639,12 @@ func TestConcurrentPutGet(t *testing.T) {
 					errc <- os.ErrInvalid
 					return
 				}
+				if i%3 == 0 {
+					if err := s.Release(h); err != nil {
+						errc <- err
+						return
+					}
+				}
 			}
 			errc <- nil
 		}(w)
@@ -272,17 +654,53 @@ func TestConcurrentPutGet(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	puts, _, _, _ := s.Stats()
-	if puts != workers*per {
-		t.Errorf("puts = %d, want %d", puts, workers*per)
+	if st := s.Stats(); st.Puts != workers*per {
+		t.Errorf("puts = %d, want %d", st.Puts, workers*per)
+	}
+}
+
+func TestLegacyHeapRead(t *testing.T) {
+	// Write one record in the old heap format by hand and read it back.
+	path := filepath.Join(t.TempDir(), "heap.blob")
+	payload := []byte("old-world payload")
+	rec := make([]byte, legacyHdrSize+len(payload))
+	putLegacyRecord(rec, payload)
+	if err := os.WriteFile(path, rec, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lh, err := OpenLegacyHeap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lh.Close()
+	got, err := lh.Get(Handle{Offset: 0, Length: uint32(len(payload))})
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("legacy read: %q %v", got, err)
+	}
+	if _, err := lh.Get(Handle{Offset: 4, Length: uint32(len(payload))}); err == nil {
+		t.Error("misaligned legacy handle accepted")
 	}
 }
 
 func TestOversizeRejected(t *testing.T) {
-	// Can't allocate 4GB in a test; validate the guard directly via a
-	// fake length check by calling Put with a small slice and asserting
-	// the limit constant is what the paper cites.
 	if MaxBlobSize != 4<<30 {
 		t.Errorf("MaxBlobSize = %d, want 4GB", int64(MaxBlobSize))
+	}
+}
+
+func TestHandlePredicates(t *testing.T) {
+	if !(Handle{}).IsZero() {
+		t.Error("zero handle not IsZero")
+	}
+	if (Handle{}).Legacy() {
+		t.Error("zero handle claims Legacy")
+	}
+	leg := Handle{Offset: 42, Length: 7}
+	if !leg.Legacy() || leg.IsZero() {
+		t.Error("offset handle not detected as legacy")
+	}
+	cas := Handle{Digest: Sum([]byte("x")), Length: 1}
+	if cas.Legacy() || cas.IsZero() {
+		t.Error("digest handle misclassified")
 	}
 }

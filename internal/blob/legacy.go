@@ -1,0 +1,69 @@
+package blob
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// LegacyHeap reads the first-generation offset-addressed heap format
+// (magic | length | crc | payload records, addressed by byte offset).
+// It exists solely so store.Open can migrate an existing heap.blob into
+// the content-addressed store one payload at a time.
+type LegacyHeap struct {
+	f *os.File
+}
+
+const (
+	legacyMagic   = 0xB10BB10B
+	legacyHdrSize = 12
+)
+
+// OpenLegacyHeap opens an old heap file read-only. A missing file
+// returns os.ErrNotExist.
+func OpenLegacyHeap(path string) (*LegacyHeap, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &LegacyHeap{f: f}, nil
+}
+
+// Get reads the record a legacy handle addresses, verifying magic,
+// length, and checksum exactly as the old store did.
+func (l *LegacyHeap) Get(h Handle) ([]byte, error) {
+	var hdr [legacyHdrSize]byte
+	if _, err := l.f.ReadAt(hdr[:], h.Offset); err != nil {
+		return nil, fmt.Errorf("blob: legacy read header at %d: %w", h.Offset, err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != legacyMagic {
+		return nil, fmt.Errorf("blob: no legacy record at offset %d", h.Offset)
+	}
+	length := binary.LittleEndian.Uint32(hdr[4:8])
+	if length != h.Length {
+		return nil, fmt.Errorf("blob: legacy handle length %d != stored length %d", h.Length, length)
+	}
+	data := make([]byte, length)
+	if _, err := io.ReadFull(io.NewSectionReader(l.f, h.Offset+legacyHdrSize, int64(length)), data); err != nil {
+		return nil, fmt.Errorf("blob: legacy read payload: %w", err)
+	}
+	if crc32.ChecksumIEEE(data) != binary.LittleEndian.Uint32(hdr[8:12]) {
+		return nil, fmt.Errorf("blob: legacy checksum mismatch at offset %d", h.Offset)
+	}
+	return data, nil
+}
+
+// Close closes the heap file.
+func (l *LegacyHeap) Close() error { return l.f.Close() }
+
+// putLegacyRecord serializes one record in the legacy heap format into
+// buf, which must hold legacyHdrSize+len(payload) bytes. Used by tests
+// and fixtures that need to fabricate pre-CAS heap files.
+func putLegacyRecord(buf, payload []byte) {
+	binary.LittleEndian.PutUint32(buf[0:4], legacyMagic)
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[8:12], crc32.ChecksumIEEE(payload))
+	copy(buf[legacyHdrSize:], payload)
+}

@@ -117,6 +117,44 @@ func Open(db *store.DB) (*MediaDB, error) {
 // DB exposes the underlying store for administrative tooling.
 func (m *MediaDB) DB() *store.DB { return m.db }
 
+// blobHandleAt extracts the blob handle in column i of row, failing
+// loudly (instead of panicking) on a malformed row — e.g. a cell decoded
+// from a damaged snapshot.
+func blobHandleAt(row store.Row, i int) (blob.Handle, error) {
+	if i >= len(row) {
+		return blob.Handle{}, fmt.Errorf("mediadb: row has %d columns, no blob at %d", len(row), i)
+	}
+	h, ok := row[i].(blob.Handle)
+	if !ok {
+		return blob.Handle{}, fmt.Errorf("mediadb: column %d holds %T, not a blob handle", i, row[i])
+	}
+	return h, nil
+}
+
+// releaseRowBlobs drops the references held by the blob cells of a row
+// that was just deleted or overwritten. A zero handle (cell never
+// populated) is skipped; other release errors are returned so callers
+// can surface refcount drift, though the row change itself stands.
+func (m *MediaDB) releaseRowBlobs(row store.Row, cols ...int) error {
+	var first error
+	for _, ci := range cols {
+		h, err := blobHandleAt(row, ci)
+		if err != nil {
+			if first == nil {
+				first = err
+			}
+			continue
+		}
+		if h.IsZero() {
+			continue
+		}
+		if err := m.db.ReleaseBlob(h); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 // RegisterType adds a new multimedia type to the catalog, creating its
 // object table if tables' schema is provided elsewhere by the caller. The
 // named object table must already exist.
@@ -185,15 +223,18 @@ func (m *MediaDB) Types() ([]TypeInfo, error) {
 }
 
 // ImageObject is one row of IMAGE_OBJECTS_TABLE with its payload resolved.
+// Digest is the payload's content address in the blob store.
 type ImageObject struct {
 	ID      uint64
 	Quality int64
 	Texts   string
 	CM      float64
+	Digest  blob.Digest
 	Data    []byte
 }
 
-// PutImage stores an image object and returns its id.
+// PutImage stores an image object and returns its id. An identical
+// payload already in the store is shared, not duplicated.
 func (m *MediaDB) PutImage(quality int64, texts string, cm float64, data []byte) (uint64, error) {
 	h, err := m.db.PutBlob(data)
 	if err != nil {
@@ -201,9 +242,15 @@ func (m *MediaDB) PutImage(quality int64, texts string, cm float64, data []byte)
 	}
 	tbl, err := m.db.Table(ImageTable)
 	if err != nil {
+		m.db.ReleaseBlob(h)
 		return 0, err
 	}
-	return tbl.Insert(store.Row{quality, texts, cm, h})
+	id, err := tbl.Insert(store.Row{quality, texts, cm, h})
+	if err != nil {
+		m.db.ReleaseBlob(h)
+		return 0, err
+	}
+	return id, nil
 }
 
 // GetImage fetches an image object by id.
@@ -219,7 +266,11 @@ func (m *MediaDB) GetImage(id uint64) (ImageObject, error) {
 	if !ok {
 		return ImageObject{}, fmt.Errorf("mediadb: no image object %d", id)
 	}
-	data, err := m.db.GetBlob(row[3].(blob.Handle))
+	h, err := blobHandleAt(row, 3)
+	if err != nil {
+		return ImageObject{}, err
+	}
+	data, err := m.db.GetBlob(h)
 	if err != nil {
 		return ImageObject{}, err
 	}
@@ -228,6 +279,7 @@ func (m *MediaDB) GetImage(id uint64) (ImageObject, error) {
 		Quality: row[0].(int64),
 		Texts:   row[1].(string),
 		CM:      row[2].(float64),
+		Digest:  h.Digest,
 		Data:    data,
 	}, nil
 }
@@ -251,10 +303,12 @@ func (m *MediaDB) UpdateImageTexts(id uint64, texts string) error {
 }
 
 // AudioObject is one row of AUDIO_OBJECTS_TABLE with its payload resolved.
+// Digest is the payload's content address in the blob store.
 type AudioObject struct {
 	ID       uint64
 	Filename string
 	Sectors  []byte
+	Digest   blob.Digest
 	Data     []byte
 }
 
@@ -266,9 +320,15 @@ func (m *MediaDB) PutAudio(filename string, sectors, data []byte) (uint64, error
 	}
 	tbl, err := m.db.Table(AudioTable)
 	if err != nil {
+		m.db.ReleaseBlob(h)
 		return 0, err
 	}
-	return tbl.Insert(store.Row{filename, sectors, h})
+	id, err := tbl.Insert(store.Row{filename, sectors, h})
+	if err != nil {
+		m.db.ReleaseBlob(h)
+		return 0, err
+	}
+	return id, nil
 }
 
 // GetAudio fetches an audio object by id.
@@ -284,11 +344,15 @@ func (m *MediaDB) GetAudio(id uint64) (AudioObject, error) {
 	if !ok {
 		return AudioObject{}, fmt.Errorf("mediadb: no audio object %d", id)
 	}
-	data, err := m.db.GetBlob(row[2].(blob.Handle))
+	h, err := blobHandleAt(row, 2)
 	if err != nil {
 		return AudioObject{}, err
 	}
-	return AudioObject{ID: id, Filename: row[0].(string), Sectors: row[1].([]byte), Data: data}, nil
+	data, err := m.db.GetBlob(h)
+	if err != nil {
+		return AudioObject{}, err
+	}
+	return AudioObject{ID: id, Filename: row[0].(string), Sectors: row[1].([]byte), Digest: h.Digest, Data: data}, nil
 }
 
 // CmpObject is one row of CMP_OBJECTS_TABLE: a multi-layer compressed
@@ -298,8 +362,12 @@ type CmpObject struct {
 	Filename string
 	FileSize int64
 	Position int64
-	Header   []byte
-	Data     []byte
+	// HeaderDigest and DataDigest are the content addresses of the two
+	// payloads in the blob store.
+	HeaderDigest blob.Digest
+	DataDigest   blob.Digest
+	Header       []byte
+	Data         []byte
 }
 
 // PutCmp stores a compressed stream.
@@ -310,13 +378,24 @@ func (m *MediaDB) PutCmp(filename string, header, data []byte) (uint64, error) {
 	}
 	dh, err := m.db.PutBlob(data)
 	if err != nil {
+		m.db.ReleaseBlob(hh)
 		return 0, err
+	}
+	unwind := func() {
+		m.db.ReleaseBlob(hh)
+		m.db.ReleaseBlob(dh)
 	}
 	tbl, err := m.db.Table(CmpTable)
 	if err != nil {
+		unwind()
 		return 0, err
 	}
-	return tbl.Insert(store.Row{filename, int64(len(data)), int64(0), hh, dh})
+	id, err := tbl.Insert(store.Row{filename, int64(len(data)), int64(0), hh, dh})
+	if err != nil {
+		unwind()
+		return 0, err
+	}
+	return id, nil
 }
 
 // GetCmp fetches a compressed stream by id.
@@ -332,53 +411,75 @@ func (m *MediaDB) GetCmp(id uint64) (CmpObject, error) {
 	if !ok {
 		return CmpObject{}, fmt.Errorf("mediadb: no compressed object %d", id)
 	}
-	header, err := m.db.GetBlob(row[3].(blob.Handle))
+	hh, err := blobHandleAt(row, 3)
 	if err != nil {
 		return CmpObject{}, err
 	}
-	data, err := m.db.GetBlob(row[4].(blob.Handle))
+	dh, err := blobHandleAt(row, 4)
+	if err != nil {
+		return CmpObject{}, err
+	}
+	header, err := m.db.GetBlob(hh)
+	if err != nil {
+		return CmpObject{}, err
+	}
+	data, err := m.db.GetBlob(dh)
 	if err != nil {
 		return CmpObject{}, err
 	}
 	return CmpObject{
-		ID:       id,
-		Filename: row[0].(string),
-		FileSize: row[1].(int64),
-		Position: row[2].(int64),
-		Header:   header,
-		Data:     data,
+		ID:           id,
+		Filename:     row[0].(string),
+		FileSize:     row[1].(int64),
+		Position:     row[2].(int64),
+		HeaderDigest: hh.Digest,
+		DataDigest:   dh.Digest,
+		Header:       header,
+		Data:         data,
 	}, nil
 }
 
-// DeleteImage removes an image object's row. The payload bytes remain in
-// the blob heap until the store's CompactBlobs reclaims them.
+// deleteRow deletes one row of tableName and releases the blob handles
+// in the given columns. The release happens after the delete is logged,
+// and the blob store defers the actual free until that record is
+// durable, so a crash can never free a payload a surviving row needs.
+func (m *MediaDB) deleteRow(tableName string, id uint64, blobCols ...int) error {
+	tbl, err := m.db.Table(tableName)
+	if err != nil {
+		return err
+	}
+	row, ok, err := tbl.Get(id)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("store: table %q: no row %d", tableName, id)
+	}
+	if err := tbl.Delete(id); err != nil {
+		return err
+	}
+	return m.releaseRowBlobs(row, blobCols...)
+}
+
+// DeleteImage removes an image object's row and drops its payload
+// reference; unshared payload bytes become reusable free space at once.
 func (m *MediaDB) DeleteImage(id uint64) error {
-	tbl, err := m.db.Table(ImageTable)
-	if err != nil {
-		return err
-	}
-	return tbl.Delete(id)
+	return m.deleteRow(ImageTable, id, 3)
 }
 
-// DeleteAudio removes an audio object's row.
+// DeleteAudio removes an audio object's row and its payload reference.
 func (m *MediaDB) DeleteAudio(id uint64) error {
-	tbl, err := m.db.Table(AudioTable)
-	if err != nil {
-		return err
-	}
-	return tbl.Delete(id)
+	return m.deleteRow(AudioTable, id, 2)
 }
 
-// DeleteCmp removes a compressed stream's row.
+// DeleteCmp removes a compressed stream's row and both payload
+// references (header and bitstream).
 func (m *MediaDB) DeleteCmp(id uint64) error {
-	tbl, err := m.db.Table(CmpTable)
-	if err != nil {
-		return err
-	}
-	return tbl.Delete(id)
+	return m.deleteRow(CmpTable, id, 3, 4)
 }
 
-// DeleteDocument removes a stored document by document id.
+// DeleteDocument removes a stored document by document id, dropping its
+// payload reference.
 func (m *MediaDB) DeleteDocument(docID string) error {
 	tbl, err := m.db.Table(DocumentTable)
 	if err != nil {
@@ -391,10 +492,13 @@ func (m *MediaDB) DeleteDocument(docID string) error {
 	if len(ids) == 0 {
 		return fmt.Errorf("mediadb: no document %q", docID)
 	}
-	return tbl.Delete(ids[0])
+	return m.deleteRow(DocumentTable, ids[0], 2)
 }
 
-// PutDocument stores (or replaces) a multimedia document.
+// PutDocument stores (or replaces) a multimedia document. Replacing a
+// document releases the previous payload's reference — repeated saves of
+// an evolving document no longer accumulate dead blob versions — and
+// saving an unchanged document dedups to a refcount bump and release.
 func (m *MediaDB) PutDocument(d *document.Document) error {
 	data, err := d.MarshalBinary()
 	if err != nil {
@@ -406,18 +510,35 @@ func (m *MediaDB) PutDocument(d *document.Document) error {
 	}
 	tbl, err := m.db.Table(DocumentTable)
 	if err != nil {
+		m.db.ReleaseBlob(h)
 		return err
 	}
 	ids, err := tbl.LookupString("FLD_DOCID", d.ID)
 	if err != nil {
+		m.db.ReleaseBlob(h)
 		return err
 	}
 	row := store.Row{d.ID, d.Title, h}
 	if len(ids) > 0 {
-		return tbl.Update(ids[0], row)
+		old, ok, err := tbl.Get(ids[0])
+		if err != nil {
+			m.db.ReleaseBlob(h)
+			return err
+		}
+		if err := tbl.Update(ids[0], row); err != nil {
+			m.db.ReleaseBlob(h)
+			return err
+		}
+		if ok {
+			return m.releaseRowBlobs(old, 2)
+		}
+		return nil
 	}
-	_, err = tbl.Insert(row)
-	return err
+	if _, err := tbl.Insert(row); err != nil {
+		m.db.ReleaseBlob(h)
+		return err
+	}
+	return nil
 }
 
 // GetDocument fetches a document by its document id.
@@ -437,7 +558,11 @@ func (m *MediaDB) GetDocument(docID string) (*document.Document, error) {
 	if err != nil || !ok {
 		return nil, fmt.Errorf("mediadb: document row vanished: %v", err)
 	}
-	data, err := m.db.GetBlob(row[2].(blob.Handle))
+	h, err := blobHandleAt(row, 2)
+	if err != nil {
+		return nil, err
+	}
+	data, err := m.db.GetBlob(h)
 	if err != nil {
 		return nil, err
 	}

@@ -287,6 +287,54 @@ func TestPersistenceAcrossReopen(t *testing.T) {
 	}
 }
 
+// TestOverwriteBoundsStoreSize is the regression test for the
+// PutDocument overwrite leak: saving the same document id over and over
+// (with changing content, so runs don't dedup) must release the
+// replaced payload each time, keeping the blob store's footprint flat
+// instead of growing by one document per save.
+func TestOverwriteBoundsStoreSize(t *testing.T) {
+	// SyncAlways keeps the WAL clean after every append, so each
+	// overwrite's release lands immediately instead of queueing.
+	db, err := store.Open(t.TempDir(), store.Options{Sync: store.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	m, err := Open(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := testDoc(t)
+	var peak int64
+	for i := 0; i < 50; i++ {
+		// Mutate the document so successive serializations differ.
+		d.Title = "Rev " + string(rune('A'+i%26)) + string(rune('a'+i/26))
+		if err := m.PutDocument(d); err != nil {
+			t.Fatalf("save %d: %v", i, err)
+		}
+		st, _ := db.BlobStats()
+		if st.TotalBytes > peak {
+			peak = st.TotalBytes
+		}
+	}
+	st, _ := db.BlobStats()
+	one := st.LiveBytes // a single revision's footprint
+	if one == 0 {
+		t.Fatal("document payload not in blob store")
+	}
+	if peak > 4*one {
+		t.Errorf("store peaked at %d bytes for a %d-byte document: overwrites are leaking", peak, one)
+	}
+	if st.Manifests != 1 {
+		t.Errorf("live objects after 50 overwrites = %d, want 1", st.Manifests)
+	}
+	// The final revision is the one that survived.
+	back, err := m.GetDocument("doc-1")
+	if err != nil || back.Title != d.Title {
+		t.Errorf("final revision: %+v, %v", back, err)
+	}
+}
+
 func TestDeleteObjectsAndCompaction(t *testing.T) {
 	dir := t.TempDir()
 	db, err := store.Open(dir, store.Options{Sync: store.SyncNever})
@@ -298,20 +346,24 @@ func TestDeleteObjectsAndCompaction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Distinct payloads per object: identical ones would be shared by the
+	// content-addressed store and deleting the copies would reclaim
+	// nothing (that sharing is tested separately).
 	big := bytes.Repeat([]byte{1}, 50_000)
+	mk := func(b byte) []byte { return bytes.Repeat([]byte{b}, 50_000) }
 	keep, err := m.PutImage(1, "keep", 1, big)
 	if err != nil {
 		t.Fatal(err)
 	}
-	doomed, err := m.PutImage(1, "doomed", 1, big)
+	doomed, err := m.PutImage(1, "doomed", 1, mk(2))
 	if err != nil {
 		t.Fatal(err)
 	}
-	aud, err := m.PutAudio("a.pcm", nil, big)
+	aud, err := m.PutAudio("a.pcm", nil, mk(3))
 	if err != nil {
 		t.Fatal(err)
 	}
-	cmpID, err := m.PutCmp("c.mml", []byte{1}, big)
+	cmpID, err := m.PutCmp("c.mml", []byte{1}, mk(4))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -72,21 +72,27 @@ type GetDocumentResp struct{ DocData []byte }
 // GetImageReq fetches an image object.
 type GetImageReq struct{ ID uint64 }
 
-// GetImageResp carries one IMAGE_OBJECTS_TABLE row with payload.
+// GetImageResp carries one IMAGE_OBJECTS_TABLE row with payload. Digest
+// is the payload's SHA-256 content address in the server's blob store —
+// a client (or replica) holding a payload with the same digest already
+// has these bytes and can serve them from its cache.
 type GetImageResp struct {
 	Quality int64
 	Texts   string
 	CM      float64
+	Digest  []byte
 	Data    []byte
 }
 
 // GetAudioReq fetches an audio object.
 type GetAudioReq struct{ ID uint64 }
 
-// GetAudioResp carries one AUDIO_OBJECTS_TABLE row with payload.
+// GetAudioResp carries one AUDIO_OBJECTS_TABLE row with payload. Digest
+// is the payload's content address (see GetImageResp).
 type GetAudioResp struct {
 	Filename string
 	Sectors  []byte
+	Digest   []byte
 	Data     []byte
 }
 
@@ -99,9 +105,12 @@ type GetCmpReq struct {
 	MaxLayers int
 }
 
-// GetCmpResp carries the stream header and the (possibly truncated) body.
+// GetCmpResp carries the stream header and the (possibly truncated)
+// body. Digest is the content address of the FULL stored stream, not of
+// the truncated body (a layer-truncated transfer has no stored digest).
 type GetCmpResp struct {
 	Filename string
+	Digest   []byte
 	Header   []byte
 	Data     []byte
 }

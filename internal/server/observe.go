@@ -36,6 +36,25 @@ func (s *Server) MetricsSnapshot() *proto.StatsResp {
 	peers, backlog := s.rpc.WriteBacklog()
 	resp.Gauges["wire.peers"] = int64(peers)
 	resp.Gauges["wire.write_backlog"] = int64(backlog)
+
+	// Content-addressed blob store: dedup and space-reclamation health.
+	bs, missing := s.db.DB().BlobStats()
+	resp.Counters["blob.puts"] = uint64(bs.Puts)
+	resp.Counters["blob.gets"] = uint64(bs.Gets)
+	resp.Counters["blob.releases"] = uint64(bs.Releases)
+	resp.Counters["blob.dedup_hits"] = uint64(bs.DedupHits)
+	resp.Counters["blob.dedup_bytes"] = uint64(bs.DedupBytes)
+	resp.Counters["blob.chunk_dedup_hits"] = uint64(bs.ChunkDedupHits)
+	resp.Counters["blob.hole_reuses"] = uint64(bs.HoleReuses)
+	resp.Counters["blob.compactions"] = uint64(bs.Compactions)
+	resp.Counters["blob.compacted_bytes"] = uint64(bs.CompactedBytes)
+	resp.Gauges["blob.chunks"] = bs.Chunks
+	resp.Gauges["blob.objects"] = bs.Manifests
+	resp.Gauges["blob.live_bytes"] = bs.LiveBytes
+	resp.Gauges["blob.free_bytes"] = bs.FreeBytes
+	resp.Gauges["blob.total_bytes"] = bs.TotalBytes
+	resp.Gauges["blob.segments"] = bs.Segments
+	resp.Gauges["blob.missing_refs"] = int64(missing)
 	bytes, entries := s.objects.gauges()
 	resp.Gauges["cache.obj.bytes"] = bytes
 	resp.Gauges["cache.obj.entries"] = int64(entries)

@@ -407,7 +407,7 @@ func (s *Server) handleGetImage(ctx context.Context, p *wire.Peer, req *proto.Ge
 		if err != nil {
 			return nil, 0, err
 		}
-		resp := &proto.GetImageResp{Quality: img.Quality, Texts: img.Texts, CM: img.CM, Data: img.Data}
+		resp := &proto.GetImageResp{Quality: img.Quality, Texts: img.Texts, CM: img.CM, Digest: img.Digest[:], Data: img.Data}
 		return resp, int64(len(img.Data) + len(img.Texts) + 64), nil
 	})
 	if err != nil {
@@ -422,7 +422,7 @@ func (s *Server) handleGetAudio(ctx context.Context, p *wire.Peer, req *proto.Ge
 		if err != nil {
 			return nil, 0, err
 		}
-		resp := &proto.GetAudioResp{Filename: a.Filename, Sectors: a.Sectors, Data: a.Data}
+		resp := &proto.GetAudioResp{Filename: a.Filename, Sectors: a.Sectors, Digest: a.Digest[:], Data: a.Data}
 		return resp, int64(len(a.Data) + len(a.Sectors) + len(a.Filename) + 64), nil
 	})
 	if err != nil {
@@ -472,7 +472,7 @@ func (s *Server) fetchCmp(req *proto.GetCmpReq) (*proto.GetCmpResp, error) {
 		}
 		body = c.Data[:n]
 	}
-	return &proto.GetCmpResp{Filename: c.Filename, Header: c.Header, Data: body}, nil
+	return &proto.GetCmpResp{Filename: c.Filename, Digest: c.DataDigest[:], Header: c.Header, Data: body}, nil
 }
 
 func (s *Server) handlePutImageTexts(ctx context.Context, p *wire.Peer, req *proto.PutImageTextsReq) (*wire.None, error) {

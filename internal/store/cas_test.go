@@ -1,0 +1,428 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mmconf/internal/blob"
+)
+
+// blobSchema is a single-blob-column relation used across the CAS tests.
+var blobSchema = []Column{{Name: "d", Type: TBlob}}
+
+// TestCompactBlobsDedup stores N references to one payload plus M
+// distinct payloads and checks the on-disk footprint tracks UNIQUE
+// bytes, not total bytes — the tentpole property of the
+// content-addressed store.
+func TestCompactBlobsDedup(t *testing.T) {
+	db, _ := openTestDB(t, Options{Sync: SyncNever})
+	tbl, _ := db.CreateTable("t", blobSchema)
+	const n, m, size = 40, 5, 20_000
+	shared := bytes.Repeat([]byte{0xDD}, size)
+	for i := 0; i < n; i++ {
+		h, err := db.PutBlob(shared)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tbl.Insert(Row{h}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < m; i++ {
+		h, err := db.PutBlob(bytes.Repeat([]byte{byte(i + 1)}, size))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tbl.Insert(Row{h}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, _ := db.BlobStats()
+	unique := int64((m + 1) * size)
+	if st.TotalBytes > unique*2 {
+		t.Errorf("on-disk %d bytes for %d unique payload bytes (%d logical): dedup is not working",
+			st.TotalBytes, unique, int64(n+m)*size)
+	}
+	if st.DedupHits != n-1 {
+		t.Errorf("dedup hits = %d, want %d", st.DedupHits, n-1)
+	}
+	if st.Manifests != m+1 {
+		t.Errorf("stored objects = %d, want %d", st.Manifests, m+1)
+	}
+}
+
+// TestReleaseBlobDeferredUntilWALSync checks the crash-safety contract
+// between row deletes and space reclamation: under group commit a
+// release queues until the WAL record justifying it is fsynced, so the
+// payload stays readable (and its space unreused) in the window where a
+// crash would resurrect the row.
+func TestReleaseBlobDeferredUntilWALSync(t *testing.T) {
+	db, _ := openTestDB(t, Options{Sync: SyncGroup, GroupSize: 1024})
+	tbl, _ := db.CreateTable("t", blobSchema)
+	payload := bytes.Repeat([]byte{0x42}, 10_000)
+	h, err := db.PutBlob(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := tbl.Insert(Row{h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	// The delete record is appended but not fsynced: the release must
+	// queue, leaving the object alive.
+	if err := db.ReleaseBlob(h); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.GetBlob(h); err != nil {
+		t.Errorf("payload freed before its delete was durable: %v", err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// The fsync drained the queue: now the object is gone.
+	if _, err := db.GetBlob(h); !errors.Is(err, blob.ErrNotFound) {
+		t.Errorf("payload after durable delete = %v, want ErrNotFound", err)
+	}
+
+	// Under SyncAlways the WAL is clean after every append, so the same
+	// sequence releases immediately.
+	db2, _ := openTestDB(t, Options{Sync: SyncAlways})
+	tbl2, _ := db2.CreateTable("t", blobSchema)
+	h2, _ := db2.PutBlob(payload)
+	id2, _ := tbl2.Insert(Row{h2})
+	if err := tbl2.Delete(id2); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.ReleaseBlob(h2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db2.GetBlob(h2); !errors.Is(err, blob.ErrNotFound) {
+		t.Errorf("SyncAlways release not immediate: %v", err)
+	}
+}
+
+// TestGetBlobZeroHandle checks the typed-error contract for rows whose
+// blob cell was never populated.
+func TestGetBlobZeroHandle(t *testing.T) {
+	db, _ := openTestDB(t, Options{Sync: SyncNever})
+	if _, err := db.GetBlob(blob.Handle{}); !errors.Is(err, blob.ErrNoBlob) {
+		t.Errorf("GetBlob(zero) = %v, want ErrNoBlob", err)
+	}
+	if err := db.ReleaseBlob(blob.Handle{}); !errors.Is(err, blob.ErrNoBlob) {
+		t.Errorf("ReleaseBlob(zero) = %v, want ErrNoBlob", err)
+	}
+}
+
+// writeLegacyHeap fabricates a pre-CAS heap.blob holding the given
+// payloads back to back, returning their offset handles. The record
+// format (magic | length | crc | payload, little-endian) is frozen — it
+// must match what the first-generation blob package wrote.
+func writeLegacyHeap(t *testing.T, dir string, payloads [][]byte) []blob.Handle {
+	t.Helper()
+	var buf bytes.Buffer
+	var handles []blob.Handle
+	for _, p := range payloads {
+		off := int64(buf.Len())
+		var hdr [12]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], 0xB10BB10B)
+		binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(p)))
+		binary.LittleEndian.PutUint32(hdr[8:12], crc32.ChecksumIEEE(p))
+		buf.Write(hdr[:])
+		buf.Write(p)
+		handles = append(handles, blob.Handle{Offset: off, Length: uint32(len(p))})
+	}
+	if err := os.WriteFile(filepath.Join(dir, legacyHeapFile), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return handles
+}
+
+// TestLegacyHeapMigration opens a database whose rows still hold
+// offset-addressed heap handles next to a legacy heap.blob, and checks
+// Open migrates every payload into the content-addressed store, rewrites
+// the handles, dedups identical payloads, and retires the heap file.
+func TestLegacyHeapMigration(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := db.CreateTable("t", blobSchema)
+	pay1 := bytes.Repeat([]byte{0xA1}, 5_000)
+	pay2 := []byte("second, smaller payload")
+	handles := writeLegacyHeap(t, dir, [][]byte{pay1, pay2})
+	// Three rows: two sharing the first record (the pre-CAS store let
+	// callers reuse a handle), one with the second.
+	for _, h := range []blob.Handle{handles[0], handles[0], handles[1]} {
+		if _, err := tbl.Insert(Row{h}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash-close so only the WAL (with legacy handles) survives.
+	db.wal.close()
+	db.blobs.Close()
+
+	db2, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatalf("reopen with legacy heap: %v", err)
+	}
+	if n := db2.MigratedBlobs(); n != 3 {
+		t.Errorf("MigratedBlobs = %d, want 3", n)
+	}
+	tbl2, _ := db2.Table("t")
+	want := [][]byte{pay1, pay1, pay2}
+	for i := uint64(1); i <= 3; i++ {
+		row, ok, err := tbl2.Get(i)
+		if err != nil || !ok {
+			t.Fatalf("row %d after migration: %v %v", i, ok, err)
+		}
+		h := row[0].(blob.Handle)
+		if h.Legacy() {
+			t.Fatalf("row %d still holds a legacy handle %v", i, h)
+		}
+		data, err := db2.GetBlob(h)
+		if err != nil || !bytes.Equal(data, want[i-1]) {
+			t.Fatalf("payload of row %d after migration: %v", i, err)
+		}
+	}
+	// The shared payload collapsed to one object.
+	st, _ := db2.BlobStats()
+	if st.Manifests != 2 {
+		t.Errorf("objects after migration = %d, want 2 (dedup)", st.Manifests)
+	}
+	// The heap was retired and stays retired across clean reopens.
+	if _, err := os.Stat(filepath.Join(dir, legacyHeapFile)); !os.IsNotExist(err) {
+		t.Errorf("heap.blob still present after migration: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, legacyHeapFile+".migrated")); err != nil {
+		t.Errorf("retired heap missing: %v", err)
+	}
+	db2.Close()
+	db3, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	if n := db3.MigratedBlobs(); n != 0 {
+		t.Errorf("second open migrated %d blobs, want 0", n)
+	}
+	tbl3, _ := db3.Table("t")
+	row, _, _ := tbl3.Get(1)
+	if data, err := db3.GetBlob(row[0].(blob.Handle)); err != nil || !bytes.Equal(data, pay1) {
+		t.Errorf("payload after post-migration reopen: %v", err)
+	}
+}
+
+// casPath returns the blob store directory of a database dir.
+func casPath(dir string) string { return filepath.Join(dir, casDir) }
+
+// TestCrashMidChunkAppend simulates dying in the middle of a chunk
+// append: a live block header is on disk but its payload is cut short.
+// Open must truncate the torn tail and serve every durable object
+// checksum-clean.
+func TestCrashMidChunkAppend(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := db.CreateTable("t", blobSchema)
+	payload := bytes.Repeat([]byte{0x5C}, 30_000)
+	h, _ := db.PutBlob(payload)
+	if _, err := tbl.Insert(Row{h}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	db.wal.close()
+	db.blobs.Close()
+
+	// Crash artifacts: no index snapshot, and a torn append at the tail
+	// of the last segment (header promising 1 MiB, payload cut off).
+	os.Remove(filepath.Join(casPath(dir), "cas.index"))
+	segs, _ := filepath.Glob(filepath.Join(casPath(dir), "seg-*.blk"))
+	if len(segs) == 0 {
+		t.Fatal("no segments")
+	}
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var torn [64]byte
+	binary.LittleEndian.PutUint32(torn[0:4], 0xCA5C0DE5) // live magic
+	binary.LittleEndian.PutUint32(torn[4:8], 1)          // chunk
+	binary.LittleEndian.PutUint32(torn[8:12], 1<<20)     // blockLen far past EOF
+	binary.LittleEndian.PutUint32(torn[12:16], 900_000)
+	f.Write(torn[:])
+	f.Close()
+
+	db2, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatalf("reopen over torn chunk append: %v", err)
+	}
+	defer db2.Close()
+	tbl2, _ := db2.Table("t")
+	row, ok, _ := tbl2.Get(1)
+	if !ok {
+		t.Fatal("row lost")
+	}
+	data, err := db2.GetBlob(row[0].(blob.Handle))
+	if err != nil || !bytes.Equal(data, payload) {
+		t.Fatalf("payload after torn-append recovery: %v", err)
+	}
+	// And the store keeps working.
+	if h, err := db2.PutBlob([]byte("after recovery")); err != nil {
+		t.Fatal(err)
+	} else if got, err := db2.GetBlob(h); err != nil || string(got) != "after recovery" {
+		t.Fatalf("post-recovery put: %v", err)
+	}
+}
+
+// TestCrashMidIndexFlush simulates dying while the blob index snapshot
+// is being written: the snapshot on disk is garbage. Open must reject it
+// by checksum and fall back to the segment scan.
+func TestCrashMidIndexFlush(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := db.CreateTable("t", blobSchema)
+	payload := bytes.Repeat([]byte{0x1F}, 12_345)
+	h, _ := db.PutBlob(payload)
+	tbl.Insert(Row{h})
+	db.wal.close()
+	db.blobs.Close() // wrote a valid index snapshot...
+
+	// ...which the simulated crash tore mid-write.
+	idx := filepath.Join(casPath(dir), "cas.index")
+	raw, err := os.ReadFile(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(idx, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatalf("reopen over torn index: %v", err)
+	}
+	defer db2.Close()
+	st, _ := db2.BlobStats()
+	if !st.RebuiltFromScan {
+		t.Error("torn index snapshot was trusted")
+	}
+	tbl2, _ := db2.Table("t")
+	row, _, _ := tbl2.Get(1)
+	if data, err := db2.GetBlob(row[0].(blob.Handle)); err != nil || !bytes.Equal(data, payload) {
+		t.Fatalf("payload after index rebuild: %v", err)
+	}
+}
+
+// TestCrashMidCompaction simulates dying between a compaction's copy and
+// its delete of the source segment: the same block exists twice. Open's
+// scan must keep one copy, free the other, and read the object clean.
+func TestCrashMidCompaction(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := db.CreateTable("t", blobSchema)
+	payload := bytes.Repeat([]byte{0x3A}, 9_000)
+	h, _ := db.PutBlob(payload)
+	tbl.Insert(Row{h})
+	db.wal.close()
+	db.blobs.Close()
+	os.Remove(filepath.Join(casPath(dir), "cas.index"))
+
+	// Duplicate the first block of segment 0 into a fresh "compaction
+	// target" segment, block-aligned at offset 0.
+	segs, _ := filepath.Glob(filepath.Join(casPath(dir), "seg-*.blk"))
+	src, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockLen := binary.LittleEndian.Uint32(src[8:12])
+	if int(blockLen) > len(src) {
+		t.Fatalf("first block %d bytes, segment only %d", blockLen, len(src))
+	}
+	dup := filepath.Join(casPath(dir), "seg-000777.blk")
+	if err := os.WriteFile(dup, src[:blockLen], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatalf("reopen over mid-compaction artifact: %v", err)
+	}
+	defer db2.Close()
+	tbl2, _ := db2.Table("t")
+	row, _, _ := tbl2.Get(1)
+	if data, err := db2.GetBlob(row[0].(blob.Handle)); err != nil || !bytes.Equal(data, payload) {
+		t.Fatalf("payload with duplicate blocks on disk: %v", err)
+	}
+	st, _ := db2.BlobStats()
+	if st.FreeBytes == 0 {
+		t.Error("the duplicate block was not freed")
+	}
+}
+
+// TestFsckBlobs drives the consistency checker through a clean store, a
+// fabricated dangling reference, and an orphan object.
+func TestFsckBlobs(t *testing.T) {
+	db, _ := openTestDB(t, Options{Sync: SyncNever})
+	tbl, _ := db.CreateTable("t", blobSchema)
+	for i := 0; i < 5; i++ {
+		h, err := db.PutBlob(bytes.Repeat([]byte{byte(i)}, 3_000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tbl.Insert(Row{h}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := db.FsckBlobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Errorf("clean store flagged: %+v", rep)
+	}
+	if rep.Objects != 5 || rep.Referenced != 5 || rep.BytesChecked != 5*3_000 {
+		t.Errorf("fsck counts: %+v", rep)
+	}
+
+	// A row pointing at a digest the store never held.
+	ghost := blob.Handle{Digest: blob.Sum([]byte("ghost")), Length: 5}
+	if _, err := tbl.Insert(Row{ghost}); err != nil {
+		t.Fatal(err)
+	}
+	// An object no row references.
+	if _, err := db.PutBlob([]byte("orphan payload")); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = db.FsckBlobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() {
+		t.Error("fsck missed the dangling reference and the orphan")
+	}
+	if len(rep.Missing) != 1 {
+		t.Errorf("missing = %d, want 1", len(rep.Missing))
+	}
+	if rep.Orphans != 1 {
+		t.Errorf("orphans = %d, want 1", rep.Orphans)
+	}
+}

@@ -18,12 +18,18 @@ type Options struct {
 	Sync SyncMode
 	// GroupSize is the group-commit batch for SyncGroup (default 64).
 	GroupSize int
+	// Blob tunes the content-addressed blob store (chunk size, segment
+	// size, background compaction threshold). Zero values select the
+	// blob package defaults.
+	Blob blob.Options
 }
 
 // DB is the database server's storage engine: a directory holding a
-// snapshot, a write-ahead log, and a blob heap. Open replays the WAL over
-// the snapshot, so a crash at any point loses at most the operations the
-// sync mode had not yet flushed.
+// snapshot, a write-ahead log, and a content-addressed blob store. Open
+// replays the WAL over the snapshot, so a crash at any point loses at
+// most the operations the sync mode had not yet flushed. Blob reference
+// counts are derived state: every Open recomputes them from the
+// surviving TBlob cells, so they self-heal after any crash.
 type DB struct {
 	mu    sync.RWMutex
 	dir   string
@@ -35,15 +41,37 @@ type DB struct {
 	// skipped (poisoned legacy records, or records a checkpoint already
 	// covers after a crash between snapshot rename and WAL truncation).
 	replaySkipped int
+	// blobMissing holds digests that some TBlob cell references but the
+	// blob store does not hold (a crash lost unsynced chunks after the
+	// row became durable). Reads of those cells fail loudly; fsck
+	// reports them.
+	blobMissing []blob.Digest
+	// migratedBlobs counts payloads moved out of a pre-CAS heap.blob by
+	// this Open.
+	migratedBlobs int
+
+	// relMu guards pendingRel: blob releases queued until the WAL
+	// records that justify them (row deletes/updates) are fsynced.
+	// Releasing earlier could free payload bytes whose delete is lost in
+	// a crash; queued handles lost in a crash merely leak until the next
+	// Open's refcount recompute reclaims them.
+	relMu      sync.Mutex
+	pendingRel []blob.Handle
 }
 
 const (
 	snapshotFile = "snapshot.gob"
 	walFile      = "wal.log"
-	heapFile     = "heap.blob"
+	// legacyHeapFile is the first-generation offset-addressed heap. Open
+	// migrates it into casDir and renames it away.
+	legacyHeapFile = "heap.blob"
+	casDir         = "cas"
 )
 
-// Open opens (or creates) a database in dir.
+// Open opens (or creates) a database in dir. If the directory holds a
+// pre-CAS heap.blob, its payloads are migrated into the content-addressed
+// store one-shot, the handles in every TBlob cell are rewritten, and the
+// old heap is renamed to heap.blob.migrated.
 func Open(dir string, opts Options) (*DB, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: mkdir %s: %w", dir, err)
@@ -62,13 +90,56 @@ func Open(dir string, opts Options) (*DB, error) {
 		return nil, err
 	}
 	db.wal = w
-	bs, err := blob.Open(filepath.Join(dir, heapFile))
+	bs, err := blob.Open(filepath.Join(dir, casDir), opts.Blob)
 	if err != nil {
 		w.close()
 		return nil, err
 	}
 	db.blobs = bs
+	w.onSync = db.drainBlobReleases
+	if err := db.migrateLegacyHeap(); err != nil {
+		db.wal.close()
+		db.blobs.Close()
+		return nil, err
+	}
+	// Refcounts are not journaled: recompute them from the rows that
+	// actually survived recovery. Orphans (payloads put by operations
+	// whose rows never became durable) are freed here.
+	db.blobMissing = db.blobs.ResetRefs(db.blobRefCountsLocked())
 	return db, nil
+}
+
+// blobRefCountsLocked counts, per digest, how many TBlob cells reference
+// each stored object. Caller holds db.mu (or is single-threaded in Open).
+func (db *DB) blobRefCountsLocked() map[blob.Digest]int64 {
+	counts := make(map[blob.Digest]int64)
+	for _, tb := range db.state {
+		for ci, col := range tb.schema {
+			if col.Type != TBlob {
+				continue
+			}
+			for _, vals := range tb.rows {
+				if h := vals[ci].H; !h.IsZero() && !h.Legacy() {
+					counts[h.Digest]++
+				}
+			}
+		}
+	}
+	return counts
+}
+
+// drainBlobReleases performs the releases queued behind WAL durability.
+// Called by the WAL after every successful fsync and by checkpoints.
+func (db *DB) drainBlobReleases() {
+	db.relMu.Lock()
+	pending := db.pendingRel
+	db.pendingRel = nil
+	db.relMu.Unlock()
+	for _, h := range pending {
+		// ErrNotFound here means a concurrent recount already dropped
+		// the object; nothing to unwind.
+		_ = db.blobs.Release(h)
+	}
 }
 
 // Close flushes and closes the database.
@@ -79,6 +150,7 @@ func (db *DB) Close() error {
 	if err := db.wal.flush(); err != nil {
 		first = err
 	}
+	db.drainBlobReleases()
 	if err := db.blobs.Sync(); err != nil && first == nil {
 		first = err
 	}
@@ -222,7 +294,8 @@ func (db *DB) CreateTable(name string, schema []Column) (*Table, error) {
 }
 
 // DropTable removes a relation and all its rows. Blob payloads referenced
-// by the dropped rows remain in the heap until Compact.
+// only by the dropped rows remain on disk until CompactBlobs (or the next
+// Open) recomputes reference counts and reclaims them.
 func (db *DB) DropTable(name string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -262,15 +335,55 @@ func (db *DB) Tables() []string {
 	return names
 }
 
-// PutBlob stores a payload in the heap and returns its handle, to be kept
-// in a TBlob column.
+// PutBlob stores a payload in the content-addressed store and returns
+// its handle, to be kept in a TBlob column. Identical payloads share
+// storage: a re-put only bumps the object's reference count.
 func (db *DB) PutBlob(data []byte) (blob.Handle, error) {
 	return db.blobs.Put(data)
 }
 
-// GetBlob fetches a payload by handle.
+// GetBlob fetches a payload by handle. The zero handle returns
+// blob.ErrNoBlob.
 func (db *DB) GetBlob(h blob.Handle) ([]byte, error) {
 	return db.blobs.Get(h)
+}
+
+// ReleaseBlob drops one reference to the payload behind h, called when a
+// row that held the handle is deleted or overwritten. The space is not
+// reclaimed before the WAL record of that delete is durable: until the
+// next fsync the release sits in a queue, so a crash can only leak (the
+// next Open recomputes refcounts from rows and reclaims), never free a
+// payload whose delete got lost.
+func (db *DB) ReleaseBlob(h blob.Handle) error {
+	if h.IsZero() {
+		return blob.ErrNoBlob
+	}
+	if db.wal.isClean() {
+		return db.blobs.Release(h)
+	}
+	db.relMu.Lock()
+	db.pendingRel = append(db.pendingRel, h)
+	db.relMu.Unlock()
+	return nil
+}
+
+// BlobStats returns the blob store's counters and gauges (dedup hits,
+// live/free bytes, compactions, ...) plus how many row-referenced digests
+// are missing from the store.
+func (db *DB) BlobStats() (blob.Stats, int) {
+	db.mu.RLock()
+	missing := len(db.blobMissing)
+	db.mu.RUnlock()
+	return db.blobs.Stats(), missing
+}
+
+// MigratedBlobs reports how many payloads this Open moved out of a
+// pre-CAS heap.blob file. Zero unless the database predates the
+// content-addressed store.
+func (db *DB) MigratedBlobs() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.migratedBlobs
 }
 
 // WALStats reports cumulative WAL appends and fsyncs (for the E4 group-
@@ -359,9 +472,13 @@ func (db *DB) checkpointLocked() error {
 	if err := syncDir(db.dir); err != nil {
 		return err
 	}
-	if err := db.blobs.Sync(); err != nil {
+	// Flush (not just sync) the blob store: the index snapshot it writes
+	// lets the next Open skip the segment recovery scan.
+	if err := db.blobs.Flush(); err != nil {
 		return err
 	}
+	// truncate fires the WAL's onSync hook: the snapshot now covers
+	// every logged delete, so queued blob releases drain here too.
 	return db.wal.truncate()
 }
 
@@ -378,50 +495,26 @@ func syncDir(dir string) error {
 	return nil
 }
 
-// CompactBlobs rewrites the blob heap keeping only the payloads still
-// referenced by some TBlob column, updates every handle, and checkpoints.
-// It returns the bytes reclaimed. Readers and writers are excluded for
-// the duration. Crash-safety note: the heap swap and the checkpoint are
-// two separate atomic renames; a crash exactly between them leaves a
-// snapshot/WAL whose handles no longer match the compacted heap — every
-// such read fails loudly (magic/CRC checks), it cannot return wrong
-// data. Run compaction at quiet times and back up first, as one would
-// with any offline vacuum.
+// CompactBlobs reconciles blob reference counts against the TBlob cells
+// and forces a full segment compaction, returning the file bytes
+// reclaimed. Unlike the pre-CAS vacuum this never rewrites a handle —
+// digests are stable across moves — so no checkpoint is required and a
+// crash mid-compaction at worst leaves duplicate blocks the next Open's
+// recovery scan dedups. Day-to-day reclamation does not need this call:
+// deletes feed the free lists and the background compactor directly; it
+// remains the hammer for recounting after bulk table drops.
 func (db *DB) CompactBlobs() (reclaimed int64, err error) {
 	db.mu.Lock()
-	defer db.mu.Unlock()
-	var live []blob.Handle
-	for _, tb := range db.state {
-		for ci, col := range tb.schema {
-			if col.Type != TBlob {
-				continue
-			}
-			for _, vals := range tb.rows {
-				live = append(live, vals[ci].H)
-			}
-		}
-	}
-	before := db.blobs.Size()
-	moved, err := db.blobs.Compact(live)
-	if err != nil {
+	if err := db.wal.flush(); err != nil {
+		db.mu.Unlock()
 		return 0, err
 	}
-	for _, tb := range db.state {
-		for ci, col := range tb.schema {
-			if col.Type != TBlob {
-				continue
-			}
-			for _, vals := range tb.rows {
-				if nh, ok := moved[vals[ci].H]; ok {
-					vals[ci].H = nh
-				}
-			}
-		}
-	}
-	if err := db.checkpointLocked(); err != nil {
-		return 0, err
-	}
-	return before - db.blobs.Size(), nil
+	db.drainBlobReleases()
+	db.blobMissing = db.blobs.ResetRefs(db.blobRefCountsLocked())
+	db.mu.Unlock()
+	// The segment moves proceed without db.mu: readers keep reading
+	// (digests never change), writers keep writing into other segments.
+	return db.blobs.Compact()
 }
 
 // loadSnapshot restores state from the snapshot file, if present.

@@ -488,10 +488,16 @@ func TestCompactBlobsReclaimsGarbage(t *testing.T) {
 		t.Fatal(err)
 	}
 	tbl, _ := db.CreateTable("t", []Column{{Name: "d", Type: TBlob}})
-	payload := bytes.Repeat([]byte{0xAB}, 10_000)
+	// Distinct payloads: identical ones would dedup to a single object
+	// and leave nothing to reclaim (see TestCompactBlobsDedup).
+	mkPayload := func(i int) []byte {
+		p := bytes.Repeat([]byte{byte(i)}, 10_000)
+		p[0] = byte(i >> 8)
+		return p
+	}
 	var keepIDs []uint64
 	for i := 0; i < 20; i++ {
-		h, err := db.PutBlob(payload)
+		h, err := db.PutBlob(mkPayload(i))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -505,6 +511,9 @@ func TestCompactBlobsReclaimsGarbage(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// Rows were deleted through the raw table API (no ReleaseBlob), so
+	// the payloads linger until CompactBlobs recounts references from
+	// the surviving rows and drains the sparse segments.
 	reclaimed, err := db.CompactBlobs()
 	if err != nil {
 		t.Fatalf("CompactBlobs: %v", err)
@@ -512,18 +521,19 @@ func TestCompactBlobsReclaimsGarbage(t *testing.T) {
 	if reclaimed < 10*10_000 {
 		t.Errorf("reclaimed %d bytes, want ≥ 100000", reclaimed)
 	}
-	// Survivors read back intact through their updated handles.
-	for _, id := range keepIDs {
+	// Survivors read back intact — handles are digests, stable across
+	// compaction.
+	for i, id := range keepIDs {
 		row, ok, err := tbl.Get(id)
 		if err != nil || !ok {
 			t.Fatalf("row %d: %v %v", id, ok, err)
 		}
 		data, err := db.GetBlob(row[0].(blob.Handle))
-		if err != nil || !bytes.Equal(data, payload) {
+		if err != nil || !bytes.Equal(data, mkPayload(2*i)) {
 			t.Fatalf("blob of row %d corrupted: %v", id, err)
 		}
 	}
-	// The compaction checkpointed: state survives a reopen.
+	// State survives a reopen.
 	db.Close()
 	db2, err := Open(dir, Options{Sync: SyncNever})
 	if err != nil {
@@ -531,13 +541,13 @@ func TestCompactBlobsReclaimsGarbage(t *testing.T) {
 	}
 	defer db2.Close()
 	tbl2, _ := db2.Table("t")
-	for _, id := range keepIDs {
+	for i, id := range keepIDs {
 		row, ok, err := tbl2.Get(id)
 		if err != nil || !ok {
 			t.Fatalf("row %d after reopen: %v %v", id, ok, err)
 		}
 		data, err := db2.GetBlob(row[0].(blob.Handle))
-		if err != nil || !bytes.Equal(data, payload) {
+		if err != nil || !bytes.Equal(data, mkPayload(2*i)) {
 			t.Fatalf("blob of row %d after reopen: %v", id, err)
 		}
 	}

@@ -62,6 +62,11 @@ type wal struct {
 	dirty     bool // bytes written since the last fsync (any mode)
 	appends   int64
 	syncs     int64
+	// onSync, if set, runs after every successful fsync (and after
+	// truncate), while the log is clean. The store layer uses it to
+	// drain blob releases that were waiting on record durability. It
+	// must not call back into the wal.
+	onSync func()
 }
 
 const defaultGroupSize = 64
@@ -104,6 +109,7 @@ func (w *wal) append(rec walRecord) error {
 			return fmt.Errorf("store: wal sync: %w", err)
 		}
 		w.dirty = false
+		w.notifySynced()
 	case SyncGroup:
 		w.pending++
 		if w.pending >= w.groupSize {
@@ -113,9 +119,24 @@ func (w *wal) append(rec walRecord) error {
 				return fmt.Errorf("store: wal sync: %w", err)
 			}
 			w.dirty = false
+			w.notifySynced()
 		}
 	}
 	return nil
+}
+
+// notifySynced fires the onSync hook. Caller holds w.mu with dirty false.
+func (w *wal) notifySynced() {
+	if w.onSync != nil {
+		w.onSync()
+	}
+}
+
+// isClean reports whether every appended record has been fsynced.
+func (w *wal) isClean() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return !w.dirty
 }
 
 // flush forces any pending records to disk. With nothing written since
@@ -133,6 +154,7 @@ func (w *wal) flush() error {
 		return fmt.Errorf("store: wal flush: %w", err)
 	}
 	w.dirty = false
+	w.notifySynced()
 	return nil
 }
 
@@ -148,7 +170,11 @@ func (w *wal) truncate() error {
 	}
 	w.pending = 0
 	w.dirty = false
-	return w.f.Sync()
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.notifySynced()
+	return nil
 }
 
 func (w *wal) close() error {
