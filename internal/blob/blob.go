@@ -213,6 +213,11 @@ type Store struct {
 	free      map[int64][]loc // blockLen -> free blocks
 	freeBytes int64
 
+	// snapValid is set while an on-disk index snapshot matches the
+	// segment files exactly. The first mutating write after a save
+	// removes the snapshot (see invalidateSnapshotLocked) and clears it.
+	snapValid bool
+
 	closed bool
 
 	// background compactor
@@ -263,8 +268,17 @@ func Open(dir string, opts Options) (*Store, error) {
 		s.closeFiles()
 		return nil, err
 	}
-	if !s.loadIndex() {
+	if s.loadIndex() {
+		s.snapValid = true
+	} else {
 		if err := s.rebuildFromScan(); err != nil {
+			s.closeFiles()
+			return nil, err
+		}
+		// The rejected snapshot must not survive the rebuild: the scan
+		// may have truncated torn tails back to sizes the stale snapshot
+		// matches, so a crash before the next save could resurrect it.
+		if err := s.removeSnapshot(); err != nil {
 			s.closeFiles()
 			return nil, err
 		}
@@ -366,6 +380,13 @@ func (s *Store) Put(data []byte) (Handle, error) {
 
 // Get reads the payload behind h, verifying every chunk CRC and the
 // whole-payload digest. The zero handle returns ErrNoBlob.
+//
+// Segment pins only protect against segment deletion, not block reuse:
+// a read that resolved its chunk locations and dropped the lock can race
+// a concurrent Release of the same object (a GET racing a DELETE) and
+// hit a freed or reused block. One retry re-resolves the locations, so
+// that race reports a clean ErrNotFound; a failure that persists across
+// both attempts is genuine corruption and stays loud.
 func (s *Store) Get(h Handle) ([]byte, error) {
 	if h.IsZero() {
 		return nil, ErrNoBlob
@@ -373,6 +394,15 @@ func (s *Store) Get(h Handle) ([]byte, error) {
 	if h.Legacy() {
 		return nil, fmt.Errorf("%w: %s", ErrLegacyHandle, h)
 	}
+	data, err := s.tryGet(h)
+	if err != nil && !errors.Is(err, ErrNotFound) {
+		data, err = s.tryGet(h)
+	}
+	return data, err
+}
+
+// tryGet is one resolve-pin-read-verify attempt of Get.
+func (s *Store) tryGet(h Handle) ([]byte, error) {
 	s.mu.Lock()
 	me := s.manifests[h.Digest]
 	if me == nil {

@@ -308,6 +308,115 @@ func TestScanRebuildAfterCrash(t *testing.T) {
 	}
 }
 
+// copyDirState clones the on-disk files of a live store into a fresh
+// directory — the state a crash at this instant would leave behind.
+func copyDirState(t *testing.T, src string) string {
+	t.Helper()
+	dst := filepath.Join(t.TempDir(), "crashcopy")
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.Type().IsRegular() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// TestSnapshotInvalidatedByHoleReuse covers the undetectable-staleness
+// hole: hole-reuse writes and free stamps change segment bytes without
+// changing file sizes, so a checkpoint-era snapshot would pass the size
+// check after a crash — dropping post-snapshot puts from the index and
+// handing their blocks out through the stale free list. The store must
+// instead retire the snapshot on the first post-save write, forcing the
+// post-crash Open into a full rebuild.
+func TestSnapshotInvalidatedByHoleReuse(t *testing.T) {
+	s, dir := openTemp(t)
+	idx := filepath.Join(dir, indexFile)
+	mk := func(seed int64) []byte {
+		data := make([]byte, 3000)
+		rand.New(rand.NewSource(seed)).Read(data)
+		return data
+	}
+	x, err := s.Put(mk(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := s.Put(mk(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(idx); err != nil {
+		t.Fatalf("no snapshot after Flush: %v", err)
+	}
+
+	// A free stamp mutates segment bytes in place: snapshot must go.
+	if err := s.Release(x); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(idx); !os.IsNotExist(err) {
+		t.Fatalf("snapshot survived a free stamp: %v", err)
+	}
+
+	// Re-snapshot with x's holes on the free list, then land a new
+	// payload of the same size class entirely in those holes.
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	sizeBefore := s.Stats().TotalBytes
+	reuseBefore := s.Stats().HoleReuses
+	z, err := s.Put(mk(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.HoleReuses == reuseBefore || st.TotalBytes != sizeBefore {
+		t.Fatalf("put did not land in reused holes (reuses %d->%d, bytes %d->%d); test premise broken",
+			reuseBefore, st.HoleReuses, sizeBefore, st.TotalBytes)
+	}
+	if _, err := os.Stat(idx); !os.IsNotExist(err) {
+		t.Fatalf("snapshot survived a hole-reuse write: %v", err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash here (payloads durable via Sync, no Close, no new snapshot).
+	crashed := copyDirState(t, dir)
+	s2, err := Open(crashed, testOpts)
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	defer s2.Close()
+	if !s2.Stats().RebuiltFromScan {
+		t.Error("post-crash Open trusted a checkpoint-era snapshot")
+	}
+	if got, err := s2.Get(z); err != nil || !bytes.Equal(got, mk(3)) {
+		t.Errorf("post-snapshot put lost after crash: %v", err)
+	}
+	if got, err := s2.Get(y); err != nil || !bytes.Equal(got, mk(2)) {
+		t.Errorf("pre-snapshot put lost after crash: %v", err)
+	}
+	if _, err := s2.Get(x); !errors.Is(err, ErrNotFound) {
+		t.Errorf("released object resurrected: %v", err)
+	}
+}
+
 func TestScanTruncatesTornAppend(t *testing.T) {
 	s, dir := openTemp(t)
 	h1, _ := s.Put([]byte("first payload"))
@@ -557,6 +666,82 @@ func TestCrashMidCompactionDuplicatesDedupedOnScan(t *testing.T) {
 	}
 }
 
+// TestAbortedCompactionRestoresFreeList corrupts a live block so the
+// compaction pass fails mid-copy, leaving the victim segment alive. The
+// free blocks the pass had claimed (dropSegmentFree) must return to the
+// free lists — otherwise the space is unallocatable and FreeBytes
+// undercounts until a full rebuild scan.
+func TestAbortedCompactionRestoresFreeList(t *testing.T) {
+	s, _ := openTemp(t)
+	mk := func(seed int64) []byte {
+		data := make([]byte, 3000)
+		rand.New(rand.NewSource(seed)).Read(data)
+		return data
+	}
+	var handles []Handle
+	for i := 0; i < 12; i++ {
+		h, err := s.Put(mk(int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	// Roll to a fresh, fully-live segment so seg 0 is the only victim.
+	fill := make([]byte, 60<<10)
+	rand.New(rand.NewSource(99)).Read(fill)
+	if _, err := s.Put(fill); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i += 2 {
+		if err := s.Release(handles[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Corrupt a surviving chunk in segment 0 so its copy fails the CRC.
+	s.mu.Lock()
+	victim := -1
+	for id := range s.segs {
+		if victim == -1 || id < victim {
+			victim = id
+		}
+	}
+	var corrupt loc
+	for _, ce := range s.chunks {
+		if ce.seg == victim {
+			corrupt = ce.loc
+			break
+		}
+	}
+	sg := s.segs[victim]
+	s.mu.Unlock()
+	if corrupt.blockLen == 0 {
+		t.Fatal("no live chunk left in the victim segment")
+	}
+	if _, err := sg.f.WriteAt([]byte{0xFF, 0xEE, 0xDD}, corrupt.off+hdrSize+10); err != nil {
+		t.Fatal(err)
+	}
+
+	freeBefore := s.Stats().FreeBytes
+	if freeBefore == 0 {
+		t.Fatal("releases produced no free bytes; test premise broken")
+	}
+	if _, err := s.Compact(); err == nil {
+		t.Fatal("compaction over a corrupt block reported success")
+	}
+	if free := s.Stats().FreeBytes; free != freeBefore {
+		t.Errorf("aborted compaction leaked free space: %d -> %d bytes", freeBefore, free)
+	}
+	// The restored holes must be allocatable again.
+	reuses := s.Stats().HoleReuses
+	if _, err := s.Put(mk(1000)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().HoleReuses == reuses {
+		t.Error("restored free blocks were not reused by a new put")
+	}
+}
+
 func TestResetRefs(t *testing.T) {
 	s, _ := openTemp(t)
 	a, _ := s.Put([]byte("payload a"))
@@ -656,6 +841,35 @@ func TestConcurrentPutGetRelease(t *testing.T) {
 	}
 	if st := s.Stats(); st.Puts != workers*per {
 		t.Errorf("puts = %d, want %d", st.Puts, workers*per)
+	}
+}
+
+// TestGetRacingReleaseFailsClean drives Get against a concurrent Release
+// of the same object. The read may find the object gone — but it must
+// report that as a clean ErrNotFound (the locations are re-resolved on
+// retry), never as a corruption-shaped "no live block" or digest
+// mismatch from hitting the freed block.
+func TestGetRacingReleaseFailsClean(t *testing.T) {
+	s, _ := openTemp(t)
+	for i := 0; i < 300; i++ {
+		data := make([]byte, 2000+i)
+		rand.New(rand.NewSource(int64(i))).Read(data)
+		h, err := s.Put(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- s.Release(h) }()
+		got, err := s.Get(h)
+		if err != nil && !errors.Is(err, ErrNotFound) {
+			t.Fatalf("raced Get %d returned a non-clean error: %v", i, err)
+		}
+		if err == nil && !bytes.Equal(got, data) {
+			t.Fatalf("raced Get %d returned wrong bytes", i)
+		}
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 

@@ -122,8 +122,16 @@ func (s *Store) compactSegment(id int) error {
 		return nil
 	}
 	sg.compacting = true
-	// Its free blocks will die with the file: stop handing them out.
-	s.dropSegmentFree(id)
+	// Its free blocks will die with the file: stop handing them out. If
+	// the pass aborts with the segment still alive, they must come back
+	// (abort) — otherwise the space is unallocatable, FreeBytes
+	// undercounts, and index snapshots persist the leak until a full
+	// rebuild scan.
+	dropped := s.dropSegmentFree(id)
+	abort := func() {
+		s.restoreFreeLocked(dropped)
+		sg.compacting = false
+	}
 
 	type move struct {
 		kind uint32
@@ -145,7 +153,7 @@ func (s *Store) compactSegment(id int) error {
 	for _, mv := range moves {
 		s.mu.Lock()
 		if s.closed {
-			sg.compacting = false
+			abort()
 			s.mu.Unlock()
 			return nil
 		}
@@ -176,7 +184,7 @@ func (s *Store) compactSegment(id int) error {
 		sg.refs--
 		s.cond.Broadcast()
 		if readErr != nil {
-			sg.compacting = false
+			abort()
 			s.mu.Unlock()
 			return fmt.Errorf("blob: compact segment %d: %w", id, readErr)
 		}
@@ -199,14 +207,14 @@ func (s *Store) compactSegment(id int) error {
 			// A roll raced us; shouldn't happen (active never picked),
 			// but never append into the segment being drained.
 			if _, err := s.addSegment(); err != nil {
-				sg.compacting = false
+				abort()
 				s.mu.Unlock()
 				return err
 			}
 		}
 		nl, err := s.writeBlock(mv.kind, mv.d, data, id)
 		if err != nil {
-			sg.compacting = false
+			abort()
 			s.mu.Unlock()
 			return err
 		}
@@ -223,7 +231,7 @@ func (s *Store) compactSegment(id int) error {
 	s.mu.Lock()
 	// Copies must be durable before the originals disappear.
 	if err := s.syncLocked(); err != nil {
-		sg.compacting = false
+		abort()
 		s.mu.Unlock()
 		return err
 	}

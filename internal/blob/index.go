@@ -17,6 +17,13 @@ import (
 // the source of truth: any mismatch against the segment files (missing
 // file, size drift, bad CRC) discards it and triggers a full rebuild.
 //
+// Size checks alone cannot catch every post-snapshot write: hole reuse
+// and free stamps rewrite segment bytes in place without moving the file
+// end. The snapshot is therefore also a clean marker — the first
+// mutating write after a save durably removes it (invalidateSnapshot-
+// Locked), so a crash between that write and the next save forces the
+// reopening store into rebuildFromScan instead of trusting stale state.
+//
 //	magic u32 | version u32 | body ... | crc u32 (of body)
 const (
 	indexFile    = "cas.index"
@@ -101,6 +108,42 @@ func (s *Store) saveIndexLocked() error {
 	if d, err := os.Open(s.dir); err == nil {
 		_ = d.Sync()
 		_ = d.Close()
+	}
+	s.snapValid = true
+	return nil
+}
+
+// invalidateSnapshotLocked durably removes the index snapshot before the
+// first segment-mutating write after it was saved. Were a stale snapshot
+// still present after a crash, Open could trust it — resurrecting
+// released objects, dropping post-snapshot puts that landed in reused
+// holes, and handing their blocks back out through the stale free list.
+// Runs real syscalls once per save/write cycle; while snapValid is
+// false it is free. Caller holds s.mu.
+func (s *Store) invalidateSnapshotLocked() error {
+	if !s.snapValid {
+		return nil
+	}
+	if err := s.removeSnapshot(); err != nil {
+		return err
+	}
+	s.snapValid = false
+	return nil
+}
+
+// removeSnapshot deletes the index snapshot file and syncs the directory
+// so the removal is durable before any subsequent segment write can be.
+func (s *Store) removeSnapshot() error {
+	if err := os.Remove(filepath.Join(s.dir, indexFile)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("blob: remove index snapshot: %w", err)
+	}
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return fmt.Errorf("blob: open dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("blob: sync dir: %w", err)
 	}
 	return nil
 }

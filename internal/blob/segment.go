@@ -97,6 +97,12 @@ func writeFreeHeader(f *os.File, off, blockLen int64) error {
 // segment whose free blocks must not be reused (the compaction victim);
 // pass -1 for none. Caller holds s.mu.
 func (s *Store) writeBlock(kind uint32, d Digest, data []byte, excludeSeg int) (loc, error) {
+	// Before the bytes move: retire the index snapshot this write is
+	// about to make stale. Must precede alloc too — buddy splits stamp
+	// free headers into the segment.
+	if err := s.invalidateSnapshotLocked(); err != nil {
+		return loc{}, err
+	}
 	need := int64(hdrSize + len(data))
 	bl := blockLenFor(need)
 	l, reused, err := s.alloc(bl, excludeSeg)
@@ -181,6 +187,11 @@ func (s *Store) freeBlockLocked(l loc) {
 	if sg == nil {
 		return
 	}
+	// Best-effort snapshot invalidation: if it fails, a crash may trust
+	// the stale snapshot and resurrect this block as live — a leak plus
+	// loud read errors, never silent reuse corruption (reuse goes
+	// through writeBlock, which invalidates strictly).
+	_ = s.invalidateSnapshotLocked()
 	// A failed stamp leaves the block live on disk: the recovery scan
 	// would resurrect it as an orphan, which ResetRefs frees again —
 	// a leak until then, never corruption.
@@ -191,14 +202,17 @@ func (s *Store) freeBlockLocked(l loc) {
 	s.freeBytes += l.blockLen
 }
 
-// dropSegmentFree removes every free-list entry pointing into seg.
-// Caller holds s.mu.
-func (s *Store) dropSegmentFree(segID int) {
+// dropSegmentFree removes every free-list entry pointing into seg and
+// returns them, so an aborted compaction can put them back. Caller
+// holds s.mu.
+func (s *Store) dropSegmentFree(segID int) []loc {
+	var dropped []loc
 	for cls, list := range s.free {
 		kept := list[:0]
 		for _, l := range list {
 			if l.seg == segID {
 				s.freeBytes -= l.blockLen
+				dropped = append(dropped, l)
 				continue
 			}
 			kept = append(kept, l)
@@ -208,6 +222,17 @@ func (s *Store) dropSegmentFree(segID int) {
 		} else {
 			s.free[cls] = kept
 		}
+	}
+	return dropped
+}
+
+// restoreFreeLocked re-parks entries removed by dropSegmentFree. The
+// blocks are still free-stamped on disk — nothing allocated them while
+// their segment was marked compacting. Caller holds s.mu.
+func (s *Store) restoreFreeLocked(locs []loc) {
+	for _, l := range locs {
+		s.free[l.blockLen] = append(s.free[l.blockLen], l)
+		s.freeBytes += l.blockLen
 	}
 }
 

@@ -448,14 +448,11 @@ func (m *MediaDB) deleteRow(tableName string, id uint64, blobCols ...int) error 
 	if err != nil {
 		return err
 	}
-	row, ok, err := tbl.Get(id)
+	// Delete-and-read-old is one critical section: a racing replacement
+	// of the same row either happens before (we release its handle) or
+	// fails after (row gone), so no handle is ever released twice.
+	row, err := tbl.DeleteReturningOld(id)
 	if err != nil {
-		return err
-	}
-	if !ok {
-		return fmt.Errorf("store: table %q: no row %d", tableName, id)
-	}
-	if err := tbl.Delete(id); err != nil {
 		return err
 	}
 	return m.releaseRowBlobs(row, blobCols...)
@@ -520,19 +517,17 @@ func (m *MediaDB) PutDocument(d *document.Document) error {
 	}
 	row := store.Row{d.ID, d.Title, h}
 	if len(ids) > 0 {
-		old, ok, err := tbl.Get(ids[0])
+		// Swap-and-read-old atomically: two concurrent saves of the same
+		// docID each see a distinct predecessor row, so every displaced
+		// handle is released exactly once (a Get-then-Update pair would
+		// let both racers release the same old handle, corrupting the
+		// refcount of a possibly dedup-shared payload).
+		old, err := tbl.UpdateReturningOld(ids[0], row)
 		if err != nil {
 			m.db.ReleaseBlob(h)
 			return err
 		}
-		if err := tbl.Update(ids[0], row); err != nil {
-			m.db.ReleaseBlob(h)
-			return err
-		}
-		if ok {
-			return m.releaseRowBlobs(old, 2)
-		}
-		return nil
+		return m.releaseRowBlobs(old, 2)
 	}
 	if _, err := tbl.Insert(row); err != nil {
 		m.db.ReleaseBlob(h)

@@ -2,6 +2,7 @@ package mediadb
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 
 	"mmconf/internal/document"
@@ -228,6 +229,68 @@ func TestDocumentReplace(t *testing.T) {
 	v, _ := back.DefaultPresentation()
 	if v.Outcome["ct"] != "hidden" {
 		t.Errorf("revision not persisted: ct = %s", v.Outcome["ct"])
+	}
+}
+
+// TestConcurrentDocumentReplaceKeepsRefcounts races many saves of the
+// same docID. Each displaced payload must be released exactly once: a
+// double release would free a (possibly dedup-shared) payload another
+// row still references, a missed release would leak the loser's new
+// payload. Afterwards exactly one manifest must remain live, and a
+// delete must take the count to zero.
+func TestConcurrentDocumentReplaceKeepsRefcounts(t *testing.T) {
+	m := openMedia(t)
+	if err := m.PutDocument(testDoc(t)); err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const rounds = 15
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			for i := 0; i < rounds; i++ {
+				root := &document.Component{
+					Name: "rec", Label: fmt.Sprintf("w%d-i%d", w, i),
+					Presentations: []document.Presentation{
+						{Name: "full", Kind: document.KindImage, ObjectID: 1, Bytes: int64(1 + w*rounds + i)},
+					},
+				}
+				d, err := document.New("doc-1", fmt.Sprintf("rev w%d i%d", w, i), root)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if err := m.PutDocument(d); err != nil {
+					errc <- err
+					return
+				}
+			}
+			errc <- nil
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.GetDocument("doc-1"); err != nil {
+		t.Fatalf("winner unreadable after race: %v", err)
+	}
+	if err := m.DB().Flush(); err != nil { // drain queued releases
+		t.Fatal(err)
+	}
+	st, _ := m.DB().BlobStats()
+	if st.Manifests != 1 {
+		t.Errorf("live manifests after race = %d, want 1 (leak or double free)", st.Manifests)
+	}
+	if err := m.DeleteDocument("doc-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DB().Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := m.DB().BlobStats(); st.Manifests != 0 {
+		t.Errorf("live manifests after delete = %d, want 0", st.Manifests)
 	}
 }
 

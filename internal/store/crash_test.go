@@ -200,6 +200,48 @@ func TestCheckpointCrashBeforeTruncate(t *testing.T) {
 	}
 }
 
+// TestBlobSyncedBeforeWALSync checks the durability ordering for media
+// writes: every WAL fsync must run the blob pre-sync hook first, so a
+// record carrying a blob handle can never become durable ahead of its
+// payload bytes (a power loss would otherwise yield a durable row whose
+// payload is gone). A failing pre-sync must abort the commit, not let
+// the WAL fsync proceed.
+func TestBlobSyncedBeforeWALSync(t *testing.T) {
+	db, _ := openTestDB(t, Options{Sync: SyncAlways})
+	if db.wal.onBeforeSync == nil {
+		t.Fatal("WAL pre-sync hook not wired to the blob store")
+	}
+	inner := db.wal.onBeforeSync
+	var hookCalls int
+	db.wal.onBeforeSync = func() error { hookCalls++; return inner() }
+	tbl, err := db.CreateTable("t", imageSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := db.PutBlob([]byte("payload the row will reference"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := hookCalls
+	if _, err := tbl.Insert(Row{int64(1), "x", 1.0, []byte{1}, h}); err != nil {
+		t.Fatal(err)
+	}
+	if hookCalls <= before {
+		t.Error("WAL fsync ran without the blob pre-sync hook")
+	}
+
+	// A pre-sync failure must fail the append and skip the fsync.
+	_, syncsBefore := db.WALStats()
+	db.wal.onBeforeSync = func() error { return os.ErrClosed }
+	if _, err := tbl.Insert(Row{int64(2), "y", 1.0, []byte{2}, h}); err == nil {
+		t.Error("append committed despite a failing blob pre-sync")
+	}
+	if _, syncsAfter := db.WALStats(); syncsAfter != syncsBefore {
+		t.Errorf("WAL fsync ran despite pre-sync failure (syncs %d -> %d)", syncsBefore, syncsAfter)
+	}
+	db.wal.onBeforeSync = inner
+}
+
 // TestNoopFlushIsFree is the regression test for the phantom-fsync bug:
 // Flush with nothing pending must not touch the disk or inflate the sync
 // counter the E4 ablation reports.

@@ -42,9 +42,11 @@ type DB struct {
 	// covers after a crash between snapshot rename and WAL truncation).
 	replaySkipped int
 	// blobMissing holds digests that some TBlob cell references but the
-	// blob store does not hold (a crash lost unsynced chunks after the
-	// row became durable). Reads of those cells fail loudly; fsck
-	// reports them.
+	// blob store does not hold. The WAL's pre-sync hook makes payloads
+	// durable before the rows that reference them, so this is empty in
+	// normal operation; it can still fill under SyncNever (rows durable
+	// only by OS writeback) or torn segment writes. Reads of those
+	// cells fail loudly; fsck reports them.
 	blobMissing []blob.Digest
 	// migratedBlobs counts payloads moved out of a pre-CAS heap.blob by
 	// this Open.
@@ -97,6 +99,10 @@ func Open(dir string, opts Options) (*DB, error) {
 	}
 	db.blobs = bs
 	w.onSync = db.drainBlobReleases
+	// Blob payloads must never lag the rows that reference them: fsync
+	// dirty blob segments before every WAL fsync, so a record carrying a
+	// new handle only becomes durable after its payload bytes are.
+	w.onBeforeSync = bs.Sync
 	if err := db.migrateLegacyHeap(); err != nil {
 		db.wal.close()
 		db.blobs.Close()
@@ -337,7 +343,10 @@ func (db *DB) Tables() []string {
 
 // PutBlob stores a payload in the content-addressed store and returns
 // its handle, to be kept in a TBlob column. Identical payloads share
-// storage: a re-put only bumps the object's reference count.
+// storage: a re-put only bumps the object's reference count. The chunk
+// bytes are not fsynced here; the WAL's pre-sync hook syncs dirty blob
+// segments before any record fsync, so the row that carries the handle
+// cannot become durable ahead of the payload it references.
 func (db *DB) PutBlob(data []byte) (blob.Handle, error) {
 	return db.blobs.Put(data)
 }

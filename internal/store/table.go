@@ -250,6 +250,34 @@ func (t *Table) Update(id uint64, row Row) error {
 	return t.db.logAndApply(walRecord{Op: opUpdate, Table: t.name, ID: id, Vals: vals})
 }
 
+// UpdateReturningOld replaces the row with the given id and returns the
+// version it displaced, in one critical section. Callers that must
+// release resources the old row held (blob references, most notably) use
+// this instead of Get-then-Update: two racing replacements of the same
+// row each observe a distinct predecessor, so each old reference is
+// released exactly once.
+func (t *Table) UpdateReturningOld(id uint64, row Row) (Row, error) {
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
+	tb, err := t.db.tableLocked(t.name)
+	if err != nil {
+		return nil, err
+	}
+	oldVals, ok := tb.rows[id]
+	if !ok {
+		return nil, fmt.Errorf("store: table %q: no row %d", t.name, id)
+	}
+	old := decodeRow(oldVals)
+	vals, err := encodeRow(tb.schema, row)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.db.logAndApply(walRecord{Op: opUpdate, Table: t.name, ID: id, Vals: vals}); err != nil {
+		return nil, err
+	}
+	return old, nil
+}
+
 // Delete removes the row with the given id.
 func (t *Table) Delete(id uint64) error {
 	t.db.mu.Lock()
@@ -262,6 +290,28 @@ func (t *Table) Delete(id uint64) error {
 		return fmt.Errorf("store: table %q: no row %d", t.name, id)
 	}
 	return t.db.logAndApply(walRecord{Op: opDelete, Table: t.name, ID: id})
+}
+
+// DeleteReturningOld removes the row with the given id and returns the
+// deleted version, in one critical section — the delete-side counterpart
+// of UpdateReturningOld, for callers that release the row's blob
+// references afterwards.
+func (t *Table) DeleteReturningOld(id uint64) (Row, error) {
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
+	tb, err := t.db.tableLocked(t.name)
+	if err != nil {
+		return nil, err
+	}
+	oldVals, ok := tb.rows[id]
+	if !ok {
+		return nil, fmt.Errorf("store: table %q: no row %d", t.name, id)
+	}
+	old := decodeRow(oldVals)
+	if err := t.db.logAndApply(walRecord{Op: opDelete, Table: t.name, ID: id}); err != nil {
+		return nil, err
+	}
+	return old, nil
 }
 
 // Len returns the number of rows.

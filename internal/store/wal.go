@@ -67,6 +67,13 @@ type wal struct {
 	// drain blob releases that were waiting on record durability. It
 	// must not call back into the wal.
 	onSync func()
+	// onBeforeSync, if set, runs immediately before every fsync; an
+	// error aborts the sync (and the append that triggered it). The
+	// store layer uses it to fsync dirty blob segments first, so a
+	// record referencing a blob handle can never become durable ahead
+	// of the payload bytes it points at. Must not call back into the
+	// wal.
+	onBeforeSync func() error
 }
 
 const defaultGroupSize = 64
@@ -104,24 +111,38 @@ func (w *wal) append(rec walRecord) error {
 	w.dirty = true
 	switch w.mode {
 	case SyncAlways:
-		w.syncs++
-		if err := w.f.Sync(); err != nil {
-			return fmt.Errorf("store: wal sync: %w", err)
+		if err := w.syncLocked(); err != nil {
+			return err
 		}
-		w.dirty = false
 		w.notifySynced()
 	case SyncGroup:
 		w.pending++
 		if w.pending >= w.groupSize {
 			w.pending = 0
-			w.syncs++
-			if err := w.f.Sync(); err != nil {
-				return fmt.Errorf("store: wal sync: %w", err)
+			if err := w.syncLocked(); err != nil {
+				return err
 			}
-			w.dirty = false
 			w.notifySynced()
 		}
 	}
+	return nil
+}
+
+// syncLocked runs the pre-sync hook, then fsyncs the log. Caller holds
+// w.mu with dirty bytes pending. On a hook failure the fsync does not
+// happen (and is not counted): the records stay pending, exactly as
+// un-durable as the blob bytes the hook failed to write.
+func (w *wal) syncLocked() error {
+	if w.onBeforeSync != nil {
+		if err := w.onBeforeSync(); err != nil {
+			return fmt.Errorf("store: wal pre-sync: %w", err)
+		}
+	}
+	w.syncs++
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("store: wal sync: %w", err)
+	}
+	w.dirty = false
 	return nil
 }
 
@@ -149,11 +170,9 @@ func (w *wal) flush() error {
 		return nil
 	}
 	w.pending = 0
-	w.syncs++
-	if err := w.f.Sync(); err != nil {
-		return fmt.Errorf("store: wal flush: %w", err)
+	if err := w.syncLocked(); err != nil {
+		return err
 	}
-	w.dirty = false
 	w.notifySynced()
 	return nil
 }
