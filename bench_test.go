@@ -376,7 +376,7 @@ func BenchmarkE5FanOut(b *testing.B) {
 					b.Fatal(err)
 				}
 				defer c.Close()
-				c.OnPush(func(method string, payload []byte) {
+				c.OnPush(func(method string, body wire.Body) {
 					if method == proto.MEvent {
 						delivered.Add(1)
 					}
@@ -834,6 +834,67 @@ func BenchmarkE12AdmissionRPC(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				var resp proto.ListDocumentsResp
 				if err := c.CallCtx(ctx, proto.MListDocuments, proto.ListDocumentsReq{}, &resp); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E14: wire protocol v2 (binary codec vs gob) ---
+
+// BenchmarkE14WireRPC measures the wire codec's share of the
+// admission-path RPC from E12: the same ListDocuments call against the
+// same admission-enabled server, once over the legacy gob protocol and
+// once over wire v2 binary framing. The per-op bytes and allocs gap
+// between the two sub-benchmarks is the tentpole win; both are gated in
+// BENCH_7.json so neither codec regresses.
+func BenchmarkE14WireRPC(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		ver  uint8
+	}{
+		{"proto=gob", wire.ProtoGob},
+		{"proto=v2", wire.ProtoV2},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			db, err := store.Open(b.TempDir(), store.Options{Sync: store.SyncNever})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			m, err := mediadb.Open(db)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := workload.Populate(m, "p1", 1); err != nil {
+				b.Fatal(err)
+			}
+			srv, err := server.NewWith(m, server.Options{
+				MaxInflight: 1024,
+				PerPeerRate: 1e9,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			go srv.Serve(l)
+			conn, err := net.Dial("tcp", l.Addr().String())
+			if err != nil {
+				b.Fatal(err)
+			}
+			c := wire.NewClientVersion(conn, mode.ver)
+			defer c.Close()
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var resp proto.ListDocumentsResp
+				if err := c.CallCtx(ctx, proto.MListDocuments, &proto.ListDocumentsReq{}, &resp); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -33,10 +33,11 @@ type Benchmark struct {
 	Runs int `json:"runs"`
 	// Iters is the median iteration count the runs settled on.
 	Iters int64 `json:"iters"`
-	// NsPerOp is the gated metric.
-	NsPerOp float64 `json:"ns_per_op"`
-	// BPerOp / AllocsPerOp are recorded for context (not gated: alloc
-	// counts shift with library changes that are not regressions).
+	// NsPerOp, BPerOp and AllocsPerOp are the gated metrics, each with
+	// its own regression threshold. B/op and allocs/op are only gated
+	// when the baseline recorded them (a benchmark without -benchmem
+	// leaves them 0).
+	NsPerOp     float64 `json:"ns_per_op"`
 	BPerOp      float64 `json:"b_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 }
@@ -154,19 +155,27 @@ func median(vs []float64) float64 {
 	}
 }
 
-// Delta is one baseline-vs-current comparison.
+// Delta is one baseline-vs-current comparison of a single metric.
 type Delta struct {
 	Name      string
-	Base      float64 // baseline ns/op
-	Current   float64 // current ns/op
-	Percent   float64 // (current-base)/base * 100; + is slower
+	Metric    string  // "ns/op", "B/op" or "allocs/op"
+	Base      float64 // baseline value
+	Current   float64 // current value
+	Percent   float64 // (current-base)/base * 100; + is worse
 	Regressed bool
+}
+
+// Thresholds are the per-metric regression budgets in percent. A
+// negative threshold disables that metric's gate (the delta is still
+// reported).
+type Thresholds struct {
+	Ns, Bytes, Allocs float64
 }
 
 // Report is the outcome of a Compare run.
 type Report struct {
 	Deltas []Delta
-	// Regressions are the deltas past the threshold.
+	// Regressions are the deltas past their metric's threshold.
 	Regressions []Delta
 	// MissingCurrent lists baseline benchmarks absent from the current
 	// run (a renamed or deleted benchmark silently escapes the gate, so
@@ -175,9 +184,11 @@ type Report struct {
 	MissingCurrent, NewCurrent []string
 }
 
-// Compare evaluates current results against the baseline: any
-// benchmark whose ns/op grew more than maxRegressPct fails the gate.
-func Compare(base, current []Benchmark, maxRegressPct float64) *Report {
+// Compare evaluates current results against the baseline per metric:
+// ns/op always, B/op and allocs/op when the baseline recorded a
+// nonzero value — so the gate covers memory traffic, not just latency,
+// on the benchmarks that measure it.
+func Compare(base, current []Benchmark, th Thresholds) *Report {
 	rep := &Report{}
 	cur := make(map[string]Benchmark, len(current))
 	for _, b := range current {
@@ -191,14 +202,12 @@ func Compare(base, current []Benchmark, maxRegressPct float64) *Report {
 			rep.MissingCurrent = append(rep.MissingCurrent, b.Name)
 			continue
 		}
-		d := Delta{Name: b.Name, Base: b.NsPerOp, Current: c.NsPerOp}
-		if b.NsPerOp > 0 {
-			d.Percent = (c.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+		rep.add(Delta{Name: b.Name, Metric: "ns/op", Base: b.NsPerOp, Current: c.NsPerOp}, th.Ns)
+		if b.BPerOp > 0 {
+			rep.add(Delta{Name: b.Name, Metric: "B/op", Base: b.BPerOp, Current: c.BPerOp}, th.Bytes)
 		}
-		d.Regressed = d.Percent > maxRegressPct
-		rep.Deltas = append(rep.Deltas, d)
-		if d.Regressed {
-			rep.Regressions = append(rep.Regressions, d)
+		if b.AllocsPerOp > 0 {
+			rep.add(Delta{Name: b.Name, Metric: "allocs/op", Base: b.AllocsPerOp, Current: c.AllocsPerOp}, th.Allocs)
 		}
 	}
 	for _, c := range current {
@@ -209,6 +218,18 @@ func Compare(base, current []Benchmark, maxRegressPct float64) *Report {
 	sort.Strings(rep.MissingCurrent)
 	sort.Strings(rep.NewCurrent)
 	return rep
+}
+
+// add appends one metric delta, gating it against threshold pct.
+func (r *Report) add(d Delta, pct float64) {
+	if d.Base > 0 {
+		d.Percent = (d.Current - d.Base) / d.Base * 100
+	}
+	d.Regressed = pct >= 0 && d.Percent > pct
+	r.Deltas = append(r.Deltas, d)
+	if d.Regressed {
+		r.Regressions = append(r.Regressions, d)
+	}
 }
 
 // String renders the report as an aligned table plus notes.
@@ -225,8 +246,8 @@ func (r *Report) String() string {
 		if d.Regressed {
 			mark = "  REGRESSED"
 		}
-		fmt.Fprintf(&sb, "%-*s  %14.1f ns/op -> %14.1f ns/op  %+7.1f%%%s\n",
-			w, d.Name, d.Base, d.Current, d.Percent, mark)
+		fmt.Fprintf(&sb, "%-*s  %14.1f -> %14.1f %-9s  %+7.1f%%%s\n",
+			w, d.Name, d.Base, d.Current, d.Metric, d.Percent, mark)
 	}
 	for _, name := range r.MissingCurrent {
 		fmt.Fprintf(&sb, "missing from current run (baseline entry unchecked): %s\n", name)

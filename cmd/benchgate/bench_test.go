@@ -73,7 +73,7 @@ func TestCompareGate(t *testing.T) {
 		{Name: "B", NsPerOp: 130}, // +30%: regressed
 		{Name: "Fresh", NsPerOp: 5},
 	}
-	rep := Compare(base, current, 25)
+	rep := Compare(base, current, Thresholds{Ns: 25, Bytes: 20, Allocs: 20})
 	if len(rep.Regressions) != 1 || rep.Regressions[0].Name != "B" {
 		t.Fatalf("regressions = %+v, want just B", rep.Regressions)
 	}
@@ -92,8 +92,35 @@ func TestCompareGate(t *testing.T) {
 func TestCompareImprovementPasses(t *testing.T) {
 	base := []Benchmark{{Name: "A", NsPerOp: 100}}
 	current := []Benchmark{{Name: "A", NsPerOp: 20}} // -80%: faster is fine
-	if rep := Compare(base, current, 25); len(rep.Regressions) != 0 {
+	if rep := Compare(base, current, Thresholds{Ns: 25, Bytes: 20, Allocs: 20}); len(rep.Regressions) != 0 {
 		t.Fatalf("improvement flagged as regression: %+v", rep.Regressions)
+	}
+}
+
+func TestCompareGatesBytesAndAllocs(t *testing.T) {
+	base := []Benchmark{
+		{Name: "A", NsPerOp: 100, BPerOp: 1000, AllocsPerOp: 50},
+		{Name: "NoMem", NsPerOp: 100}, // no -benchmem record: only ns gated
+	}
+	current := []Benchmark{
+		{Name: "A", NsPerOp: 100, BPerOp: 1500, AllocsPerOp: 80}, // +50% bytes, +60% allocs
+		{Name: "NoMem", NsPerOp: 100, BPerOp: 999999, AllocsPerOp: 999},
+	}
+	rep := Compare(base, current, Thresholds{Ns: 25, Bytes: 20, Allocs: 20})
+	var metrics []string
+	for _, d := range rep.Regressions {
+		metrics = append(metrics, d.Name+" "+d.Metric)
+	}
+	if len(metrics) != 2 || metrics[0] != "A B/op" || metrics[1] != "A allocs/op" {
+		t.Fatalf("regressions = %v, want A's B/op and allocs/op only", metrics)
+	}
+	// A negative threshold reports without gating.
+	rep = Compare(base, current, Thresholds{Ns: 25, Bytes: -1, Allocs: -1})
+	if len(rep.Regressions) != 0 {
+		t.Fatalf("disabled gates still regressed: %+v", rep.Regressions)
+	}
+	if len(rep.Deltas) != 4 {
+		t.Fatalf("%d deltas, want 4 (ns+B+allocs for A, ns for NoMem)", len(rep.Deltas))
 	}
 }
 

@@ -1,18 +1,20 @@
 // Command benchgate maintains the repository's benchmark baseline
-// (BENCH_6.json) and gates CI on performance regressions against it.
+// (BENCH_7.json) and gates CI on performance regressions against it.
 //
 // The baseline is a JSON document holding the key `go test -bench`
 // results (ns/op, B/op, allocs/op — medians across -count repeats) plus
 // the mmbench experiment tables (`cmd/mmbench -json`) measured at the
 // same commit. CI re-runs the benchmarks, prints a human-readable
 // benchstat comparison (via the fmt subcommand), and fails the build
-// when any benchmark's ns/op regresses past the threshold.
+// when any gated metric regresses past its threshold: ns/op always,
+// B/op and allocs/op wherever the baseline recorded them — so the wire
+// v2 bytes/alloc wins cannot silently erode.
 //
 // Usage:
 //
-//	go test -run '^$' -bench ... -count=5 | benchgate update -o BENCH_6.json -experiments exp.json
-//	go test -run '^$' -bench ... -count=5 | benchgate check -baseline BENCH_6.json -max-regress 25
-//	benchgate fmt -baseline BENCH_6.json > baseline.txt   # feed benchstat
+//	go test -run '^$' -bench ... -count=5 | benchgate update -o BENCH_7.json -experiments exp.json
+//	go test -run '^$' -bench ... -count=5 | benchgate check -baseline BENCH_7.json -max-regress 25 -max-regress-bytes 20 -max-regress-allocs 20
+//	benchgate fmt -baseline BENCH_7.json > baseline.txt   # feed benchstat
 package main
 
 import (
@@ -73,7 +75,7 @@ func readBench(args []string) ([]Benchmark, error) {
 
 func cmdUpdate(args []string) error {
 	fs := flag.NewFlagSet("update", flag.ExitOnError)
-	out := fs.String("o", "BENCH_6.json", "baseline file to write")
+	out := fs.String("o", "BENCH_7.json", "baseline file to write")
 	expFile := fs.String("experiments", "", "mmbench -json output to embed (optional)")
 	note := fs.String("note", "", "free-form note recorded in the baseline (e.g. benchtime)")
 	fs.Parse(args)
@@ -105,8 +107,10 @@ func cmdUpdate(args []string) error {
 
 func cmdCheck(args []string) error {
 	fs := flag.NewFlagSet("check", flag.ExitOnError)
-	baseFile := fs.String("baseline", "BENCH_6.json", "baseline file to compare against")
+	baseFile := fs.String("baseline", "BENCH_7.json", "baseline file to compare against")
 	maxRegress := fs.Float64("max-regress", 25, "fail when ns/op regresses more than this percentage")
+	maxBytes := fs.Float64("max-regress-bytes", 20, "fail when B/op regresses more than this percentage (negative: report only)")
+	maxAllocs := fs.Float64("max-regress-allocs", 20, "fail when allocs/op regresses more than this percentage (negative: report only)")
 	fs.Parse(args)
 	base, err := LoadBaseline(*baseFile)
 	if err != nil {
@@ -119,17 +123,17 @@ func cmdCheck(args []string) error {
 	if len(current) == 0 {
 		return fmt.Errorf("no benchmark results in input")
 	}
-	report := Compare(base.Benchmarks, current, *maxRegress)
+	report := Compare(base.Benchmarks, current, Thresholds{Ns: *maxRegress, Bytes: *maxBytes, Allocs: *maxAllocs})
 	fmt.Print(report.String())
 	if len(report.Regressions) > 0 {
-		return fmt.Errorf("%d benchmark(s) regressed past %.0f%%", len(report.Regressions), *maxRegress)
+		return fmt.Errorf("%d metric(s) regressed past their threshold", len(report.Regressions))
 	}
 	return nil
 }
 
 func cmdFmt(args []string) error {
 	fs := flag.NewFlagSet("fmt", flag.ExitOnError)
-	baseFile := fs.String("baseline", "BENCH_6.json", "baseline file to render")
+	baseFile := fs.String("baseline", "BENCH_7.json", "baseline file to render")
 	fs.Parse(args)
 	base, err := LoadBaseline(*baseFile)
 	if err != nil {

@@ -64,6 +64,8 @@ func main() {
 			experiments.E12Overload},
 		{"E13", "content-addressed blob store: dedup, hole reuse, compaction",
 			experiments.E13Blob},
+		{"E14", "wire protocol v2 vs gob: codec cost on the RPC hot path",
+			experiments.E14Wire},
 	}
 
 	if *list {

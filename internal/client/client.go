@@ -87,7 +87,7 @@ func NewOverDialer(dial DialFunc, user string, opts Options) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.attach(wire.NewClient(conn))
+	c.attach(opts.newWireClient(conn))
 	return c, nil
 }
 
@@ -101,7 +101,7 @@ func NewOverConn(conn net.Conn, user string) (*Client, error) {
 	opts := Options{}
 	opts.normalize()
 	c := newClient(user, nil, opts)
-	c.attach(wire.NewClient(conn))
+	c.attach(opts.newWireClient(conn))
 	return c, nil
 }
 
@@ -136,12 +136,12 @@ func (c *Client) attach(rpc *wire.Client) {
 // onPush routes a pushed room event: events for a joined room pass the
 // session's delivery gate (exactly-once across reconnects), everything
 // else flows straight through.
-func (c *Client) onPush(method string, payload []byte) {
+func (c *Client) onPush(method string, body wire.Body) {
 	if method != proto.MEvent {
 		return
 	}
 	var ev room.Event
-	if err := wire.Unmarshal(payload, &ev); err != nil {
+	if err := body.Decode(&ev); err != nil {
 		return
 	}
 	c.mu.Lock()
@@ -202,7 +202,7 @@ func (c *Client) ListDocuments() (ids, titles []string, err error) {
 // ListDocumentsCtx is ListDocuments bounded by ctx.
 func (c *Client) ListDocumentsCtx(ctx context.Context) (ids, titles []string, err error) {
 	var resp proto.ListDocumentsResp
-	if err := c.call(ctx, proto.MListDocuments, proto.ListDocumentsReq{}, &resp); err != nil {
+	if err := c.call(ctx, proto.MListDocuments, &proto.ListDocumentsReq{}, &resp); err != nil {
 		return nil, nil, err
 	}
 	return resp.IDs, resp.Titles, nil
@@ -247,7 +247,7 @@ func (c *Client) GetDocument(docID string) (*document.Document, error) {
 // GetDocumentCtx is GetDocument bounded by ctx.
 func (c *Client) GetDocumentCtx(ctx context.Context, docID string) (*document.Document, error) {
 	var resp proto.GetDocumentResp
-	if err := c.call(ctx, proto.MGetDocument, proto.GetDocumentReq{DocID: docID}, &resp); err != nil {
+	if err := c.call(ctx, proto.MGetDocument, &proto.GetDocumentReq{DocID: docID}, &resp); err != nil {
 		return nil, err
 	}
 	return document.Unmarshal(resp.DocData)
@@ -256,7 +256,7 @@ func (c *Client) GetDocumentCtx(ctx context.Context, docID string) (*document.Do
 // GetImage fetches an image object and decodes its raster.
 func (c *Client) GetImage(id uint64) (*image.Gray, string, error) {
 	var resp proto.GetImageResp
-	if err := c.call(context.Background(), proto.MGetImage, proto.GetImageReq{ID: id}, &resp); err != nil {
+	if err := c.call(context.Background(), proto.MGetImage, &proto.GetImageReq{ID: id}, &resp); err != nil {
 		return nil, "", err
 	}
 	g, err := image.Decode(resp.Data)
@@ -270,7 +270,7 @@ func (c *Client) GetImage(id uint64) (*image.Gray, string, error) {
 // cache, which stores bytes).
 func (c *Client) GetImageBytes(id uint64) ([]byte, error) {
 	var resp proto.GetImageResp
-	if err := c.call(context.Background(), proto.MGetImage, proto.GetImageReq{ID: id}, &resp); err != nil {
+	if err := c.call(context.Background(), proto.MGetImage, &proto.GetImageReq{ID: id}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Data, nil
@@ -279,7 +279,7 @@ func (c *Client) GetImageBytes(id uint64) ([]byte, error) {
 // GetAudio fetches an audio object: PCM bytes plus segmentation metadata.
 func (c *Client) GetAudio(id uint64) (pcm, sectors []byte, filename string, err error) {
 	var resp proto.GetAudioResp
-	if err := c.call(context.Background(), proto.MGetAudio, proto.GetAudioReq{ID: id}, &resp); err != nil {
+	if err := c.call(context.Background(), proto.MGetAudio, &proto.GetAudioReq{ID: id}, &resp); err != nil {
 		return nil, nil, "", err
 	}
 	return resp.Data, resp.Sectors, resp.Filename, nil
@@ -289,7 +289,7 @@ func (c *Client) GetAudio(id uint64) (pcm, sectors []byte, filename string, err 
 // and decodes it at that fidelity.
 func (c *Client) GetCmp(id uint64, maxLayers int) (*image.Gray, int, error) {
 	var resp proto.GetCmpResp
-	if err := c.call(context.Background(), proto.MGetCmp, proto.GetCmpReq{ID: id, MaxLayers: maxLayers}, &resp); err != nil {
+	if err := c.call(context.Background(), proto.MGetCmp, &proto.GetCmpReq{ID: id, MaxLayers: maxLayers}, &resp); err != nil {
 		return nil, 0, err
 	}
 	stream, err := compress.Unmarshal(resp.Header, resp.Data)
@@ -441,7 +441,7 @@ func (c *Client) Join(roomName, docID string, bufferBytes int64) (*Session, []ro
 // JoinCtx is Join bounded by ctx.
 func (c *Client) JoinCtx(ctx context.Context, roomName, docID string, bufferBytes int64) (*Session, []room.Event, error) {
 	var resp proto.JoinRoomResp
-	err := c.call(ctx, proto.MJoinRoom, proto.JoinRoomReq{
+	err := c.call(ctx, proto.MJoinRoom, &proto.JoinRoomReq{
 		Room: roomName, DocID: docID, User: c.user,
 	}, &resp)
 	if err != nil {
@@ -527,7 +527,7 @@ func (s *Session) Choice(variable, value string) error {
 
 // ChoiceCtx is Choice bounded by ctx.
 func (s *Session) ChoiceCtx(ctx context.Context, variable, value string) error {
-	return s.client.call(ctx, proto.MChoice, proto.ChoiceReq{
+	return s.client.call(ctx, proto.MChoice, &proto.ChoiceReq{
 		Room: s.Room, User: s.client.user, Variable: variable, Value: value,
 	}, nil)
 }
@@ -603,7 +603,7 @@ func (s *Session) Chat(text string) error {
 
 // ChatCtx is Chat bounded by ctx.
 func (s *Session) ChatCtx(ctx context.Context, text string) error {
-	return s.client.call(ctx, proto.MChat, proto.ChatReq{
+	return s.client.call(ctx, proto.MChat, &proto.ChatReq{
 		Room: s.Room, User: s.client.user, Text: text,
 	}, nil)
 }
@@ -644,7 +644,7 @@ func (s *Session) History(since uint64) ([]room.Event, error) {
 // queue overflow opened.
 func (s *Session) HistoryCtx(ctx context.Context, since uint64) ([]room.Event, error) {
 	var resp proto.HistoryResp
-	if err := s.client.call(ctx, proto.MHistory, proto.HistoryReq{Room: s.Room, Since: since}, &resp); err != nil {
+	if err := s.client.call(ctx, proto.MHistory, &proto.HistoryReq{Room: s.Room, Since: since}, &resp); err != nil {
 		return nil, err
 	}
 	s.mu.Lock()
@@ -667,7 +667,7 @@ func (s *Session) LeaveCtx(ctx context.Context) error {
 		delete(c.sessions, s.Room)
 	}
 	c.mu.Unlock()
-	return c.call(ctx, proto.MLeaveRoom, proto.LeaveRoomReq{
+	return c.call(ctx, proto.MLeaveRoom, &proto.LeaveRoomReq{
 		Room: s.Room, User: s.client.user,
 	}, nil)
 }

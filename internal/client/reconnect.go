@@ -87,6 +87,19 @@ type Options struct {
 	// hint between attempts (default 0: overload errors surface to the
 	// caller immediately; negative is treated as 0).
 	RetryOverloaded int
+	// GobOnly skips wire-protocol negotiation and speaks the legacy gob
+	// protocol, byte-for-byte what a pre-v2 client sends — the
+	// mixed-version interop knob (and an escape hatch against a codec
+	// bug in production).
+	GobOnly bool
+}
+
+// newWireClient wraps conn honoring the negotiation knob.
+func (o *Options) newWireClient(conn net.Conn) *wire.Client {
+	if o.GobOnly {
+		return wire.NewClientVersion(conn, wire.ProtoGob)
+	}
+	return wire.NewClient(conn)
 }
 
 // normalize fills defaulted fields in place.
@@ -257,7 +270,7 @@ func (c *Client) reconnectLoop(sessions []*Session) {
 			c.failures.Add(1)
 			continue
 		}
-		rpc := wire.NewClient(conn)
+		rpc := c.opts.newWireClient(conn)
 		rpc.OnPush(c.onPush)
 		if c.opts.CallTimeout > 0 {
 			rpc.SetCallTimeout(c.opts.CallTimeout)
@@ -319,7 +332,7 @@ func (c *Client) resumeSessions(rpc *wire.Client, sessions []*Session) error {
 		since := s.beginResume()
 		ctx, cancel := context.WithTimeout(context.Background(), timeout)
 		var resp proto.JoinRoomResp
-		err := rpc.CallCtx(ctx, proto.MJoinRoom, proto.JoinRoomReq{
+		err := rpc.CallCtx(ctx, proto.MJoinRoom, &proto.JoinRoomReq{
 			Room: s.Room, DocID: s.docID, User: c.user,
 			Resume: true, SinceSeq: since,
 		}, &resp)

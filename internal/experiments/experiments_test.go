@@ -240,3 +240,22 @@ func TestE12Smoke(t *testing.T) {
 		t.Errorf("protected 3x shed nothing:\n%s", tb)
 	}
 }
+
+func TestE14Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tb, err := E14Wire(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// gob and v2 rows for each of the two RPC shapes.
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d:\n%s", len(tb.Rows), tb)
+	}
+	for _, row := range tb.Rows {
+		if row[0] != "gob" && row[0] != "v2" {
+			t.Errorf("unexpected proto %q:\n%s", row[0], tb)
+		}
+	}
+}

@@ -1,0 +1,354 @@
+// Binary (wire v2) codecs for the high-traffic request/response bodies:
+// media fetches (GetDocument/GetImage/GetAudio/GetCmp), presentation
+// choices, join/resume, history replay, chat, and the catalog listing
+// the benchmarks hammer. Each codec writes fields in declaration order
+// with the wire.BodyEnc primitives; large payloads go through RawBytes,
+// so a blob chunk read from the CAS is referenced — never copied — all
+// the way to the socket's writev. Bodies without a codec here (admin
+// and observability methods) keep traveling as gob inside v2 frames.
+//
+// Every method also gets a stable u16 code so v2 frames carry 2 bytes
+// instead of the method-name string.
+package proto
+
+import (
+	"mmconf/internal/room"
+	"mmconf/internal/wire"
+)
+
+// Method codes for v2 framing. Append-only: codes are protocol surface
+// shared by every binary speaking v2, so renumbering is a wire break.
+func init() {
+	for code, method := range map[uint16]string{
+		1:  MListDocuments,
+		2:  MGetDocument,
+		3:  MGetImage,
+		4:  MGetAudio,
+		5:  MGetCmp,
+		6:  MPutImageTexts,
+		7:  MJoinRoom,
+		8:  MLeaveRoom,
+		9:  MChoice,
+		10: MOperation,
+		11: MAnnotate,
+		12: MDeleteAnnotation,
+		13: MFreeze,
+		14: MRelease,
+		15: MShareSearch,
+		16: MChat,
+		17: MHistory,
+		18: MBroadcastStart,
+		19: MBroadcastStop,
+		20: MSaveMinutes,
+		21: MStats,
+		22: MTraces,
+		23: MEvent,
+	} {
+		wire.RegisterMethodCode(code, method)
+	}
+}
+
+// --- catalog --------------------------------------------------------------
+
+// AppendBody implements wire.BodyEncoder.
+func (*ListDocumentsReq) AppendBody(*wire.BodyEnc) {}
+
+// DecodeBody implements wire.BodyDecoder.
+func (*ListDocumentsReq) DecodeBody(*wire.Dec) error { return nil }
+
+// AppendBody implements wire.BodyEncoder.
+func (r *ListDocumentsResp) AppendBody(e *wire.BodyEnc) {
+	appendStrings(e, r.IDs)
+	appendStrings(e, r.Titles)
+}
+
+// DecodeBody implements wire.BodyDecoder.
+func (r *ListDocumentsResp) DecodeBody(d *wire.Dec) error {
+	r.IDs = decodeStrings(d)
+	r.Titles = decodeStrings(d)
+	return d.Err()
+}
+
+// --- media fetches --------------------------------------------------------
+
+// AppendBody implements wire.BodyEncoder.
+func (r *GetDocumentReq) AppendBody(e *wire.BodyEnc) { e.String(r.DocID) }
+
+// DecodeBody implements wire.BodyDecoder.
+func (r *GetDocumentReq) DecodeBody(d *wire.Dec) error {
+	r.DocID = d.String()
+	return d.Err()
+}
+
+// AppendBody implements wire.BodyEncoder.
+func (r *GetDocumentResp) AppendBody(e *wire.BodyEnc) { e.RawBytes(r.DocData) }
+
+// DecodeBody implements wire.BodyDecoder.
+func (r *GetDocumentResp) DecodeBody(d *wire.Dec) error {
+	r.DocData = d.Bytes()
+	return d.Err()
+}
+
+// AppendBody implements wire.BodyEncoder.
+func (r *GetImageReq) AppendBody(e *wire.BodyEnc) { e.Uvarint(r.ID) }
+
+// DecodeBody implements wire.BodyDecoder.
+func (r *GetImageReq) DecodeBody(d *wire.Dec) error {
+	r.ID = d.Uvarint()
+	return d.Err()
+}
+
+// AppendBody implements wire.BodyEncoder.
+func (r *GetImageResp) AppendBody(e *wire.BodyEnc) {
+	e.Varint(r.Quality)
+	e.String(r.Texts)
+	e.F64(r.CM)
+	e.Bytes(r.Digest)
+	e.RawBytes(r.Data)
+}
+
+// DecodeBody implements wire.BodyDecoder.
+func (r *GetImageResp) DecodeBody(d *wire.Dec) error {
+	r.Quality = d.Varint()
+	r.Texts = d.String()
+	r.CM = d.F64()
+	r.Digest = d.Bytes()
+	r.Data = d.Bytes()
+	return d.Err()
+}
+
+// AppendBody implements wire.BodyEncoder.
+func (r *GetAudioReq) AppendBody(e *wire.BodyEnc) { e.Uvarint(r.ID) }
+
+// DecodeBody implements wire.BodyDecoder.
+func (r *GetAudioReq) DecodeBody(d *wire.Dec) error {
+	r.ID = d.Uvarint()
+	return d.Err()
+}
+
+// AppendBody implements wire.BodyEncoder.
+func (r *GetAudioResp) AppendBody(e *wire.BodyEnc) {
+	e.String(r.Filename)
+	e.RawBytes(r.Sectors)
+	e.Bytes(r.Digest)
+	e.RawBytes(r.Data)
+}
+
+// DecodeBody implements wire.BodyDecoder.
+func (r *GetAudioResp) DecodeBody(d *wire.Dec) error {
+	r.Filename = d.String()
+	r.Sectors = d.Bytes()
+	r.Digest = d.Bytes()
+	r.Data = d.Bytes()
+	return d.Err()
+}
+
+// AppendBody implements wire.BodyEncoder.
+func (r *GetCmpReq) AppendBody(e *wire.BodyEnc) {
+	e.Uvarint(r.ID)
+	e.Varint(int64(r.MaxLayers))
+}
+
+// DecodeBody implements wire.BodyDecoder.
+func (r *GetCmpReq) DecodeBody(d *wire.Dec) error {
+	r.ID = d.Uvarint()
+	r.MaxLayers = int(d.Varint())
+	return d.Err()
+}
+
+// AppendBody implements wire.BodyEncoder.
+func (r *GetCmpResp) AppendBody(e *wire.BodyEnc) {
+	e.String(r.Filename)
+	e.Bytes(r.Digest)
+	e.RawBytes(r.Header)
+	e.RawBytes(r.Data)
+}
+
+// DecodeBody implements wire.BodyDecoder.
+func (r *GetCmpResp) DecodeBody(d *wire.Dec) error {
+	r.Filename = d.String()
+	r.Digest = d.Bytes()
+	r.Header = d.Bytes()
+	r.Data = d.Bytes()
+	return d.Err()
+}
+
+// --- room membership and interaction --------------------------------------
+
+// AppendBody implements wire.BodyEncoder.
+func (r *JoinRoomReq) AppendBody(e *wire.BodyEnc) {
+	e.String(r.Room)
+	e.String(r.DocID)
+	e.String(r.User)
+	e.Bool(r.Resume)
+	e.Uvarint(r.SinceSeq)
+}
+
+// DecodeBody implements wire.BodyDecoder.
+func (r *JoinRoomReq) DecodeBody(d *wire.Dec) error {
+	r.Room = d.String()
+	r.DocID = d.String()
+	r.User = d.String()
+	r.Resume = d.Bool()
+	r.SinceSeq = d.Uvarint()
+	return d.Err()
+}
+
+// AppendBody implements wire.BodyEncoder.
+func (r *JoinRoomResp) AppendBody(e *wire.BodyEnc) {
+	e.RawBytes(r.DocData)
+	e.Uvarint(uint64(len(r.History)))
+	for i := range r.History {
+		r.History[i].AppendBody(e)
+	}
+	e.Uvarint(uint64(len(r.Outcome)))
+	for k, v := range r.Outcome {
+		e.String(k)
+		e.String(v)
+	}
+	e.Uvarint(uint64(len(r.Visible)))
+	for k, v := range r.Visible {
+		e.String(k)
+		e.Bool(v)
+	}
+	e.Bool(r.Resumed)
+	e.Bool(r.Complete)
+	e.Uvarint(r.LastSeq)
+}
+
+// DecodeBody implements wire.BodyDecoder.
+func (r *JoinRoomResp) DecodeBody(d *wire.Dec) error {
+	r.DocData = d.Bytes()
+	r.History = decodeEvents(d)
+	if n := d.Uvarint(); n > 0 && d.Err() == nil {
+		r.Outcome = make(map[string]string, n)
+		for i := uint64(0); i < n && d.Err() == nil; i++ {
+			k := d.String()
+			r.Outcome[k] = d.String()
+		}
+	} else {
+		r.Outcome = nil
+	}
+	if n := d.Uvarint(); n > 0 && d.Err() == nil {
+		r.Visible = make(map[string]bool, n)
+		for i := uint64(0); i < n && d.Err() == nil; i++ {
+			k := d.String()
+			r.Visible[k] = d.Bool()
+		}
+	} else {
+		r.Visible = nil
+	}
+	r.Resumed = d.Bool()
+	r.Complete = d.Bool()
+	r.LastSeq = d.Uvarint()
+	return d.Err()
+}
+
+// AppendBody implements wire.BodyEncoder.
+func (r *LeaveRoomReq) AppendBody(e *wire.BodyEnc) {
+	e.String(r.Room)
+	e.String(r.User)
+}
+
+// DecodeBody implements wire.BodyDecoder.
+func (r *LeaveRoomReq) DecodeBody(d *wire.Dec) error {
+	r.Room = d.String()
+	r.User = d.String()
+	return d.Err()
+}
+
+// AppendBody implements wire.BodyEncoder.
+func (r *ChoiceReq) AppendBody(e *wire.BodyEnc) {
+	e.String(r.Room)
+	e.String(r.User)
+	e.String(r.Variable)
+	e.String(r.Value)
+}
+
+// DecodeBody implements wire.BodyDecoder.
+func (r *ChoiceReq) DecodeBody(d *wire.Dec) error {
+	r.Room = d.String()
+	r.User = d.String()
+	r.Variable = d.String()
+	r.Value = d.String()
+	return d.Err()
+}
+
+// AppendBody implements wire.BodyEncoder.
+func (r *ChatReq) AppendBody(e *wire.BodyEnc) {
+	e.String(r.Room)
+	e.String(r.User)
+	e.String(r.Text)
+}
+
+// DecodeBody implements wire.BodyDecoder.
+func (r *ChatReq) DecodeBody(d *wire.Dec) error {
+	r.Room = d.String()
+	r.User = d.String()
+	r.Text = d.String()
+	return d.Err()
+}
+
+// AppendBody implements wire.BodyEncoder.
+func (r *HistoryReq) AppendBody(e *wire.BodyEnc) {
+	e.String(r.Room)
+	e.Uvarint(r.Since)
+}
+
+// DecodeBody implements wire.BodyDecoder.
+func (r *HistoryReq) DecodeBody(d *wire.Dec) error {
+	r.Room = d.String()
+	r.Since = d.Uvarint()
+	return d.Err()
+}
+
+// AppendBody implements wire.BodyEncoder.
+func (r *HistoryResp) AppendBody(e *wire.BodyEnc) {
+	e.Uvarint(uint64(len(r.Events)))
+	for i := range r.Events {
+		r.Events[i].AppendBody(e)
+	}
+}
+
+// DecodeBody implements wire.BodyDecoder.
+func (r *HistoryResp) DecodeBody(d *wire.Dec) error {
+	r.Events = decodeEvents(d)
+	return d.Err()
+}
+
+// --- shared helpers -------------------------------------------------------
+
+func appendStrings(e *wire.BodyEnc, ss []string) {
+	e.Uvarint(uint64(len(ss)))
+	for _, s := range ss {
+		e.String(s)
+	}
+}
+
+func decodeStrings(d *wire.Dec) []string {
+	n := d.Uvarint()
+	if n == 0 || d.Err() != nil {
+		return nil
+	}
+	out := make([]string, 0, min(n, 4096))
+	for i := uint64(0); i < n && d.Err() == nil; i++ {
+		out = append(out, d.String())
+	}
+	return out
+}
+
+// decodeEvents reads a count-prefixed run of Event bodies (the Event
+// codec is self-delimiting, so no per-event length prefix is needed).
+func decodeEvents(d *wire.Dec) []room.Event {
+	n := d.Uvarint()
+	if n == 0 || d.Err() != nil {
+		return nil
+	}
+	out := make([]room.Event, 0, min(n, 4096))
+	for i := uint64(0); i < n && d.Err() == nil; i++ {
+		var ev room.Event
+		_ = ev.DecodeBody(d) // latched in d
+		out = append(out, ev)
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+package proto
+
+import (
+	"reflect"
+	"testing"
+
+	"mmconf/internal/media/image"
+	"mmconf/internal/media/voice"
+	"mmconf/internal/room"
+	"mmconf/internal/wire"
+)
+
+// codecCase pairs a populated body with a fresh destination of the same
+// type for decoding.
+type codecCase struct {
+	name string
+	in   interface {
+		wire.BodyEncoder
+		wire.BodyDecoder
+	}
+	out interface {
+		wire.BodyEncoder
+		wire.BodyDecoder
+	}
+}
+
+func sampleEvents() []room.Event {
+	return []room.Event{
+		{
+			Seq: 3, Room: "consult", Actor: "alice", Kind: room.EvChat,
+			Text: "look at layer two",
+		},
+		{
+			Seq: 4, Room: "consult", Actor: "bob", Kind: room.EvAnnotate,
+			ObjectID: 12,
+			Annotation: image.Annotation{
+				ID: 7, Kind: 1, X1: 10, Y1: -3, X2: 200, Y2: 140,
+				Text: "lesion?", Intensity: 0.75,
+			},
+		},
+		{
+			Seq: 5, Room: "consult", Actor: "alice", Kind: room.EvWordSearch,
+			Keyword: "aneurysm",
+			Hits: []voice.Hit{
+				{Word: "aneurysm", Start: 100, End: 160, Score: 0.93},
+				{Word: "aneurysm", Start: 8000, End: 8070, Score: 0.71},
+			},
+		},
+		{
+			Seq: 6, Room: "consult", Actor: "sys", Kind: room.EvPresentation,
+			Variable: "ct", Value: "segmented",
+			Outcome: map[string]string{"ct": "segmented", "audio": "on"},
+			Visible: map[string]bool{"img.1": true, "img.2": false},
+			Resync:  true,
+		},
+		{
+			Seq: 7, Room: "consult", Actor: "bob", Kind: room.EvOperation,
+			Component: "viewer", Op: "zoom", ActiveWhen: "always",
+			DerivedVar: "zoomlevel", Private: true, AnnotationID: -2,
+		},
+	}
+}
+
+func codecCases() []codecCase {
+	big := make([]byte, 4096)
+	for i := range big {
+		big[i] = byte(i * 7)
+	}
+	return []codecCase{
+		{"ListDocumentsReq", &ListDocumentsReq{}, &ListDocumentsReq{}},
+		{"ListDocumentsResp", &ListDocumentsResp{
+			IDs: []string{"p1", "p2"}, Titles: []string{"Case 1", "Case 2"},
+		}, &ListDocumentsResp{}},
+		{"ListDocumentsResp/empty", &ListDocumentsResp{}, &ListDocumentsResp{}},
+		{"GetDocumentReq", &GetDocumentReq{DocID: "p1"}, &GetDocumentReq{}},
+		{"GetDocumentResp", &GetDocumentResp{DocData: big}, &GetDocumentResp{}},
+		{"GetImageReq", &GetImageReq{ID: 42}, &GetImageReq{}},
+		{"GetImageResp", &GetImageResp{
+			Quality: 3, Texts: "axial slice", CM: 1.25,
+			Digest: []byte{1, 2, 3, 4}, Data: big,
+		}, &GetImageResp{}},
+		{"GetAudioReq", &GetAudioReq{ID: 9}, &GetAudioReq{}},
+		{"GetAudioResp", &GetAudioResp{
+			Filename: "consult.au", Sectors: big[:700],
+			Digest: []byte{9, 8, 7}, Data: big,
+		}, &GetAudioResp{}},
+		{"GetCmpReq", &GetCmpReq{ID: 5, MaxLayers: 3}, &GetCmpReq{}},
+		{"GetCmpResp", &GetCmpResp{
+			Filename: "scan.cmp", Digest: []byte{5, 5, 5},
+			Header: []byte("hdr"), Data: big,
+		}, &GetCmpResp{}},
+		{"JoinRoomReq", &JoinRoomReq{
+			Room: "consult", DocID: "p1", User: "alice", Resume: true, SinceSeq: 41,
+		}, &JoinRoomReq{}},
+		{"JoinRoomResp", &JoinRoomResp{
+			DocData: big, History: sampleEvents(),
+			Outcome: map[string]string{"ct": "raw"},
+			Visible: map[string]bool{"img.1": true},
+			Resumed: true, Complete: true, LastSeq: 7,
+		}, &JoinRoomResp{}},
+		{"JoinRoomResp/empty", &JoinRoomResp{}, &JoinRoomResp{}},
+		{"LeaveRoomReq", &LeaveRoomReq{Room: "consult", User: "bob"}, &LeaveRoomReq{}},
+		{"ChoiceReq", &ChoiceReq{
+			Room: "consult", User: "alice", Variable: "ct", Value: "segmented",
+		}, &ChoiceReq{}},
+		{"ChatReq", &ChatReq{Room: "consult", User: "bob", Text: "hi"}, &ChatReq{}},
+		{"HistoryReq", &HistoryReq{Room: "consult", Since: 12}, &HistoryReq{}},
+		{"HistoryResp", &HistoryResp{Events: sampleEvents()}, &HistoryResp{}},
+		{"HistoryResp/empty", &HistoryResp{}, &HistoryResp{}},
+	}
+}
+
+// TestBinaryCodecsMatchGob checks, for every body with a binary codec,
+// that the binary round trip reproduces exactly the struct gob would:
+// the two encodings must be interchangeable because a mixed-version
+// room serves the same body over both.
+func TestBinaryCodecsMatchGob(t *testing.T) {
+	for _, tc := range codecCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			data := wire.MarshalBody(tc.in)
+			if err := wire.DecodeBodyBytes(data, tc.out); err != nil {
+				t.Fatalf("binary decode: %v", err)
+			}
+			if !reflect.DeepEqual(tc.in, tc.out) {
+				t.Errorf("binary round trip:\n in: %+v\nout: %+v", tc.in, tc.out)
+			}
+			// Cross-check against gob: same source struct, same result.
+			gobBytes, err := wire.Marshal(tc.in)
+			if err != nil {
+				t.Fatalf("gob encode: %v", err)
+			}
+			viaGob := reflect.New(reflect.TypeOf(tc.in).Elem()).Interface()
+			if err := wire.Unmarshal(gobBytes, viaGob); err != nil {
+				t.Fatalf("gob decode: %v", err)
+			}
+			if !reflect.DeepEqual(viaGob, tc.out) {
+				t.Errorf("binary and gob round trips disagree:\ngob: %+v\nbin: %+v", viaGob, tc.out)
+			}
+		})
+	}
+}
+
+// TestBinaryCodecRejectsTrailingBytes checks the strict-consumption
+// guard: a payload with junk after the body must not decode silently.
+func TestBinaryCodecRejectsTrailingBytes(t *testing.T) {
+	data := wire.MarshalBody(&ChatReq{Room: "r", User: "u", Text: "t"})
+	data = append(data, 0xFF)
+	if err := wire.DecodeBodyBytes(data, &ChatReq{}); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+// TestBinaryCodecTruncation checks every prefix of a complex encoded
+// body fails cleanly (error, not panic or false success).
+func TestBinaryCodecTruncation(t *testing.T) {
+	full := wire.MarshalBody(&JoinRoomResp{
+		DocData: []byte("doc"), History: sampleEvents(),
+		Outcome: map[string]string{"ct": "raw"},
+		Visible: map[string]bool{"img.1": true},
+		Resumed: true, LastSeq: 7,
+	})
+	for n := 0; n < len(full); n++ {
+		if err := wire.DecodeBodyBytes(full[:n], &JoinRoomResp{}); err == nil {
+			t.Fatalf("truncation at %d/%d bytes decoded successfully", n, len(full))
+		}
+	}
+}
+
+// TestEventCodecSharedEncoding checks room.MarshalEventBinary (the
+// fan-out path's FormatBinary marshal) agrees with the event's own
+// codec and decodes back to the source event.
+func TestEventCodecSharedEncoding(t *testing.T) {
+	for _, ev := range sampleEvents() {
+		data, err := room.MarshalEventBinary(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out room.Event
+		if err := wire.DecodeBodyBytes(data, &out); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ev, out) {
+			t.Errorf("event round trip:\n in: %+v\nout: %+v", ev, out)
+		}
+	}
+}

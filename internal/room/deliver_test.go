@@ -109,7 +109,7 @@ func TestEncodeSharedOncePerBroadcast(t *testing.T) {
 		wg.Add(1)
 		go func(i int, ev Event) {
 			defer wg.Done()
-			data, _, err := ev.EncodeShared(counting)
+			data, _, err := ev.EncodeShared(FormatGob, counting)
 			if err != nil {
 				t.Errorf("EncodeShared: %v", err)
 				return
@@ -159,7 +159,7 @@ func TestEncodeSharedPerMemberEvents(t *testing.T) {
 			if ev.shared != nil {
 				t.Error("presentation event carries a shared encoding")
 			}
-			if _, encoded, err := ev.EncodeShared(wire.Marshal); err != nil || !encoded {
+			if _, encoded, err := ev.EncodeShared(FormatGob, wire.Marshal); err != nil || !encoded {
 				t.Errorf("presentation event encode: encoded=%v err=%v", encoded, err)
 			}
 		}

@@ -1,0 +1,152 @@
+package room
+
+import (
+	"mmconf/internal/cpnet"
+	"mmconf/internal/media/image"
+	"mmconf/internal/media/voice"
+	"mmconf/internal/wire"
+)
+
+// Binary codec for Event — the single hottest payload on the wire: every
+// propagated room change crosses as one of these, fanned out to every
+// member. Fields encode in declaration order; zero-length maps and
+// slices decode as nil, matching gob's zero-value omission so either
+// encoding round-trips to the same value.
+
+// Format indexes for EncodeShared's per-connection-protocol slots.
+const (
+	// FormatGob is the gob encoding slot (legacy and fallback peers).
+	FormatGob = iota
+	// FormatBinary is the wire-v2 binary codec slot.
+	FormatBinary
+	formatCount
+)
+
+// MarshalEventBinary is the marshal func for the FormatBinary slot of
+// EncodeShared (mirrors wire.Marshal's signature for the gob slot).
+func MarshalEventBinary(v any) ([]byte, error) {
+	ev, ok := v.(Event)
+	if !ok {
+		return nil, &wrongTypeError{}
+	}
+	return wire.MarshalBody(&ev), nil
+}
+
+type wrongTypeError struct{}
+
+func (*wrongTypeError) Error() string { return "room: MarshalEventBinary wants a room.Event" }
+
+// AppendBody implements wire.BodyEncoder.
+func (ev *Event) AppendBody(e *wire.BodyEnc) {
+	e.Uvarint(ev.Seq)
+	e.String(ev.Room)
+	e.String(ev.Actor)
+	e.Uvarint(uint64(ev.Kind))
+	e.String(ev.Variable)
+	e.String(ev.Value)
+	e.String(ev.Component)
+	e.String(ev.Op)
+	e.String(ev.ActiveWhen)
+	e.String(ev.DerivedVar)
+	e.Bool(ev.Private)
+	e.Uvarint(ev.ObjectID)
+	appendAnnotation(e, &ev.Annotation)
+	e.Varint(int64(ev.AnnotationID))
+	e.Uvarint(uint64(len(ev.Outcome)))
+	for k, v := range ev.Outcome {
+		e.String(k)
+		e.String(v)
+	}
+	e.Uvarint(uint64(len(ev.Visible)))
+	for k, v := range ev.Visible {
+		e.String(k)
+		e.Bool(v)
+	}
+	e.String(ev.Keyword)
+	e.Uvarint(uint64(len(ev.Hits)))
+	for i := range ev.Hits {
+		h := &ev.Hits[i]
+		e.String(h.Word)
+		e.Varint(int64(h.Start))
+		e.Varint(int64(h.End))
+		e.F64(h.Score)
+	}
+	e.String(ev.Text)
+	e.Bool(ev.Resync)
+}
+
+// DecodeBody implements wire.BodyDecoder.
+func (ev *Event) DecodeBody(d *wire.Dec) error {
+	ev.Seq = d.Uvarint()
+	ev.Room = d.String()
+	ev.Actor = d.String()
+	ev.Kind = EventKind(d.Uvarint())
+	ev.Variable = d.String()
+	ev.Value = d.String()
+	ev.Component = d.String()
+	ev.Op = d.String()
+	ev.ActiveWhen = d.String()
+	ev.DerivedVar = d.String()
+	ev.Private = d.Bool()
+	ev.ObjectID = d.Uvarint()
+	decodeAnnotation(d, &ev.Annotation)
+	ev.AnnotationID = int(d.Varint())
+	if n := d.Uvarint(); n > 0 && d.Err() == nil {
+		ev.Outcome = make(cpnet.Outcome, n)
+		for i := uint64(0); i < n && d.Err() == nil; i++ {
+			k := d.String()
+			ev.Outcome[k] = d.String()
+		}
+	} else {
+		ev.Outcome = nil
+	}
+	if n := d.Uvarint(); n > 0 && d.Err() == nil {
+		ev.Visible = make(map[string]bool, n)
+		for i := uint64(0); i < n && d.Err() == nil; i++ {
+			k := d.String()
+			ev.Visible[k] = d.Bool()
+		}
+	} else {
+		ev.Visible = nil
+	}
+	ev.Keyword = d.String()
+	if n := d.Uvarint(); n > 0 && d.Err() == nil {
+		ev.Hits = make([]voice.Hit, 0, int(min(n, 4096)))
+		for i := uint64(0); i < n && d.Err() == nil; i++ {
+			var h voice.Hit
+			h.Word = d.String()
+			h.Start = int(d.Varint())
+			h.End = int(d.Varint())
+			h.Score = d.F64()
+			ev.Hits = append(ev.Hits, h)
+		}
+	} else {
+		ev.Hits = nil
+	}
+	ev.Text = d.String()
+	ev.Resync = d.Bool()
+	ev.shared = nil
+	return d.Err()
+}
+
+func appendAnnotation(e *wire.BodyEnc, a *image.Annotation) {
+	e.Varint(int64(a.ID))
+	e.Uvarint(uint64(a.Kind))
+	e.Varint(int64(a.X1))
+	e.Varint(int64(a.Y1))
+	e.Varint(int64(a.X2))
+	e.Varint(int64(a.Y2))
+	e.String(a.Text)
+	e.F64(a.Intensity)
+}
+
+func decodeAnnotation(d *wire.Dec, a *image.Annotation) {
+	a.ID = int(d.Varint())
+	a.Kind = image.AnnotationKind(d.Uvarint())
+	a.X1 = int(d.Varint())
+	a.Y1 = int(d.Varint())
+	a.X2 = int(d.Varint())
+	a.Y2 = int(d.Varint())
+	a.Text = d.String()
+	a.Intensity = d.F64()
+}

@@ -88,30 +88,38 @@ type Event struct {
 	// replay from History instead of trusting its local stream.
 	Resync bool
 
-	// shared memoizes the event's wire encoding across an N-member
+	// shared memoizes the event's wire encodings across an N-member
 	// fan-out (set by fanOutLocked; nil for per-member events, which
 	// encode individually). Unexported, so gob never sees it.
 	shared *sharedEnc
 }
 
-// sharedEnc is the once-computed wire payload of a fanned-out event.
+// sharedEnc holds the once-computed wire payloads of a fanned-out
+// event, one slot per wire format (FormatGob, FormatBinary) — a room
+// whose members negotiated different protocol versions encodes each
+// broadcast event at most once per format, not once per member.
 type sharedEnc struct {
+	slots [formatCount]encSlot
+}
+
+// encSlot is one format's memoized encoding.
+type encSlot struct {
 	once sync.Once
 	data []byte
 	err  error
 }
 
-// EncodeShared returns the event's wire payload via marshal, computing
-// it at most once across every copy of a fanned-out event — an N-member
-// room does one gob encode per broadcast event instead of N. encoded
-// reports whether this call ran marshal (false = a shared encoding was
-// reused). Callers must not modify the returned bytes.
-func (ev *Event) EncodeShared(marshal func(any) ([]byte, error)) (data []byte, encoded bool, err error) {
+// EncodeShared returns the event's wire payload in the given format
+// (FormatGob or FormatBinary) via marshal, computing it at most once
+// per format across every copy of a fanned-out event. encoded reports
+// whether this call ran marshal (false = a shared encoding was reused).
+// Callers must not modify the returned bytes.
+func (ev *Event) EncodeShared(format int, marshal func(any) ([]byte, error)) (data []byte, encoded bool, err error) {
 	if ev.shared == nil {
 		data, err = marshal(*ev)
 		return data, true, err
 	}
-	s := ev.shared
+	s := &ev.shared.slots[format]
 	s.once.Do(func() {
 		encoded = true
 		s.data, s.err = marshal(*ev)

@@ -1,0 +1,217 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"mmconf/internal/client"
+	"mmconf/internal/mediadb"
+	"mmconf/internal/netsim"
+	"mmconf/internal/room"
+	"mmconf/internal/store"
+	"mmconf/internal/wire"
+	"mmconf/internal/workload"
+)
+
+// Mixed-version interoperability: the wire v2 rollout story is one
+// fleet upgrading at a time, so a binary-framing server must serve a
+// gob-only client flawlessly (and a v2-capable client must degrade to a
+// gob-capped server) through the full session lifecycle — join, event
+// push, media fetch, and resume after an injected connection kill.
+
+// interopSystem is testSystem with a resume-friendly session grace.
+func interopSystem(t *testing.T) (*Server, string, *workload.PopulatedRecord) {
+	t.Helper()
+	db, err := store.Open(t.TempDir(), store.Options{Sync: store.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	m, err := mediadb.Open(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := workload.Populate(m, "p1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewWith(m, Options{SessionGrace: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close() })
+	return srv, l.Addr().String(), rec
+}
+
+// runInteropSession drives one legacy/v2 pair through the lifecycle.
+// old is the client forced down to gob (by its own GobOnly knob or by a
+// gob-capped server); fresh speaks whatever it negotiates.
+func runInteropSession(t *testing.T, faults *netsim.Faults, old, fresh *client.Client, rec *workload.PopulatedRecord) {
+	t.Helper()
+	so, _, err := old.Join("consult", "p1", 0)
+	if err != nil {
+		t.Fatalf("old client join: %v", err)
+	}
+	col := collect(old)
+	sf, _, err := fresh.Join("consult", "p1", 0)
+	if err != nil {
+		t.Fatalf("fresh client join: %v", err)
+	}
+	col.waitFor(t, "fresh join", func(evs []room.Event) bool {
+		for _, ev := range evs {
+			if ev.Kind == room.EvJoin && ev.Actor == "fresh" {
+				return true
+			}
+		}
+		return false
+	})
+
+	// Event push across the encoding boundary, both directions.
+	if err := so.Chat("from the past"); err != nil {
+		t.Fatal(err)
+	}
+	waitEvent(t, fresh, func(ev room.Event) bool {
+		return ev.Kind == room.EvChat && ev.Text == "from the past"
+	})
+	if err := sf.Chat("from the future"); err != nil {
+		t.Fatal(err)
+	}
+	col.waitFor(t, "fresh chat", func(evs []room.Event) bool {
+		for _, ev := range evs {
+			if ev.Kind == room.EvChat && ev.Text == "from the future" {
+				return true
+			}
+		}
+		return false
+	})
+
+	// Media fetches return identical bytes over both encodings.
+	oldImg, err := old.GetImageBytes(rec.CTID)
+	if err != nil {
+		t.Fatalf("old GetImageBytes: %v", err)
+	}
+	freshImg, err := fresh.GetImageBytes(rec.CTID)
+	if err != nil {
+		t.Fatalf("fresh GetImageBytes: %v", err)
+	}
+	if !bytes.Equal(oldImg, freshImg) {
+		t.Errorf("image bytes differ across encodings: %d vs %d bytes", len(oldImg), len(freshImg))
+	}
+	oldCmp, oldLayers, err := old.GetCmp(rec.CmpID, 2)
+	if err != nil {
+		t.Fatalf("old GetCmp: %v", err)
+	}
+	freshCmp, freshLayers, err := fresh.GetCmp(rec.CmpID, 2)
+	if err != nil {
+		t.Fatalf("fresh GetCmp: %v", err)
+	}
+	if oldLayers != freshLayers || len(oldCmp.Pix) != len(freshCmp.Pix) {
+		t.Error("progressive fetch differs across encodings")
+	}
+	for i := range oldCmp.Pix {
+		if oldCmp.Pix[i] != freshCmp.Pix[i] {
+			t.Errorf("progressive fetch pixel %d differs across encodings", i)
+			break
+		}
+	}
+
+	// Resume: kill the old client's transport under extra latency, let
+	// the fresh client talk during the outage, and require an exact
+	// replay after the redial.
+	faults.SetLatency(2 * time.Millisecond)
+	faults.FailDials(1)
+	faults.KillAll()
+	const missed = 3
+	for i := 0; i < missed; i++ {
+		if err := sf.Chat(fmt.Sprintf("missed %d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	col.waitFor(t, "replayed chat", func(evs []room.Event) bool {
+		n := 0
+		for _, ev := range evs {
+			if ev.Kind == room.EvChat && len(ev.Text) > 6 && ev.Text[:6] == "missed" {
+				n++
+			}
+		}
+		return n >= missed
+	})
+	counts := map[string]int{}
+	for _, ev := range col.snapshot() {
+		if ev.Kind == room.EvChat {
+			counts[ev.Text]++
+		}
+	}
+	for i := 0; i < missed; i++ {
+		if n := counts[fmt.Sprintf("missed %d", i)]; n != 1 {
+			t.Errorf("chat %q delivered %d times, want exactly 1", fmt.Sprintf("missed %d", i), n)
+		}
+	}
+	if so.NeedsResync() {
+		t.Error("resume left the old client flagged for resync")
+	}
+	// The resumed session still speaks: its traffic reaches the peer.
+	if err := so.Chat("still here"); err != nil {
+		t.Fatal(err)
+	}
+	waitEvent(t, fresh, func(ev room.Event) bool {
+		return ev.Kind == room.EvChat && ev.Text == "still here"
+	})
+}
+
+// TestInteropGobClientAgainstV2Server runs a legacy gob-only client
+// against a v2 server alongside a v2 member in the same room.
+func TestInteropGobClientAgainstV2Server(t *testing.T) {
+	srv, addr, rec := interopSystem(t)
+	faults := netsim.NewFaults()
+	opts := fastRetry()
+	opts.GobOnly = true
+	old := faultyClient(t, faults, addr, "old", opts)
+	fresh := dial(t, addr, "fresh")
+	// A gob client announces itself with its first request bytes (there
+	// is no preamble to peek), so make one before counting peers: the
+	// server must show one negotiated-down peer next to one v2 peer.
+	if _, _, err := old.ListDocuments(); err != nil {
+		t.Fatal(err)
+	}
+	waitPeerVersions(t, srv, 1, 1)
+	runInteropSession(t, faults, old, fresh, rec)
+}
+
+// TestInteropV2ClientAgainstGobServer runs default (v2-capable) clients
+// against a server capped at the gob protocol: every connection must
+// degrade to gob and the lifecycle must be unaffected.
+func TestInteropV2ClientAgainstGobServer(t *testing.T) {
+	srv, addr, rec := interopSystem(t)
+	srv.rpc.SetMaxProtoVersion(wire.ProtoGob)
+	faults := netsim.NewFaults()
+	old := faultyClient(t, faults, addr, "old", fastRetry())
+	fresh := dial(t, addr, "fresh")
+	waitPeerVersions(t, srv, 0, 2)
+	runInteropSession(t, faults, old, fresh, rec)
+}
+
+// waitPeerVersions polls until the server's live peers split into the
+// expected v2/gob counts (connections register asynchronously).
+func waitPeerVersions(t *testing.T, srv *Server, wantV2, wantGob int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		v2, gob := srv.rpc.PeerVersions()
+		if v2 == wantV2 && gob == wantGob {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("peer versions v2=%d gob=%d, want v2=%d gob=%d", v2, gob, wantV2, wantGob)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -233,7 +233,7 @@ func TestForwarderPushFailureLeavesRoom(t *testing.T) {
 	go srv.ServeConn(&failConn{Conn: sc, fail: &fail})
 	mallory := wire.NewClient(cc)
 	defer mallory.Close()
-	mallory.OnPush(func(string, []byte) {})
+	mallory.OnPush(func(string, wire.Body) {})
 	var joinResp proto.JoinRoomResp
 	if err := mallory.Call(proto.MJoinRoom, proto.JoinRoomReq{Room: "consult", User: "mallory"}, &joinResp); err != nil {
 		t.Fatal(err)

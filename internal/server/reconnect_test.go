@@ -443,7 +443,7 @@ func BenchmarkE10ResumeVsRejoin(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		seed.OnPush(func(string, []byte) {})
+		seed.OnPush(func(string, wire.Body) {})
 		var resp proto.JoinRoomResp
 		if err := seed.Call(proto.MJoinRoom, proto.JoinRoomReq{Room: "consult", DocID: "p1", User: "alice"}, &resp); err != nil {
 			b.Fatal(err)
@@ -456,7 +456,7 @@ func BenchmarkE10ResumeVsRejoin(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			c.OnPush(func(string, []byte) {})
+			c.OnPush(func(string, wire.Body) {})
 			req := proto.JoinRoomReq{Room: "consult", DocID: "p1", User: "alice"}
 			if resume {
 				req.Resume, req.SinceSeq = true, since

@@ -395,7 +395,7 @@ func TestParseOverloadRoundTrip(t *testing.T) {
 
 // admitCtx builds a dispatch-shaped context carrying a method name.
 func admitCtx(method string) context.Context {
-	return context.WithValue(context.Background(), methodKey, method)
+	return context.WithValue(context.Background(), reqInfoKey, &reqInfo{method: method})
 }
 
 func TestAdmissionInterceptorPassthrough(t *testing.T) {

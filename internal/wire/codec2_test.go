@@ -1,0 +1,343 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// fakeConn is a net.Conn whose writes land in a buffer — enough for the
+// vecWriter, which only ever writes.
+type fakeConn struct {
+	bytes.Buffer
+}
+
+func (*fakeConn) Read([]byte) (int, error)         { return 0, io.EOF }
+func (*fakeConn) Close() error                     { return nil }
+func (*fakeConn) LocalAddr() net.Addr              { return nil }
+func (*fakeConn) RemoteAddr() net.Addr             { return nil }
+func (*fakeConn) SetDeadline(time.Time) error      { return nil }
+func (*fakeConn) SetReadDeadline(time.Time) error  { return nil }
+func (*fakeConn) SetWriteDeadline(time.Time) error { return nil }
+
+func TestPreambleRoundTrip(t *testing.T) {
+	for _, ver := range []uint8{ProtoGob, ProtoV2, 7} {
+		b := appendPreamble(nil, ver)
+		if len(b) != preambleLen {
+			t.Fatalf("preamble length %d, want %d", len(b), preambleLen)
+		}
+		if b[0] != 0 {
+			t.Fatal("preamble must open with 0x00 to stay unambiguous against gob")
+		}
+		got, ok := parsePreamble(b)
+		if !ok || got != ver {
+			t.Errorf("parsePreamble(appendPreamble(%d)) = %d, %v", ver, got, ok)
+		}
+	}
+	for _, bad := range [][]byte{
+		nil,
+		{0x00},
+		{0x00, 'M', 'M', '2'},
+		{0x01, 'M', 'M', '2', 2},
+		{0x00, 'M', 'M', '3', 2},
+		{0x00, 'X', 'M', '2', 2},
+		{0x00, 'M', 'M', '2', 2, 0},
+	} {
+		if _, ok := parsePreamble(bad); ok {
+			t.Errorf("parsePreamble(%v) accepted", bad)
+		}
+	}
+}
+
+func TestNegotiate(t *testing.T) {
+	cases := []struct{ client, server, want uint8 }{
+		{ProtoV2, ProtoV2, ProtoV2},
+		{ProtoGob, ProtoV2, ProtoGob},
+		{ProtoV2, ProtoGob, ProtoGob},
+		{1, ProtoV2, ProtoGob}, // 1 never shipped: below v2 means gob
+		{ProtoV2, 1, ProtoGob},
+		{3, ProtoV2, ProtoV2}, // future client degrades to our best
+		{ProtoV2, 3, ProtoV2}, // future server offers, we cap at v2
+		{9, 7, ProtoV2},       // both from the future: still v2
+	}
+	for _, c := range cases {
+		if got := negotiate(c.client, c.server); got != c.want {
+			t.Errorf("negotiate(%d, %d) = %d, want %d", c.client, c.server, got, c.want)
+		}
+	}
+}
+
+func TestBodyEncRoundTrip(t *testing.T) {
+	big := bytes.Repeat([]byte{0xAB}, externThreshold*3)
+	e := getBodyEnc()
+	e.Byte(0x42)
+	e.Uvarint(0)
+	e.Uvarint(1<<63 + 17)
+	e.Varint(-40000)
+	e.Varint(12345)
+	e.Bool(true)
+	e.Bool(false)
+	e.F64(-2.718281828)
+	e.String("")
+	e.String("hello, 世界")
+	e.Bytes(nil)
+	e.Bytes([]byte{1, 2, 3})
+	e.RawBytes([]byte("small")) // under threshold: copied to scratch
+	e.RawBytes(big)             // over threshold: external reference
+	flat := e.Flatten()
+	putBodyEnc(e)
+
+	d := NewDec(flat)
+	if v := d.Byte(); v != 0x42 {
+		t.Errorf("Byte = %#x", v)
+	}
+	if v := d.Uvarint(); v != 0 {
+		t.Errorf("Uvarint = %d", v)
+	}
+	if v := d.Uvarint(); v != 1<<63+17 {
+		t.Errorf("Uvarint = %d", v)
+	}
+	if v := d.Varint(); v != -40000 {
+		t.Errorf("Varint = %d", v)
+	}
+	if v := d.Varint(); v != 12345 {
+		t.Errorf("Varint = %d", v)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Error("Bool round trip")
+	}
+	if v := d.F64(); v != -2.718281828 {
+		t.Errorf("F64 = %v", v)
+	}
+	if v := d.String(); v != "" {
+		t.Errorf("String = %q", v)
+	}
+	if v := d.String(); v != "hello, 世界" {
+		t.Errorf("String = %q", v)
+	}
+	if v := d.Bytes(); v != nil {
+		t.Errorf("nil Bytes = %v", v)
+	}
+	if v := d.Bytes(); !bytes.Equal(v, []byte{1, 2, 3}) {
+		t.Errorf("Bytes = %v", v)
+	}
+	if v := d.Bytes(); string(v) != "small" {
+		t.Errorf("small RawBytes = %q", v)
+	}
+	if v := d.Bytes(); !bytes.Equal(v, big) {
+		t.Errorf("big RawBytes: %d bytes", len(v))
+	}
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 0 {
+		t.Errorf("%d trailing bytes", d.Len())
+	}
+}
+
+// TestBodyEncZeroCopy checks a large RawBytes payload is recorded as a
+// reference to the caller's array, not copied into encoder scratch.
+func TestBodyEncZeroCopy(t *testing.T) {
+	big := bytes.Repeat([]byte{7}, externThreshold)
+	e := getBodyEnc()
+	e.String("header")
+	e.RawBytes(big)
+	defer putBodyEnc(e)
+	var ext [][]byte
+	for _, s := range e.spans {
+		if s.ext != nil {
+			ext = append(ext, s.ext)
+		}
+	}
+	if len(ext) != 1 {
+		t.Fatalf("%d external spans, want 1", len(ext))
+	}
+	if &ext[0][0] != &big[0] {
+		t.Error("external span does not alias the caller's payload")
+	}
+	// And the segment list the writer flushes exposes the same aliasing.
+	found := false
+	for _, seg := range e.segments() {
+		if len(seg) == len(big) && &seg[0] == &big[0] {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("segments() copied the large payload")
+	}
+}
+
+// TestDecErrorLatch checks a truncated read poisons the decoder instead
+// of panicking or returning garbage on later reads.
+func TestDecErrorLatch(t *testing.T) {
+	d := NewDec([]byte{0x05, 'a'}) // claims 5 bytes, has 1
+	if v := d.Bytes(); v != nil {
+		t.Errorf("truncated Bytes = %v", v)
+	}
+	if d.Err() == nil {
+		t.Fatal("no latched error")
+	}
+	if v := d.Uvarint(); v != 0 {
+		t.Errorf("post-error Uvarint = %d", v)
+	}
+	if v := d.String(); v != "" {
+		t.Errorf("post-error String = %q", v)
+	}
+}
+
+// roundTripFrame pushes env through the batched v2 writer and reads the
+// frame back.
+func roundTripFrame(t *testing.T, env envelope) envelope {
+	t.Helper()
+	var conn fakeConn
+	w := newVecWriter(&conn, nil)
+	w.encodeFrame(&env)
+	if err := w.flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readFrame(&conn.Buffer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	RegisterMethodCode(900, "codec2test.coded")
+	big := bytes.Repeat([]byte{0xCD}, externThreshold*2)
+	cases := []envelope{
+		{Kind: kindRequest, ID: 1, Method: "codec2test.coded", Enc: EncGob, Payload: []byte("small")},
+		{Kind: kindResponse, ID: 1 << 40, Trace: 77, Method: "codec2test.coded", Err: "boom", Payload: nil},
+		{Kind: kindPush, Method: "no.such.code", Enc: EncBinary, Payload: big},
+		{Kind: kindRequest, ID: 3, Method: "", Payload: []byte{0}},
+	}
+	for i, env := range cases {
+		got := roundTripFrame(t, env)
+		if got.Kind != env.Kind || got.ID != env.ID || got.Trace != env.Trace ||
+			got.Method != env.Method || got.Err != env.Err || got.Enc != env.Enc {
+			t.Errorf("case %d: %+v -> %+v", i, env, got)
+		}
+		if !bytes.Equal(got.Payload, env.Payload) {
+			t.Errorf("case %d: payload %d bytes -> %d bytes", i, len(env.Payload), len(got.Payload))
+		}
+	}
+}
+
+// TestFrameBatchCoalesces checks several frames written before one
+// flush land in a single writev-style write and all parse back.
+func TestFrameBatchCoalesces(t *testing.T) {
+	st := NewStats()
+	var conn fakeConn
+	w := newVecWriter(&conn, st)
+	const k = 10
+	payload := bytes.Repeat([]byte{9}, externThreshold+1)
+	for i := 0; i < k; i++ {
+		env := envelope{Kind: kindPush, ID: uint64(i), Method: "batch.test", Payload: payload}
+		w.encodeFrame(&env)
+	}
+	if err := w.flush(); err != nil {
+		t.Fatal(err)
+	}
+	if flushes := st.Counter(CounterWriterFlushes); flushes != 1 {
+		t.Errorf("flushes = %d, want 1", flushes)
+	}
+	for i := 0; i < k; i++ {
+		env, err := readFrame(&conn.Buffer)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if env.ID != uint64(i) || !bytes.Equal(env.Payload, payload) {
+			t.Fatalf("frame %d corrupted: id=%d payload=%d bytes", i, env.ID, len(env.Payload))
+		}
+	}
+	if conn.Buffer.Len() != 0 {
+		t.Errorf("%d trailing bytes after %d frames", conn.Buffer.Len(), k)
+	}
+}
+
+func TestReadFrameRejectsBadLengths(t *testing.T) {
+	// Oversized length prefix must fail before allocating the body.
+	huge := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := readFrame(bytes.NewReader(huge)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversized frame: %v", err)
+	}
+	// A frame too short to hold kind+enc.
+	tiny := []byte{0, 0, 0, 1, 0}
+	if _, err := readFrame(bytes.NewReader(tiny)); err == nil {
+		t.Error("1-byte frame accepted")
+	}
+	// Truncated body: length prefix promises more than the stream holds.
+	trunc := []byte{0, 0, 0, 50, 0, 0, 1}
+	if _, err := readFrame(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated frame accepted")
+	}
+}
+
+func TestParseFrameRejectsGarbage(t *testing.T) {
+	if _, err := parseFrame([]byte{200, 0, 0, 0, 0, 0}); err == nil {
+		t.Error("bad kind accepted")
+	}
+	if _, err := parseFrame([]byte{0, 9, 0, 0, 0, 0}); err == nil {
+		t.Error("bad encoding accepted")
+	}
+	// Unknown method code.
+	if _, err := parseFrame([]byte{0, 0, 0, 0, 0xEE, 0xEE, 0}); err == nil {
+		t.Error("unknown method code accepted")
+	}
+}
+
+// TestVersionNegotiationEndToEnd covers the live handshake matrix over
+// real connections: both v2 (binary framing), a capped server (falls
+// back to gob), and a legacy gob client against a v2 server.
+func TestVersionNegotiationEndToEnd(t *testing.T) {
+	cases := []struct {
+		name      string
+		serverMax uint8
+		clientMax uint8
+		want      uint8
+	}{
+		{"v2-v2", ProtoV2, ProtoV2, ProtoV2},
+		{"gob-server", ProtoGob, ProtoV2, ProtoGob},
+		{"gob-client", ProtoV2, ProtoGob, ProtoGob},
+		{"future-client", ProtoV2, 9, ProtoV2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := NewServer()
+			s.SetMaxProtoVersion(tc.serverMax)
+			s.Register("echo", func(ctx context.Context, p *Peer, payload []byte) (any, error) {
+				var a echoArgs
+				if err := Unmarshal(payload, &a); err != nil {
+					return nil, err
+				}
+				return echoReply{Text: a.Text, N: a.N}, nil
+			})
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			go s.Serve(l)
+			defer s.Close()
+			conn, err := net.Dial("tcp", l.Addr().String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := NewClientVersion(conn, tc.clientMax)
+			defer c.Close()
+			if got := c.ProtoVersion(); got != tc.want {
+				t.Fatalf("negotiated version = %d, want %d", got, tc.want)
+			}
+			var r echoReply
+			if err := c.Call("echo", echoArgs{Text: "ping", N: 3}, &r); err != nil {
+				t.Fatal(err)
+			}
+			if r.Text != "ping" || r.N != 3 {
+				t.Errorf("echo = %+v", r)
+			}
+		})
+	}
+}

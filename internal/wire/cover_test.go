@@ -1,0 +1,286 @@
+package wire
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"mmconf/internal/obs"
+)
+
+// coverBody is a minimal BodyEncoder/BodyDecoder pair for exercising
+// the pooled body codec entry points directly (the real codecs live in
+// internal/proto and don't count toward this package's coverage).
+type coverBody struct {
+	A uint64
+	B int64
+	S string
+	P []byte
+}
+
+func (b *coverBody) AppendBody(e *BodyEnc) {
+	e.Uvarint(b.A)
+	e.Varint(b.B)
+	e.String(b.S)
+	e.Bytes(b.P)
+}
+
+func (b *coverBody) DecodeBody(d *Dec) error {
+	b.A = d.Uvarint()
+	b.B = d.Varint()
+	b.S = d.String()
+	b.P = d.Bytes()
+	return d.Err()
+}
+
+func TestMarshalBodyRoundTrip(t *testing.T) {
+	in := &coverBody{A: 1 << 40, B: -77, S: "hello", P: []byte{9, 8, 7}}
+	data := MarshalBody(in)
+	var out coverBody
+	if err := DecodeBodyBytes(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.A != in.A || out.B != in.B || out.S != in.S || string(out.P) != string(in.P) {
+		t.Errorf("round trip: got %+v want %+v", out, *in)
+	}
+	// Trailing bytes must be rejected.
+	if err := DecodeBodyBytes(append(data, 0), &out); err == nil {
+		t.Error("trailing byte accepted")
+	}
+	// Truncation must be rejected.
+	if err := DecodeBodyBytes(data[:len(data)-1], &out); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+func TestPoolStatsCounts(t *testing.T) {
+	g0, m0 := PoolStats()
+	for i := 0; i < 8; i++ {
+		MarshalBody(&coverBody{S: "x"})
+	}
+	g1, m1 := PoolStats()
+	if g1 < g0+8 {
+		t.Errorf("gets %d -> %d, want +8 at least", g0, g1)
+	}
+	if m1 < m0 || m1 > g1 {
+		t.Errorf("misses %d out of range (gets %d, was %d)", m1, g1, m0)
+	}
+}
+
+func TestBodyDecodeBothEncodings(t *testing.T) {
+	bin := Body{Enc: EncBinary, Data: MarshalBody(&coverBody{A: 5, S: "b"})}
+	var out coverBody
+	if err := bin.Decode(&out); err != nil || out.A != 5 || out.S != "b" {
+		t.Errorf("binary decode: %v %+v", err, out)
+	}
+	// A binary payload into a type with no BodyDecoder is a typed error.
+	var plain struct{ X int }
+	if err := bin.Decode(&plain); err == nil {
+		t.Error("binary payload into gob-only type accepted")
+	}
+	// Gob payloads dispatch through Unmarshal.
+	gobData, err := Marshal(echoArgs{Text: "g", N: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ga echoArgs
+	if err := (Body{Enc: EncGob, Data: gobData}).Decode(&ga); err != nil || ga.N != 3 {
+		t.Errorf("gob decode: %v %+v", err, ga)
+	}
+}
+
+func TestServerVersionSurface(t *testing.T) {
+	s, addr := startServer(t)
+	if got := s.MaxProtoVersion(); got != ProtoV2 {
+		t.Fatalf("MaxProtoVersion = %d, want %d", got, ProtoV2)
+	}
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2c := NewClient(conn)
+	defer v2c.Close()
+	if got := v2c.ProtoVersion(); got != ProtoV2 {
+		t.Fatalf("client ProtoVersion = %d, want %d", got, ProtoV2)
+	}
+	if err := v2c.Err(); err != nil {
+		t.Fatalf("live client Err = %v", err)
+	}
+
+	conn2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gobc := NewClientVersion(conn2, ProtoGob)
+	defer gobc.Close()
+	if got := gobc.ProtoVersion(); got != ProtoGob {
+		t.Fatalf("gob client ProtoVersion = %d, want %d", got, ProtoGob)
+	}
+	// A gob client announces itself only with its first request bytes.
+	var rep echoReply
+	if err := gobc.CallTimeout(5*time.Second, "echo", echoArgs{Text: "t", N: 2}, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.N != 4 {
+		t.Fatalf("echo reply N = %d", rep.N)
+	}
+
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		v2, gob := s.PeerVersions()
+		if v2 == 1 && gob == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("PeerVersions = %d/%d, want 1/1", v2, gob)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if peers, queued := s.WriteBacklog(); peers != 2 || queued != 0 {
+		t.Errorf("WriteBacklog = %d peers, %d queued", peers, queued)
+	}
+}
+
+func TestTraceIDRoundTrip(t *testing.T) {
+	s := NewServer()
+	s.Register("trace", func(ctx context.Context, p *Peer, payload []byte) (any, error) {
+		return echoReply{N: int(ContextTraceID(ctx))}, nil
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l)
+	t.Cleanup(func() { s.Close() })
+
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := WithTraceID(context.Background(), 424242)
+	var rep echoReply
+	if err := c.CallCtx(ctx, "trace", echoArgs{}, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.N != 424242 {
+		t.Errorf("handler saw trace id %d, want 424242", rep.N)
+	}
+	// Outside a dispatch the accessor reports zero.
+	if id := ContextTraceID(context.Background()); id != 0 {
+		t.Errorf("ContextTraceID outside dispatch = %d", id)
+	}
+}
+
+func TestDecTruncatedPrimitives(t *testing.T) {
+	// A lone continuation byte is an unterminated varint.
+	d := NewDec([]byte{0x80})
+	if d.Varint(); d.Err() == nil {
+		t.Error("truncated varint accepted")
+	}
+	// Err latches: subsequent reads keep failing and return zeros.
+	if v := d.Varint(); v != 0 || d.Err() == nil {
+		t.Errorf("latched Varint = %d, err %v", v, d.Err())
+	}
+	d = NewDec([]byte{1, 2, 3})
+	if d.F64(); d.Err() == nil {
+		t.Error("truncated float accepted")
+	}
+}
+
+func TestRegisterMethodCodePanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	RegisterMethodCode(910, "covertest.a")
+	RegisterMethodCode(910, "covertest.a") // same binding again is fine
+	expectPanic("reserved code", func() { RegisterMethodCode(0xFFFF, "covertest.r") })
+	expectPanic("code collision", func() { RegisterMethodCode(910, "covertest.b") })
+	expectPanic("name collision", func() { RegisterMethodCode(911, "covertest.a") })
+}
+
+func TestPutBodyEncDropsOversized(t *testing.T) {
+	e := getBodyEnc()
+	// Grow scratch past the pool's 1 MiB retention cap; the small
+	// RawBytes path copies into scratch (no external spans).
+	chunk := make([]byte, externThreshold-1)
+	for i := 0; i < (1<<20)/len(chunk)+2; i++ {
+		e.RawBytes(chunk)
+	}
+	if cap(e.buf) <= 1<<20 {
+		t.Fatalf("scratch cap %d not oversized", cap(e.buf))
+	}
+	putBodyEnc(e) // must drop, not pin: nothing to assert beyond not panicking
+	putBodyEnc(nil)
+}
+
+func TestClientProtoVersionDeadConn(t *testing.T) {
+	server, client := net.Pipe()
+	server.Close() // handshake can never complete
+	c := NewClient(client)
+	defer c.Close()
+	if got := c.ProtoVersion(); got != 0 {
+		t.Errorf("ProtoVersion on dead conn = %d, want 0", got)
+	}
+}
+
+func TestStatsSurface(t *testing.T) {
+	st := NewStats()
+	st.observe("m", 10*time.Millisecond, nil)
+	st.observe("m", 30*time.Millisecond, ErrDraining)
+	ms := st.Method("m")
+	if ms.Requests != 2 || ms.Errors != 1 {
+		t.Fatalf("Method = %+v", ms)
+	}
+	if got := ms.Mean(); got != 20*time.Millisecond {
+		t.Errorf("Mean = %v", got)
+	}
+	if (MethodStats{}).Mean() != 0 {
+		t.Error("zero-value Mean != 0")
+	}
+	if st.Histogram("m") == nil || st.Histogram("absent") != nil {
+		t.Error("Histogram lookup wrong")
+	}
+	st.Add("c", 2)
+	st.Add("c", 3)
+	if all := st.Counters(); all["c"] != 5 {
+		t.Errorf("Counters = %v", all)
+	}
+}
+
+func TestTracingInterceptor(t *testing.T) {
+	rec := obs.NewRecorder(4, -1)
+	var sawTrace bool
+	h := Tracing(rec)(func(ctx context.Context, p *Peer, payload []byte) (any, error) {
+		tr, ok := obs.TraceFrom(ctx)
+		sawTrace = ok && tr != nil
+		return nil, nil
+	})
+	ctx := context.WithValue(context.Background(), reqInfoKey, &reqInfo{method: "m", trace: 7})
+	if _, err := h(ctx, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !sawTrace {
+		t.Error("handler saw no trace in context")
+	}
+}
+
+func TestPriorityString(t *testing.T) {
+	names := map[Priority]string{PriorityControl: "control", PriorityInteractive: "interactive", PriorityBulk: "bulk"}
+	for p, want := range names {
+		if got := p.String(); got != want {
+			t.Errorf("Priority(%d).String() = %q, want %q", p, got, want)
+		}
+	}
+	if got := Priority(99).String(); got == "" {
+		t.Error("unknown priority stringified to empty")
+	}
+}

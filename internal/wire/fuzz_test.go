@@ -1,0 +1,101 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzParseFrame throws arbitrary frame bodies at the v2 frame parser.
+// The parser must never panic, and an accepted frame must satisfy its
+// structural invariants (valid kind/encoding, payload inside the input).
+func FuzzParseFrame(f *testing.F) {
+	RegisterMethodCode(901, "fuzz.coded")
+	// Seed with well-formed frames of each shape plus truncations.
+	for _, env := range []envelope{
+		{Kind: kindRequest, ID: 1, Method: "fuzz.coded", Payload: []byte("hi")},
+		{Kind: kindResponse, ID: 9, Trace: 4, Method: "fuzz.coded", Err: "nope"},
+		{Kind: kindPush, Method: "inline.name", Enc: EncBinary, Payload: bytes.Repeat([]byte{3}, 600)},
+	} {
+		buf := appendFrameHeader(nil, &env)
+		buf = append(buf, env.Payload...)
+		f.Add(buf)
+		if len(buf) > 3 {
+			f.Add(buf[:3])
+			f.Add(buf[:len(buf)-1])
+		}
+	}
+	f.Add([]byte{0, 0, 0xEE, 0xEE}) // unknown method code
+	f.Add([]byte{200, 0, 0, 0})     // bad kind
+	f.Add([]byte{0, 9, 0, 0})       // bad encoding
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := parseFrame(data)
+		if err != nil {
+			return
+		}
+		if env.Kind > kindPush {
+			t.Fatalf("accepted frame with kind %d", env.Kind)
+		}
+		if env.Enc > EncBinary {
+			t.Fatalf("accepted frame with encoding %d", env.Enc)
+		}
+		if len(env.Payload) > len(data) {
+			t.Fatalf("payload %d bytes from a %d-byte frame", len(env.Payload), len(data))
+		}
+	})
+}
+
+// FuzzReadFrame drives the full framed reader — length prefix included
+// — with arbitrary streams: malformed lengths, truncated bodies, and
+// mutations of valid frames. It must never panic and must reject any
+// length prefix past maxFrameSize before allocating.
+func FuzzReadFrame(f *testing.F) {
+	env := envelope{Kind: kindRequest, ID: 5, Method: "inline.name", Payload: []byte("payload")}
+	body := appendFrameHeader(nil, &env)
+	body = append(body, env.Payload...)
+	valid := binary.BigEndian.AppendUint32(nil, uint32(len(body)))
+	valid = append(valid, body...)
+	f.Add(valid)
+	f.Add(valid[:5])
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0}) // hostile length
+	f.Add([]byte{0, 0, 0, 0})                // zero length
+	f.Add(appendPreamble(nil, ProtoV2))      // a preamble is not a frame
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := readFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if got := len(env.Payload); got > len(data) {
+			t.Fatalf("payload %d bytes from a %d-byte stream", got, len(data))
+		}
+	})
+}
+
+// FuzzHandshake exercises the negotiation preamble parser and version
+// pick under arbitrary bytes and version skew: parsing must never
+// panic, and any negotiated version must be one the server implements.
+func FuzzHandshake(f *testing.F) {
+	f.Add(appendPreamble(nil, ProtoV2), uint8(ProtoV2))
+	f.Add(appendPreamble(nil, ProtoGob), uint8(ProtoV2))
+	f.Add(appendPreamble(nil, 9), uint8(ProtoGob))
+	f.Add([]byte{0x00, 'M', 'M', '3', 2}, uint8(ProtoV2))
+	f.Add([]byte("gob..."), uint8(ProtoV2))
+	f.Fuzz(func(t *testing.T, preamble []byte, serverMax uint8) {
+		clientMax, ok := parsePreamble(preamble)
+		if !ok {
+			return
+		}
+		got := negotiate(clientMax, serverMax)
+		if got != ProtoGob && got != ProtoV2 {
+			t.Fatalf("negotiate(%d, %d) = %d: not a version we implement", clientMax, serverMax, got)
+		}
+		if got > clientMax || got > serverMax {
+			t.Fatalf("negotiate(%d, %d) = %d: above a side's maximum", clientMax, serverMax, got)
+		}
+		// The reply must parse back to the chosen version.
+		rv, ok := parsePreamble(appendPreamble(nil, got))
+		if !ok || rv != got {
+			t.Fatalf("reply preamble round trip: %d, %v", rv, ok)
+		}
+	})
+}

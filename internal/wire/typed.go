@@ -2,6 +2,7 @@ package wire
 
 import (
 	"context"
+	"fmt"
 
 	"mmconf/internal/obs"
 )
@@ -28,7 +29,18 @@ func Typed[Req any, Resp any](h func(ctx context.Context, p *Peer, req *Req) (*R
 	return func(ctx context.Context, p *Peer, payload []byte) (any, error) {
 		req := new(Req)
 		endDecode := obs.StartSpan(ctx, "decode")
-		err := Unmarshal(payload, req)
+		var err error
+		if ContextPayloadEnc(ctx) == EncBinary {
+			// A binary payload only arrives for bodies with a codec; a
+			// request whose type lost its codec is a protocol error.
+			if bd, okDec := any(req).(BodyDecoder); okDec {
+				err = DecodeBodyBytes(payload, bd)
+			} else {
+				err = fmt.Errorf("wire: binary request but %T implements no BodyDecoder", req)
+			}
+		} else {
+			err = Unmarshal(payload, req)
+		}
 		endDecode()
 		if err != nil {
 			return nil, err

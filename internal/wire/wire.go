@@ -39,31 +39,71 @@ const (
 	kindPush
 )
 
-// envelope is the on-wire message.
+// envelope is the on-wire message. On a gob connection the exported
+// fields gob-encode exactly as before (Enc is always zero there, so gob
+// omits it); on a v2 connection the same fields map onto the binary
+// frame layout in codec2.go.
 type envelope struct {
 	Kind    msgKind
 	ID      uint64 // request/response correlation
 	Method  string
-	Payload []byte // gob-encoded body
+	Payload []byte // encoded body (gob, or binary per Enc)
 	Err     string // response only
 	// Trace carries the request's trace id (requests only; minted by the
 	// client, or at ingress when a foreign client sends none), so one id
 	// follows the call from client log to server trace ring.
 	Trace uint64
+	// Enc names Payload's encoding (EncGob or EncBinary). Gob peers only
+	// ever see EncGob.
+	Enc uint8
+
+	// body is the segmented zero-copy form of a binary payload (v2
+	// connections only, exclusive with Payload); unexported so gob never
+	// sees it. Consumed — and returned to the pool — by the frame writer.
+	body *BodyEnc
 }
+
+// gobBufPool recycles the scratch buffers behind Marshal so the gob
+// fallback path stops allocating a fresh bytes.Buffer (and its grown
+// backing array) per message. The gob.Encoder itself must stay
+// per-call: it writes each type's descriptor once per encoder, so a
+// reused encoder would emit payloads a fresh decoder cannot read.
+var gobBufPool = sync.Pool{New: func() any {
+	poolMisses.Add(1)
+	return new(bytes.Buffer)
+}}
+
+// gobReaderPool recycles the bytes.Reader fronting Unmarshal.
+var gobReaderPool = sync.Pool{New: func() any {
+	poolMisses.Add(1)
+	return bytes.NewReader(nil)
+}}
 
 // Marshal gob-encodes a body for use as an envelope payload.
 func Marshal(v any) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+	poolGets.Add(1)
+	buf := gobBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := gob.NewEncoder(buf).Encode(v); err != nil {
+		gobBufPool.Put(buf)
 		return nil, fmt.Errorf("wire: marshal %T: %w", v, err)
 	}
-	return buf.Bytes(), nil
+	out := append([]byte(nil), buf.Bytes()...)
+	if buf.Cap() <= 1<<20 { // one huge body must not pin pool memory
+		gobBufPool.Put(buf)
+	}
+	return out, nil
 }
 
 // Unmarshal decodes an envelope payload into v (a pointer).
 func Unmarshal(data []byte, v any) error {
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+	poolGets.Add(1)
+	r := gobReaderPool.Get().(*bytes.Reader)
+	r.Reset(data)
+	err := gob.NewDecoder(r).Decode(v)
+	r.Reset(nil)
+	gobReaderPool.Put(r)
+	if err != nil {
 		return fmt.Errorf("wire: unmarshal %T: %w", v, err)
 	}
 	return nil
@@ -77,29 +117,58 @@ type Handler func(ctx context.Context, p *Peer, payload []byte) (any, error)
 // ctxKey keys the request-scoped values the dispatcher installs.
 type ctxKey int
 
-const (
-	peerKey ctxKey = iota
-	methodKey
-	traceIDKey
-)
+const reqInfoKey ctxKey = iota
+
+// reqInfo bundles the per-request values the dispatcher installs — one
+// context allocation per request instead of one per value.
+type reqInfo struct {
+	peer   *Peer
+	method string
+	trace  uint64
+	enc    uint8 // request payload encoding
+}
+
+func contextReq(ctx context.Context) (*reqInfo, bool) {
+	ri, ok := ctx.Value(reqInfoKey).(*reqInfo)
+	return ri, ok
+}
 
 // ContextPeer returns the peer whose request the context belongs to.
 func ContextPeer(ctx context.Context) (*Peer, bool) {
-	p, ok := ctx.Value(peerKey).(*Peer)
-	return p, ok
+	ri, ok := contextReq(ctx)
+	if !ok {
+		return nil, false
+	}
+	return ri.peer, true
 }
 
 // ContextMethod returns the method name of the request the context
 // belongs to.
 func ContextMethod(ctx context.Context) (string, bool) {
-	m, ok := ctx.Value(methodKey).(string)
-	return m, ok
+	ri, ok := contextReq(ctx)
+	if !ok {
+		return "", false
+	}
+	return ri.method, true
 }
 
 // ContextTraceID returns the request's trace id (0 outside a dispatch).
 func ContextTraceID(ctx context.Context) uint64 {
-	id, _ := ctx.Value(traceIDKey).(uint64)
-	return id
+	ri, ok := contextReq(ctx)
+	if !ok {
+		return 0
+	}
+	return ri.trace
+}
+
+// ContextPayloadEnc returns the encoding of the request payload the
+// context belongs to (EncGob outside a dispatch).
+func ContextPayloadEnc(ctx context.Context) uint8 {
+	ri, ok := contextReq(ctx)
+	if !ok {
+		return EncGob
+	}
+	return ri.enc
 }
 
 // WithTraceID pins the trace id an outgoing call will carry (an alias
@@ -124,6 +193,7 @@ type Server struct {
 	peers        map[uint64]*Peer
 	draining     bool
 	stats        *Stats // optional counter sink handed to every peer writer
+	maxProto     uint8  // highest protocol version offered (default ProtoV2)
 
 	inflight sync.WaitGroup
 	baseCtx  context.Context
@@ -138,7 +208,41 @@ func NewServer() *Server {
 		peers:    make(map[uint64]*Peer),
 		baseCtx:  ctx,
 		cancel:   cancel,
+		maxProto: ProtoV2,
 	}
+}
+
+// SetMaxProtoVersion caps the protocol version the server offers during
+// negotiation: ProtoV2 (the default) serves binary framing to capable
+// clients, ProtoGob forces every connection — even one that asks for v2
+// — down to the gob fallback. Install before serving.
+func (s *Server) SetMaxProtoVersion(v uint8) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.maxProto = v
+}
+
+// MaxProtoVersion reports the highest protocol version this server
+// offers during negotiation.
+func (s *Server) MaxProtoVersion() uint8 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.maxProto
+}
+
+// PeerVersions counts live peers by negotiated protocol — the
+// observability split behind the wire.peers_v2/wire.peers_gob gauges.
+func (s *Server) PeerVersions() (v2, gob int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, p := range s.peers {
+		if p.proto >= ProtoV2 {
+			v2++
+		} else {
+			gob++
+		}
+	}
+	return v2, gob
 }
 
 // Register installs a handler for a method name.
@@ -329,6 +433,14 @@ const (
 	CounterWriterWrites = "wire.writer_writes"
 	// CounterWriterBytes totals bytes written to sockets.
 	CounterWriterBytes = "wire.writer_bytes"
+	// CounterFramesV2 / CounterFramesGob count messages written by
+	// encoding — the negotiated mix, observable in production.
+	CounterFramesV2  = "wire.frames_v2"
+	CounterFramesGob = "wire.frames_gob"
+	// CounterConnsV2 / CounterConnsGob count accepted connections by
+	// negotiated protocol version.
+	CounterConnsV2  = "wire.conns_v2"
+	CounterConnsGob = "wire.conns_gob"
 )
 
 // errPeerClosed reports a send on a peer whose connection ended.
@@ -347,8 +459,9 @@ var errPeerClosed = errors.New("wire: peer connection closed")
 // send accepted them. Flush is the explicit barrier the drain path
 // uses to guarantee queued pushes hit the OS before close.
 type Peer struct {
-	ID   uint64
-	conn net.Conn
+	ID    uint64
+	conn  net.Conn
+	proto uint8 // negotiated protocol version (ProtoGob or ProtoV2)
 
 	writeQ chan writeItem
 	stop   chan struct{} // closed by ServeConn teardown
@@ -359,6 +472,11 @@ type Peer struct {
 	mu   sync.Mutex
 	meta map[string]any // per-connection session state (user, rooms)
 }
+
+// ProtoVersion reports the connection's negotiated protocol version —
+// what the interaction server's fan-out consults to pick the shared
+// push encoding.
+func (p *Peer) ProtoVersion() uint8 { return p.proto }
 
 // writeItem is one unit of writer work: an envelope to encode, or (when
 // flush is non-nil) a flush barrier to acknowledge.
@@ -395,9 +513,18 @@ func (p *Peer) Meta(key string) (any, bool) {
 	return v, ok
 }
 
-// Push sends an unsolicited message to the client, marshaling body.
-// For room fan-out prefer PushRaw with a shared pre-marshaled payload.
+// Push sends an unsolicited message to the client, marshaling body with
+// the connection's best encoding (binary when the peer speaks v2 and
+// the body has a codec, gob otherwise). For room fan-out prefer PushRaw
+// with a shared pre-encoded payload.
 func (p *Peer) Push(method string, body any) error {
+	if p.proto >= ProtoV2 {
+		if be, ok := body.(BodyEncoder); ok {
+			e := getBodyEnc()
+			be.AppendBody(e)
+			return p.send(envelope{Kind: kindPush, Method: method, Enc: EncBinary, body: e})
+		}
+	}
 	payload, err := Marshal(body)
 	if err != nil {
 		return err
@@ -405,12 +532,14 @@ func (p *Peer) Push(method string, body any) error {
 	return p.send(envelope{Kind: kindPush, Method: method, Payload: payload})
 }
 
-// PushRaw sends an unsolicited message whose payload is already
-// gob-encoded — the encode-once fan-out path: the interaction server
-// marshals one room event once and hands every member's peer the same
-// bytes. The caller must not modify payload afterwards.
-func (p *Peer) PushRaw(method string, payload []byte) error {
-	return p.send(envelope{Kind: kindPush, Method: method, Payload: payload})
+// PushRaw sends an unsolicited message whose payload is already encoded
+// with enc — the encode-once fan-out path: the interaction server
+// encodes one room event once per format and hands every member's peer
+// the same bytes. On a v2 connection the shared payload rides the
+// frame's writev batch by reference, so the fan-out never copies it.
+// The caller must not modify payload afterwards.
+func (p *Peer) PushRaw(method string, enc uint8, payload []byte) error {
+	return p.send(envelope{Kind: kindPush, Method: method, Enc: enc, Payload: payload})
 }
 
 // Flush blocks until every message enqueued before the call has been
@@ -513,12 +642,20 @@ func (p *Peer) writeLoop() {
 					return
 				}
 			} else {
+				if it.env.body != nil {
+					// Defensive: a segmented binary payload on a gob
+					// connection (dispatch never builds one) flattens.
+					it.env.Payload = it.env.body.Flatten()
+					putBodyEnc(it.env.body)
+					it.env.body = nil
+				}
 				if err := enc.Encode(it.env); err != nil {
 					fail(err)
 					return
 				}
 				if p.stats != nil {
 					p.stats.Add(CounterWriterMessages, 1)
+					p.stats.Add(CounterFramesGob, 1)
 				}
 			}
 			if n >= writeBatchMax {
@@ -539,22 +676,124 @@ func (p *Peer) writeLoop() {
 	}
 }
 
+// writeLoopV2 is the peer writer for v2 connections: the same
+// drain/batch/flush-on-idle discipline as writeLoop, but frames are
+// assembled as scratch + zero-copy segments and each flush is one
+// net.Buffers write (writev on TCP). Oversized batches flush early by
+// byte count so a run of media frames cannot pin unbounded payload
+// memory behind the segment list.
+func (p *Peer) writeLoopV2() {
+	defer close(p.dead)
+	w := newVecWriter(p.conn, p.stats)
+	fail := func(err error) {
+		p.werr = fmt.Errorf("wire: send: %w", err)
+		p.conn.Close()
+	}
+	for {
+		var it writeItem
+		select {
+		case <-p.stop:
+			_ = w.flush() // best effort on teardown
+			return
+		case it = <-p.writeQ:
+		}
+		for n := 0; ; n++ {
+			if it.flush != nil {
+				err := w.flush()
+				it.flush <- err
+				if err != nil {
+					fail(err)
+					return
+				}
+			} else {
+				w.encodeFrame(&it.env)
+				if p.stats != nil {
+					p.stats.Add(CounterWriterMessages, 1)
+					p.stats.Add(CounterFramesV2, 1)
+				}
+				if w.pending() >= writeFlushBytes {
+					if err := w.flush(); err != nil {
+						fail(err)
+						return
+					}
+				}
+			}
+			if n >= writeBatchMax {
+				break
+			}
+			// Coalesce whatever is queued right now; stop at idle.
+			select {
+			case it = <-p.writeQ:
+				continue
+			default:
+			}
+			break
+		}
+		if err := w.flush(); err != nil {
+			fail(err)
+			return
+		}
+	}
+}
+
 // ServeConn runs the request loop for one connection (exported so tests
 // and in-process setups can serve a net.Pipe end directly).
 func (s *Server) ServeConn(conn net.Conn) {
 	s.mu.Lock()
 	st := s.stats
+	maxProto := s.maxProto
 	s.mu.Unlock()
+	// Version negotiation: a v2 client opens with a preamble whose first
+	// byte is 0x00 — unambiguous against gob, whose stream starts with a
+	// nonzero uvarint byte count. Legacy clients are served untouched.
+	br := bufio.NewReaderSize(conn, writeBufferSize)
+	proto := uint8(ProtoGob)
+	first, err := br.Peek(1)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	if first[0] == 0x00 {
+		var pre [preambleLen]byte
+		if _, err := io.ReadFull(br, pre[:]); err != nil {
+			conn.Close()
+			return
+		}
+		clientMax, ok := parsePreamble(pre[:])
+		if !ok {
+			conn.Close() // a zero first byte that is not our preamble is garbage
+			return
+		}
+		proto = negotiate(clientMax, maxProto)
+		// Reply before the writer goroutine exists: nothing else can be
+		// writing this connection yet.
+		if _, err := conn.Write(appendPreamble(nil, proto)); err != nil {
+			conn.Close()
+			return
+		}
+	}
+	if st != nil {
+		if proto >= ProtoV2 {
+			st.Add(CounterConnsV2, 1)
+		} else {
+			st.Add(CounterConnsGob, 1)
+		}
+	}
 	peer := &Peer{
 		ID:     atomic.AddUint64(&s.nextPeer, 1),
 		conn:   conn,
+		proto:  proto,
 		writeQ: make(chan writeItem, writeQueueSize),
 		stop:   make(chan struct{}),
 		dead:   make(chan struct{}),
 		stats:  st,
 		meta:   make(map[string]any),
 	}
-	go peer.writeLoop()
+	if proto >= ProtoV2 {
+		go peer.writeLoopV2()
+	} else {
+		go peer.writeLoop()
+	}
 	// connCtx is the parent of every request context on this connection;
 	// it dies with the connection, so a dead client cancels its own
 	// in-flight handlers.
@@ -562,7 +801,15 @@ func (s *Server) ServeConn(conn net.Conn) {
 	s.mu.Lock()
 	s.peers[peer.ID] = peer
 	s.mu.Unlock()
-	dec := gob.NewDecoder(conn)
+	next := func() (envelope, error) { return readFrame(br) }
+	if proto < ProtoV2 {
+		dec := gob.NewDecoder(br)
+		next = func() (envelope, error) {
+			var env envelope
+			err := dec.Decode(&env)
+			return env, err
+		}
+	}
 	defer func() {
 		connCancel()
 		close(peer.stop) // stop the writer (it flushes best-effort first)
@@ -576,8 +823,8 @@ func (s *Server) ServeConn(conn net.Conn) {
 		}
 	}()
 	for {
-		var env envelope
-		if err := dec.Decode(&env); err != nil {
+		env, err := next()
+		if err != nil {
 			return // EOF or broken peer: drop the connection
 		}
 		if env.Kind != kindRequest {
@@ -608,18 +855,27 @@ func (s *Server) ServeConn(conn net.Conn) {
 				if tid == 0 {
 					tid = obs.MintID() // foreign client sent no id: mint at ingress
 				}
-				ctx := context.WithValue(connCtx, peerKey, peer)
-				ctx = context.WithValue(ctx, methodKey, env.Method)
-				ctx = context.WithValue(ctx, traceIDKey, tid)
+				ctx := context.WithValue(connCtx, reqInfoKey,
+					&reqInfo{peer: peer, method: env.Method, trace: tid, enc: env.Enc})
 				result, err := Chain(h, ics...)(ctx, peer, env.Payload)
 				if err != nil {
 					resp.Err = err.Error()
 				} else if result != nil {
-					payload, err := Marshal(result)
-					if err != nil {
-						resp.Err = err.Error()
+					// A v2 peer gets the binary codec when the body has
+					// one; everything else falls back to gob (inside a v2
+					// frame for v2 peers — enc byte EncGob).
+					if be, isBin := result.(BodyEncoder); isBin && peer.proto >= ProtoV2 {
+						e := getBodyEnc()
+						be.AppendBody(e)
+						resp.Enc = EncBinary
+						resp.body = e
 					} else {
-						resp.Payload = payload
+						payload, err := Marshal(result)
+						if err != nil {
+							resp.Err = err.Error()
+						} else {
+							resp.Payload = payload
+						}
 					}
 				}
 			}
@@ -628,8 +884,10 @@ func (s *Server) ServeConn(conn net.Conn) {
 	}
 }
 
-// PushHandler receives server pushes on the client.
-type PushHandler func(method string, payload []byte)
+// PushHandler receives server pushes on the client. The body carries
+// the payload bytes plus their encoding; Body.Decode dispatches to the
+// right unmarshal.
+type PushHandler func(method string, body Body)
 
 // ErrClosed reports an operation on a client whose connection has ended.
 // Callers needing to distinguish a dead connection (redialable) from an
@@ -643,11 +901,15 @@ const DefaultDialTimeout = 10 * time.Second
 // Client is the caller side of the protocol.
 type Client struct {
 	conn   net.Conn
+	wmu    sync.Mutex // guards enc/fw and the negotiated write path
 	enc    *gob.Encoder
-	wmu    sync.Mutex
+	fw     *vecWriter
 	nextID uint64
 
-	done chan struct{} // closed when the read loop exits
+	maxVer uint8
+	ver    uint8         // negotiated version; valid once ready is closed
+	ready  chan struct{} // closed when the handshake settles
+	done   chan struct{} // closed when the read loop exits
 
 	mu          sync.Mutex
 	pending     map[uint64]chan envelope
@@ -679,16 +941,44 @@ func DialContext(ctx context.Context, addr string) (*Client, error) {
 }
 
 // NewClient wraps an established connection (e.g. a net.Pipe end or a
-// netsim.ThrottledConn).
+// netsim.ThrottledConn), negotiating protocol v2 with a gob fallback.
 func NewClient(conn net.Conn) *Client {
+	return NewClientVersion(conn, ProtoV2)
+}
+
+// NewClientVersion wraps an established connection offering at most
+// maxVer during negotiation. maxVer below ProtoV2 skips the handshake
+// entirely and speaks the legacy gob protocol — byte-for-byte what a
+// pre-v2 client sends, which is what the mixed-version interop tests
+// exercise. The handshake (when any) runs asynchronously in the read
+// loop so wrapping a synchronous transport like net.Pipe cannot
+// deadlock; calls block until it settles.
+func NewClientVersion(conn net.Conn, maxVer uint8) *Client {
 	c := &Client{
 		conn:    conn,
-		enc:     gob.NewEncoder(conn),
+		maxVer:  maxVer,
 		pending: make(map[uint64]chan envelope),
+		ready:   make(chan struct{}),
 		done:    make(chan struct{}),
+	}
+	if maxVer < ProtoV2 {
+		c.enc = gob.NewEncoder(conn)
+		close(c.ready)
 	}
 	go c.readLoop()
 	return c
+}
+
+// ProtoVersion reports the negotiated protocol version, blocking until
+// the handshake settles (0 both for legacy mode and for a connection
+// that died mid-handshake).
+func (c *Client) ProtoVersion() uint8 {
+	select {
+	case <-c.ready:
+		return c.ver
+	case <-c.done:
+		return 0
+	}
 }
 
 // Done returns a channel closed when the connection ends (EOF, reset, or
@@ -723,20 +1013,63 @@ func (c *Client) OnPush(h PushHandler) {
 
 func (c *Client) readLoop() {
 	defer close(c.done)
-	dec := gob.NewDecoder(c.conn)
+	br := bufio.NewReaderSize(c.conn, writeBufferSize)
+	fail := func(err error) {
+		c.mu.Lock()
+		c.closed = true
+		if err != nil && err != io.EOF {
+			c.readErr = err
+		}
+		for id, ch := range c.pending {
+			close(ch)
+			delete(c.pending, id)
+		}
+		c.mu.Unlock()
+	}
+	if c.maxVer >= ProtoV2 {
+		// The negotiation handshake runs here, not in NewClientVersion, so
+		// wrapping a synchronous transport (net.Pipe) cannot deadlock the
+		// constructor; CallCtx blocks on c.ready until it settles. No
+		// other goroutine writes before ready closes, so the preamble
+		// write needs no lock.
+		if _, err := c.conn.Write(appendPreamble(nil, c.maxVer)); err != nil {
+			fail(err)
+			return
+		}
+		var rep [preambleLen]byte
+		if _, err := io.ReadFull(br, rep[:]); err != nil {
+			fail(err)
+			return
+		}
+		server, okPre := parsePreamble(rep[:])
+		if !okPre {
+			fail(errors.New("wire: bad negotiation reply"))
+			return
+		}
+		c.wmu.Lock()
+		if v := negotiate(c.maxVer, server); v >= ProtoV2 {
+			c.ver = v
+			c.fw = newVecWriter(c.conn, nil)
+		} else {
+			c.ver = ProtoGob
+			c.enc = gob.NewEncoder(c.conn)
+		}
+		c.wmu.Unlock()
+		close(c.ready)
+	}
+	next := func() (envelope, error) { return readFrame(br) }
+	if c.ver < ProtoV2 {
+		dec := gob.NewDecoder(br)
+		next = func() (envelope, error) {
+			var env envelope
+			err := dec.Decode(&env)
+			return env, err
+		}
+	}
 	for {
-		var env envelope
-		if err := dec.Decode(&env); err != nil {
-			c.mu.Lock()
-			c.closed = true
-			if err != io.EOF {
-				c.readErr = err
-			}
-			for id, ch := range c.pending {
-				close(ch)
-				delete(c.pending, id)
-			}
-			c.mu.Unlock()
+		env, err := next()
+		if err != nil {
+			fail(err)
 			return
 		}
 		switch env.Kind {
@@ -753,7 +1086,7 @@ func (c *Client) readLoop() {
 			h := c.onPush
 			c.mu.Unlock()
 			if h != nil {
-				h(env.Method, env.Payload)
+				h(env.Method, Body{Enc: env.Enc, Data: env.Payload})
 			}
 		}
 	}
@@ -770,15 +1103,37 @@ func (c *Client) Call(method string, args, reply any) error {
 // server side may still run to completion unless its own timeout or the
 // connection's death cancels it.
 func (c *Client) CallCtx(ctx context.Context, method string, args, reply any) error {
-	payload, err := Marshal(args)
-	if err != nil {
-		return err
+	// The handshake settles before the first byte of any call goes out.
+	select {
+	case <-c.ready:
+	case <-c.done:
+		return fmt.Errorf("wire: call %s: %w", method, ErrClosed)
+	case <-ctx.Done():
+		return fmt.Errorf("wire: call %s: %w", method, ctx.Err())
+	}
+	var payload []byte
+	var body *BodyEnc
+	var encFlag uint8
+	var err error
+	if c.ver >= ProtoV2 {
+		if be, ok := args.(BodyEncoder); ok {
+			body = getBodyEnc()
+			be.AppendBody(body)
+			encFlag = EncBinary
+		}
+	}
+	if body == nil {
+		payload, err = Marshal(args)
+		if err != nil {
+			return err
+		}
 	}
 	id := atomic.AddUint64(&c.nextID, 1)
 	ch := make(chan envelope, 1)
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
+		putBodyEnc(body)
 		return fmt.Errorf("wire: call %s: %w", method, ErrClosed)
 	}
 	if c.callTimeout > 0 {
@@ -797,9 +1152,14 @@ func (c *Client) CallCtx(ctx context.Context, method string, args, reply any) er
 	if !hasTID {
 		tid = obs.MintID()
 	}
-	env := envelope{Kind: kindRequest, ID: id, Method: method, Payload: payload, Trace: tid}
+	env := envelope{Kind: kindRequest, ID: id, Method: method, Payload: payload, Trace: tid, Enc: encFlag, body: body}
 	c.wmu.Lock()
-	err = c.enc.Encode(env)
+	if c.ver >= ProtoV2 {
+		c.fw.encodeFrame(&env)
+		err = c.fw.flush()
+	} else {
+		err = c.enc.Encode(env)
+	}
 	c.wmu.Unlock()
 	if err != nil {
 		c.mu.Lock()
@@ -835,6 +1195,13 @@ func (c *Client) CallCtx(ctx context.Context, method string, args, reply any) er
 		return errors.New(resp.Err)
 	}
 	if reply != nil {
+		if resp.Enc == EncBinary {
+			bd, okDec := reply.(BodyDecoder)
+			if !okDec {
+				return fmt.Errorf("wire: call %s: binary response but %T implements no BodyDecoder", method, reply)
+			}
+			return DecodeBodyBytes(resp.Payload, bd)
+		}
 		return Unmarshal(resp.Payload, reply)
 	}
 	return nil

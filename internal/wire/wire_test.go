@@ -136,13 +136,13 @@ func TestServerPush(t *testing.T) {
 	}
 	defer c.Close()
 	got := make(chan int, 8)
-	c.OnPush(func(method string, payload []byte) {
+	c.OnPush(func(method string, body Body) {
 		if method != "tick" {
 			t.Errorf("push method %s", method)
 			return
 		}
 		var r echoReply
-		if err := Unmarshal(payload, &r); err != nil {
+		if err := body.Decode(&r); err != nil {
 			t.Error(err)
 			return
 		}

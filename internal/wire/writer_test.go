@@ -19,7 +19,7 @@ func TestPushRawRoundTrip(t *testing.T) {
 	}
 	s := NewServer()
 	s.Register("kick", func(ctx context.Context, p *Peer, payload_ []byte) (any, error) {
-		if err := p.PushRaw("raw", payload); err != nil {
+		if err := p.PushRaw("raw", EncGob, payload); err != nil {
 			return nil, err
 		}
 		return nil, nil
@@ -37,9 +37,9 @@ func TestPushRawRoundTrip(t *testing.T) {
 	}
 	defer c.Close()
 	got := make(chan []byte, 1)
-	c.OnPush(func(method string, p []byte) {
+	c.OnPush(func(method string, body Body) {
 		if method == "raw" {
-			got <- p
+			got <- body.Data
 		}
 	})
 	if err := c.Call("kick", echoArgs{}, nil); err != nil {
@@ -89,9 +89,9 @@ func TestPushResponseFIFO(t *testing.T) {
 	defer c.Close()
 	var seen atomic.Int64
 	var outOfOrder atomic.Bool
-	c.OnPush(func(method string, payload []byte) {
+	c.OnPush(func(method string, body Body) {
 		var r echoReply
-		if err := Unmarshal(payload, &r); err != nil {
+		if err := body.Decode(&r); err != nil {
 			t.Error(err)
 			return
 		}
@@ -139,7 +139,7 @@ func TestFlushDrainsQueuedPushes(t *testing.T) {
 	}
 	defer c.Close()
 	var got atomic.Int64
-	c.OnPush(func(method string, payload []byte) { got.Add(1) })
+	c.OnPush(func(method string, body Body) { got.Add(1) })
 	if err := c.Call("hello", echoArgs{}, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +194,7 @@ func TestWriterCounters(t *testing.T) {
 	}
 	defer c.Close()
 	var got atomic.Int64
-	c.OnPush(func(method string, payload []byte) { got.Add(1) })
+	c.OnPush(func(method string, body Body) { got.Add(1) })
 	if err := c.Call("burst", echoArgs{}, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +252,7 @@ func TestWriterCoalescesBursts(t *testing.T) {
 	}
 	base := st.Counter(CounterWriterFlushes)
 	for i := 0; i < k; i++ {
-		if err := peer.PushRaw("tick", payload); err != nil {
+		if err := peer.PushRaw("tick", EncGob, payload); err != nil {
 			t.Fatalf("push %d: %v", i, err)
 		}
 	}
