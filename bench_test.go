@@ -17,6 +17,7 @@ import (
 
 	"mmconf/internal/blob"
 	"mmconf/internal/client"
+	"mmconf/internal/core"
 	"mmconf/internal/cpnet"
 	"mmconf/internal/document"
 	"mmconf/internal/media/audio"
@@ -27,6 +28,7 @@ import (
 	"mmconf/internal/netsim"
 	"mmconf/internal/prefetch"
 	"mmconf/internal/proto"
+	"mmconf/internal/qos"
 	"mmconf/internal/room"
 	"mmconf/internal/server"
 	"mmconf/internal/store"
@@ -1083,6 +1085,104 @@ func BenchmarkDocumentUnmarshal(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := document.Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E15: adaptive QoS loop (§4.4) ---
+
+// BenchmarkE15Simulate measures the scripted-consultation replay behind
+// the E15 table on the dialup profile: static-high (the solver left
+// optimistic) vs adaptive (the bandwidth tuning variable pinned to the
+// level the estimator converges to on that link). The simulated link
+// waits are modeled, not slept, so the benchmark measures solver +
+// buffer work per replay.
+func BenchmarkE15Simulate(b *testing.B) {
+	doc, err := workload.MedicalRecord("e15", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := map[string]map[string]uint64{
+		"ct":    {"full": 11, "segmented": 15, "lowres": 13},
+		"xray":  {"full": 12, "icon": 16},
+		"voice": {"audio": 14},
+	}
+	for comp, vals := range ids {
+		c, err := doc.Component(comp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := range c.Presentations {
+			if id, ok := vals[c.Presentations[i].Name]; ok {
+				c.Presentations[i].ObjectID = id
+			}
+		}
+	}
+	if err := core.AddBandwidthTuning(doc, core.AutoBandwidthTemplates(doc, 0)); err != nil {
+		b.Fatal(err)
+	}
+	script := workload.Session(doc, []string{"a", "b"}, 100, 15)
+	link, err := netsim.Dialup.Link()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name    string
+		initial cpnet.Outcome
+	}{
+		{"static-high", nil},
+		{"adaptive", cpnet.Outcome{core.BandwidthVariable: core.BandwidthLow}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				link.Reset()
+				if _, err := prefetch.SimulateWith(doc, script, prefetch.PolicyPreference,
+					1<<20, 512<<10, link, mode.initial); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE15ControllerUpdate isolates the per-tick classification the
+// server's QoS loop pays per member: one hysteresis-banded level
+// decision from a measured rate.
+func BenchmarkE15ControllerUpdate(b *testing.B) {
+	ctrl, err := qos.NewController(qos.DefaultBands())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rates := []float64{5e3, 5e4, 5e6}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ctrl.Update(rates[i%len(rates)], 16, 0)
+	}
+}
+
+// BenchmarkE15MeterObserve isolates the per-write EWMA sample the wire
+// layer charges every timed socket write.
+func BenchmarkE15MeterObserve(b *testing.B) {
+	m := qos.NewMeter(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Observe(32<<10, 5*time.Millisecond)
+	}
+}
+
+// BenchmarkE15TuningExtension measures the one-time CP-net model
+// extension the server applies per document when QoS is enabled —
+// author CPT rows captured and re-ranked per bandwidth level.
+func BenchmarkE15TuningExtension(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		doc, err := workload.MedicalRecord("e15t", 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := core.AddBandwidthTuning(doc, core.AutoBandwidthTemplates(doc, 0)); err != nil {
 			b.Fatal(err)
 		}
 	}

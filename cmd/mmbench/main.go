@@ -66,6 +66,8 @@ func main() {
 			experiments.E13Blob},
 		{"E14", "wire protocol v2 vs gob: codec cost on the RPC hot path",
 			experiments.E14Wire},
+		{"E15", "adaptive QoS: bandwidth-tuned degradation vs static-high (§4.4)",
+			func(string) (*experiments.Table, error) { return experiments.E15QoS() }},
 	}
 
 	if *list {

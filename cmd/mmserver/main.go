@@ -48,6 +48,8 @@ func main() {
 	peerRate := flag.Float64("peer-rate", 0, "per-connection sustained request rate limit in req/s (0: unlimited)")
 	peerBurst := flag.Int("peer-burst", 0, "per-connection burst allowance on top of -peer-rate (0: derived from the rate)")
 	pushBudget := flag.Int64("push-budget", 0, "per-member event-queue byte budget; slow consumers over it get a Resync hint (0: default 1MiB, negative: unbounded)")
+	qosInterval := flag.Duration("qos-interval", 0, "adaptive QoS control period: per-member bandwidth estimation, CP-net tuning and push-prefetch (0: default 500ms, negative: disabled)")
+	prefetchBudget := flag.Int64("prefetch-budget", 0, "per-session byte allowance for QoS push-prefetch (0: default 256KiB, negative: disabled)")
 	flag.Parse()
 
 	var policy wire.ShedPolicy
@@ -67,6 +69,8 @@ func main() {
 		PerPeerRate:      *peerRate,
 		PerPeerBurst:     *peerBurst,
 		MemberPushBudget: *pushBudget,
+		QoSInterval:      *qosInterval,
+		PrefetchBudget:   *prefetchBudget,
 	}
 	if err := run(*addr, *data, *seed, *sync, *debugAddr, opts); err != nil {
 		log.Fatalf("mmserver: %v", err)

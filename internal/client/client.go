@@ -47,6 +47,13 @@ type Client struct {
 	gen      uint64 // bumped per (re)connect; stale supervisors stand down
 	sessions map[string]*Session
 	events   chan room.Event
+	// Prefetch pushes that raced a Join: the server's QoS loop can push
+	// before the Join response is processed and the session installed.
+	// Stashed (bounded) until JoinCtx drains them into the new session's
+	// buffer — dropping them would lose the payload for good, since the
+	// server marks each object as pushed exactly once.
+	pendingPrefetch      map[string][]proto.PrefetchPush
+	pendingPrefetchBytes int64
 
 	closeCh   chan struct{}
 	closeOnce sync.Once
@@ -56,6 +63,10 @@ type Client struct {
 
 // eventQueueSize bounds the locally buffered pushed events.
 const eventQueueSize = 1024
+
+// maxPendingPrefetch bounds the bytes stashed for prefetch pushes whose
+// Join is still in flight; pushes beyond it are dropped.
+const maxPendingPrefetch = 8 << 20
 
 // Dial connects to the interaction server at addr as the given user.
 // The connection does not auto-reconnect; use DialWith for that.
@@ -135,8 +146,35 @@ func (c *Client) attach(rpc *wire.Client) {
 
 // onPush routes a pushed room event: events for a joined room pass the
 // session's delivery gate (exactly-once across reconnects), everything
-// else flows straight through.
+// else flows straight through. Prefetch pushes land in the session's
+// buffer without surfacing on the event stream.
 func (c *Client) onPush(method string, body wire.Body) {
+	if method == proto.MPrefetchPush {
+		var pp proto.PrefetchPush
+		if err := body.Decode(&pp); err != nil {
+			return
+		}
+		c.mu.Lock()
+		s := c.sessions[pp.Room]
+		if s == nil {
+			// The Join for this room may still be in flight; stash the
+			// payload for JoinCtx to drain into the session buffer.
+			if c.pendingPrefetchBytes+int64(len(pp.Data)) <= maxPendingPrefetch {
+				if c.pendingPrefetch == nil {
+					c.pendingPrefetch = make(map[string][]proto.PrefetchPush)
+				}
+				c.pendingPrefetch[pp.Room] = append(c.pendingPrefetch[pp.Room], pp)
+				c.pendingPrefetchBytes += int64(len(pp.Data))
+			}
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Unlock()
+		if s.Buffer != nil {
+			s.Buffer.Inject(pp.ObjectID, string(pp.Digest), pp.Data)
+		}
+		return
+	}
 	if method != proto.MEvent {
 		return
 	}
@@ -478,7 +516,19 @@ func (c *Client) JoinCtx(ctx context.Context, roomName, docID string, bufferByte
 	}
 	c.mu.Lock()
 	c.sessions[roomName] = s
+	pending := c.pendingPrefetch[roomName]
+	delete(c.pendingPrefetch, roomName)
+	for _, pp := range pending {
+		c.pendingPrefetchBytes -= int64(len(pp.Data))
+	}
 	c.mu.Unlock()
+	// Prefetch pushes that raced this join land in the buffer now (or are
+	// discarded if this session runs without one).
+	if s.Buffer != nil {
+		for _, pp := range pending {
+			s.Buffer.Inject(pp.ObjectID, string(pp.Digest), pp.Data)
+		}
+	}
 	return s, resp.History, nil
 }
 

@@ -19,6 +19,7 @@ import (
 
 	"mmconf/internal/cpnet"
 	"mmconf/internal/document"
+	"mmconf/internal/prefetch"
 )
 
 // Engine manages the presentation state of one document in one room.
@@ -35,6 +36,10 @@ type Engine struct {
 	choiceBy map[string]string
 	// overlays holds each viewer's private extension network.
 	overlays map[string]*cpnet.Overlay
+	// env holds per-viewer environment evidence — measured facts about
+	// one viewer's situation (e.g. the QoS loop's bandwidth level) that
+	// condition only that viewer's view, unlike the shared choices.
+	env map[string]cpnet.Outcome
 }
 
 // NewEngine wraps a document for cooperative presentation.
@@ -50,6 +55,7 @@ func NewEngine(doc *document.Document) (*Engine, error) {
 		choices:  cpnet.Outcome{},
 		choiceBy: make(map[string]string),
 		overlays: make(map[string]*cpnet.Overlay),
+		env:      make(map[string]cpnet.Outcome),
 	}, nil
 }
 
@@ -81,6 +87,7 @@ func (e *Engine) Leave(viewer string) (bool, error) {
 		return false, fmt.Errorf("core: viewer %q not joined", viewer)
 	}
 	delete(e.overlays, viewer)
+	delete(e.env, viewer)
 	changed := false
 	for variable, by := range e.choiceBy {
 		if by == viewer {
@@ -205,8 +212,18 @@ func (e *Engine) viewForViewerLocked(viewer string, ov *cpnet.Overlay) (document
 	for _, name := range ov.ExtensionNames() {
 		owned[name] = true
 	}
+	for variable, value := range e.env[viewer] {
+		if e.doc.Prefs.HasVariable(variable) {
+			ev[variable] = value
+		}
+	}
 	for variable, value := range e.choices {
 		if e.doc.Prefs.HasVariable(variable) || owned[variable] {
+			if _, measured := e.env[viewer][variable]; measured && e.choiceBy[variable] == "" {
+				// A per-viewer measurement beats the global environment
+				// pin; an explicit viewer choice still wins below.
+				continue
+			}
 			ev[variable] = value
 		}
 	}
@@ -227,6 +244,30 @@ func (e *Engine) Views() (map[string]document.View, error) {
 		out[viewer] = v
 	}
 	return out, nil
+}
+
+// PrefetchRank computes the push-prefetch candidate ranking for one
+// viewer under the engine lock, so a concurrent media operation cannot
+// mutate the document mid-rank. Evidence is the viewer's measured
+// environment with the shared explicit choices layered on top.
+func (e *Engine) PrefetchRank(viewer string) ([]prefetch.Candidate, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.overlays[viewer]; !ok {
+		return nil, fmt.Errorf("core: viewer %q not joined", viewer)
+	}
+	ev := cpnet.Outcome{}
+	for variable, value := range e.env[viewer] {
+		if e.doc.Prefs.HasVariable(variable) {
+			ev[variable] = value
+		}
+	}
+	for variable, value := range e.choices {
+		if e.doc.Prefs.HasVariable(variable) {
+			ev[variable] = value
+		}
+	}
+	return prefetch.Rank(e.doc, ev)
 }
 
 // Choices returns a copy of the accumulated shared evidence.

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"testing"
+
+	"mmconf/internal/document"
+	"mmconf/internal/workload"
+)
+
+// The QoS loop's degradation invariant: in every generated template, at
+// every bandwidth level, the hidden form ranks strictly last — a
+// degrading link re-ranks resolutions but never prefers dropping a
+// component over showing some visible form of it (resolution before
+// components).
+func TestAutoTemplatesDegradeResolutionBeforeComponents(t *testing.T) {
+	doc, err := workload.MedicalRecord("rec-auto", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	templates := AutoBandwidthTemplates(doc, 0)
+	if len(templates) == 0 {
+		t.Fatal("no templates generated")
+	}
+	for comp, tpl := range templates {
+		c, err := doc.Component(comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hasHidden := false
+		for _, v := range c.Domain() {
+			if v == document.HiddenValue {
+				hasHidden = true
+			}
+		}
+		for level, order := range map[string][]string{
+			BandwidthLow: tpl.Low, BandwidthMedium: tpl.Medium, BandwidthHigh: tpl.High,
+		} {
+			if len(order) != len(c.Domain()) {
+				t.Fatalf("%s/%s: order %v does not cover domain %v", comp, level, order, c.Domain())
+			}
+			if hasHidden && order[len(order)-1] != document.HiddenValue {
+				t.Errorf("%s/%s: hidden is not last in %v — level drop would hide the component", comp, level, order)
+			}
+		}
+	}
+	// The CT's shape is known: low prefers the cheapest resolution, high
+	// the author's full-fidelity order, medium demotes only the payload
+	// above the limit.
+	ct := templates["ct"]
+	if ct.Low[0] != "lowres" {
+		t.Errorf("ct low order %v, want lowres first", ct.Low)
+	}
+	if ct.High[0] != "full" {
+		t.Errorf("ct high order %v, want full first", ct.High)
+	}
+	if ct.Medium[len(ct.Medium)-2] != "segmented" {
+		t.Errorf("ct medium order %v, want oversized segmented demoted to just before hidden", ct.Medium)
+	}
+}
+
+// Generated templates must be accepted by AddBandwidthTuning and produce
+// a solvable network whose degradation follows the level.
+func TestAutoTemplatesSolve(t *testing.T) {
+	doc, err := workload.MedicalRecord("rec-auto2", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AddBandwidthTuning(doc, AutoBandwidthTemplates(doc, 0)); err != nil {
+		t.Fatalf("AddBandwidthTuning(auto): %v", err)
+	}
+	e, err := NewEngine(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Join("alice"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := e.ViewFor("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Outcome["ct"] != "full" {
+		t.Errorf("optimistic default ct = %s, want full", v.Outcome["ct"])
+	}
+	if err := e.SetEnvironment(BandwidthVariable, BandwidthLow); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = e.ViewFor("alice")
+	if v.Outcome["ct"] != "lowres" {
+		t.Errorf("low-bandwidth ct = %s, want lowres", v.Outcome["ct"])
+	}
+	// Degraded, but still visible: the invariant end to end.
+	if !v.Visible["ct"] {
+		t.Error("low bandwidth hid the ct component instead of degrading resolution")
+	}
+}
+
+func TestSetViewerEnvironmentScopesToViewer(t *testing.T) {
+	doc, err := workload.MedicalRecord("rec-env", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AddBandwidthTuning(doc, AutoBandwidthTemplates(doc, 0)); err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Join("clinic")
+	e.Join("hospital")
+	changed, err := e.SetViewerEnvironment("clinic", BandwidthVariable, BandwidthLow)
+	if err != nil || !changed {
+		t.Fatalf("SetViewerEnvironment: changed=%v err=%v", changed, err)
+	}
+	// Idempotent re-pin reports no change.
+	if changed, _ := e.SetViewerEnvironment("clinic", BandwidthVariable, BandwidthLow); changed {
+		t.Error("re-pinning the same level reported a change")
+	}
+	vClinic, _ := e.ViewFor("clinic")
+	vHosp, _ := e.ViewFor("hospital")
+	if vClinic.Outcome["ct"] != "lowres" {
+		t.Errorf("clinic ct = %s, want lowres", vClinic.Outcome["ct"])
+	}
+	if vHosp.Outcome["ct"] != "full" {
+		t.Errorf("hospital ct = %s, want full — clinic's slow link leaked", vHosp.Outcome["ct"])
+	}
+	if env := e.ViewerEnvironment("clinic"); env[BandwidthVariable] != BandwidthLow {
+		t.Errorf("ViewerEnvironment = %v", env)
+	}
+
+	// An explicit viewer choice on a component still wins over tuning.
+	if _, err := e.Choice("clinic", "ct", "full"); err != nil {
+		t.Fatal(err)
+	}
+	vClinic, _ = e.ViewFor("clinic")
+	if vClinic.Outcome["ct"] != "full" {
+		t.Errorf("explicit choice lost to tuning: ct = %s", vClinic.Outcome["ct"])
+	}
+
+	// Per-viewer measurement beats a global environment pin (retract the
+	// explicit choice first so the tuning variable decides again).
+	if _, err := e.Choice("clinic", "ct", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetEnvironment(BandwidthVariable, BandwidthHigh); err != nil {
+		t.Fatal(err)
+	}
+	vClinic, _ = e.ViewFor("clinic")
+	if got := vClinic.Outcome["ct"]; got != "lowres" {
+		t.Errorf("clinic ct = %s, want lowres (per-viewer low must beat global high)", got)
+	}
+	vHosp, _ = e.ViewFor("hospital")
+	if got := vHosp.Outcome["ct"]; got != "full" {
+		t.Errorf("hospital ct = %s, want full under global high", got)
+	}
+	// The author's conditional row survives the tuning extension: a fast
+	// link still honors "xray is just an icon while the full CT shows".
+	if got := vHosp.Outcome["xray"]; got != "icon" {
+		t.Errorf("hospital xray = %s, want icon (author row for ct=full)", got)
+	}
+
+	// Clearing restores the optimistic default.
+	if changed, _ := e.SetViewerEnvironment("clinic", BandwidthVariable, ""); !changed {
+		t.Error("clearing a pin reported no change")
+	}
+	if changed, _ := e.SetViewerEnvironment("clinic", BandwidthVariable, ""); changed {
+		t.Error("clearing twice reported a change")
+	}
+
+	// Leave drops the viewer's environment with them.
+	e.SetViewerEnvironment("hospital", BandwidthVariable, BandwidthLow)
+	e.Leave("hospital")
+	e.Join("hospital")
+	if env := e.ViewerEnvironment("hospital"); len(env) != 0 {
+		t.Errorf("environment survived leave: %v", env)
+	}
+}
+
+func TestSetViewerEnvironmentValidation(t *testing.T) {
+	doc, _ := workload.MedicalRecord("rec-envv", 7)
+	if err := AddBandwidthTuning(doc, AutoBandwidthTemplates(doc, 0)); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := NewEngine(doc)
+	e.Join("alice")
+	if _, err := e.SetViewerEnvironment("ghost", BandwidthVariable, BandwidthLow); err == nil {
+		t.Error("unjoined viewer accepted")
+	}
+	if _, err := e.SetViewerEnvironment("alice", "no/such", "x"); err == nil {
+		t.Error("unknown variable accepted")
+	}
+	if _, err := e.SetViewerEnvironment("alice", BandwidthVariable, "turbo"); err == nil {
+		t.Error("out-of-domain value accepted")
+	}
+}

@@ -259,3 +259,27 @@ func TestE14Smoke(t *testing.T) {
 		}
 	}
 }
+
+// E15's claim worth guarding: on the slowest profile, the adaptive mode
+// must beat static-high on time-to-presentable, and on the fastest the
+// two modes must coincide (level=high changes nothing).
+func TestE15Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tb, err := E15QoS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows = %d:\n%s", len(tb.Rows), tb)
+	}
+	// Rows come in (static-high, adaptive) pairs per profile, slowest
+	// first: dialup must improve, lan must be identical.
+	if tb.Rows[0][3] == tb.Rows[1][3] {
+		t.Errorf("dialup adaptive first-display did not improve: %v vs %v", tb.Rows[0], tb.Rows[1])
+	}
+	if tb.Rows[4][3] != tb.Rows[5][3] {
+		t.Errorf("lan modes diverged: %v vs %v", tb.Rows[4], tb.Rows[5])
+	}
+}

@@ -1,0 +1,96 @@
+package prefetch
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// The cache is shared between the viewer's Demand path and the server's
+// push-prefetch path; every public method must be safe under -race.
+func TestCacheConcurrentAccess(t *testing.T) {
+	c, err := NewCache(16 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	const workers = 8
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				id := seed*1000 + uint64(i%37)
+				switch i % 5 {
+				case 0:
+					c.Put(id, make([]byte, 128+i%512))
+				case 1:
+					c.PutDigest(id, "sha256:deadbeef", make([]byte, 64))
+				case 2:
+					c.Get(id)
+				case 3:
+					c.Contains(id)
+				default:
+					c.Stats()
+					c.Used()
+					c.Digest(id)
+				}
+			}
+		}(uint64(w))
+	}
+	wg.Wait()
+	if c.Used() > c.Capacity() {
+		t.Fatalf("used %d exceeds capacity %d after concurrent churn", c.Used(), c.Capacity())
+	}
+}
+
+// Regression: Put of an existing id whose new payload exceeds the whole
+// capacity used to return early and keep serving the stale old bytes.
+// The stale entry must be evicted instead.
+func TestCachePutOversizedEvictsStale(t *testing.T) {
+	c, err := NewCache(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := []byte("version-1")
+	c.Put(7, old)
+	if got, ok := c.Get(7); !ok || !bytes.Equal(got, old) {
+		t.Fatalf("seed entry missing: ok=%v got=%q", ok, got)
+	}
+	// The object grew past the buffer: the update cannot be cached, and
+	// the old bytes no longer describe the object.
+	c.Put(7, make([]byte, 4096))
+	if _, ok := c.Get(7); ok {
+		t.Fatal("stale entry survived an oversized Put of the same id")
+	}
+	if c.Used() != 0 {
+		t.Fatalf("used = %d after evicting the only entry, want 0", c.Used())
+	}
+	_, _, evictions := c.Stats()
+	if evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", evictions)
+	}
+}
+
+func TestCacheDigestTag(t *testing.T) {
+	c, err := NewCache(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Digest(1); ok {
+		t.Fatal("digest present before any Put")
+	}
+	c.PutDigest(1, "sha256:aa", []byte("pushed"))
+	if d, ok := c.Digest(1); !ok || d != "sha256:aa" {
+		t.Fatalf("digest = %q ok=%v, want sha256:aa", d, ok)
+	}
+	// A plain demand Put of the same id clears the tag: the bytes came
+	// from a direct fetch, not a digest-verified push.
+	c.Put(1, []byte("fetched"))
+	if _, ok := c.Digest(1); ok {
+		t.Fatal("digest tag survived an untagged overwrite")
+	}
+	if got, ok := c.Get(1); !ok || string(got) != "fetched" {
+		t.Fatalf("payload = %q ok=%v", got, ok)
+	}
+}

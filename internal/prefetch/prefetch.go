@@ -15,6 +15,7 @@ package prefetch
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"mmconf/internal/cpnet"
 	"mmconf/internal/document"
@@ -26,6 +27,10 @@ type Candidate struct {
 	Value     string
 	ObjectID  uint64
 	Bytes     int64
+	// Kind is the presentation's media kind, captured at ranking time so
+	// callers (the server's push-prefetch loop) need not re-read the
+	// document concurrently with mutating operations.
+	Kind document.MediaKind
 	// Score in (0, 1]: 1 for payloads of the current optimal view,
 	// decaying with the preference rank of the hypothetical next choice
 	// that would require the payload.
@@ -56,7 +61,7 @@ func Rank(doc *document.Document, choices cpnet.Outcome) ([]Candidate, error) {
 			}
 			cand := Candidate{
 				Component: c.Name, Value: p.Name,
-				ObjectID: p.ObjectID, Bytes: p.Bytes, Score: score,
+				ObjectID: p.ObjectID, Bytes: p.Bytes, Kind: p.Kind, Score: score,
 			}
 			if old, ok := best[p.ObjectID]; !ok || cand.Score > old.Score {
 				best[p.ObjectID] = cand
@@ -98,8 +103,10 @@ func Rank(doc *document.Document, choices cpnet.Outcome) ([]Candidate, error) {
 }
 
 // Cache is a byte-budgeted LRU buffer of fetched payloads — the "user's
-// buffer as a cache" of §4.4.
+// buffer as a cache" of §4.4. It is safe for concurrent use: the server
+// push-prefetch path fills it while the viewer's Demand path reads it.
 type Cache struct {
+	mu       sync.Mutex
 	capacity int64
 	used     int64
 	entries  map[uint64]*entry
@@ -113,6 +120,7 @@ type Cache struct {
 type entry struct {
 	id         uint64
 	data       []byte
+	digest     string
 	prev, next *entry
 }
 
@@ -126,6 +134,8 @@ func NewCache(capacity int64) (*Cache, error) {
 
 // Get returns the cached payload and records a hit or miss.
 func (c *Cache) Get(id uint64) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	e, ok := c.entries[id]
 	if !ok {
 		c.misses++
@@ -136,25 +146,85 @@ func (c *Cache) Get(id uint64) ([]byte, bool) {
 	return e.data, true
 }
 
+// Digest returns the digest tag stored alongside a cached payload, if
+// any, without touching LRU order or hit statistics.
+func (c *Cache) Digest(id uint64) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[id]
+	if !ok || e.digest == "" {
+		return "", false
+	}
+	return e.digest, true
+}
+
 // Contains reports presence without recording a hit or miss (used by the
 // prefetcher to avoid distorting statistics).
 func (c *Cache) Contains(id uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	_, ok := c.entries[id]
 	return ok
 }
 
+// Offer inserts a speculative payload only if it fits without evicting
+// anything — the acceptance rule for server push-prefetch: an unasked-for
+// payload must never displace content the viewer demanded or a
+// higher-ranked candidate already warmed. Replacing an existing entry for
+// the same id reclaims that entry's bytes first. It reports whether the
+// payload was stored.
+func (c *Cache) Offer(id uint64, digest string, data []byte) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	need := int64(len(data))
+	avail := c.capacity - c.used
+	if e, ok := c.entries[id]; ok {
+		if need > avail+int64(len(e.data)) {
+			return false // keep the resident bytes
+		}
+		c.used += need - int64(len(e.data))
+		e.data = data
+		e.digest = digest
+		c.touch(e)
+		return true
+	}
+	if need > avail {
+		return false
+	}
+	e := &entry{id: id, data: data, digest: digest}
+	c.entries[id] = e
+	c.used += need
+	c.pushFront(e)
+	return true
+}
+
 // Put inserts a payload, evicting least-recently-used entries as needed.
-// Payloads larger than the whole capacity are not cached.
+// Payloads larger than the whole capacity are not cached — and if such an
+// oversized payload replaces an existing id, the stale entry is evicted
+// rather than silently kept (the old bytes no longer describe the object).
 func (c *Cache) Put(id uint64, data []byte) {
+	c.PutDigest(id, "", data)
+}
+
+// PutDigest is Put with a content digest tag attached to the entry, so
+// server-pushed payloads can be verified against the digest the demand
+// path would have fetched.
+func (c *Cache) PutDigest(id uint64, digest string, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if int64(len(data)) > c.capacity {
+		if e, ok := c.entries[id]; ok {
+			c.evict(e)
+		}
 		return
 	}
 	if e, ok := c.entries[id]; ok {
 		c.used += int64(len(data)) - int64(len(e.data))
 		e.data = data
+		e.digest = digest
 		c.touch(e)
 	} else {
-		e := &entry{id: id, data: data}
+		e := &entry{id: id, data: data, digest: digest}
 		c.entries[id] = e
 		c.used += int64(len(data))
 		c.pushFront(e)
@@ -203,13 +273,19 @@ func (c *Cache) evict(e *entry) {
 }
 
 // Used returns the occupied bytes.
-func (c *Cache) Used() int64 { return c.used }
+func (c *Cache) Used() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
 
 // Capacity returns the configured byte capacity.
 func (c *Cache) Capacity() int64 { return c.capacity }
 
 // Stats returns cumulative hit/miss/eviction counts.
 func (c *Cache) Stats() (hits, misses, evictions int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.hits, c.misses, c.evictions
 }
 
@@ -230,6 +306,14 @@ func NewPrefetcher(cache *Cache, fetch FetchFunc) (*Prefetcher, error) {
 		return nil, fmt.Errorf("prefetch: need a cache and a fetch function")
 	}
 	return &Prefetcher{Cache: cache, Fetch: fetch}, nil
+}
+
+// Inject stores a payload the server pushed ahead of demand (the QoS
+// loop's push-prefetch). Unlike Warm it costs the client no fetch, but
+// the same no-eviction rule applies: the payload is dropped if it does
+// not fit in the buffer's free space. It reports whether it was kept.
+func (p *Prefetcher) Inject(id uint64, digest string, data []byte) bool {
+	return p.Cache.Offer(id, digest, data)
 }
 
 // Demand returns the payload for an object the viewer needs right now,

@@ -47,8 +47,9 @@ type Result struct {
 	HitRate         float64
 	TotalResponse   time.Duration // sum of user-visible waits
 	MeanResponse    time.Duration
-	DemandBytes     int64 // bytes fetched on the critical path
-	PrefetchedBytes int64 // bytes fetched ahead of time
+	FirstDisplay    time.Duration // wait for the initial display (time-to-presentable)
+	DemandBytes     int64         // bytes fetched on the critical path
+	PrefetchedBytes int64         // bytes fetched ahead of time
 }
 
 // Simulate replays a scripted session over a document under the given
@@ -60,6 +61,14 @@ type Result struct {
 // path, as background transfer).
 func Simulate(doc *document.Document, script []workload.Choice, policy Policy,
 	cacheBytes, warmBudget int64, link *netsim.Link) (Result, error) {
+	return SimulateWith(doc, script, policy, cacheBytes, warmBudget, link, nil)
+}
+
+// SimulateWith is Simulate with initial evidence pinned before the first
+// display — E15 uses it to pin the net/bandwidth tuning variable so the
+// solver degrades layered presentations for the simulated link class.
+func SimulateWith(doc *document.Document, script []workload.Choice, policy Policy,
+	cacheBytes, warmBudget int64, link *netsim.Link, initial cpnet.Outcome) (Result, error) {
 	if link == nil {
 		return Result{}, fmt.Errorf("prefetch: nil link")
 	}
@@ -91,6 +100,9 @@ func Simulate(doc *document.Document, script []workload.Choice, policy Policy,
 	}
 	res := Result{Policy: policy, Steps: len(script)}
 	choices := cpnet.Outcome{}
+	for v, val := range initial {
+		choices[v] = val
+	}
 	display := func() error {
 		view, err := doc.ReconfigPresentation(choices)
 		if err != nil {
@@ -125,6 +137,7 @@ func Simulate(doc *document.Document, script []workload.Choice, policy Policy,
 	if err := display(); err != nil {
 		return Result{}, err
 	}
+	res.FirstDisplay = res.TotalResponse
 	warm := func() error {
 		if policy != PolicyPreference {
 			return nil

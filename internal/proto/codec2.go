@@ -43,6 +43,7 @@ func init() {
 		21: MStats,
 		22: MTraces,
 		23: MEvent,
+		24: MPrefetchPush,
 	} {
 		wire.RegisterMethodCode(code, method)
 	}
@@ -313,6 +314,25 @@ func (r *HistoryResp) AppendBody(e *wire.BodyEnc) {
 // DecodeBody implements wire.BodyDecoder.
 func (r *HistoryResp) DecodeBody(d *wire.Dec) error {
 	r.Events = decodeEvents(d)
+	return d.Err()
+}
+
+// --- push-prefetch --------------------------------------------------------
+
+// AppendBody implements wire.BodyEncoder.
+func (r *PrefetchPush) AppendBody(e *wire.BodyEnc) {
+	e.String(r.Room)
+	e.Uvarint(r.ObjectID)
+	e.Bytes(r.Digest)
+	e.RawBytes(r.Data)
+}
+
+// DecodeBody implements wire.BodyDecoder.
+func (r *PrefetchPush) DecodeBody(d *wire.Dec) error {
+	r.Room = d.String()
+	r.ObjectID = d.Uvarint()
+	r.Digest = d.Bytes()
+	r.Data = d.Bytes()
 	return d.Err()
 }
 

@@ -52,6 +52,10 @@ const (
 	MTraces = "sys.traces"
 	// MEvent is the push method carrying room.Event to clients.
 	MEvent = "room.event"
+	// MPrefetchPush is the push method carrying a speculative payload the
+	// QoS loop pre-pushes into a member's client-side buffer (§4.4
+	// prefetching, driven from the server's likelihood ranking).
+	MPrefetchPush = "room.prefetch"
 )
 
 // ListDocumentsReq asks for the stored document catalog.
@@ -319,3 +323,14 @@ type TraceInfo struct {
 
 // TracesResp carries the matching traces, newest first.
 type TracesResp struct{ Traces []TraceInfo }
+
+// PrefetchPush carries one speculative payload pushed by the server's
+// QoS loop ahead of demand. Digest is the payload's content address so
+// the client can tag (and later verify) the buffered bytes; the client
+// stores the payload only if it fits its buffer's free space.
+type PrefetchPush struct {
+	Room     string
+	ObjectID uint64
+	Digest   []byte
+	Data     []byte
+}

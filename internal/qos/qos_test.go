@@ -1,0 +1,197 @@
+package qos
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMeterConvergesToSteadyRate(t *testing.T) {
+	m := NewMeter(time.Second)
+	// 200 writes of 5 KB each taking 50 ms: a steady 100 KB/s link.
+	for i := 0; i < 200; i++ {
+		m.Observe(5000, 50*time.Millisecond)
+	}
+	rate := m.Rate()
+	if math.Abs(rate-100e3) > 100e3*0.01 {
+		t.Fatalf("rate = %.0f B/s, want ~100000", rate)
+	}
+	if m.Samples() != 200 {
+		t.Fatalf("samples = %d, want 200", m.Samples())
+	}
+	if m.Bytes() != 200*5000 {
+		t.Fatalf("bytes = %d", m.Bytes())
+	}
+}
+
+func TestMeterTracksLinkChange(t *testing.T) {
+	m := NewMeter(time.Second)
+	for i := 0; i < 100; i++ {
+		m.Observe(100_000, 100*time.Millisecond) // 1 MB/s
+	}
+	// Link degrades to 10 KB/s; after a few time constants of evidence
+	// the estimate must follow.
+	for i := 0; i < 50; i++ {
+		m.Observe(1000, 100*time.Millisecond)
+	}
+	rate := m.Rate()
+	if rate > 50e3 {
+		t.Fatalf("rate = %.0f B/s, still stuck near the old 1 MB/s", rate)
+	}
+}
+
+func TestMeterShortBlipHasSmallWeight(t *testing.T) {
+	m := NewMeter(2 * time.Second)
+	for i := 0; i < 100; i++ {
+		m.Observe(1000, 100*time.Millisecond) // steady 10 KB/s
+	}
+	before := m.Rate()
+	// One microsecond-scale burst that happened to leave the socket
+	// buffer instantly looks like 1 GB/s; it must barely move the EWMA.
+	m.Observe(1000, time.Microsecond)
+	after := m.Rate()
+	if after > before*2 {
+		t.Fatalf("one fast blip moved the estimate %.0f -> %.0f B/s", before, after)
+	}
+}
+
+func TestMeterIgnoresDegenerateSamples(t *testing.T) {
+	m := NewMeter(0)
+	m.Observe(0, time.Second)
+	m.Observe(100, 0)
+	m.Observe(-5, time.Second)
+	if m.Samples() != 0 || m.Rate() != 0 {
+		t.Fatalf("degenerate samples counted: n=%d rate=%g", m.Samples(), m.Rate())
+	}
+}
+
+func TestMeterConcurrent(t *testing.T) {
+	m := NewMeter(time.Second)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.Observe(1000, time.Millisecond)
+				_ = m.Rate()
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Samples() != 8000 {
+		t.Fatalf("samples = %d, want 8000", m.Samples())
+	}
+}
+
+func TestBandsClassifyPlain(t *testing.T) {
+	b := DefaultBands()
+	cases := []struct {
+		rate float64
+		from Level
+		want Level
+	}{
+		{7e3, High, Low},     // dialup measured from a fresh (optimistic) start
+		{48e3, High, Medium}, // 3G
+		{48e3, Low, Medium},  // 3G recovering from low
+		{12e6, Low, High},    // LAN: multi-step upgrade in one classify
+		{12e6, High, High},
+		{7e3, Low, Low},
+	}
+	for _, c := range cases {
+		if got := b.Classify(c.rate, c.from); got != c.want {
+			t.Errorf("Classify(%.0f, %s) = %s, want %s", c.rate, c.from, got, c.want)
+		}
+	}
+}
+
+// A rate sitting exactly on a band edge, wobbling a few percent either
+// way, must not flap the level: the hysteresis guard is wider than the
+// wobble.
+func TestBandsHysteresisNoFlapAtEdge(t *testing.T) {
+	b := Bands{LowMedium: 16e3, MediumHigh: 1e6, Hysteresis: 0.25}
+	level := Medium
+	changes := 0
+	for i := 0; i < 1000; i++ {
+		wobble := 1 + 0.10*math.Sin(float64(i)) // ±10% around the edge
+		next := b.Classify(b.LowMedium*wobble, level)
+		if next != level {
+			changes++
+			level = next
+		}
+	}
+	if changes != 0 {
+		t.Fatalf("level changed %d times while wobbling ±10%% around an edge with 25%% hysteresis", changes)
+	}
+	// Sanity: a decisive move beyond the guard band does switch.
+	if got := b.Classify(b.LowMedium*0.5, Medium); got != Low {
+		t.Fatalf("decisive drop classified as %s, want low", got)
+	}
+	if got := b.Classify(b.LowMedium*2, Low); got != Medium {
+		t.Fatalf("decisive rise classified as %s, want medium", got)
+	}
+}
+
+func TestBandsValid(t *testing.T) {
+	if err := (Bands{LowMedium: 10, MediumHigh: 5}).Valid(); err == nil {
+		t.Fatal("inverted edges accepted")
+	}
+	if err := (Bands{LowMedium: 10, MediumHigh: 20, Hysteresis: 1.5}).Valid(); err == nil {
+		t.Fatal("hysteresis >= 1 accepted")
+	}
+	if err := DefaultBands().Valid(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestControllerHoldsUntilConfident(t *testing.T) {
+	c, err := NewController(DefaultBands())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fewer than DefaultMinSamples observations: the dialup-looking rate
+	// must not move the level yet.
+	if level, changed := c.Update(7e3, DefaultMinSamples-1, 0); changed || level != High {
+		t.Fatalf("uninformed update moved level to %s (changed=%v)", level, changed)
+	}
+	if level, changed := c.Update(7e3, DefaultMinSamples, 0); !changed || level != Low {
+		t.Fatalf("confident dialup rate gave %s (changed=%v), want low", level, changed)
+	}
+}
+
+func TestControllerPressureDemotes(t *testing.T) {
+	c, err := NewController(DefaultBands())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Writes look LAN-fast (they drained into a deep kernel buffer), but
+	// the push budget is nearly full: the client is not consuming.
+	level, changed := c.Update(12e6, 100, 0.9)
+	if !changed || level != Medium {
+		t.Fatalf("pressure demotion gave %s (changed=%v), want medium", level, changed)
+	}
+	// Sustained pressure keeps demoting, but never below Low.
+	c.Update(12e6, 100, 0.9)
+	level, _ = c.Update(12e6, 100, 0.9)
+	if level != Low {
+		t.Fatalf("sustained pressure gave %s, want low", level)
+	}
+}
+
+func TestLevelRoundTrip(t *testing.T) {
+	for _, l := range []Level{Low, Medium, High} {
+		got, err := ParseLevel(l.String())
+		if err != nil || got != l {
+			t.Fatalf("round trip %s: got %s err %v", l, got, err)
+		}
+	}
+	if _, err := ParseLevel("dialup"); err == nil {
+		t.Fatal("bad level parsed")
+	}
+	if s := Level(9).String(); s != "Level(9)" {
+		t.Fatalf("stringer fallback = %q", s)
+	}
+	_ = fmt.Sprint(Low, Medium, High)
+}

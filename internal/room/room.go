@@ -196,6 +196,29 @@ func (m *Member) Consumed(ev Event) { m.queuedBytes.Add(-ev.approxSize()) }
 // member's undrained queued events.
 func (m *Member) QueuedBytes() int64 { return m.queuedBytes.Load() }
 
+// DrainRefund empties whatever events remain queued on this member's
+// channel and refunds their push-budget charges, returning how many it
+// drained. A forwarder that exits before draining its channel (push
+// error, eviction) must call this after the channel closes: abandoned
+// events would otherwise keep their queuedBytes charged forever, and
+// anything reading the member's pressure — the QoS controller does —
+// would see phantom load.
+func (m *Member) DrainRefund() int {
+	n := 0
+	for {
+		select {
+		case ev, ok := <-m.ch:
+			if !ok {
+				return n
+			}
+			m.Consumed(ev)
+			n++
+		default:
+			return n
+		}
+	}
+}
+
 // Room is one shared session around a document.
 type Room struct {
 	Name string
@@ -713,6 +736,38 @@ func (r *Room) dropOldestLocked(m *Member) {
 		}
 	default:
 	}
+}
+
+// SetMemberEnvironment pins a measured per-member environment variable
+// (the QoS loop's bandwidth level) and, when the pin changes the
+// member's effective evidence, pushes them their re-solved presentation
+// as a per-member EvPresentation event — nobody else's view or queue is
+// touched. It reports whether the evidence changed.
+func (r *Room) SetMemberEnvironment(name, variable, value string) (bool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.members[name]
+	if !ok {
+		return false, fmt.Errorf("room %s: no member %q", r.Name, name)
+	}
+	changed, err := r.engine.SetViewerEnvironment(name, variable, value)
+	if err != nil || !changed {
+		return changed, err
+	}
+	viewer := name
+	if r.broadcaster != "" {
+		viewer = r.broadcaster // during a broadcast everyone mirrors the presenter
+	}
+	v, err := r.engine.ViewFor(viewer)
+	if err != nil {
+		return true, err
+	}
+	r.seq++
+	r.deliverLocked(m, Event{
+		Seq: r.seq, Room: r.Name, Actor: name, Kind: EvPresentation,
+		Outcome: v.Outcome, Visible: v.Visible,
+	})
+	return true, nil
 }
 
 // Choice records a presentation choice and propagates it. A cancelled

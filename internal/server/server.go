@@ -22,12 +22,14 @@ import (
 	"sync"
 	"time"
 
+	"mmconf/internal/core"
 	"mmconf/internal/document"
 	"mmconf/internal/media/compress"
 	"mmconf/internal/media/image"
 	"mmconf/internal/mediadb"
 	"mmconf/internal/obs"
 	"mmconf/internal/proto"
+	"mmconf/internal/qos"
 	"mmconf/internal/room"
 	"mmconf/internal/wire"
 )
@@ -87,6 +89,21 @@ type Options struct {
 	// consumers over budget lose their oldest queued events and get a
 	// Resync hint instead of buffering without bound.
 	MemberPushBudget int64
+	// QoSInterval is the adaptive-QoS control period: every tick the
+	// server re-estimates each member connection's throughput from its
+	// socket writes and adjusts that member's bandwidth tuning level,
+	// degrading resolution before components (default 500ms; negative
+	// disables the adaptive loop — and push-prefetch with it).
+	QoSInterval time.Duration
+	// QoSBands sets the throughput thresholds (bytes/second) separating
+	// the low/medium/high tuning levels and the hysteresis fraction that
+	// prevents flapping at a band edge (zero value selects
+	// qos.DefaultBands()).
+	QoSBands qos.Bands
+	// PrefetchBudget caps the speculative bytes push-prefetched into one
+	// member's client buffer over its session (default 256 KiB; negative
+	// disables push-prefetch while keeping adaptive tuning).
+	PrefetchBudget int64
 }
 
 // Server is the interaction server.
@@ -107,6 +124,10 @@ type Server struct {
 	// membership) so Shutdown can flush queued pushes before closing
 	// connections.
 	forwarders sync.WaitGroup
+	// qos is the adaptive bandwidth-estimation loop (nil when disabled):
+	// per-member throughput drives the CP-net tuning level and spends
+	// idle push budget on prefetch pushes.
+	qos *qosController
 }
 
 // roomState binds a live room to its document id.
@@ -182,6 +203,21 @@ func (o *Options) normalize() {
 	if o.MemberPushBudget < 0 {
 		o.MemberPushBudget = 0 // room.SetPushBudget treats 0 as disabled
 	}
+	if o.QoSInterval == 0 {
+		o.QoSInterval = 500 * time.Millisecond
+	}
+	if o.QoSInterval < 0 {
+		o.QoSInterval = 0 // adaptive loop disabled
+	}
+	if o.QoSBands == (qos.Bands{}) {
+		o.QoSBands = qos.DefaultBands()
+	}
+	if o.PrefetchBudget == 0 {
+		o.PrefetchBudget = 256 << 10
+	}
+	if o.PrefetchBudget < 0 {
+		o.PrefetchBudget = 0 // push-prefetch disabled
+	}
 }
 
 // validate rejects nonsensical option values after normalize ran.
@@ -210,6 +246,11 @@ func (o *Options) validate() error {
 	for m := range o.MethodTimeouts {
 		if _, ok := methodClasses[m]; !ok {
 			return fmt.Errorf("server: MethodTimeouts names unknown method %q", m)
+		}
+	}
+	if o.QoSInterval > 0 {
+		if err := o.QoSBands.Valid(); err != nil {
+			return fmt.Errorf("server: QoSBands: %w", err)
 		}
 	}
 	return nil
@@ -261,6 +302,10 @@ func NewWith(db *mediadb.MediaDB, o Options) (*Server, error) {
 	)
 	s.register()
 	s.rpc.OnPeerClose(s.evictPeer)
+	if o.QoSInterval > 0 {
+		s.qos = newQoSController(s, o.QoSInterval, o.QoSBands, o.PrefetchBudget)
+		go s.qos.run()
+	}
 	return s, nil
 }
 
@@ -317,6 +362,9 @@ func (s *Server) ServeConn(conn net.Conn) { s.rpc.ServeConn(conn) }
 // for in-flight handlers until ctx expires, then close rooms and tear
 // down the remaining connections.
 func (s *Server) Shutdown(ctx context.Context) error {
+	if s.qos != nil {
+		s.qos.stopLoop()
+	}
 	s.rpc.Drain()
 	s.reg.forEach(func(name string, rs *roomState) { rs.room.AnnounceShutdown() })
 	err := s.rpc.AwaitIdle(ctx)
@@ -402,8 +450,16 @@ func (s *Server) handleGetDocument(ctx context.Context, p *wire.Peer, req *proto
 }
 
 func (s *Server) handleGetImage(ctx context.Context, p *wire.Peer, req *proto.GetImageReq) (*proto.GetImageResp, error) {
-	v, err := s.objects.get(imgKey(req.ID), func() (any, int64, error) {
-		img, err := s.db.GetImage(req.ID)
+	return s.getImageCached(req.ID)
+}
+
+// getImageCached serves an image object through the response cache; the
+// demand path (GetImage RPC) and the QoS loop's push-prefetch share the
+// cache, so a pre-push never doubles the store fetch the first demand
+// would have done.
+func (s *Server) getImageCached(id uint64) (*proto.GetImageResp, error) {
+	v, err := s.objects.get(imgKey(id), func() (any, int64, error) {
+		img, err := s.db.GetImage(id)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -516,6 +572,18 @@ func (s *Server) buildRoom(name, docID string) (*roomState, error) {
 	doc, err := s.db.GetDocument(docID)
 	if err != nil {
 		return nil, err
+	}
+	// With the adaptive loop on, extend the document's preference network
+	// with the bandwidth tuning variable (§4.4's automatic template
+	// extension) so per-member measured levels can re-rank resolutions.
+	// Documents with nothing to degrade (no component offers at least two
+	// visible forms) are left untouched.
+	if s.qos != nil && !doc.Prefs.HasVariable(core.BandwidthVariable) {
+		if tpl := core.AutoBandwidthTemplates(doc, 0); len(tpl) > 0 {
+			if err := core.AddBandwidthTuning(doc, tpl); err != nil {
+				return nil, fmt.Errorf("server: bandwidth tuning for %s: %w", docID, err)
+			}
+		}
 	}
 	r, err := room.New(name, doc)
 	if err != nil {
@@ -676,8 +744,14 @@ func (s *Server) startForwarder(p *wire.Peer, sessions *peerSessions, rs *roomSt
 	if p.ProtoVersion() >= wire.ProtoV2 {
 		format, marshal, enc = room.FormatBinary, room.MarshalEventBinary, wire.EncBinary
 	}
+	if s.qos != nil {
+		s.qos.register(p, rs, roomName, user, member)
+	}
 	go func() {
 		defer s.forwarders.Done()
+		if s.qos != nil {
+			defer s.qos.unregister(member)
+		}
 		for ev := range member.Events() {
 			// Refund the event's push-budget charge: once it is off the
 			// queue the room no longer holds it for this member.
@@ -701,6 +775,11 @@ func (s *Server) startForwarder(p *wire.Peer, sessions *peerSessions, rs *roomSt
 				if rs.room.Detach(member) {
 					s.stats.Add(CounterSessionDetached, 1)
 				}
+				// Detach closed the channel with events possibly still
+				// queued; drain them so their push-budget charges are
+				// refunded — otherwise the abandoned member reads as
+				// phantom queue pressure to the QoS loop and the gauges.
+				member.DrainRefund()
 				return
 			}
 		}

@@ -3,6 +3,9 @@ package wire
 import (
 	"encoding/binary"
 	"net"
+	"time"
+
+	"mmconf/internal/qos"
 )
 
 // writeFlushBytes bounds how many bytes a v2 write batch accumulates
@@ -23,6 +26,7 @@ const writeFlushBytes = 1 << 20
 type vecWriter struct {
 	conn  net.Conn
 	stats *Stats
+	meter *qos.Meter // optional per-peer throughput estimator
 	buf   []byte
 	spans []span
 	vec   net.Buffers // reusable backing for flush
@@ -115,7 +119,14 @@ func (w *vecWriter) flush() error {
 		}
 	}
 	v := w.vec
+	start := time.Now()
 	n, err := v.WriteTo(w.conn)
+	if w.meter != nil && err == nil {
+		// A writev that blocked did so for the time the bottleneck link
+		// (kernel buffer, throttled shim) needed to absorb n bytes — the
+		// QoS estimator's raw signal.
+		w.meter.Observe(int(n), time.Since(start))
+	}
 	if w.stats != nil {
 		w.stats.Add(CounterWriterFlushes, 1)
 		w.stats.Add(CounterWriterWrites, 1)

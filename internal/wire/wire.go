@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"mmconf/internal/obs"
+	"mmconf/internal/qos"
 )
 
 // msgKind distinguishes envelope roles.
@@ -467,7 +468,8 @@ type Peer struct {
 	stop   chan struct{} // closed by ServeConn teardown
 	dead   chan struct{} // closed when the writer exits; werr is valid after
 	werr   error
-	stats  *Stats // optional counter sink
+	stats  *Stats     // optional counter sink
+	qmeter *qos.Meter // per-connection write-throughput estimator
 
 	mu   sync.Mutex
 	meta map[string]any // per-connection session state (user, rooms)
@@ -477,6 +479,19 @@ type Peer struct {
 // what the interaction server's fan-out consults to pick the shared
 // push encoding.
 func (p *Peer) ProtoVersion() uint8 { return p.proto }
+
+// Meter exposes the connection's write-throughput estimator: every
+// socket write the writer goroutine performs feeds it (bytes, duration)
+// observations, so under backpressure its rate tracks the client's
+// effective downlink. The QoS control loop reads it.
+func (p *Peer) Meter() *qos.Meter { return p.qmeter }
+
+// QueueDepth reports how many envelopes are waiting for the writer
+// goroutine right now — the drain-rate pressure companion to Meter.
+func (p *Peer) QueueDepth() int { return len(p.writeQ) }
+
+// QueueCapacity reports the writer queue bound (senders block beyond it).
+func (p *Peer) QueueCapacity() int { return cap(p.writeQ) }
 
 // writeItem is one unit of writer work: an envelope to encode, or (when
 // flush is non-nil) a flush barrier to acknowledge.
@@ -587,14 +602,20 @@ func (p *Peer) deadErr() error {
 	return errPeerClosed
 }
 
-// meteredWriter counts socket writes and bytes into a Stats sink.
+// meteredWriter counts socket writes and bytes into a Stats sink and
+// feeds the peer's QoS throughput meter.
 type meteredWriter struct {
 	w     io.Writer
 	stats *Stats
+	meter *qos.Meter
 }
 
 func (m meteredWriter) Write(b []byte) (int, error) {
+	start := time.Now()
 	n, err := m.w.Write(b)
+	if m.meter != nil && err == nil {
+		m.meter.Observe(n, time.Since(start))
+	}
 	if m.stats != nil {
 		m.stats.Add(CounterWriterWrites, 1)
 		m.stats.Add(CounterWriterBytes, uint64(n))
@@ -608,7 +629,7 @@ func (m meteredWriter) Write(b []byte) (int, error) {
 // into few syscalls while a lone message flushes immediately.
 func (p *Peer) writeLoop() {
 	defer close(p.dead)
-	bw := bufio.NewWriterSize(meteredWriter{w: p.conn, stats: p.stats}, writeBufferSize)
+	bw := bufio.NewWriterSize(meteredWriter{w: p.conn, stats: p.stats, meter: p.qmeter}, writeBufferSize)
 	enc := gob.NewEncoder(bw)
 	fail := func(err error) {
 		p.werr = fmt.Errorf("wire: send: %w", err)
@@ -685,6 +706,7 @@ func (p *Peer) writeLoop() {
 func (p *Peer) writeLoopV2() {
 	defer close(p.dead)
 	w := newVecWriter(p.conn, p.stats)
+	w.meter = p.qmeter
 	fail := func(err error) {
 		p.werr = fmt.Errorf("wire: send: %w", err)
 		p.conn.Close()
@@ -787,6 +809,7 @@ func (s *Server) ServeConn(conn net.Conn) {
 		stop:   make(chan struct{}),
 		dead:   make(chan struct{}),
 		stats:  st,
+		qmeter: qos.NewMeter(0),
 		meta:   make(map[string]any),
 	}
 	if proto >= ProtoV2 {
