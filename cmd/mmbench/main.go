@@ -68,6 +68,8 @@ func main() {
 			experiments.E14Wire},
 		{"E15", "adaptive QoS: bandwidth-tuned degradation vs static-high (§4.4)",
 			func(string) (*experiments.Table, error) { return experiments.E15QoS() }},
+		{"E16", "cluster routing: cross-node forward overhead vs direct serve",
+			experiments.E16Cluster},
 	}
 
 	if *list {

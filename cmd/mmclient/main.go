@@ -6,6 +6,10 @@
 //
 //	mmclient -addr 127.0.0.1:7070 -user dr-adams -room consult -doc patient-001
 //
+// -addr accepts a comma-separated endpoint list when the servers run as
+// a cluster (DESIGN.md §12): redirects from the routing tier are
+// followed transparently, and a dead node rotates to the next endpoint.
+//
 // Commands on stdin:
 //
 //	docs                          list stored documents
@@ -45,7 +49,7 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:7070", "interaction server address")
+	addr := flag.String("addr", "127.0.0.1:7070", "interaction server address (comma-separated list for cluster endpoints)")
 	user := flag.String("user", "viewer", "user name")
 	roomName := flag.String("room", "consult", "shared room to join")
 	docID := flag.String("doc", "", "document id (required for the first joiner)")
@@ -71,7 +75,7 @@ func run(addr, user, roomName, docID string, buffer int64, opts client.Options) 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	c, err := client.DialWith(addr, user, opts)
+	c, err := client.NewOverResolver(nil, strings.Split(addr, ","), user, opts)
 	if err != nil {
 		return err
 	}

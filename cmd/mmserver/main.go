@@ -8,6 +8,14 @@
 //
 // -seed N populates the database with N synthetic medical records when it
 // is empty, so a fresh deployment has material to conference over.
+// -node-id and -peers run the server as one member of a room-sharded
+// cluster (see DESIGN.md §12):
+//
+//	mmserver -addr host1:7070 -node-id n1 -peers n2=host2:7070,n3=host3:7070
+//
+// Every node needs the same -peers view of the others and (for exact
+// failover replay) an equivalently seeded database. -forward relays
+// wrong-node requests to the room's owner instead of redirecting.
 // -debug-addr starts an HTTP listener serving /debug/metrics (JSON
 // snapshot of per-method latency percentiles, counters and gauges),
 // /debug/traces (recent slow/errored request traces, ?id= filters) and
@@ -24,9 +32,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"mmconf/internal/cluster"
 	"mmconf/internal/mediadb"
 	"mmconf/internal/obs"
 	"mmconf/internal/server"
@@ -50,6 +60,9 @@ func main() {
 	pushBudget := flag.Int64("push-budget", 0, "per-member event-queue byte budget; slow consumers over it get a Resync hint (0: default 1MiB, negative: unbounded)")
 	qosInterval := flag.Duration("qos-interval", 0, "adaptive QoS control period: per-member bandwidth estimation, CP-net tuning and push-prefetch (0: default 500ms, negative: disabled)")
 	prefetchBudget := flag.Int64("prefetch-budget", 0, "per-session byte allowance for QoS push-prefetch (0: default 256KiB, negative: disabled)")
+	nodeID := flag.String("node-id", "", "cluster node id; empty runs a standalone server")
+	peers := flag.String("peers", "", "cluster peers as id=addr,id=addr (requires -node-id); -addr must be reachable by peers and clients, it is advertised in redirects")
+	forward := flag.Bool("forward", false, "cluster: relay wrong-node requests to the owner instead of redirecting (protocol-v2 clients)")
 	flag.Parse()
 
 	var policy wire.ShedPolicy
@@ -72,12 +85,48 @@ func main() {
 		QoSInterval:      *qosInterval,
 		PrefetchBudget:   *prefetchBudget,
 	}
-	if err := run(*addr, *data, *seed, *sync, *debugAddr, opts); err != nil {
+	cl := clusterConfig{id: *nodeID, forward: *forward}
+	if *nodeID != "" {
+		var err error
+		if cl.peers, err = parsePeers(*peers); err != nil {
+			log.Fatalf("mmserver: %v", err)
+		}
+	} else if *peers != "" {
+		log.Fatalf("mmserver: -peers requires -node-id")
+	}
+	if err := run(*addr, *data, *seed, *sync, *debugAddr, opts, cl); err != nil {
 		log.Fatalf("mmserver: %v", err)
 	}
 }
 
-func run(addr, data string, seed int, syncMode, debugAddr string, opts server.Options) error {
+// clusterConfig is the parsed cluster flag set; a zero id means
+// standalone.
+type clusterConfig struct {
+	id      string
+	peers   map[string]string
+	forward bool
+}
+
+// parsePeers parses "id=addr,id=addr".
+func parsePeers(s string) (map[string]string, error) {
+	peers := make(map[string]string)
+	if s == "" {
+		return peers, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		id, addr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want id=addr)", part)
+		}
+		if _, dup := peers[id]; dup {
+			return nil, fmt.Errorf("duplicate peer id %q in -peers", id)
+		}
+		peers[id] = addr
+	}
+	return peers, nil
+}
+
+func run(addr, data string, seed int, syncMode, debugAddr string, opts server.Options, cl clusterConfig) error {
 	var mode store.SyncMode
 	switch syncMode {
 	case "always":
@@ -116,15 +165,35 @@ func run(addr, data string, seed int, syncMode, debugAddr string, opts server.Op
 		}
 	}
 
-	srv, err := server.NewWith(m, opts)
-	if err != nil {
-		return err
+	var srv *server.Server
+	var node *cluster.Node
+	if cl.id != "" {
+		node, err = cluster.New(m, opts, cluster.Config{
+			ID:      cl.id,
+			Addr:    addr,
+			Peers:   cl.peers,
+			Forward: cl.forward,
+		})
+		if err != nil {
+			return err
+		}
+		srv = node.Server()
+	} else {
+		srv, err = server.NewWith(m, opts)
+		if err != nil {
+			return err
+		}
 	}
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	log.Printf("interaction server listening on %s (data: %s)", l.Addr(), data)
+	if node != nil {
+		log.Printf("cluster node %s listening on %s (peers: %d, forward: %v, data: %s)",
+			cl.id, l.Addr(), len(cl.peers), cl.forward, data)
+	} else {
+		log.Printf("interaction server listening on %s (data: %s)", l.Addr(), data)
+	}
 
 	if debugAddr != "" {
 		dl, err := net.Listen("tcp", debugAddr)
@@ -151,11 +220,20 @@ func run(addr, data string, seed int, syncMode, debugAddr string, opts server.Op
 		return err
 	case <-ctx.Done():
 		stop() // a second signal kills immediately
-		log.Printf("signal received: draining (announcing shutdown to rooms, 10s budget)")
 		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		if err := srv.Shutdown(sctx); err != nil {
-			return fmt.Errorf("shutdown: %w", err)
+		if node != nil {
+			// Cluster drain: rooms hand off to their post-drain owners
+			// first, so members reconnect and resume elsewhere.
+			log.Printf("signal received: draining (handing rooms off to peers, 10s budget)")
+			if err := node.Drain(sctx); err != nil {
+				return fmt.Errorf("drain: %w", err)
+			}
+		} else {
+			log.Printf("signal received: draining (announcing shutdown to rooms, 10s budget)")
+			if err := srv.Shutdown(sctx); err != nil {
+				return fmt.Errorf("shutdown: %w", err)
+			}
 		}
 		return <-errCh // Serve returns once its listener closed
 	}

@@ -9,7 +9,7 @@ import (
 )
 
 func TestRunRejectsBadSyncMode(t *testing.T) {
-	if err := run("127.0.0.1:0", t.TempDir(), 0, "sometimes", "", server.Options{}); err == nil {
+	if err := run("127.0.0.1:0", t.TempDir(), 0, "sometimes", "", server.Options{}, clusterConfig{}); err == nil {
 		t.Fatal("bad sync mode accepted")
 	}
 }
@@ -17,7 +17,7 @@ func TestRunRejectsBadSyncMode(t *testing.T) {
 func TestRunRejectsBadDebugAddr(t *testing.T) {
 	// The main listener binds fine; the debug listener's bad address must
 	// fail the run before serving starts.
-	if err := run("127.0.0.1:0", t.TempDir(), 0, "never", "999.999.999.999:99999", server.Options{}); err == nil {
+	if err := run("127.0.0.1:0", t.TempDir(), 0, "never", "999.999.999.999:99999", server.Options{}, clusterConfig{}); err == nil {
 		t.Fatal("bad debug address accepted")
 	}
 }
@@ -25,7 +25,7 @@ func TestRunRejectsBadDebugAddr(t *testing.T) {
 func TestRunRejectsBadOptions(t *testing.T) {
 	// Flag values flow into server.Options; nonsense must fail run with
 	// the validation error, not start a misconfigured server.
-	if err := run("127.0.0.1:0", t.TempDir(), 0, "never", "", server.Options{PerPeerRate: -1}); err == nil {
+	if err := run("127.0.0.1:0", t.TempDir(), 0, "never", "", server.Options{PerPeerRate: -1}, clusterConfig{}); err == nil {
 		t.Fatal("negative per-peer rate accepted")
 	}
 }
@@ -34,7 +34,7 @@ func TestRunPopulatesEmptyDatabase(t *testing.T) {
 	dir := t.TempDir()
 	// An unlistenable address makes run return right after the populate
 	// phase, leaving the seeded database behind for inspection.
-	err := run("999.999.999.999:99999", dir, 2, "never", "", server.Options{})
+	err := run("999.999.999.999:99999", dir, 2, "never", "", server.Options{}, clusterConfig{})
 	if err == nil {
 		t.Fatal("invalid listen address accepted")
 	}
@@ -53,7 +53,7 @@ func TestRunPopulatesEmptyDatabase(t *testing.T) {
 	}
 	// A second run against the same data dir must not duplicate records
 	// (it only seeds when empty).
-	if err := run("999.999.999.999:99999", dir, 2, "never", "", server.Options{}); err == nil {
+	if err := run("999.999.999.999:99999", dir, 2, "never", "", server.Options{}, clusterConfig{}); err == nil {
 		t.Fatal("invalid listen address accepted on rerun")
 	}
 	db2, err := store.Open(dir, store.Options{Sync: store.SyncNever})
@@ -68,5 +68,29 @@ func TestRunPopulatesEmptyDatabase(t *testing.T) {
 	ids2, _, err := m2.ListDocuments()
 	if err != nil || len(ids2) != 2 {
 		t.Fatalf("documents after rerun = %v, %v; want 2 (no reseeding)", ids2, err)
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	peers, err := parsePeers("n2=host2:7070, n3=host3:7070")
+	if err != nil || len(peers) != 2 || peers["n2"] != "host2:7070" || peers["n3"] != "host3:7070" {
+		t.Fatalf("parsePeers = %v, %v", peers, err)
+	}
+	for _, bad := range []string{"n2", "n2=", "=addr", "n2=a,n2=b"} {
+		if _, err := parsePeers(bad); err == nil {
+			t.Errorf("parsePeers(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunClusterNode(t *testing.T) {
+	// A single-node "cluster" (no peers) must come up through the cluster
+	// construction path; a bad sync mode must still fail first.
+	cl := clusterConfig{id: "n1", peers: map[string]string{}}
+	if err := run("127.0.0.1:0", t.TempDir(), 0, "sometimes", "", server.Options{}, cl); err == nil {
+		t.Fatal("bad sync mode accepted on cluster path")
+	}
+	if err := run("999.999.999.999:99999", t.TempDir(), 0, "never", "", server.Options{}, cl); err == nil {
+		t.Fatal("invalid listen address accepted on cluster path")
 	}
 }

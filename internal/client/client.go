@@ -58,7 +58,14 @@ type Client struct {
 	closeCh   chan struct{}
 	closeOnce sync.Once
 
+	// resolver is the cluster-endpoint picker (nil outside
+	// NewOverResolver); migrateMu serializes redirect-following
+	// connection migrations.
+	resolver  *resolver
+	migrateMu sync.Mutex
+
 	attempts, successes, failures, gaveUp atomic.Uint64
+	redirectsFollowed                     atomic.Uint64
 }
 
 // eventQueueSize bounds the locally buffered pushed events.

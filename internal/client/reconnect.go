@@ -139,6 +139,9 @@ type ReconnectStats struct {
 	// GaveUp counts outages that exhausted MaxAttempts and closed the
 	// client.
 	GaveUp uint64
+	// Redirects counts cluster redirects followed: connection
+	// migrations to a room's owning node (resolver clients only).
+	Redirects uint64
 }
 
 // ReconnectStats reports the client's cumulative redial counters.
@@ -148,21 +151,34 @@ func (c *Client) ReconnectStats() ReconnectStats {
 		Successes: c.successes.Load(),
 		Failures:  c.failures.Load(),
 		GaveUp:    c.gaveUp.Load(),
+		Redirects: c.redirectsFollowed.Load(),
 	}
 }
 
 // call is the single RPC entry point for every client method: it fails
 // fast while the connection is down, maps transport death to the typed
-// reconnect errors, and (with Options.RetryOverloaded) backs off per
-// the server's retry-after hint when a request is shed by admission
-// control, then retries.
+// reconnect errors, follows cluster redirects by migrating the
+// connection to the owning node, and (with Options.RetryOverloaded)
+// backs off per the server's retry-after hint when a request is shed
+// by admission control, then retries.
 func (c *Client) call(ctx context.Context, method string, req, resp any) error {
-	for retried := 0; ; retried++ {
+	hops := 0
+	for retried := 0; ; {
+		c.mu.Lock()
+		gen := c.gen
+		c.mu.Unlock()
 		err := c.callOnce(ctx, method, req, resp)
+		if err == nil {
+			return nil
+		}
+		if c.handleRouting(ctx, gen, err, &hops) {
+			continue
+		}
 		var oe *wire.OverloadError
-		if err == nil || !errors.As(err, &oe) || retried >= c.opts.RetryOverloaded {
+		if !errors.As(err, &oe) || retried >= c.opts.RetryOverloaded {
 			return err
 		}
+		retried++
 		if werr := c.waitRetry(ctx, oe.RetryAfter); werr != nil {
 			return fmt.Errorf("client: call %s: %w (while backing off from %v)", method, werr, err)
 		}
@@ -337,15 +353,32 @@ func (c *Client) resumeSessions(rpc *wire.Client, sessions []*Session) error {
 			Resume: true, SinceSeq: since,
 		}, &resp)
 		cancel()
+		var re *wire.RedirectError
 		switch {
 		case err == nil:
 			s.finishResume(&resp)
 		case errors.Is(err, wire.ErrClosed), errors.Is(err, context.DeadlineExceeded):
+			// With a resolver, a resume that timed out silently is a
+			// black-holed endpoint (partitioned node): rotate so the next
+			// attempt tries somewhere else instead of pinning the loop.
+			if c.resolver != nil && errors.Is(err, context.DeadlineExceeded) {
+				c.resolver.rotate()
+			}
 			return err
 		case errors.Is(err, wire.ErrOverloaded):
 			// The server shed the resume: the session is still parked
 			// server-side; retry the whole attempt after the hint rather
 			// than marking this session out of sync.
+			return err
+		case errors.As(err, &re) && c.resolver != nil:
+			// This node no longer owns the session's room: point the
+			// resolver at the owner and retry the whole attempt there.
+			c.resolver.prefer(re.Addr)
+			return err
+		case errors.Is(err, wire.ErrUnavailable) && c.resolver != nil:
+			// The node cannot serve safely (minority side of a partition,
+			// draining): rotate to the next endpoint and retry.
+			c.resolver.rotate()
 			return err
 		default:
 			// The server refused (room gone and not recreatable, doc

@@ -1,0 +1,134 @@
+// Package cluster turns N mmconf server processes into one
+// room-sharded conferencing service: every room name hashes to an
+// owning node (rendezvous hashing over the live member set), a routing
+// tier answers requests that land on the wrong node with a redirect or
+// a transparent forward to the owner, room event logs replicate to the
+// room's natural failover standby, and ownership hands off on drain or
+// crash so detached clients resume — exactly once — on the new owner.
+//
+// The package is built cluster-first as an in-process harness over
+// netsim (see Harness): nodes are real servers on real listeners, but
+// every link runs through a fault controller, so partitions, crashes
+// and latency are injected deterministically under `go test -race`.
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Placement maps room names onto a set of node ids with rendezvous
+// (highest-random-weight) hashing: for a room, every node's
+// (node, room) pair is hashed and nodes are ranked by descending
+// weight. The rank-1 node owns the room; the rank-2 node is the
+// natural failover standby — when the owner leaves the set, exactly
+// its rooms move, each to its own standby, and nothing else shifts.
+// A Placement is immutable once built; derive a new one per membership
+// change.
+type Placement struct {
+	nodes []string
+}
+
+// NewPlacement builds a placement over the given node ids (order
+// irrelevant, duplicates ignored). An empty set is legal — Owner
+// returns "" and Rank returns nil.
+func NewPlacement(nodes []string) *Placement {
+	seen := make(map[string]struct{}, len(nodes))
+	uniq := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		if _, dup := seen[n]; dup || n == "" {
+			continue
+		}
+		seen[n] = struct{}{}
+		uniq = append(uniq, n)
+	}
+	sort.Strings(uniq) // deterministic iteration; weights decide placement
+	return &Placement{nodes: uniq}
+}
+
+// Nodes returns the member ids the placement ranks over (sorted).
+func (p *Placement) Nodes() []string { return append([]string(nil), p.nodes...) }
+
+// Len reports the number of member nodes.
+func (p *Placement) Len() int { return len(p.nodes) }
+
+// Has reports whether node is a member.
+func (p *Placement) Has(node string) bool {
+	for _, n := range p.nodes {
+		if n == node {
+			return true
+		}
+	}
+	return false
+}
+
+// weight scores one (node, room) pair: FNV-1a over node‖0x00‖room,
+// finished with the splitmix64 mixer. The finalizer matters — raw
+// FNV-1a is multiplicative enough that one node's weights dominate
+// another's across most rooms (similar room names barely avalanche),
+// which wrecks both balance and minimal movement; the mixer restores
+// per-pair independence, so 3 nodes × 1k rooms balance within a few
+// percent (the property test pins 10%).
+func weight(node, room string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(node))
+	h.Write([]byte{0})
+	h.Write([]byte(room))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Owner returns the node owning room — the highest-weight member ("" on
+// an empty placement). Every node computes the same answer from the
+// same member set; no coordination, no stored map.
+func (p *Placement) Owner(room string) string {
+	var best string
+	var bw uint64
+	for _, n := range p.nodes {
+		if w := weight(n, room); best == "" || w > bw || (w == bw && n < best) {
+			best, bw = n, w
+		}
+	}
+	return best
+}
+
+// Rank returns every member ordered by descending preference for room:
+// Rank(room)[0] is the owner, Rank(room)[1] the failover standby. Ties
+// break by node id so the order is total and identical on every node.
+func (p *Placement) Rank(room string) []string {
+	type scored struct {
+		node string
+		w    uint64
+	}
+	ss := make([]scored, len(p.nodes))
+	for i, n := range p.nodes {
+		ss[i] = scored{node: n, w: weight(n, room)}
+	}
+	sort.Slice(ss, func(i, j int) bool {
+		if ss[i].w != ss[j].w {
+			return ss[i].w > ss[j].w
+		}
+		return ss[i].node < ss[j].node
+	})
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s.node
+	}
+	return out
+}
+
+// Standby returns the rank-2 node for room ("" with fewer than two
+// members) — the node event-log replication streams to, and the owner
+// every client lands on after the rank-1 node dies.
+func (p *Placement) Standby(room string) string {
+	r := p.Rank(room)
+	if len(r) < 2 {
+		return ""
+	}
+	return r[1]
+}

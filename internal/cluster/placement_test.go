@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roomNames(n int) []string {
+	rooms := make([]string, n)
+	for i := range rooms {
+		rooms[i] = fmt.Sprintf("room-%04d", i)
+	}
+	return rooms
+}
+
+// TestPlacementBalance pins the satellite acceptance number: 3 nodes ×
+// 1k rooms balance within 10% of the ideal share.
+func TestPlacementBalance(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3"}
+	p := NewPlacement(nodes)
+	counts := make(map[string]int)
+	const nRooms = 1000
+	for _, r := range roomNames(nRooms) {
+		counts[p.Owner(r)]++
+	}
+	ideal := float64(nRooms) / float64(len(nodes))
+	for _, n := range nodes {
+		got := float64(counts[n])
+		if dev := (got - ideal) / ideal; dev > 0.10 || dev < -0.10 {
+			t.Errorf("node %s owns %d rooms: %+.1f%% from ideal %.0f (want within 10%%)",
+				n, counts[n], dev*100, ideal)
+		}
+	}
+	t.Logf("ownership: %v (ideal %.0f)", counts, ideal)
+}
+
+// TestPlacementStability pins minimal movement: when a node joins, the
+// only rooms that move are those the new node now owns; when a node
+// leaves, only that node's rooms move — and each lands on what was its
+// rank-2 standby.
+func TestPlacementStability(t *testing.T) {
+	rooms := roomNames(1000)
+	three := NewPlacement([]string{"n1", "n2", "n3"})
+	four := NewPlacement([]string{"n1", "n2", "n3", "n4"})
+
+	// Join: a room may change owner only by moving TO the joiner.
+	moved := 0
+	for _, r := range rooms {
+		before, after := three.Owner(r), four.Owner(r)
+		if before != after {
+			if after != "n4" {
+				t.Fatalf("room %s moved %s → %s on n4's join (only moves to n4 are minimal)", r, before, after)
+			}
+			moved++
+		}
+	}
+	// The joiner should take about a quarter of the rooms — not none,
+	// not a reshuffle.
+	if moved < 150 || moved > 350 {
+		t.Errorf("n4 join moved %d/1000 rooms; want ≈250 (minimal, balanced movement)", moved)
+	}
+
+	// Leave: only n3's rooms move, each to its previous standby.
+	two := NewPlacement([]string{"n1", "n2"})
+	for _, r := range rooms {
+		before, after := three.Owner(r), two.Owner(r)
+		if before != "n3" {
+			if before != after {
+				t.Fatalf("room %s moved %s → %s though n3 (its non-owner) left", r, before, after)
+			}
+			continue
+		}
+		if want := three.Standby(r); after != want {
+			t.Fatalf("room %s owned by departed n3 landed on %s; want its standby %s", r, after, want)
+		}
+	}
+}
+
+// TestPlacementProperties quick-checks the structural invariants on
+// arbitrary member sets and room names: determinism, membership of the
+// result, rank totality, and owner == rank[0].
+func TestPlacementProperties(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 500,
+		Rand:     rand.New(rand.NewSource(1)),
+	}
+	prop := func(nodeSeeds []uint8, room string) bool {
+		nodes := make([]string, 0, len(nodeSeeds))
+		for _, s := range nodeSeeds {
+			nodes = append(nodes, fmt.Sprintf("node-%d", s%8))
+		}
+		p := NewPlacement(nodes)
+		rank := p.Rank(room)
+		if len(rank) != p.Len() {
+			return false
+		}
+		seen := make(map[string]struct{}, len(rank))
+		for _, n := range rank {
+			if !p.Has(n) {
+				return false
+			}
+			if _, dup := seen[n]; dup {
+				return false
+			}
+			seen[n] = struct{}{}
+		}
+		owner := p.Owner(room)
+		if p.Len() == 0 {
+			return owner == ""
+		}
+		if owner != rank[0] {
+			return false
+		}
+		// Deterministic under re-construction with shuffled input order.
+		shuffled := append([]string(nil), nodes...)
+		for i := len(shuffled) - 1; i > 0; i-- {
+			j := int(weight(room, shuffled[i]) % uint64(i+1))
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		}
+		return NewPlacement(shuffled).Owner(room) == owner
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPlacementChurnConvergence walks a seeded random membership churn
+// sequence and checks that any two placements built from the same live
+// set agree on every room — the property split-brain rejection rests
+// on once a partition heals.
+func TestPlacementChurnConvergence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	all := []string{"n1", "n2", "n3", "n4", "n5"}
+	rooms := roomNames(100)
+	for step := 0; step < 50; step++ {
+		live := make([]string, 0, len(all))
+		for _, n := range all {
+			if rng.Intn(4) > 0 { // each node up with p=0.75
+				live = append(live, n)
+			}
+		}
+		a := NewPlacement(live)
+		// Same set presented in reverse and with duplicates.
+		rev := make([]string, 0, 2*len(live))
+		for i := len(live) - 1; i >= 0; i-- {
+			rev = append(rev, live[i], live[i])
+		}
+		b := NewPlacement(rev)
+		for _, r := range rooms {
+			if a.Owner(r) != b.Owner(r) || a.Standby(r) != b.Standby(r) {
+				t.Fatalf("step %d: placements over the same live set %v disagree on %s", step, live, r)
+			}
+		}
+	}
+}

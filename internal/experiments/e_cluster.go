@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"mmconf/internal/client"
+	"mmconf/internal/cluster"
+	"mmconf/internal/obs"
+)
+
+// E16Cluster measures what the routing tier's transparent forwarding
+// costs: the same chat round-trip driven against the room's owning node
+// directly, then through a non-owner relay (Forward mode), on a 2-node
+// in-process cluster. Client links carry injected netsim latency (the
+// WAN the client crosses either way); node links run at in-process
+// speed (the machine-room interconnect). The claim worth guarding: a
+// relayed request costs at most 2× the direct-serve P50 — the price of
+// not moving the client's connection.
+func E16Cluster(workdir string) (*Table, error) {
+	t := &Table{
+		ID:      "E16",
+		Title:   "Cross-node forward overhead vs direct serve (routing tier)",
+		Columns: []string{"path", "chats", "mean", "P50", "P90", "P99"},
+	}
+	h, err := cluster.NewHarness(cluster.HarnessOptions{
+		Nodes:   2,
+		Dir:     filepath.Join(workdir, "e16"),
+		Seed:    16,
+		Forward: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer h.Close()
+	if err := h.WaitConverged(5 * time.Second); err != nil {
+		return nil, err
+	}
+	// Every client read/write pays a half-millisecond each way — the
+	// links whose cost forwarding cannot avoid.
+	h.ClientFaults.SetLatency(500 * time.Microsecond)
+
+	owner, relay := h.Nodes[0], h.Nodes[1]
+	roomName := h.RoomOwnedBy(owner.ID, "case")
+
+	const warmup, measured = 20, 200
+	measure := func(addr, user string) (obs.HistogramSnapshot, error) {
+		c, err := client.NewOverResolver(h.ClientFaults.DialContext, []string{addr}, user, client.Options{
+			ConnectTimeout: 5 * time.Second,
+			CallTimeout:    10 * time.Second,
+		})
+		if err != nil {
+			return obs.HistogramSnapshot{}, err
+		}
+		defer c.Close()
+		s, _, err := c.Join(roomName, "p1", 0)
+		if err != nil {
+			return obs.HistogramSnapshot{}, err
+		}
+		defer s.Leave()
+		hist := obs.NewHistogram()
+		for i := 0; i < warmup+measured; i++ {
+			start := time.Now()
+			if err := s.Chat(fmt.Sprintf("%s-%d", user, i)); err != nil {
+				return obs.HistogramSnapshot{}, err
+			}
+			if i >= warmup {
+				hist.Observe(time.Since(start))
+			}
+		}
+		return hist.Snapshot(), nil
+	}
+
+	direct, err := measure(owner.Addr, "direct")
+	if err != nil {
+		return nil, fmt.Errorf("direct serve: %w", err)
+	}
+	forwarded, err := measure(relay.Addr, "forwarded")
+	if err != nil {
+		return nil, fmt.Errorf("forwarded serve: %w", err)
+	}
+	for _, r := range []struct {
+		name string
+		s    obs.HistogramSnapshot
+	}{{"direct (owner)", direct}, {"forwarded (relay)", forwarded}} {
+		t.Rows = append(t.Rows, []string{
+			r.name, fmt.Sprint(r.s.Count), fmtDur(r.s.Mean()),
+			fmtDur(r.s.Quantile(0.50)), fmtDur(r.s.Quantile(0.90)), fmtDur(r.s.Quantile(0.99)),
+		})
+	}
+	ratio := float64(forwarded.Quantile(0.50)) / float64(direct.Quantile(0.50))
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("forward/direct P50 ratio = %.2fx (budget <= 2x); relay forwarded %d requests",
+			ratio, relay.Node.Metrics().Forwards),
+		"client links carry 0.5ms injected latency each way; node links are in-process")
+	return t, nil
+}

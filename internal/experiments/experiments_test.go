@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -281,5 +282,31 @@ func TestE15Smoke(t *testing.T) {
 	}
 	if tb.Rows[4][3] != tb.Rows[5][3] {
 		t.Errorf("lan modes diverged: %v vs %v", tb.Rows[4], tb.Rows[5])
+	}
+}
+
+// E16's claim worth guarding: serving a room through a forwarding
+// non-owner node costs at most 2x the direct-serve P50 — the routing
+// tier's relay must stay cheap next to the client's own link latency.
+func TestE16Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tb, err := E16Cluster(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d:\n%s", len(tb.Rows), tb)
+	}
+	var ratio float64
+	if len(tb.Notes) == 0 {
+		t.Fatalf("no notes:\n%s", tb)
+	}
+	if _, err := fmt.Sscanf(tb.Notes[0], "forward/direct P50 ratio = %fx", &ratio); err != nil {
+		t.Fatalf("cannot parse ratio from note %q: %v", tb.Notes[0], err)
+	}
+	if ratio <= 0 || ratio > 2.0 {
+		t.Errorf("forward/direct P50 ratio = %.2fx, want (0, 2.0]:\n%s", ratio, tb)
 	}
 }

@@ -153,36 +153,67 @@ func (f *Faults) Wrap(conn net.Conn) *FaultyConn {
 // shaped for client.DialFunc.
 func (f *Faults) Dialer(addr string) func(ctx context.Context) (net.Conn, error) {
 	return func(ctx context.Context) (net.Conn, error) {
-		f.dials.Add(1)
-		f.mu.Lock()
-		if f.failDials != 0 {
-			if f.failDials > 0 {
-				f.failDials--
-			}
-			f.mu.Unlock()
-			f.dialFails.Add(1)
-			return nil, errInjected{op: "dial failure"}
-		}
-		healed := f.healed
-		parted := f.parted
-		f.mu.Unlock()
-		if parted {
-			// A partitioned dial black-holes: block until heal or deadline.
-			select {
-			case <-healed:
-			case <-ctx.Done():
-				f.dialFails.Add(1)
-				return nil, fmt.Errorf("netsim: dial %s: %w", addr, ctx.Err())
-			}
-		}
-		var d net.Dialer
-		conn, err := d.DialContext(ctx, "tcp", addr)
-		if err != nil {
-			f.dialFails.Add(1)
-			return nil, err
-		}
-		return f.Wrap(conn), nil
+		return f.DialContext(ctx, addr)
 	}
+}
+
+// DialContext is the address-parametric form of Dialer: one controller
+// serves dials to any number of endpoints (the shape a cluster resolver
+// needs — per-node addresses, one fault domain). It honors FailDials
+// budgets, blocks during partitions, and tracks the resulting
+// connection for KillAll/CutAfter injection. It is shaped for
+// client.AddrDialFunc.
+func (f *Faults) DialContext(ctx context.Context, addr string) (net.Conn, error) {
+	f.dials.Add(1)
+	f.mu.Lock()
+	if f.failDials != 0 {
+		if f.failDials > 0 {
+			f.failDials--
+		}
+		f.mu.Unlock()
+		f.dialFails.Add(1)
+		return nil, errInjected{op: "dial failure"}
+	}
+	healed := f.healed
+	parted := f.parted
+	f.mu.Unlock()
+	if parted {
+		// A partitioned dial black-holes: block until heal or deadline.
+		select {
+		case <-healed:
+		case <-ctx.Done():
+			f.dialFails.Add(1)
+			return nil, fmt.Errorf("netsim: dial %s: %w", addr, ctx.Err())
+		}
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		f.dialFails.Add(1)
+		return nil, err
+	}
+	return f.Wrap(conn), nil
+}
+
+// Listener wraps a net.Listener so every accepted connection is tracked
+// under the controller — the server-side half of a fault domain: wrap a
+// node's listener and the node's entire incident traffic (inbound and,
+// via DialContext, outbound) partitions, degrades and dies together.
+func (f *Faults) Listener(l net.Listener) net.Listener {
+	return &faultyListener{Listener: l, f: f}
+}
+
+type faultyListener struct {
+	net.Listener
+	f *Faults
+}
+
+func (fl *faultyListener) Accept() (net.Conn, error) {
+	conn, err := fl.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return fl.f.Wrap(conn), nil
 }
 
 // FaultyConn is a net.Conn whose traffic is subject to a Faults

@@ -1,0 +1,90 @@
+package proto
+
+import (
+	"testing"
+
+	"mmconf/internal/room"
+	"mmconf/internal/wire"
+)
+
+// FuzzRouteFrame throws arbitrary payload bytes at the cluster-plane
+// body codecs (node hello/ping, forwarded ingress, event-log
+// replication) and the routing error parsers. Decoders must never
+// panic, whatever lengths or truncations arrive; any accepted body must
+// re-encode and re-decode identically (the codec is its own inverse);
+// any accepted routing error string must round-trip through Error().
+func FuzzRouteFrame(f *testing.F) {
+	seeds := []wire.BodyEncoder{
+		&NodeHelloReq{Node: "n1", Addr: "127.0.0.1:7070", Epoch: 3},
+		&NodeHelloResp{Node: "n2", Epoch: 7},
+		&NodePingReq{Node: "n1", Epoch: 3, Draining: true},
+		&NodePingResp{Node: "n2", Epoch: 7, Live: []string{"n1", "n2", "n3"}},
+		&NodeIngressReq{Node: "n1", PeerID: 42},
+		&NodeIngressResp{Node: "n2"},
+		&ReplicateReq{
+			Room: "tumor-board", DocID: "patient-001", Seq: 19, Trimmed: 2,
+			Events: []room.Event{
+				{Seq: 18, Room: "tumor-board", Actor: "alice", Kind: room.EvChat, Text: "hello"},
+				{Seq: 19, Room: "tumor-board", Actor: "bob", Kind: room.EvChoice, Variable: "modality", Value: "xray"},
+			},
+		},
+		&ReplicateResp{Seq: 19},
+	}
+	for _, b := range seeds {
+		data := wire.MarshalBody(b)
+		f.Add(data)
+		// Truncation at every prefix: each must be rejected cleanly.
+		for i := 0; i < len(data); i++ {
+			f.Add(data[:i])
+		}
+	}
+	// Hostile lengths: uvarints claiming payloads far beyond the input.
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F})
+	f.Add([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01})
+
+	fresh := []func() wire.BodyDecoder{
+		func() wire.BodyDecoder { return new(NodeHelloReq) },
+		func() wire.BodyDecoder { return new(NodeHelloResp) },
+		func() wire.BodyDecoder { return new(NodePingReq) },
+		func() wire.BodyDecoder { return new(NodePingResp) },
+		func() wire.BodyDecoder { return new(NodeIngressReq) },
+		func() wire.BodyDecoder { return new(NodeIngressResp) },
+		func() wire.BodyDecoder { return new(ReplicateReq) },
+		func() wire.BodyDecoder { return new(ReplicateResp) },
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, mk := range fresh {
+			v := mk()
+			if err := wire.DecodeBodyBytes(data, v); err != nil {
+				continue
+			}
+			enc, ok := v.(wire.BodyEncoder)
+			if !ok {
+				t.Fatalf("%T decodes but does not encode", v)
+			}
+			out := wire.MarshalBody(enc)
+			v2 := mk()
+			if err := wire.DecodeBodyBytes(out, v2); err != nil {
+				t.Fatalf("%T: accepted %d bytes but re-encoded form fails: %v", v, len(data), err)
+			}
+			if len(wire.MarshalBody(v2.(wire.BodyEncoder))) != len(out) {
+				t.Fatalf("%T: re-encode not a fixed point", v)
+			}
+		}
+		// The routing errors cross the wire as strings (twice, through a
+		// forwarding relay): parsing arbitrary strings must never panic,
+		// and an accepted parse must survive Error() → parse unchanged.
+		if re, ok := wire.ParseRedirect(string(data)); ok {
+			re2, ok2 := wire.ParseRedirect(re.Error())
+			if !ok2 || re2.Node != re.Node || re2.Addr != re.Addr {
+				t.Fatalf("redirect round trip: %#v vs %#v (ok=%v)", re, re2, ok2)
+			}
+		}
+		if ue, ok := wire.ParseUnavailable(string(data)); ok {
+			ue2, ok2 := wire.ParseUnavailable(ue.Error())
+			if !ok2 || ue2.Node != ue.Node || ue2.Reason != ue.Reason {
+				t.Fatalf("unavailable round trip: %#v vs %#v (ok=%v)", ue, ue2, ok2)
+			}
+		}
+	})
+}

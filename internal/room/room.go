@@ -259,6 +259,14 @@ type Room struct {
 	// instead of buffering unboundedly.
 	pushBudget int64
 
+	// replicator, when set, observes every buffered event (ev non-nil)
+	// and every sequence advance (ev nil for per-member presentation
+	// bumps that consume a Seq without entering the change buffer),
+	// carrying the room's current Seq high-water and trim marks. Called
+	// under r.mu — it must not block or call back into the room; a
+	// cluster node hands the event to an async replication queue here.
+	replicator func(ev *Event, seq, trimmed uint64)
+
 	// docVer counts shared document mutations; docSnap caches the
 	// document's serialized form at docSnapVer so joins stop
 	// re-marshaling an unchanged document.
@@ -646,6 +654,13 @@ func (r *Room) broadcastLocked(ev Event, reconfigure bool) {
 		}
 	}
 	r.fanOutLocked(ev)
+	defer func() {
+		// Tap after the reconfigure loop below so the replicated Seq
+		// high-water mark includes the per-member presentation bumps.
+		if r.replicator != nil {
+			r.replicator(&ev, r.seq, r.trimmed)
+		}
+	}()
 	if reconfigure {
 		views, err := r.engine.Views()
 		if err != nil {
@@ -767,6 +782,9 @@ func (r *Room) SetMemberEnvironment(name, variable, value string) (bool, error) 
 		Seq: r.seq, Room: r.Name, Actor: name, Kind: EvPresentation,
 		Outcome: v.Outcome, Visible: v.Visible,
 	})
+	if r.replicator != nil {
+		r.replicator(nil, r.seq, r.trimmed) // seq-only advance: nothing buffered
+	}
 	return true, nil
 }
 
@@ -1017,11 +1035,58 @@ func (r *Room) Chat(actor, text string) error {
 	return nil
 }
 
+// SetReplicator installs the event-log tap a cluster node replicates
+// from: fn observes every buffered event (ev non-nil) and every Seq
+// advance (ev nil) together with the room's current Seq high-water and
+// trim marks. fn runs under the room lock — it must be cheap, must not
+// block, and must not call back into the room.
+func (r *Room) SetReplicator(fn func(ev *Event, seq, trimmed uint64)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.replicator = fn
+}
+
+// Restore seeds a freshly built room with a replicated event log: the
+// change buffer, the Seq high-water mark, and the trim watermark a
+// failover standby accumulated from the old owner. Resume(since) on the
+// restored room then replays exactly the events the old owner would
+// have — the handover substrate of the cluster tier. It refuses on a
+// room that has already issued events or admitted members.
+func (r *Room) Restore(events []Event, seq, trimmed uint64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.seq != 0 || len(r.buf) != 0 || len(r.members) != 0 {
+		return fmt.Errorf("room %s: restore into a live room", r.Name)
+	}
+	for i, ev := range events {
+		if ev.Seq <= trimmed || ev.Seq > seq || (i > 0 && ev.Seq <= events[i-1].Seq) {
+			return fmt.Errorf("room %s: restore: event log not ascending within (%d, %d]", r.Name, trimmed, seq)
+		}
+	}
+	r.buf = append(r.buf[:0], events...)
+	if len(r.buf) > changeBufferSize {
+		cut := len(r.buf) - changeBufferSize
+		trimmed = r.buf[cut-1].Seq
+		r.buf = r.buf[cut:]
+	}
+	r.seq = seq
+	r.trimmed = trimmed
+	return nil
+}
+
 // Seq returns the latest issued event sequence number.
 func (r *Room) Seq() uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.seq
+}
+
+// Trimmed returns the highest Seq ever discarded from the change
+// buffer — the replay floor: a resume from at-or-after it is exact.
+func (r *Room) Trimmed() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.trimmed
 }
 
 // History returns buffered events with Seq greater than since.

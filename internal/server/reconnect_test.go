@@ -482,3 +482,84 @@ func BenchmarkE10ResumeVsRejoin(b *testing.B) {
 	b.Run("resume", func(b *testing.B) { bench(b, true) })
 	b.Run("rejoin", func(b *testing.B) { bench(b, false) })
 }
+
+// TestReconnectRotatesAcrossClusterEndpoints exercises the resolver
+// path the cluster depends on: a client configured with several node
+// endpoints — the first of them dead — must connect by rotating to a
+// live one, and when its connection dies mid-session the supervisor
+// must resume there, replaying missed events exactly once.
+func TestReconnectRotatesAcrossClusterEndpoints(t *testing.T) {
+	_, addr := testSystemWith(t, Options{SessionGrace: 5 * time.Second})
+	// A dead endpoint: bound once so the port is real, then closed.
+	deadL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := deadL.Addr().String()
+	deadL.Close()
+
+	faults := netsim.NewFaults()
+	alice, err := client.NewOverResolver(faults.DialContext, []string{deadAddr, addr}, "alice", fastRetry())
+	if err != nil {
+		t.Fatalf("connect through endpoint rotation: %v", err)
+	}
+	t.Cleanup(func() { alice.Close() })
+	sa, _, err := alice.Join("consult", "p1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := collect(alice)
+	bob := dial(t, addr, "bob")
+	sb, _, err := bob.Join("consult", "p1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.Chat("pre-drop"); err != nil {
+		t.Fatal(err)
+	}
+	col.waitFor(t, "pre-drop chat", func(evs []room.Event) bool {
+		for _, ev := range evs {
+			if ev.Kind == room.EvChat && ev.Text == "pre-drop" {
+				return true
+			}
+		}
+		return false
+	})
+
+	// Kill alice's transport; her redial rotation may land on the dead
+	// endpoint first but must come back around and resume.
+	faults.KillAll()
+	if err := sb.Chat("while-away"); err != nil {
+		t.Fatal(err)
+	}
+	col.waitFor(t, "replayed chat", func(evs []room.Event) bool {
+		for _, ev := range evs {
+			if ev.Kind == room.EvChat && ev.Text == "while-away" {
+				return true
+			}
+		}
+		return false
+	})
+	if alice.ReconnectStats().Successes == 0 {
+		t.Error("supervisor never reconnected")
+	}
+	var chats []string
+	var last uint64
+	for _, ev := range col.snapshot() {
+		if ev.Seq != 0 {
+			if ev.Seq <= last {
+				t.Fatalf("event seq went %d -> %d across endpoint rotation", last, ev.Seq)
+			}
+			last = ev.Seq
+		}
+		if ev.Kind == room.EvChat {
+			chats = append(chats, ev.Text)
+		}
+	}
+	if len(chats) != 2 || chats[0] != "pre-drop" || chats[1] != "while-away" {
+		t.Fatalf("chats = %v, want exactly [pre-drop while-away]", chats)
+	}
+	if err := sa.Chat("back"); err != nil {
+		t.Fatalf("chat after resume: %v", err)
+	}
+}

@@ -104,6 +104,40 @@ type Options struct {
 	// member's client buffer over its session (default 256 KiB; negative
 	// disables push-prefetch while keeping adaptive tuning).
 	PrefetchBudget int64
+	// NodeID names this server process in a room-sharded cluster (""
+	// — the default — runs standalone). The cluster tier sets it; the
+	// id appears in stats gauges and redirect errors.
+	NodeID string
+	// Intercept, when non-nil, is inserted into the dispatch chain
+	// between tracing and admission — the seam where the cluster
+	// routing tier decides served-here / redirect / forward before the
+	// request consumes an admission slot.
+	Intercept wire.Interceptor
+	// OnPeerClose, when non-nil, observes every disconnected peer after
+	// the server's own session eviction ran (the cluster tier tears
+	// down the peer's forwarding links here).
+	OnPeerClose func(*wire.Peer)
+	// RoomSeed, when non-nil, is consulted once per room construction:
+	// a node taking ownership after a failover restores the replicated
+	// event log (Seq high-water mark, trim watermark, buffered events)
+	// before the first member joins, so Resume replays exactly what the
+	// old owner would have.
+	RoomSeed func(roomName string) (RoomSnapshot, bool)
+	// RoomTap, when non-nil, observes every room event-log advance —
+	// the replication source. Called under the room lock: it must be
+	// cheap, must not block, and must not call back into the server.
+	RoomTap func(roomName, docID string, ev *room.Event, seq, trimmed uint64)
+}
+
+// RoomSnapshot is one room's replicable event-log state: what a
+// standby accumulates from ReplicateReq streams and what SnapshotRooms
+// exports on drain.
+type RoomSnapshot struct {
+	Room    string
+	DocID   string
+	Seq     uint64
+	Trimmed uint64
+	Events  []room.Event
 }
 
 // Server is the interaction server.
@@ -128,6 +162,11 @@ type Server struct {
 	// per-member throughput drives the CP-net tuning level and spends
 	// idle push budget on prefetch pushes.
 	qos *qosController
+	// Cluster-tier hooks (see the Options fields of the same names).
+	nodeID      string
+	onPeerClose func(*wire.Peer)
+	roomSeed    func(string) (RoomSnapshot, bool)
+	roomTap     func(string, string, *room.Event, uint64, uint64)
 }
 
 // roomState binds a live room to its document id.
@@ -264,13 +303,17 @@ func NewWith(db *mediadb.MediaDB, o Options) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		db:         db,
-		rpc:        wire.NewServer(),
-		reg:        newRegistry(o.RegistryShards),
-		stats:      wire.NewStats(),
-		tracer:     obs.NewRecorder(o.TraceRing, o.TraceThreshold),
-		grace:      o.SessionGrace,
-		pushBudget: o.MemberPushBudget,
+		db:          db,
+		rpc:         wire.NewServer(),
+		reg:         newRegistry(o.RegistryShards),
+		stats:       wire.NewStats(),
+		tracer:      obs.NewRecorder(o.TraceRing, o.TraceThreshold),
+		grace:       o.SessionGrace,
+		pushBudget:  o.MemberPushBudget,
+		nodeID:      o.NodeID,
+		onPeerClose: o.OnPeerClose,
+		roomSeed:    o.RoomSeed,
+		roomTap:     o.RoomTap,
 	}
 	s.objects = newObjectCache(o.CacheBytes, s.stats)
 	s.rpc.SetStats(s.stats) // peer writers count flushes/bytes here
@@ -285,10 +328,19 @@ func NewWith(db *mediadb.MediaDB, o Options) (*Server, error) {
 	// tracing (shed requests and queue waits show up as traces/spans)
 	// but outside the timeout, so time spent waiting for a slot never
 	// consumes the handler's own deadline.
-	s.rpc.Use(
+	ics := []wire.Interceptor{
 		wire.WithStats(s.stats),
 		wire.Recovery(),
 		wire.Tracing(s.tracer),
+	}
+	if o.Intercept != nil {
+		// The cluster routing tier sits inside tracing (redirects and
+		// forwards appear as traces) but outside admission: a request
+		// this node merely redirects or relays must not consume one of
+		// its execution slots.
+		ics = append(ics, o.Intercept)
+	}
+	ics = append(ics,
 		wire.Admission(wire.AdmissionConfig{
 			Limiter:      s.limiter,
 			QueueTimeout: o.QueueTimeout,
@@ -300,6 +352,7 @@ func NewWith(db *mediadb.MediaDB, o Options) (*Server, error) {
 		wire.Timeout(o.RequestTimeout, o.MethodTimeouts),
 		wire.SlowLog(o.SlowThreshold, o.Logf),
 	)
+	s.rpc.Use(ics...)
 	s.register()
 	s.rpc.OnPeerClose(s.evictPeer)
 	if o.QoSInterval > 0 {
@@ -339,12 +392,86 @@ var methodClasses = map[string]wire.Priority{
 	proto.MGetCmp:        wire.PriorityBulk,
 	proto.MPutImageTexts: wire.PriorityBulk,
 	proto.MSaveMinutes:   wire.PriorityBulk,
+
+	// Node-link plane: liveness and replication keep the cluster
+	// coherent and must survive overload like session control does.
+	proto.MNodeHello:     wire.PriorityControl,
+	proto.MNodePing:      wire.PriorityControl,
+	proto.MNodeIngress:   wire.PriorityControl,
+	proto.MNodeReplicate: wire.PriorityControl,
 }
 
 // Stats exposes the pipeline's per-method request counters plus the
 // push-path/cache named counters (see the Counter* constants in
 // cache.go and package wire's CounterWriter*).
 func (s *Server) Stats() *wire.Stats { return s.stats }
+
+// NodeID reports this server's cluster node id ("" standalone).
+func (s *Server) NodeID() string { return s.nodeID }
+
+// Register installs an additional RPC handler — the seam the cluster
+// tier uses to mount its node-link methods (hello/ping/ingress/
+// replicate) on the same dispatch pipeline as client traffic. Call
+// before Serve.
+func (s *Server) Register(method string, h wire.Handler) { s.rpc.Register(method, h) }
+
+// SnapshotRooms exports every live room's replicable event-log state —
+// the drain path's final flush: before shutting down, a draining node
+// pushes these snapshots to each room's standby so takeover loses
+// nothing.
+func (s *Server) SnapshotRooms() []RoomSnapshot {
+	var out []RoomSnapshot
+	s.reg.forEach(func(name string, rs *roomState) {
+		out = append(out, RoomSnapshot{
+			Room:    name,
+			DocID:   rs.docID,
+			Seq:     rs.room.Seq(),
+			Trimmed: rs.room.Trimmed(),
+			Events:  rs.room.History(0),
+		})
+	})
+	return out
+}
+
+// Rooms lists the names of every live room — the cluster tier's cheap
+// reconciliation view (no event logs are copied).
+func (s *Server) Rooms() []string {
+	var out []string
+	s.reg.forEach(func(name string, rs *roomState) { out = append(out, name) })
+	return out
+}
+
+// SnapshotRoom exports one live room's replicable event-log state.
+func (s *Server) SnapshotRoom(name string) (RoomSnapshot, bool) {
+	rs, ok := s.reg.get(name)
+	if !ok {
+		return RoomSnapshot{}, false
+	}
+	return RoomSnapshot{
+		Room:    name,
+		DocID:   rs.docID,
+		Seq:     rs.room.Seq(),
+		Trimmed: rs.room.Trimmed(),
+		Events:  rs.room.History(0),
+	}, true
+}
+
+// DropRoom closes the named room and removes it from the registry —
+// the cluster tier's ownership-loss eviction: when placement moves a
+// room to another node, the old owner drops its live copy so a stale
+// room can never shadow the new owner's (the next local build starts
+// from the replicated log instead). Members' event channels close;
+// callers are expected to also disconnect the affected peers so their
+// clients reconnect and land on the new owner.
+func (s *Server) DropRoom(name string) bool {
+	rs, ok := s.reg.get(name)
+	if !ok {
+		return false
+	}
+	s.reg.remove(name)
+	rs.room.Close()
+	return true
+}
 
 // Tracer exposes the slow/errored request trace ring (the sys.traces
 // RPC and the -debug-addr trace endpoint read it).
@@ -591,6 +718,21 @@ func (s *Server) buildRoom(name, docID string) (*roomState, error) {
 	}
 	r.OnQueueDrop(func(string) { s.stats.Add(CounterQueueDrops, 1) })
 	r.SetGrace(s.grace)
+	// Cluster wiring: a room moving here after failover restores the
+	// replicated log before any member joins; the tap streams every
+	// subsequent advance back out to the room's standby.
+	if s.roomSeed != nil {
+		if snap, ok := s.roomSeed(name); ok {
+			if err := r.Restore(snap.Events, snap.Seq, snap.Trimmed); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if s.roomTap != nil {
+		r.SetReplicator(func(ev *room.Event, seq, trimmed uint64) {
+			s.roomTap(name, docID, ev, seq, trimmed)
+		})
+	}
 	// Safe to enable: the forwarder refunds every delivered event via
 	// member.Consumed.
 	r.SetPushBudget(s.pushBudget)
@@ -810,6 +952,9 @@ func (s *Server) evictPeer(p *wire.Peer) {
 				s.stats.Add(CounterSessionDetached, 1)
 			}
 		}
+	}
+	if s.onPeerClose != nil {
+		s.onPeerClose(p)
 	}
 }
 

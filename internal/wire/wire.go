@@ -884,6 +884,12 @@ func (s *Server) ServeConn(conn net.Conn) {
 				if err != nil {
 					resp.Err = err.Error()
 				} else if result != nil {
+					// A relay hands back pre-encoded bytes: pass them
+					// through with their encoding flag untouched.
+					if raw, isRaw := result.(RawResult); isRaw {
+						resp.Enc = raw.Enc
+						resp.Payload = raw.Payload
+					} else
 					// A v2 peer gets the binary codec when the body has
 					// one; everything else falls back to gob (inside a v2
 					// frame for v2 peers — enc byte EncGob).
@@ -1209,13 +1215,10 @@ func (c *Client) CallCtx(ctx context.Context, method string, args, reply any) er
 	}
 	if resp.Err != "" {
 		// Errors cross the wire as strings; re-type the ones callers
-		// dispatch on. Overload rejections come back as *OverloadError so
-		// errors.Is(err, ErrOverloaded) works and the retry-after hint
-		// survives the round trip.
-		if oe, ok := ParseOverload(resp.Err); ok {
-			return oe
-		}
-		return errors.New(resp.Err)
+		// dispatch on: overload rejections come back as *OverloadError
+		// (retry-after hint intact), routing redirects as *RedirectError
+		// (target node intact), quorum refusals as *UnavailableError.
+		return retypeError(resp.Err)
 	}
 	if reply != nil {
 		if resp.Enc == EncBinary {

@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync/atomic"
+)
+
+// This file threads multi-node clusters through the load drivers. A
+// single-server experiment points every client at one address; against
+// a room-sharded cluster the offered load has to spread across node
+// endpoints, and ops need somewhere to record which endpoint they ran
+// against. Endpoints is that seam — transport-level only (this package
+// cannot import the client: the client depends on workload via the
+// prefetcher), so client construction stays with the caller.
+
+// AddrDialFunc dials a specific address. It mirrors the client
+// package's AddrDialFunc (netsim's Faults.DialContext satisfies both).
+type AddrDialFunc func(ctx context.Context, addr string) (net.Conn, error)
+
+// Endpoints is a rotating view over a cluster's node addresses plus the
+// dialer that reaches them.
+type Endpoints struct {
+	Addrs []string
+	Dial  AddrDialFunc
+
+	next atomic.Uint64
+}
+
+// NewEndpoints builds an endpoint set; dial nil means plain TCP.
+func NewEndpoints(dial AddrDialFunc, addrs ...string) (*Endpoints, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("workload: endpoint set needs at least one address")
+	}
+	if dial == nil {
+		dial = func(ctx context.Context, addr string) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", addr)
+		}
+	}
+	return &Endpoints{Addrs: append([]string(nil), addrs...), Dial: dial}, nil
+}
+
+// Pick returns the next address in rotation — how a driver binds each
+// of its workers (or clients) to a node so offered load spreads evenly.
+func (e *Endpoints) Pick() string {
+	return e.Addrs[(e.next.Add(1)-1)%uint64(len(e.Addrs))]
+}
+
+// DialNext dials the next endpoint in rotation, trying each address at
+// most once before giving up — a load generator's connect path across a
+// cluster with some nodes down.
+func (e *Endpoints) DialNext(ctx context.Context) (net.Conn, string, error) {
+	var lastErr error
+	for range e.Addrs {
+		addr := e.Pick()
+		conn, err := e.Dial(ctx, addr)
+		if err == nil {
+			return conn, addr, nil
+		}
+		lastErr = err
+	}
+	return nil, "", fmt.Errorf("workload: no endpoint reachable: %w", lastErr)
+}
+
+// SpreadOp interleaves per-endpoint ops into one op for OpenLoop: each
+// arrival runs against the next endpoint in rotation, so an open-loop
+// run offers the same rate to every node of a cluster. mk is called
+// once per address up front (building a client pool, say); the returned
+// op dispatches by rotation.
+func (e *Endpoints) SpreadOp(mk func(addr string) Op) Op {
+	ops := make([]Op, len(e.Addrs))
+	for i, addr := range e.Addrs {
+		ops[i] = mk(addr)
+	}
+	var n atomic.Uint64
+	return func(ctx context.Context) error {
+		return ops[(n.Add(1)-1)%uint64(len(ops))](ctx)
+	}
+}

@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEndpointsPickRotates(t *testing.T) {
+	e, err := NewEndpoints(nil, "a:1", "b:2", "c:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := []string{e.Pick(), e.Pick(), e.Pick(), e.Pick()}
+	want := []string{"a:1", "b:2", "c:3", "a:1"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rotation = %v, want %v", got, want)
+		}
+	}
+	if _, err := NewEndpoints(nil); err == nil {
+		t.Fatal("empty endpoint set accepted")
+	}
+}
+
+func TestEndpointsDialNextSkipsDeadNodes(t *testing.T) {
+	live, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+	go func() {
+		for {
+			conn, err := live.Accept()
+			if err != nil {
+				return
+			}
+			conn.Close()
+		}
+	}()
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+
+	e, err := NewEndpoints(nil, deadAddr, live.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	conn, addr, err := e.DialNext(ctx)
+	if err != nil {
+		t.Fatalf("DialNext: %v", err)
+	}
+	conn.Close()
+	if addr != live.Addr().String() {
+		t.Fatalf("DialNext landed on %s, want the live node %s", addr, live.Addr().String())
+	}
+}
+
+// TestSpreadOpOffersLoadToEveryEndpoint drives an open loop through
+// SpreadOp and checks every endpoint's op took an even share of the
+// arrivals — the property a sharded cluster needs from a load driver.
+func TestSpreadOpOffersLoadToEveryEndpoint(t *testing.T) {
+	addrs := []string{"n1:1", "n2:2", "n3:3"}
+	e, err := NewEndpoints(nil, addrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	counts := make(map[string]int)
+	op := e.SpreadOp(func(addr string) Op {
+		return func(ctx context.Context) error {
+			mu.Lock()
+			counts[addr]++
+			mu.Unlock()
+			return nil
+		}
+	})
+	res := OpenLoop(context.Background(), op, OpenLoopOptions{
+		Rate:     2000,
+		Duration: 150 * time.Millisecond,
+	})
+	if res.Completed == 0 {
+		t.Fatal("open loop completed nothing")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, addr := range addrs {
+		share := float64(counts[addr]) / float64(res.Completed)
+		if share < 0.25 || share > 0.42 {
+			t.Errorf("endpoint %s took %.0f%% of arrivals, want ~33%%: %v", addr, share*100, counts)
+		}
+	}
+}
