@@ -1187,3 +1187,126 @@ func BenchmarkE15TuningExtension(b *testing.B) {
 		}
 	}
 }
+
+// --- E17: digest-driven replication ---
+
+// replBenchStores builds a sender holding nObjects multi-chunk objects
+// and an empty receiver, returning the sender's handles.
+func replBenchStores(b *testing.B, nObjects int) (src, dst *blob.Store, handles []blob.Handle) {
+	b.Helper()
+	var err error
+	src, err = blob.Open(b.TempDir(), blob.Options{CompactRatio: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { src.Close() })
+	dst, err = blob.Open(b.TempDir(), blob.Options{CompactRatio: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { dst.Close() })
+	payload := make([]byte, 256<<10)
+	for i := 0; i < nObjects; i++ {
+		benchPayload(payload, i)
+		h, err := src.Put(payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	return src, dst, handles
+}
+
+// replicateBlob runs the full digest protocol for one object: manifest
+// from the sender, diff on the receiver, chunk pulls for the missing
+// set, verified materialization.
+func replicateBlob(src, dst *blob.Store, h blob.Handle) error {
+	manifest, err := src.Manifest(h)
+	if err != nil {
+		return err
+	}
+	data := make(map[blob.Digest][]byte)
+	for _, cd := range dst.MissingChunks(manifest) {
+		chunk, err := src.GetChunk(cd)
+		if err != nil {
+			return err
+		}
+		data[cd] = chunk
+	}
+	_, err = dst.PutFromChunks(h.Digest, h.Length, manifest, data)
+	return err
+}
+
+// BenchmarkE17ManifestDiff isolates the receiver-side diff: one
+// MissingChunks pass over a 64-chunk manifest against a store holding
+// half of it.
+func BenchmarkE17ManifestDiff(b *testing.B) {
+	src, dst, _ := replBenchStores(b, 0)
+	payload := make([]byte, 32<<10)
+	var manifest []blob.Digest
+	for i := 0; i < 64; i++ {
+		benchPayload(payload, i)
+		h, err := src.Put(payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := src.Manifest(h)
+		if err != nil {
+			b.Fatal(err)
+		}
+		manifest = append(manifest, m...)
+		if i%2 == 0 {
+			if err := replicateBlob(src, dst, h); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if missing := dst.MissingChunks(manifest); len(missing) == 0 {
+			b.Fatal("diff found nothing missing")
+		}
+	}
+}
+
+// BenchmarkE17SyncDelta measures replicating a cold multi-chunk object
+// end to end — manifest, diff, chunk reads, digest-verified install —
+// then releasing it so every iteration transfers the full delta.
+func BenchmarkE17SyncDelta(b *testing.B) {
+	src, dst, handles := replBenchStores(b, 1)
+	h := handles[0]
+	b.SetBytes(int64(h.Length))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := replicateBlob(src, dst, h); err != nil {
+			b.Fatal(err)
+		}
+		if err := dst.Release(h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE17RepeatSync measures the protocol when the receiver
+// already converged: the diff comes back empty and the install dedups —
+// zero chunk bytes move, the steady-state heartbeat cost.
+func BenchmarkE17RepeatSync(b *testing.B) {
+	src, dst, handles := replBenchStores(b, 1)
+	h := handles[0]
+	if err := replicateBlob(src, dst, h); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(h.Length))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := replicateBlob(src, dst, h); err != nil {
+			b.Fatal(err)
+		}
+		if err := dst.Release(h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

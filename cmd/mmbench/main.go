@@ -70,6 +70,8 @@ func main() {
 			func(string) (*experiments.Table, error) { return experiments.E15QoS() }},
 		{"E16", "cluster routing: cross-node forward overhead vs direct serve",
 			experiments.E16Cluster},
+		{"E17", "digest-driven replication: chunk transfer vs full copy",
+			experiments.E17Replication},
 	}
 
 	if *list {

@@ -66,6 +66,10 @@ type Client struct {
 
 	attempts, successes, failures, gaveUp atomic.Uint64
 	redirectsFollowed                     atomic.Uint64
+
+	// digests is the digest-keyed media cache (nil unless
+	// Options.DigestCacheBytes is set).
+	digests *digestCache
 }
 
 // eventQueueSize bounds the locally buffered pushed events.
@@ -124,7 +128,7 @@ func NewOverConn(conn net.Conn, user string) (*Client, error) {
 }
 
 func newClient(user string, dial DialFunc, opts Options) *Client {
-	return &Client{
+	c := &Client{
 		user:     user,
 		dial:     dial,
 		opts:     opts,
@@ -132,6 +136,10 @@ func newClient(user string, dial DialFunc, opts Options) *Client {
 		events:   make(chan room.Event, eventQueueSize),
 		closeCh:  make(chan struct{}),
 	}
+	if opts.DigestCacheBytes > 0 {
+		c.digests = newDigestCache(opts.DigestCacheBytes)
+	}
+	return c
 }
 
 // attach installs rpc as the live connection: push handler, per-call
@@ -300,8 +308,8 @@ func (c *Client) GetDocumentCtx(ctx context.Context, docID string) (*document.Do
 
 // GetImage fetches an image object and decodes its raster.
 func (c *Client) GetImage(id uint64) (*image.Gray, string, error) {
-	var resp proto.GetImageResp
-	if err := c.call(context.Background(), proto.MGetImage, &proto.GetImageReq{ID: id}, &resp); err != nil {
+	resp, err := c.getImageResp(id)
+	if err != nil {
 		return nil, "", err
 	}
 	g, err := image.Decode(resp.Data)
@@ -314,28 +322,75 @@ func (c *Client) GetImage(id uint64) (*image.Gray, string, error) {
 // GetImageBytes fetches an image object's raw payload (for the prefetch
 // cache, which stores bytes).
 func (c *Client) GetImageBytes(id uint64) ([]byte, error) {
-	var resp proto.GetImageResp
-	if err := c.call(context.Background(), proto.MGetImage, &proto.GetImageReq{ID: id}, &resp); err != nil {
+	resp, err := c.getImageResp(id)
+	if err != nil {
 		return nil, err
 	}
 	return resp.Data, nil
 }
 
+// getImageResp is the shared image fetch, conditional when the digest
+// cache knows the object.
+func (c *Client) getImageResp(id uint64) (*proto.GetImageResp, error) {
+	key := fmt.Sprintf("img:%d", id)
+	known, cached, _ := c.cacheLookup(key)
+	var resp proto.GetImageResp
+	if err := c.call(context.Background(), proto.MGetImage, &proto.GetImageReq{ID: id, IfDigestAbsent: known}, &resp); err != nil {
+		return nil, err
+	}
+	if resp.NotModified {
+		if known == nil {
+			return nil, fmt.Errorf("client: server elided image %d without a conditional request", id)
+		}
+		c.digests.hits.Add(1)
+		resp.Data = cached
+		return &resp, nil
+	}
+	c.cacheStore(key, resp.Digest, resp.Data)
+	return &resp, nil
+}
+
 // GetAudio fetches an audio object: PCM bytes plus segmentation metadata.
 func (c *Client) GetAudio(id uint64) (pcm, sectors []byte, filename string, err error) {
+	key := fmt.Sprintf("aud:%d", id)
+	known, cached, _ := c.cacheLookup(key)
 	var resp proto.GetAudioResp
-	if err := c.call(context.Background(), proto.MGetAudio, &proto.GetAudioReq{ID: id}, &resp); err != nil {
+	if err := c.call(context.Background(), proto.MGetAudio, &proto.GetAudioReq{ID: id, IfDigestAbsent: known}, &resp); err != nil {
 		return nil, nil, "", err
 	}
+	if resp.NotModified {
+		if known == nil {
+			return nil, nil, "", fmt.Errorf("client: server elided audio %d without a conditional request", id)
+		}
+		c.digests.hits.Add(1)
+		return cached, resp.Sectors, resp.Filename, nil
+	}
+	c.cacheStore(key, resp.Digest, resp.Data)
 	return resp.Data, resp.Sectors, resp.Filename, nil
 }
 
 // GetCmp fetches a multi-layer stream truncated to maxLayers (0 = all)
-// and decodes it at that fidelity.
+// and decodes it at that fidelity. Only the untruncated fetch can be
+// conditional — the digest addresses the full stream.
 func (c *Client) GetCmp(id uint64, maxLayers int) (*image.Gray, int, error) {
+	var known, cached []byte
+	var key string
+	if maxLayers == 0 {
+		key = fmt.Sprintf("cmp:%d", id)
+		known, cached, _ = c.cacheLookup(key)
+	}
 	var resp proto.GetCmpResp
-	if err := c.call(context.Background(), proto.MGetCmp, &proto.GetCmpReq{ID: id, MaxLayers: maxLayers}, &resp); err != nil {
+	if err := c.call(context.Background(), proto.MGetCmp, &proto.GetCmpReq{ID: id, MaxLayers: maxLayers, IfDigestAbsent: known}, &resp); err != nil {
 		return nil, 0, err
+	}
+	if resp.NotModified {
+		if known == nil {
+			return nil, 0, fmt.Errorf("client: server elided stream %d without a conditional request", id)
+		}
+		c.digests.hits.Add(1)
+		resp.Data = cached
+	} else if key != "" {
+		c.cacheStore(key, resp.Digest, resp.Data)
 	}
 	stream, err := compress.Unmarshal(resp.Header, resp.Data)
 	if err != nil {
@@ -346,6 +401,24 @@ func (c *Client) GetCmp(id uint64, maxLayers int) (*image.Gray, int, error) {
 		return nil, 0, err
 	}
 	return g, len(resp.Data), nil
+}
+
+// cacheLookup consults the digest cache when enabled.
+func (c *Client) cacheLookup(key string) (digest, data []byte, ok bool) {
+	if c.digests == nil {
+		return nil, nil, false
+	}
+	return c.digests.lookup(key)
+}
+
+// cacheStore records a fetched payload in the digest cache (a miss, by
+// definition — the payload crossed the wire).
+func (c *Client) cacheStore(key string, digest, data []byte) {
+	if c.digests == nil {
+		return
+	}
+	c.digests.misses.Add(1)
+	c.digests.store(key, digest, data)
 }
 
 // Session is the client's presence in one shared room.

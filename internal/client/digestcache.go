@@ -1,0 +1,129 @@
+package client
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// The client-side digest cache (§4.4 extended): media payloads keyed by
+// their content digest. On a repeat fetch the client sends the digest
+// it holds in IfDigestAbsent; a server whose object still has that
+// digest answers NotModified with no payload, and the client serves the
+// cached bytes — an unchanged image costs a round trip, not a transfer.
+// Because the key is the content itself, two object ids with identical
+// bytes share one entry, and an object whose payload reverts to one
+// seen earlier is a hit too.
+
+// digestCache is a byte-bounded LRU over payloads keyed by digest, with
+// an object-id index on top ("img:5" → last seen digest).
+type digestCache struct {
+	mu      sync.Mutex
+	max     int64
+	size    int64
+	lru     *list.List               // *digestEntry; front = most recent
+	entries map[string]*list.Element // digest → element
+	byID    map[string]string        // object key → digest
+
+	hits, misses atomic.Uint64
+}
+
+type digestEntry struct {
+	digest string
+	data   []byte
+	ids    map[string]struct{} // object keys mapping here, for eviction
+}
+
+func newDigestCache(maxBytes int64) *digestCache {
+	return &digestCache{
+		max:     maxBytes,
+		lru:     list.New(),
+		entries: make(map[string]*list.Element),
+		byID:    make(map[string]string),
+	}
+}
+
+// lookup returns the digest and payload last seen for the object key.
+// Returning both together keeps the conditional round trip race-free:
+// the bytes backing a NotModified answer are already in hand.
+func (dc *digestCache) lookup(id string) (digest, data []byte, ok bool) {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	key, ok := dc.byID[id]
+	if !ok {
+		return nil, nil, false
+	}
+	el := dc.entries[key]
+	if el == nil {
+		delete(dc.byID, id)
+		return nil, nil, false
+	}
+	dc.lru.MoveToFront(el)
+	e := el.Value.(*digestEntry)
+	return []byte(e.digest), e.data, true
+}
+
+// store records the payload the server just returned for the object.
+func (dc *digestCache) store(id string, digest, data []byte) {
+	if len(digest) == 0 || int64(len(data)) > dc.max {
+		return
+	}
+	key := string(digest)
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	if old, ok := dc.byID[id]; ok && old != key {
+		if el := dc.entries[old]; el != nil {
+			delete(el.Value.(*digestEntry).ids, id)
+		}
+	}
+	dc.byID[id] = key
+	if el := dc.entries[key]; el != nil {
+		el.Value.(*digestEntry).ids[id] = struct{}{}
+		dc.lru.MoveToFront(el)
+		return
+	}
+	e := &digestEntry{digest: key, data: data, ids: map[string]struct{}{id: {}}}
+	dc.entries[key] = dc.lru.PushFront(e)
+	dc.size += int64(len(data))
+	for dc.size > dc.max {
+		back := dc.lru.Back()
+		if back == nil {
+			break
+		}
+		dc.lru.Remove(back)
+		ev := back.Value.(*digestEntry)
+		delete(dc.entries, ev.digest)
+		dc.size -= int64(len(ev.data))
+		for oid := range ev.ids {
+			if dc.byID[oid] == ev.digest {
+				delete(dc.byID, oid)
+			}
+		}
+	}
+}
+
+// DigestCacheStats counts the client's conditional-fetch outcomes.
+type DigestCacheStats struct {
+	// Hits counts fetches answered NotModified and served from the
+	// cache; Misses counts fetches that transferred the payload (cold,
+	// changed object, or cache disabled mid-race).
+	Hits, Misses uint64
+	// Bytes is the payload total currently cached.
+	Bytes int64
+}
+
+// DigestCacheStats reports the digest cache's counters (zero when the
+// cache is disabled).
+func (c *Client) DigestCacheStats() DigestCacheStats {
+	if c.digests == nil {
+		return DigestCacheStats{}
+	}
+	c.digests.mu.Lock()
+	bytes := c.digests.size
+	c.digests.mu.Unlock()
+	return DigestCacheStats{
+		Hits:   c.digests.hits.Load(),
+		Misses: c.digests.misses.Load(),
+		Bytes:  bytes,
+	}
+}

@@ -92,6 +92,11 @@ type Options struct {
 	// mixed-version interop knob (and an escape hatch against a codec
 	// bug in production).
 	GobOnly bool
+	// DigestCacheBytes bounds the client's digest-keyed media cache
+	// (default 0: disabled). With it on, repeat fetches of an unchanged
+	// object send its known digest and the server elides the payload —
+	// see digestcache.go.
+	DigestCacheBytes int64
 }
 
 // newWireClient wraps conn honoring the negotiation knob.

@@ -33,6 +33,11 @@ type HarnessOptions struct {
 	// node can serve the same documents. It is also the seed tests
 	// should use for churn scheduling, keeping runs reproducible.
 	Seed int64
+	// Unseeded lists node ids (n1..nN) whose stores start empty: no
+	// workload population, an empty CAS. Such a node converges purely
+	// through dataset sync — the digest-replication path — instead of
+	// relying on an identically seeded database.
+	Unseeded []string
 	// Forward turns on transparent cross-node relaying (instead of
 	// redirects) on every node.
 	Forward bool
@@ -49,6 +54,15 @@ type HarnessOptions struct {
 	Logf func(format string, args ...any)
 }
 
+func (o *HarnessOptions) unseeded(id string) bool {
+	for _, u := range o.Unseeded {
+		if u == id {
+			return true
+		}
+	}
+	return false
+}
+
 // HarnessNode is one cluster member under harness control.
 type HarnessNode struct {
 	ID   string
@@ -63,6 +77,10 @@ type HarnessNode struct {
 	listener net.Listener
 	db       *store.DB
 	media    *mediadb.MediaDB
+
+	// Unseeded records that this node's store started empty (see
+	// HarnessOptions.Unseeded).
+	Unseeded bool
 
 	mu          sync.Mutex
 	killed      bool
@@ -144,13 +162,15 @@ func (h *Harness) startNode(ids, addrs []string, listeners []net.Listener, i int
 		db.Close()
 		return nil, err
 	}
-	rec, err := workload.Populate(m, "p1", o.Seed)
-	if err != nil {
-		db.Close()
-		return nil, err
-	}
-	if h.Record == nil {
-		h.Record = rec
+	if !o.unseeded(ids[i]) {
+		rec, err := workload.Populate(m, "p1", o.Seed)
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		if h.Record == nil {
+			h.Record = rec
+		}
 	}
 	faults := netsim.NewFaults()
 	peers := make(map[string]string, len(ids)-1)
@@ -179,6 +199,7 @@ func (h *Harness) startNode(ids, addrs []string, listeners []net.Listener, i int
 	hn := &HarnessNode{
 		ID: ids[i], Addr: addrs[i], Faults: faults, Node: node,
 		h: h, listener: faults.Listener(listeners[i]), db: db, media: m,
+		Unseeded: o.unseeded(ids[i]),
 	}
 	h.wg.Add(1)
 	go func() {
@@ -187,6 +208,10 @@ func (h *Harness) startNode(ids, addrs []string, listeners []net.Listener, i int
 	}()
 	return hn, nil
 }
+
+// Media exposes the node's media database — experiments measure
+// replication transfer against its blob statistics.
+func (hn *HarnessNode) Media() *mediadb.MediaDB { return hn.media }
 
 // Addrs lists every node's client address in node order — the endpoint
 // set for client.NewOverResolver.

@@ -381,6 +381,11 @@ type repEvent struct {
 type repState struct {
 	standby string // node the log last streamed to
 	dirty   bool   // lost updates or failed send: re-snapshot
+	// dataStandby/dataFP are the dataset-sync cursor: the node the
+	// room's media manifest last shipped to and the fingerprint of what
+	// it saw. Matching both skips the resend entirely (sync.go).
+	dataStandby string
+	dataFP      [32]byte
 }
 
 // roomTap observes every local room event-log advance (called under the
@@ -409,6 +414,12 @@ func (n *Node) markDirty(roomName string) {
 	st.dirty = true
 	n.repMu.Unlock()
 }
+
+// ForceResync marks every replicated room dirty: the next replication
+// round re-sends full snapshots and dataset manifests even if nothing
+// changed. Tests and experiments use it to measure the cost of a
+// no-op re-sync (manifest frame, zero chunks).
+func (n *Node) ForceResync() { n.markAllDirty() }
 
 // markAllDirty forces a re-snapshot of every replicated room — the
 // placement changed, so standbys may have too.
@@ -524,6 +535,9 @@ func (n *Node) flushRoom(name string, pr *pendingRep) {
 		st.dirty = false
 	}
 	n.repMu.Unlock()
+	// The log landed; make sure the standby can also materialize the
+	// room's media. Manifests only — the standby pulls what it lacks.
+	n.syncDataset(name, req.DocID, standby, full)
 }
 
 // retryDirty re-flushes rooms whose replication fell behind.

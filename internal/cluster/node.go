@@ -81,6 +81,12 @@ type Metrics struct {
 	// Replicated counts replication RPCs sent; Evictions counts local
 	// rooms dropped because placement moved them to another node.
 	Replicated, Evictions int64
+	// ManifestSyncs counts dataset manifest frames sent to standbys;
+	// the Sync* counters aggregate what this node adopted as a standby:
+	// rows applied, and chunks (with their payload bytes) pulled because
+	// its CAS lacked them. An unchanged resend moves none of the three.
+	ManifestSyncs                                           int64
+	SyncRowsAdopted, SyncChunksPulled, SyncChunkBytesPulled int64
 }
 
 // Node is one cluster member: an interaction server plus the routing
@@ -92,6 +98,7 @@ type Node struct {
 	id    string
 	epoch uint64
 	srv   *server.Server
+	db    *mediadb.MediaDB
 
 	mu       sync.Mutex
 	peers    map[string]*peerState
@@ -120,9 +127,11 @@ type Node struct {
 	recNotify chan struct{}
 	wg        sync.WaitGroup
 
-	redirects, forwards, forwardErrs atomic.Int64
-	unavailable, replicated          atomic.Int64
-	evictions                        atomic.Int64
+	redirects, forwards, forwardErrs  atomic.Int64
+	unavailable, replicated           atomic.Int64
+	evictions, manifestSyncs          atomic.Int64
+	syncRowsAdopted, syncChunksPulled atomic.Int64
+	syncChunkBytes                    atomic.Int64
 }
 
 // peerState is this node's view of one configured peer.
@@ -158,6 +167,7 @@ func New(db *mediadb.MediaDB, opts server.Options, cfg Config) (*Node, error) {
 	n := &Node{
 		cfg:       cfg,
 		id:        cfg.ID,
+		db:        db,
 		epoch:     uint64(time.Now().UnixNano()),
 		peers:     make(map[string]*peerState, len(cfg.Peers)),
 		roomPeers: make(map[string]map[*wire.Peer]struct{}),
@@ -184,6 +194,8 @@ func New(db *mediadb.MediaDB, opts server.Options, cfg Config) (*Node, error) {
 	srv.Register(proto.MNodePing, wire.Typed(n.handlePing))
 	srv.Register(proto.MNodeIngress, wire.Typed(n.handleIngress))
 	srv.Register(proto.MNodeReplicate, wire.Typed(n.handleReplicate))
+	srv.Register(proto.MNodeSyncManifest, wire.Typed(n.handleSyncManifest))
+	srv.Register(proto.MNodeFetchChunks, wire.Typed(n.handleFetchChunks))
 	for _, ps := range n.peers {
 		n.wg.Add(1)
 		go n.pinger(ps)
@@ -210,6 +222,11 @@ func (n *Node) Metrics() Metrics {
 		Unavailable:   n.unavailable.Load(),
 		Replicated:    n.replicated.Load(),
 		Evictions:     n.evictions.Load(),
+
+		ManifestSyncs:        n.manifestSyncs.Load(),
+		SyncRowsAdopted:      n.syncRowsAdopted.Load(),
+		SyncChunksPulled:     n.syncChunksPulled.Load(),
+		SyncChunkBytesPulled: n.syncChunkBytes.Load(),
 	}
 }
 

@@ -91,11 +91,15 @@ func (r *GetDocumentResp) DecodeBody(d *wire.Dec) error {
 }
 
 // AppendBody implements wire.BodyEncoder.
-func (r *GetImageReq) AppendBody(e *wire.BodyEnc) { e.Uvarint(r.ID) }
+func (r *GetImageReq) AppendBody(e *wire.BodyEnc) {
+	e.Uvarint(r.ID)
+	e.Bytes(r.IfDigestAbsent)
+}
 
 // DecodeBody implements wire.BodyDecoder.
 func (r *GetImageReq) DecodeBody(d *wire.Dec) error {
 	r.ID = d.Uvarint()
+	r.IfDigestAbsent = d.Bytes()
 	return d.Err()
 }
 
@@ -106,6 +110,7 @@ func (r *GetImageResp) AppendBody(e *wire.BodyEnc) {
 	e.F64(r.CM)
 	e.Bytes(r.Digest)
 	e.RawBytes(r.Data)
+	e.Bool(r.NotModified)
 }
 
 // DecodeBody implements wire.BodyDecoder.
@@ -115,15 +120,20 @@ func (r *GetImageResp) DecodeBody(d *wire.Dec) error {
 	r.CM = d.F64()
 	r.Digest = d.Bytes()
 	r.Data = d.Bytes()
+	r.NotModified = d.Bool()
 	return d.Err()
 }
 
 // AppendBody implements wire.BodyEncoder.
-func (r *GetAudioReq) AppendBody(e *wire.BodyEnc) { e.Uvarint(r.ID) }
+func (r *GetAudioReq) AppendBody(e *wire.BodyEnc) {
+	e.Uvarint(r.ID)
+	e.Bytes(r.IfDigestAbsent)
+}
 
 // DecodeBody implements wire.BodyDecoder.
 func (r *GetAudioReq) DecodeBody(d *wire.Dec) error {
 	r.ID = d.Uvarint()
+	r.IfDigestAbsent = d.Bytes()
 	return d.Err()
 }
 
@@ -133,6 +143,7 @@ func (r *GetAudioResp) AppendBody(e *wire.BodyEnc) {
 	e.RawBytes(r.Sectors)
 	e.Bytes(r.Digest)
 	e.RawBytes(r.Data)
+	e.Bool(r.NotModified)
 }
 
 // DecodeBody implements wire.BodyDecoder.
@@ -141,6 +152,7 @@ func (r *GetAudioResp) DecodeBody(d *wire.Dec) error {
 	r.Sectors = d.Bytes()
 	r.Digest = d.Bytes()
 	r.Data = d.Bytes()
+	r.NotModified = d.Bool()
 	return d.Err()
 }
 
@@ -148,12 +160,14 @@ func (r *GetAudioResp) DecodeBody(d *wire.Dec) error {
 func (r *GetCmpReq) AppendBody(e *wire.BodyEnc) {
 	e.Uvarint(r.ID)
 	e.Varint(int64(r.MaxLayers))
+	e.Bytes(r.IfDigestAbsent)
 }
 
 // DecodeBody implements wire.BodyDecoder.
 func (r *GetCmpReq) DecodeBody(d *wire.Dec) error {
 	r.ID = d.Uvarint()
 	r.MaxLayers = int(d.Varint())
+	r.IfDigestAbsent = d.Bytes()
 	return d.Err()
 }
 
@@ -163,6 +177,7 @@ func (r *GetCmpResp) AppendBody(e *wire.BodyEnc) {
 	e.Bytes(r.Digest)
 	e.RawBytes(r.Header)
 	e.RawBytes(r.Data)
+	e.Bool(r.NotModified)
 }
 
 // DecodeBody implements wire.BodyDecoder.
@@ -171,6 +186,7 @@ func (r *GetCmpResp) DecodeBody(d *wire.Dec) error {
 	r.Digest = d.Bytes()
 	r.Header = d.Bytes()
 	r.Data = d.Bytes()
+	r.NotModified = d.Bool()
 	return d.Err()
 }
 

@@ -75,16 +75,37 @@ func codecCases() []codecCase {
 		{"GetDocumentReq", &GetDocumentReq{DocID: "p1"}, &GetDocumentReq{}},
 		{"GetDocumentResp", &GetDocumentResp{DocData: big}, &GetDocumentResp{}},
 		{"GetImageReq", &GetImageReq{ID: 42}, &GetImageReq{}},
+		{"GetImageReq/conditional", &GetImageReq{
+			ID: 42, IfDigestAbsent: []byte{0xD1, 0xD2, 0xD3},
+		}, &GetImageReq{}},
+		{"GetImageResp/notmodified", &GetImageResp{
+			Quality: 3, Texts: "axial slice", CM: 1.25,
+			Digest: []byte{1, 2, 3, 4}, NotModified: true,
+		}, &GetImageResp{}},
 		{"GetImageResp", &GetImageResp{
 			Quality: 3, Texts: "axial slice", CM: 1.25,
 			Digest: []byte{1, 2, 3, 4}, Data: big,
 		}, &GetImageResp{}},
 		{"GetAudioReq", &GetAudioReq{ID: 9}, &GetAudioReq{}},
+		{"GetAudioReq/conditional", &GetAudioReq{
+			ID: 9, IfDigestAbsent: []byte{0xA1, 0xA2},
+		}, &GetAudioReq{}},
+		{"GetAudioResp/notmodified", &GetAudioResp{
+			Filename: "consult.au", Sectors: big[:700],
+			Digest: []byte{9, 8, 7}, NotModified: true,
+		}, &GetAudioResp{}},
 		{"GetAudioResp", &GetAudioResp{
 			Filename: "consult.au", Sectors: big[:700],
 			Digest: []byte{9, 8, 7}, Data: big,
 		}, &GetAudioResp{}},
 		{"GetCmpReq", &GetCmpReq{ID: 5, MaxLayers: 3}, &GetCmpReq{}},
+		{"GetCmpReq/conditional", &GetCmpReq{
+			ID: 5, IfDigestAbsent: []byte{0xC1, 0xC2},
+		}, &GetCmpReq{}},
+		{"GetCmpResp/notmodified", &GetCmpResp{
+			Filename: "scan.cmp", Digest: []byte{5, 5, 5},
+			Header: []byte("hdr"), NotModified: true,
+		}, &GetCmpResp{}},
 		{"GetCmpResp", &GetCmpResp{
 			Filename: "scan.cmp", Digest: []byte{5, 5, 5},
 			Header: []byte("hdr"), Data: big,
@@ -107,6 +128,38 @@ func codecCases() []codecCase {
 		{"HistoryReq", &HistoryReq{Room: "consult", Since: 12}, &HistoryReq{}},
 		{"HistoryResp", &HistoryResp{Events: sampleEvents()}, &HistoryResp{}},
 		{"HistoryResp/empty", &HistoryResp{}, &HistoryResp{}},
+		{"SyncManifestReq", &SyncManifestReq{
+			Room: "consult", Node: "n1", DocID: "p1", Title: "Case 1",
+			DocBlob: BlobRef{Digest: []byte{1, 1, 1}, Length: 256},
+			Images: []SyncImageRow{
+				{ID: 3, Quality: 2, Texts: "axial", CM: 0.5,
+					Data: BlobRef{Digest: []byte{2, 2}, Length: 4096}},
+			},
+			Audios: []SyncAudioRow{
+				{ID: 7, Filename: "v.au", Sectors: []byte{1, 2, 3},
+					Data: BlobRef{Digest: []byte{3, 3}, Length: 900}},
+			},
+			Cmps: []SyncCmpRow{
+				{ID: 9, Filename: "s.cmp", FileSize: 65536, Position: 12,
+					Header: BlobRef{Digest: []byte{4}, Length: 64},
+					Data:   BlobRef{Digest: []byte{5}, Length: 65536}},
+			},
+			Manifests: []BlobManifest{
+				{Digest: []byte{5}, Length: 65536, Chunks: [][]byte{{6}, {7}}},
+			},
+		}, &SyncManifestReq{}},
+		{"SyncManifestReq/empty", &SyncManifestReq{
+			Room: "consult", Node: "n1", DocID: "p1",
+		}, &SyncManifestReq{}},
+		{"SyncManifestResp", &SyncManifestResp{
+			Node: "n2", RowsAdopted: 4, ChunksPulled: 17, ChunkBytesPulled: 1 << 20,
+		}, &SyncManifestResp{}},
+		{"FetchChunksReq", &FetchChunksReq{
+			Node: "n2", Digests: [][]byte{{1, 2}, {3, 4}},
+		}, &FetchChunksReq{}},
+		{"FetchChunksResp", &FetchChunksResp{
+			Chunks: [][]byte{big, {9}},
+		}, &FetchChunksResp{}},
 	}
 }
 

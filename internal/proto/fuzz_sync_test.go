@@ -1,0 +1,83 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+
+	"mmconf/internal/wire"
+)
+
+// FuzzReplicationFrame throws arbitrary payload bytes at the dataset
+// replication codecs (manifest sync, chunk batch fetch). These frames
+// arrive over node links from peers that may be skewed, truncated or
+// hostile, so the decoders must never panic and must bound their
+// allocations whatever counts the input claims; any accepted body must
+// re-encode and re-decode to a fixed point.
+func FuzzReplicationFrame(f *testing.F) {
+	d1 := bytes.Repeat([]byte{0xAA}, 32)
+	d2 := bytes.Repeat([]byte{0xBB}, 32)
+	d3 := bytes.Repeat([]byte{0xCC}, 32)
+	seeds := []wire.BodyEncoder{
+		&SyncManifestReq{
+			Room: "tumor-board", Node: "n1", DocID: "patient-001", Title: "CT study",
+			DocBlob: BlobRef{Digest: d1, Length: 512},
+			Images: []SyncImageRow{
+				{ID: 3, Quality: 2, Texts: "lesion at L4", CM: 0.5, Data: BlobRef{Digest: d2, Length: 4096}},
+			},
+			Audios: []SyncAudioRow{
+				{ID: 7, Filename: "note.wav", Sectors: []byte{1, 2, 3}, Data: BlobRef{Digest: d3, Length: 9000}},
+			},
+			Cmps: []SyncCmpRow{
+				{ID: 9, Filename: "scan.cmp", FileSize: 65536, Position: 12,
+					Header: BlobRef{Digest: d1, Length: 64}, Data: BlobRef{Digest: d2, Length: 65536}},
+			},
+			Manifests: []BlobManifest{
+				{Digest: d2, Length: 65536, Chunks: [][]byte{d1, d3}},
+				{Digest: d3, Length: 9000, Chunks: [][]byte{d3}},
+			},
+		},
+		&SyncManifestReq{Room: "empty", Node: "n2", DocID: "p2"},
+		&SyncManifestResp{Node: "n2", RowsAdopted: 4, ChunksPulled: 17, ChunkBytesPulled: 1 << 20},
+		&FetchChunksReq{Node: "n2", Digests: [][]byte{d1, d2, d3}},
+		&FetchChunksResp{Chunks: [][]byte{bytes.Repeat([]byte{0x11}, 600), nil, {0x22}}},
+	}
+	for _, b := range seeds {
+		data := wire.MarshalBody(b)
+		f.Add(data)
+		// Truncation at every prefix: each must be rejected cleanly.
+		for i := 0; i < len(data); i++ {
+			f.Add(data[:i])
+		}
+	}
+	// Hostile lengths: uvarints claiming counts and payloads far beyond
+	// the input.
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F})
+	f.Add([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01})
+
+	fresh := []func() wire.BodyDecoder{
+		func() wire.BodyDecoder { return new(SyncManifestReq) },
+		func() wire.BodyDecoder { return new(SyncManifestResp) },
+		func() wire.BodyDecoder { return new(FetchChunksReq) },
+		func() wire.BodyDecoder { return new(FetchChunksResp) },
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, mk := range fresh {
+			v := mk()
+			if err := wire.DecodeBodyBytes(data, v); err != nil {
+				continue
+			}
+			enc, ok := v.(wire.BodyEncoder)
+			if !ok {
+				t.Fatalf("%T decodes but does not encode", v)
+			}
+			out := wire.MarshalBody(enc)
+			v2 := mk()
+			if err := wire.DecodeBodyBytes(out, v2); err != nil {
+				t.Fatalf("%T: accepted %d bytes but re-encoded form fails: %v", v, len(data), err)
+			}
+			if len(wire.MarshalBody(v2.(wire.BodyEncoder))) != len(out) {
+				t.Fatalf("%T: re-encode not a fixed point", v)
+			}
+		}
+	})
+}

@@ -73,8 +73,14 @@ type GetDocumentReq struct{ DocID string }
 // GetDocumentResp carries the serialized document (document.Unmarshal).
 type GetDocumentResp struct{ DocData []byte }
 
-// GetImageReq fetches an image object.
-type GetImageReq struct{ ID uint64 }
+// GetImageReq fetches an image object. IfDigestAbsent makes the fetch
+// conditional: when the stored payload's digest equals it, the server
+// answers NotModified with no payload bytes — the client already holds
+// them in its digest-keyed cache.
+type GetImageReq struct {
+	ID             uint64
+	IfDigestAbsent []byte
+}
 
 // GetImageResp carries one IMAGE_OBJECTS_TABLE row with payload. Digest
 // is the payload's SHA-256 content address in the server's blob store —
@@ -86,10 +92,16 @@ type GetImageResp struct {
 	CM      float64
 	Digest  []byte
 	Data    []byte
+	// NotModified reports that the request's IfDigestAbsent matched:
+	// Data is empty and the client serves the payload from its cache.
+	NotModified bool
 }
 
-// GetAudioReq fetches an audio object.
-type GetAudioReq struct{ ID uint64 }
+// GetAudioReq fetches an audio object. IfDigestAbsent as in GetImageReq.
+type GetAudioReq struct {
+	ID             uint64
+	IfDigestAbsent []byte
+}
 
 // GetAudioResp carries one AUDIO_OBJECTS_TABLE row with payload. Digest
 // is the payload's content address (see GetImageResp).
@@ -98,6 +110,8 @@ type GetAudioResp struct {
 	Sectors  []byte
 	Digest   []byte
 	Data     []byte
+	// NotModified as in GetImageResp.
+	NotModified bool
 }
 
 // GetCmpReq fetches a compressed stream, optionally truncated to the
@@ -107,6 +121,10 @@ type GetAudioResp struct {
 type GetCmpReq struct {
 	ID        uint64
 	MaxLayers int
+	// IfDigestAbsent as in GetImageReq. Only a full-stream fetch
+	// (MaxLayers = 0) can match: the digest addresses the full stream,
+	// and a truncated body is not the cached payload.
+	IfDigestAbsent []byte
 }
 
 // GetCmpResp carries the stream header and the (possibly truncated)
@@ -117,6 +135,9 @@ type GetCmpResp struct {
 	Digest   []byte
 	Header   []byte
 	Data     []byte
+	// NotModified as in GetImageResp (Header still carries the stream
+	// header — only the body bytes are elided).
+	NotModified bool
 }
 
 // PutImageTextsReq persists updated annotations into the image object.

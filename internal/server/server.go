@@ -14,6 +14,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -395,10 +396,12 @@ var methodClasses = map[string]wire.Priority{
 
 	// Node-link plane: liveness and replication keep the cluster
 	// coherent and must survive overload like session control does.
-	proto.MNodeHello:     wire.PriorityControl,
-	proto.MNodePing:      wire.PriorityControl,
-	proto.MNodeIngress:   wire.PriorityControl,
-	proto.MNodeReplicate: wire.PriorityControl,
+	proto.MNodeHello:        wire.PriorityControl,
+	proto.MNodePing:         wire.PriorityControl,
+	proto.MNodeIngress:      wire.PriorityControl,
+	proto.MNodeReplicate:    wire.PriorityControl,
+	proto.MNodeSyncManifest: wire.PriorityControl,
+	proto.MNodeFetchChunks:  wire.PriorityControl,
 }
 
 // Stats exposes the pipeline's per-method request counters plus the
@@ -577,7 +580,25 @@ func (s *Server) handleGetDocument(ctx context.Context, p *wire.Peer, req *proto
 }
 
 func (s *Server) handleGetImage(ctx context.Context, p *wire.Peer, req *proto.GetImageReq) (*proto.GetImageResp, error) {
-	return s.getImageCached(req.ID)
+	resp, err := s.getImageCached(req.ID)
+	if err != nil {
+		return nil, err
+	}
+	if digestMatches(req.IfDigestAbsent, resp.Digest) {
+		// Shallow copy, never a mutation: the cached resp is shared with
+		// every other reader of the object cache.
+		cp := *resp
+		cp.Data = nil
+		cp.NotModified = true
+		return &cp, nil
+	}
+	return resp, nil
+}
+
+// digestMatches reports whether a conditional request's known digest
+// equals the stored object's — the payload can then be elided.
+func digestMatches(cond, digest []byte) bool {
+	return len(cond) > 0 && bytes.Equal(cond, digest)
 }
 
 // getImageCached serves an image object through the response cache; the
@@ -611,7 +632,14 @@ func (s *Server) handleGetAudio(ctx context.Context, p *wire.Peer, req *proto.Ge
 	if err != nil {
 		return nil, err
 	}
-	return v.(*proto.GetAudioResp), nil
+	resp := v.(*proto.GetAudioResp)
+	if digestMatches(req.IfDigestAbsent, resp.Digest) {
+		cp := *resp
+		cp.Data = nil
+		cp.NotModified = true
+		return &cp, nil
+	}
+	return resp, nil
 }
 
 // handleGetCmp serves a compressed stream, truncating the body to the
@@ -629,7 +657,18 @@ func (s *Server) handleGetCmp(ctx context.Context, p *wire.Peer, req *proto.GetC
 	if err != nil {
 		return nil, err
 	}
-	return v.(*proto.GetCmpResp), nil
+	resp := v.(*proto.GetCmpResp)
+	// The digest addresses the full stream, so only an untruncated
+	// response (MaxLayers == 0) can match a conditional request. The
+	// header stays in the reply either way — it is tiny and the layer
+	// map may be what the client is after.
+	if req.MaxLayers == 0 && digestMatches(req.IfDigestAbsent, resp.Digest) {
+		cp := *resp
+		cp.Data = nil
+		cp.NotModified = true
+		return &cp, nil
+	}
+	return resp, nil
 }
 
 // fetchCmp is the uncached GetCmp body: store fetch, layer-header

@@ -376,6 +376,38 @@ func (db *DB) ReleaseBlob(h blob.Handle) error {
 	return nil
 }
 
+// ContainsBlob reports whether the local store already holds the
+// payload h names — the whole-object fast path of digest replication.
+func (db *DB) ContainsBlob(h blob.Handle) bool {
+	return db.blobs.Contains(h)
+}
+
+// BlobManifest returns the ordered chunk digest list of the stored
+// payload behind h — the sender side of digest replication.
+func (db *DB) BlobManifest(h blob.Handle) ([]blob.Digest, error) {
+	return db.blobs.Manifest(h)
+}
+
+// MissingBlobChunks reports which of the given chunk digests the local
+// store lacks — the receiver-side manifest diff of digest replication.
+func (db *DB) MissingBlobChunks(chunks []blob.Digest) []blob.Digest {
+	return db.blobs.MissingChunks(chunks)
+}
+
+// GetBlobChunk reads one stored chunk's payload by digest, for shipping
+// to a replicating peer.
+func (db *DB) GetBlobChunk(cd blob.Digest) ([]byte, error) {
+	return db.blobs.GetChunk(cd)
+}
+
+// PutBlobFromChunks materializes a replicated payload from its manifest
+// plus the transferred chunks (locally held chunks are shared, not
+// rewritten). Durability follows PutBlob: the WAL pre-sync hook syncs
+// blob segments before any row referencing the handle becomes durable.
+func (db *DB) PutBlobFromChunks(d blob.Digest, length uint32, chunks []blob.Digest, data map[blob.Digest][]byte) (blob.Handle, error) {
+	return db.blobs.PutFromChunks(d, length, chunks, data)
+}
+
 // BlobStats returns the blob store's counters and gauges (dedup hits,
 // live/free bytes, compactions, ...) plus how many row-referenced digests
 // are missing from the store.

@@ -217,6 +217,26 @@ func (t *Table) Insert(row Row) (uint64, error) {
 	return id, nil
 }
 
+// InsertWithID appends a row under a caller-chosen id — the replication
+// path, where a standby materializes rows under the ids the room's owner
+// assigned so object references in the event log stay valid after
+// failover. Inserting an id that already exists is an error; the table's
+// auto-assign counter advances past adopted ids, so later Inserts never
+// collide with them.
+func (t *Table) InsertWithID(id uint64, row Row) error {
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
+	tb, err := t.db.tableLocked(t.name)
+	if err != nil {
+		return err
+	}
+	vals, err := encodeRow(tb.schema, row)
+	if err != nil {
+		return err
+	}
+	return t.db.logAndApply(walRecord{Op: opInsert, Table: t.name, ID: id, Vals: vals})
+}
+
 // Get fetches the row with the given id; ok is false if it does not exist.
 func (t *Table) Get(id uint64) (Row, bool, error) {
 	t.db.mu.RLock()
